@@ -1,0 +1,37 @@
+//! Regenerates Fig 5: balancing buffers added vs original netlist size,
+//! with the power-law fit (paper: B(s) = 7.95 · s^0.9).
+//!
+//! Pass `--quick` to run on the 8-benchmark subset instead of all 37.
+
+use wavepipe_bench::harness::{build_suite, fig5_fit, fig5_points, QUICK_SUBSET};
+
+fn main() {
+    let quick = std::env::args().any(|a| a == "--quick");
+    let suite = build_suite(quick.then_some(&QUICK_SUBSET[..]));
+
+    println!("Fig 5 — balancing buffers added vs original netlist size");
+    println!("{:<12} {:>10} {:>12}", "benchmark", "size", "buffers");
+    let mut points = fig5_points(&suite);
+    points.sort_by_key(|p| p.size);
+    for p in &points {
+        println!("{:<12} {:>10} {:>12}", p.name, p.size, p.buffers);
+    }
+
+    let fit = fig5_fit(&points);
+    println!(
+        "\nfit:   B(s) = {:.2} · s^{:.3}   (R² = {:.4} in log–log space)",
+        fit.coefficient, fit.exponent, fit.r_squared
+    );
+    println!("paper: B(s) = 7.95 · s^0.900");
+    let ratios: Vec<f64> = points
+        .iter()
+        .filter(|p| p.buffers > 0)
+        .map(|p| p.buffers as f64 / p.size as f64)
+        .collect();
+    println!(
+        "buffers / original size: min {:.2}×, mean {:.2}×, max {:.2}× (paper: 2–4× on average)",
+        ratios.iter().cloned().fold(f64::INFINITY, f64::min),
+        tech::mean(&ratios),
+        ratios.iter().cloned().fold(0.0, f64::max)
+    );
+}

@@ -1,0 +1,42 @@
+//! Regenerates Fig 7: critical-path increase after fan-out restriction
+//! to k = 2..5 (paper averages: +140 %, +57 %, +36 %, +26 %).
+//!
+//! Pass `--quick` to run on the 8-benchmark subset instead of all 37.
+
+use wavepipe_bench::harness::{build_suite, fig7_rows, QUICK_SUBSET};
+
+fn main() {
+    let quick = std::env::args().any(|a| a == "--quick");
+    let suite = build_suite(quick.then_some(&QUICK_SUBSET[..]));
+
+    println!("Fig 7 — critical-path increase after fan-out restriction");
+    println!(
+        "{:<12} {:>10} {:>8} {:>8} {:>8} {:>8}",
+        "benchmark", "orig CP", "k=2", "k=3", "k=4", "k=5"
+    );
+    let mut rows = fig7_rows(&suite);
+    rows.sort_by_key(|r| r.original_depth);
+    let mut per_k = vec![Vec::new(); 4];
+    for r in &rows {
+        println!(
+            "{:<12} {:>10} {:>7.0}% {:>7.0}% {:>7.0}% {:>7.0}%",
+            r.name,
+            r.original_depth,
+            r.increase[0] * 100.0,
+            r.increase[1] * 100.0,
+            r.increase[2] * 100.0,
+            r.increase[3] * 100.0
+        );
+        for (i, &inc) in r.increase.iter().enumerate() {
+            per_k[i].push(inc);
+        }
+    }
+    println!(
+        "\naverage: k=2 {:+.0}%, k=3 {:+.0}%, k=4 {:+.0}%, k=5 {:+.0}%",
+        tech::mean(&per_k[0]) * 100.0,
+        tech::mean(&per_k[1]) * 100.0,
+        tech::mean(&per_k[2]) * 100.0,
+        tech::mean(&per_k[3]) * 100.0
+    );
+    println!("paper:   k=2 +140%, k=3 +57%, k=4 +36%, k=5 +26%");
+}

@@ -1,0 +1,48 @@
+//! Regenerates Fig 8: normalized netlist size after BUF, FOk and
+//! FOk+BUF, averaged over the suite (paper: BUF 3.81×; FO2..5
+//! 2.48/1.61/1.35/1.25× with FOG shares .55/.26/.17/.13;
+//! FOx+BUF 9.74/6.21/5.30/4.91×).
+//!
+//! Pass `--quick` to run on the 8-benchmark subset instead of all 37.
+
+use wavepipe_bench::harness::{build_suite, fig8_data, QUICK_SUBSET};
+
+fn main() {
+    let quick = std::env::args().any(|a| a == "--quick");
+    let suite = build_suite(quick.then_some(&QUICK_SUBSET[..]));
+    let d = fig8_data(&suite);
+
+    println!("Fig 8 — normalized component counts (averaged over {} benchmarks)\n", suite.len());
+    println!("{:<12} {:>10} {:>12} {:>10}", "config", "measured", "FOG share", "paper");
+    println!("{:<12} {:>9.2}× {:>12} {:>10}", "original", 1.0, "—", "1.00×");
+    println!("{:<12} {:>9.2}× {:>12} {:>10}", "BUF", d.buf_only, "—", "3.81×");
+    let paper_fo = ["2.48×(.55)", "1.61×(.26)", "1.35×(.17)", "1.25×(.13)"];
+    let paper_combined = ["9.74×", "6.21×", "5.30×", "4.91×"];
+    for (i, k) in (2..=5).enumerate() {
+        println!(
+            "{:<12} {:>9.2}× {:>11.2} {:>10}",
+            format!("FO{k}"),
+            d.fo_only[i],
+            d.fog_share[i],
+            paper_fo[i]
+        );
+    }
+    for (i, k) in (2..=5).enumerate() {
+        println!(
+            "{:<12} {:>9.2}× {:>11.2} {:>10}",
+            format!("FO{k}+BUF"),
+            d.combined[i],
+            d.combined_fog_share[i],
+            paper_combined[i]
+        );
+    }
+    println!("\nobservation (b) check — FOG share independent of BUF:");
+    for i in 0..4 {
+        assert!(
+            (d.fog_share[i] - d.combined_fog_share[i]).abs() < 1e-9,
+            "violated at k={}",
+            i + 2
+        );
+    }
+    println!("  holds exactly on every configuration.");
+}

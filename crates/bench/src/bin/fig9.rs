@@ -1,0 +1,43 @@
+//! Regenerates Fig 9: normalized T/A and T/P gains per technology,
+//! averaged over the suite (paper: T/A 5× SWD, 8× QCA, 3× NML;
+//! T/P 23× SWD, 13× QCA, 5× NML).
+//!
+//! Pass `--quick` to run on the 8-benchmark subset instead of all 37.
+
+use wavepipe_bench::harness::{build_suite, evaluate_suite, fig9_data, QUICK_SUBSET};
+
+fn main() {
+    let quick = std::env::args().any(|a| a == "--quick");
+    let suite = build_suite(quick.then_some(&QUICK_SUBSET[..]));
+    let evaluated = evaluate_suite(&suite);
+
+    println!(
+        "Fig 9 — normalized T/A and T/P gains (FO3+BUF, averaged over {} benchmarks)\n",
+        suite.len()
+    );
+    println!(
+        "{:<6} {:>10} {:>10} {:>12} {:>12} {:>12}",
+        "tech", "T/A mean", "T/P mean", "T/A geomean", "T/P geomean", "paper (T/A, T/P)"
+    );
+    let paper = [("SWD", 5.0, 23.0), ("QCA", 8.0, 13.0), ("NML", 3.0, 5.0)];
+    for (f, (pname, pta, ptp)) in fig9_data(&evaluated).iter().zip(paper) {
+        assert_eq!(f.technology, pname);
+        println!(
+            "{:<6} {:>9.2}× {:>9.2}× {:>11.2}× {:>11.2}× {:>8}×, {}×",
+            f.technology, f.ta_mean, f.tp_mean, f.ta_geomean, f.tp_geomean, pta, ptp
+        );
+    }
+
+    println!("\nper-benchmark gains:");
+    println!(
+        "{:<12} {:>9} {:>9} {:>9} {:>9} {:>9} {:>9}",
+        "benchmark", "SWD T/A", "SWD T/P", "QCA T/A", "QCA T/P", "NML T/A", "NML T/P"
+    );
+    for (name, comparisons) in &evaluated {
+        print!("{name:<12}");
+        for c in comparisons {
+            print!(" {:>8.2}×{:>8.2}×", c.ta_gain(), c.tp_gain());
+        }
+        println!();
+    }
+}

@@ -1,0 +1,150 @@
+//! Runs every experiment and writes the results (text + JSON) under
+//! `results/`. This is the one-shot reproduction entry point:
+//!
+//! ```text
+//! cargo run --release -p wavepipe-bench --bin repro_all
+//! ```
+
+use std::fs;
+use std::path::Path;
+
+use tech::{BenchmarkRow, Technology};
+use wavepipe_bench::harness::{
+    build_suite, evaluate_suite, fig5_fit, fig5_points, fig7_rows, fig8_data, fig9_data,
+    inverter_ablation, retiming_ablation, table2_rows,
+};
+
+fn main() {
+    let out_dir = Path::new("results");
+    fs::create_dir_all(out_dir).expect("create results/");
+    let suite = build_suite(None);
+    println!("built {} benchmarks", suite.len());
+
+    // Fig 5.
+    let points = fig5_points(&suite);
+    let fit = fig5_fit(&points);
+    let mut fig5_txt = String::from("benchmark,size,buffers\n");
+    for p in &points {
+        fig5_txt.push_str(&format!("{},{},{}\n", p.name, p.size, p.buffers));
+    }
+    fig5_txt.push_str(&format!(
+        "# fit: B(s) = {:.3} * s^{:.3} (R2 {:.4}); paper: 7.95 * s^0.9\n",
+        fit.coefficient, fit.exponent, fit.r_squared
+    ));
+    fs::write(out_dir.join("fig5.csv"), &fig5_txt).expect("write fig5");
+    fs::write(
+        out_dir.join("fig5.json"),
+        serde_json::to_string_pretty(&(&points, &fit)).expect("serialize"),
+    )
+    .expect("write fig5.json");
+    println!("fig5: fit B(s) = {:.2} * s^{:.3}", fit.coefficient, fit.exponent);
+
+    // Fig 7.
+    let rows = fig7_rows(&suite);
+    let mut fig7_txt = String::from("benchmark,orig_cp,k2,k3,k4,k5\n");
+    for r in &rows {
+        fig7_txt.push_str(&format!(
+            "{},{},{:.3},{:.3},{:.3},{:.3}\n",
+            r.name, r.original_depth, r.increase[0], r.increase[1], r.increase[2], r.increase[3]
+        ));
+    }
+    let avgs: Vec<f64> = (0..4)
+        .map(|i| tech::mean(&rows.iter().map(|r| r.increase[i]).collect::<Vec<_>>()))
+        .collect();
+    fig7_txt.push_str(&format!(
+        "# averages: {:.3},{:.3},{:.3},{:.3}; paper: 1.40,0.57,0.36,0.26\n",
+        avgs[0], avgs[1], avgs[2], avgs[3]
+    ));
+    fs::write(out_dir.join("fig7.csv"), &fig7_txt).expect("write fig7");
+    println!(
+        "fig7: average CP increase {:.0}%/{:.0}%/{:.0}%/{:.0}% for k=2..5",
+        avgs[0] * 100.0,
+        avgs[1] * 100.0,
+        avgs[2] * 100.0,
+        avgs[3] * 100.0
+    );
+
+    // Fig 8.
+    let f8 = fig8_data(&suite);
+    fs::write(
+        out_dir.join("fig8.json"),
+        serde_json::to_string_pretty(&f8).expect("serialize"),
+    )
+    .expect("write fig8");
+    println!(
+        "fig8: BUF {:.2}x; FO2..5 {:.2}/{:.2}/{:.2}/{:.2}x; FOx+BUF {:.2}/{:.2}/{:.2}/{:.2}x",
+        f8.buf_only,
+        f8.fo_only[0],
+        f8.fo_only[1],
+        f8.fo_only[2],
+        f8.fo_only[3],
+        f8.combined[0],
+        f8.combined[1],
+        f8.combined[2],
+        f8.combined[3]
+    );
+
+    // Fig 9 + Table II.
+    let evaluated = evaluate_suite(&suite);
+    let f9 = fig9_data(&evaluated);
+    fs::write(
+        out_dir.join("fig9.json"),
+        serde_json::to_string_pretty(&f9).expect("serialize"),
+    )
+    .expect("write fig9");
+    for f in &f9 {
+        println!(
+            "fig9 {}: T/A {:.2}x (paper {}), T/P {:.2}x (paper {})",
+            f.technology,
+            f.ta_mean,
+            match f.technology.as_str() {
+                "SWD" => 5,
+                "QCA" => 8,
+                _ => 3,
+            },
+            f.tp_mean,
+            match f.technology.as_str() {
+                "SWD" => 23,
+                "QCA" => 13,
+                _ => 5,
+            }
+        );
+    }
+
+    let mut table2_txt = String::new();
+    for technology in Technology::all() {
+        table2_txt.push_str(&format!("--- {} ---\n", technology.name));
+        table2_txt.push_str(&BenchmarkRow::table_header());
+        table2_txt.push('\n');
+        for row in table2_rows(&technology) {
+            table2_txt.push_str(&row.to_table_line());
+            table2_txt.push('\n');
+        }
+        table2_txt.push('\n');
+    }
+    fs::write(out_dir.join("table2.txt"), &table2_txt).expect("write table2");
+    println!("table2: written to results/table2.txt");
+
+    // Ablation.
+    let ablation = retiming_ablation(&suite);
+    fs::write(
+        out_dir.join("ablation_retiming.json"),
+        serde_json::to_string_pretty(&ablation).expect("serialize"),
+    )
+    .expect("write ablation");
+    let avg_saving =
+        tech::mean(&ablation.iter().map(|r| r.saving()).collect::<Vec<_>>()) * 100.0;
+    println!("ablation: retiming saves {avg_saving:.1}% buffers on average");
+
+    let inv = inverter_ablation(&suite);
+    fs::write(
+        out_dir.join("ablation_inverters.json"),
+        serde_json::to_string_pretty(&inv).expect("serialize"),
+    )
+    .expect("write inverter ablation");
+    let avg_inv =
+        tech::mean(&inv.iter().map(|r| r.inv_saving()).collect::<Vec<_>>()) * 100.0;
+    println!("ablation: polarity search removes {avg_inv:.1}% of inverters on average");
+
+    println!("\nall results written to {}", out_dir.display());
+}

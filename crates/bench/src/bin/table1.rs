@@ -1,0 +1,33 @@
+//! Regenerates Table I: technology cell and gate parameters.
+
+use tech::Technology;
+
+fn main() {
+    println!("Table I — Technology cell and gate parameters");
+    println!("(paper values; relative costs per component kind)\n");
+    for t in Technology::all() {
+        println!("{} cell:", t.name);
+        println!("  area   = {:.6} µm²", t.cell_area.value());
+        println!("  delay  = {} ns", t.cell_delay.value());
+        println!("  energy = {:e} fJ", t.cell_energy.value());
+        println!("  {:>8} {:>6} {:>6} {:>6} {:>6}", "relative", "INV", "MAJ", "BUF", "FOG");
+        println!(
+            "  {:>8} {:>6} {:>6} {:>6} {:>6}",
+            "area", t.inv.area, t.maj.area, t.buf.area, t.fog.area
+        );
+        println!(
+            "  {:>8} {:>6} {:>6} {:>6} {:>6}",
+            "delay", t.inv.delay, t.maj.delay, t.buf.delay, t.fog.delay
+        );
+        println!(
+            "  {:>8} {:>6} {:>6} {:>6} {:>6}",
+            "energy", t.inv.energy, t.maj.energy, t.buf.energy, t.fog.energy
+        );
+        println!(
+            "  model knobs: phase = {:.4} ns ({}× cell delay), sense energy/output = {} fJ\n",
+            t.phase_delay().value(),
+            t.phase_weight,
+            t.output_sense_energy.value()
+        );
+    }
+}

@@ -1,0 +1,44 @@
+//! Regenerates Table II: per-benchmark depth/size/area/power/throughput
+//! and T/A, T/P gains, original vs wave-pipelined, for SWD, QCA and NML
+//! over the paper's seven selected benchmarks.
+
+use tech::{BenchmarkRow, Technology};
+use wavepipe_bench::harness::table2_rows;
+
+/// The paper's published rows for reference: (name, depth orig, depth
+/// wp, size orig, size wp) — identical across technologies.
+const PAPER_STRUCTURE: [(&str, u32, u32, usize, usize); 7] = [
+    ("SASC", 6, 9, 622, 1885),
+    ("DES_AREA", 22, 38, 4187, 13325),
+    ("MUL32", 36, 58, 9097, 18998),
+    ("HAMMING", 61, 96, 2072, 11523),
+    ("MUL64", 109, 135, 25773, 139914),
+    ("REVX", 143, 225, 7517, 34911),
+    ("DIFFEQ1", 219, 282, 17726, 306937),
+];
+
+fn main() {
+    println!("Table II — summary of benchmarking results (FO3 + BUF)\n");
+    for technology in Technology::all() {
+        println!("--- {} ---", technology.name);
+        println!("{}", BenchmarkRow::table_header());
+        for row in table2_rows(&technology) {
+            println!("{}", row.to_table_line());
+        }
+        println!();
+    }
+
+    println!("paper structural columns for comparison (identical across technologies):");
+    println!(
+        "{:<12} {:>6} {:>6} {:>8} {:>8}",
+        "benchmark", "D.org", "D.wp", "S.org", "S.wp"
+    );
+    for (name, d0, d1, s0, s1) in PAPER_STRUCTURE {
+        println!("{name:<12} {d0:>6} {d1:>6} {s0:>8} {s1:>8}");
+    }
+    println!(
+        "\nNote: benchmark circuits are synthetic reconstructions of the same\n\
+         profile (DESIGN.md substitution 1); compare trends, not absolute\n\
+         values. EXPERIMENTS.md records the paper-vs-measured comparison."
+    );
+}

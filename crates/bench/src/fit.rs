@@ -1,0 +1,111 @@
+//! Least-squares power-law fitting for Fig 5's buffer-count trend.
+//!
+//! The paper fits `B(s) = 7.95 · s^0.9` to the (circuit size, buffers
+//! added) scatter; we fit the same model by linear regression in
+//! log–log space.
+
+/// A fitted power law `y = coefficient · x^exponent`.
+#[derive(Clone, Copy, Debug, PartialEq)]
+#[derive(serde::Serialize, serde::Deserialize)]
+pub struct PowerLaw {
+    /// Multiplicative coefficient (the paper reports 7.95).
+    pub coefficient: f64,
+    /// Exponent (the paper reports 0.9).
+    pub exponent: f64,
+    /// Coefficient of determination of the log–log regression.
+    pub r_squared: f64,
+}
+
+impl PowerLaw {
+    /// Predicted `y` at `x`.
+    pub fn predict(&self, x: f64) -> f64 {
+        self.coefficient * x.powf(self.exponent)
+    }
+}
+
+/// Fits `y = a · x^k` to strictly positive samples.
+///
+/// # Panics
+///
+/// Panics if fewer than two samples are given or any sample is
+/// non-positive (a power law is only defined on positive data).
+pub fn fit_power_law(samples: &[(f64, f64)]) -> PowerLaw {
+    assert!(samples.len() >= 2, "need at least two samples to fit");
+    let logs: Vec<(f64, f64)> = samples
+        .iter()
+        .map(|&(x, y)| {
+            assert!(x > 0.0 && y > 0.0, "power-law samples must be positive");
+            (x.ln(), y.ln())
+        })
+        .collect();
+    let n = logs.len() as f64;
+    let sx: f64 = logs.iter().map(|p| p.0).sum();
+    let sy: f64 = logs.iter().map(|p| p.1).sum();
+    let sxx: f64 = logs.iter().map(|p| p.0 * p.0).sum();
+    let sxy: f64 = logs.iter().map(|p| p.0 * p.1).sum();
+    let exponent = (n * sxy - sx * sy) / (n * sxx - sx * sx);
+    let intercept = (sy - exponent * sx) / n;
+
+    let mean_y = sy / n;
+    let ss_tot: f64 = logs.iter().map(|p| (p.1 - mean_y).powi(2)).sum();
+    let ss_res: f64 = logs
+        .iter()
+        .map(|p| (p.1 - (intercept + exponent * p.0)).powi(2))
+        .sum();
+    let r_squared = if ss_tot > 0.0 { 1.0 - ss_res / ss_tot } else { 1.0 };
+
+    PowerLaw {
+        coefficient: intercept.exp(),
+        exponent,
+        r_squared,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn exact_power_law_is_recovered() {
+        let samples: Vec<(f64, f64)> = (1..50)
+            .map(|i| {
+                let x = i as f64 * 10.0;
+                (x, 7.95 * x.powf(0.9))
+            })
+            .collect();
+        let fit = fit_power_law(&samples);
+        assert!((fit.coefficient - 7.95).abs() < 1e-9);
+        assert!((fit.exponent - 0.9).abs() < 1e-12);
+        assert!(fit.r_squared > 0.999999);
+    }
+
+    #[test]
+    fn noisy_data_still_fits_close() {
+        let samples: Vec<(f64, f64)> = (1..100)
+            .map(|i| {
+                let x = i as f64 * 37.0;
+                let noise = 1.0 + 0.1 * ((i * 2654435761u64 as usize % 17) as f64 / 17.0 - 0.5);
+                (x, 3.0 * x.powf(1.1) * noise)
+            })
+            .collect();
+        let fit = fit_power_law(&samples);
+        assert!((fit.exponent - 1.1).abs() < 0.05, "exponent {}", fit.exponent);
+        assert!(fit.r_squared > 0.99);
+    }
+
+    #[test]
+    fn predict_inverts_fit() {
+        let law = PowerLaw {
+            coefficient: 2.0,
+            exponent: 0.5,
+            r_squared: 1.0,
+        };
+        assert!((law.predict(100.0) - 20.0).abs() < 1e-12);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least two samples")]
+    fn one_sample_panics() {
+        fit_power_law(&[(1.0, 1.0)]);
+    }
+}

@@ -1,0 +1,428 @@
+//! Suite-level experiment drivers: one function per paper table/figure,
+//! shared by the regenerator binaries and the integration tests.
+
+use benchsuite::BenchmarkSpec;
+use mig::Mig;
+use tech::{compare, BenchmarkRow, Technology};
+use wavepipe::{
+    insert_buffers, netlist_from_mig, restrict_fanout, run_flow, FlowConfig, Netlist,
+};
+
+use crate::fit::{fit_power_law, PowerLaw};
+
+/// Builds the whole suite (or the named subset) once.
+pub fn build_suite(subset: Option<&[&str]>) -> Vec<(&'static BenchmarkSpec, Mig)> {
+    benchsuite::SUITE
+        .iter()
+        .filter(|s| subset.map_or(true, |names| names.contains(&s.name)))
+        .map(|s| (s, s.build()))
+        .collect()
+}
+
+/// A smaller deterministic subset for quick runs and perf benches
+/// (spans 3 families, a few hundred to a few thousand gates).
+pub const QUICK_SUBSET: [&str; 8] = [
+    "SASC", "ADD32R", "MUL16", "HAMMING", "CRC8x64", "ALU16", "CMP32", "DES_AREA",
+];
+
+/// One Fig 5 sample: buffers inserted by BUF alone vs original size.
+#[derive(Clone, Debug)]
+#[derive(serde::Serialize, serde::Deserialize)]
+pub struct Fig5Point {
+    /// Benchmark name.
+    pub name: String,
+    /// Original mapped-netlist size (priced components).
+    pub size: usize,
+    /// Buffers inserted by buffer insertion alone.
+    pub buffers: usize,
+}
+
+/// Runs buffer insertion alone over the given circuits (Fig 5).
+pub fn fig5_points(suite: &[(&'static BenchmarkSpec, Mig)]) -> Vec<Fig5Point> {
+    suite
+        .iter()
+        .map(|(spec, g)| {
+            let mut n = netlist_from_mig(g);
+            let size = n.counts().priced_total();
+            let stats = insert_buffers(&mut n);
+            Fig5Point {
+                name: spec.name.to_owned(),
+                size,
+                buffers: stats.total(),
+            }
+        })
+        .collect()
+}
+
+/// Fits the Fig 5 power law to the sample points.
+pub fn fig5_fit(points: &[Fig5Point]) -> PowerLaw {
+    let samples: Vec<(f64, f64)> = points
+        .iter()
+        .filter(|p| p.buffers > 0)
+        .map(|p| (p.size as f64, p.buffers as f64))
+        .collect();
+    fit_power_law(&samples)
+}
+
+/// One Fig 7 row: critical-path increase per fan-out restriction.
+#[derive(Clone, Debug)]
+#[derive(serde::Serialize, serde::Deserialize)]
+pub struct Fig7Row {
+    /// Benchmark name.
+    pub name: String,
+    /// Original critical-path length (mapped netlist).
+    pub original_depth: u32,
+    /// Relative depth increase for k = 2, 3, 4, 5 (e.g. 1.4 = +140 %).
+    pub increase: [f64; 4],
+}
+
+/// Runs fan-out restriction alone for k ∈ {2,3,4,5} (Fig 7).
+pub fn fig7_rows(suite: &[(&'static BenchmarkSpec, Mig)]) -> Vec<Fig7Row> {
+    suite
+        .iter()
+        .map(|(spec, g)| {
+            let base = netlist_from_mig(g);
+            let mut increase = [0.0; 4];
+            for (i, k) in (2..=5u32).enumerate() {
+                let mut n = base.clone();
+                let stats = restrict_fanout(&mut n, k);
+                increase[i] = stats.depth_increase();
+            }
+            Fig7Row {
+                name: spec.name.to_owned(),
+                original_depth: base.depth(),
+                increase,
+            }
+        })
+        .collect()
+}
+
+/// Fig 8 aggregate: normalized component counts averaged over the suite.
+#[derive(Clone, Debug)]
+#[derive(serde::Serialize, serde::Deserialize)]
+pub struct Fig8Data {
+    /// Normalized size after buffer insertion alone (paper: 3.81).
+    pub buf_only: f64,
+    /// Normalized size after FOk alone, k = 2..5 (paper: 2.48, 1.61,
+    /// 1.35, 1.25).
+    pub fo_only: [f64; 4],
+    /// FOG share of the FOk-alone size (paper: .55, .26, .17, .13).
+    pub fog_share: [f64; 4],
+    /// Normalized size after FOk + BUF (paper: 9.74, 6.21, 5.30, 4.91).
+    pub combined: [f64; 4],
+    /// FOG share after FOk + BUF — equal to `fog_share` (paper
+    /// observation (b): FOG count is independent of buffer insertion).
+    pub combined_fog_share: [f64; 4],
+}
+
+/// Runs BUF, FOk and FOk+BUF over the suite and averages normalized
+/// sizes (Fig 8).
+pub fn fig8_data(suite: &[(&'static BenchmarkSpec, Mig)]) -> Fig8Data {
+    let mut buf_ratios = Vec::new();
+    let mut fo_ratios = vec![Vec::new(); 4];
+    let mut fog_shares = vec![Vec::new(); 4];
+    let mut combined_ratios = vec![Vec::new(); 4];
+    let mut combined_fog = vec![Vec::new(); 4];
+
+    for (_, g) in suite {
+        let base = netlist_from_mig(g);
+        let orig = base.counts().priced_total() as f64;
+
+        let mut buf_net = base.clone();
+        insert_buffers(&mut buf_net);
+        buf_ratios.push(buf_net.counts().priced_total() as f64 / orig);
+
+        for (i, k) in (2..=5u32).enumerate() {
+            let mut fo_net = base.clone();
+            restrict_fanout(&mut fo_net, k);
+            let c = fo_net.counts();
+            fo_ratios[i].push(c.priced_total() as f64 / orig);
+            fog_shares[i].push(c.fog as f64 / orig);
+
+            let mut full = fo_net;
+            insert_buffers(&mut full);
+            let c = full.counts();
+            combined_ratios[i].push(c.priced_total() as f64 / orig);
+            combined_fog[i].push(c.fog as f64 / orig);
+        }
+    }
+
+    let avg = |v: &[f64]| tech::mean(v);
+    Fig8Data {
+        buf_only: avg(&buf_ratios),
+        fo_only: std::array::from_fn(|i| avg(&fo_ratios[i])),
+        fog_share: std::array::from_fn(|i| avg(&fog_shares[i])),
+        combined: std::array::from_fn(|i| avg(&combined_ratios[i])),
+        combined_fog_share: std::array::from_fn(|i| avg(&combined_fog[i])),
+    }
+}
+
+/// Fig 9 aggregate: T/A and T/P gains per technology, averaged over the
+/// suite (both arithmetic mean, as the paper reports, and geometric
+/// mean, the fairer average for ratios).
+#[derive(Clone, Debug)]
+#[derive(serde::Serialize, serde::Deserialize)]
+pub struct Fig9Data {
+    /// Technology name.
+    pub technology: String,
+    /// Arithmetic-mean T/A gain (paper: 5× SWD, 8× QCA, 3× NML).
+    pub ta_mean: f64,
+    /// Arithmetic-mean T/P gain (paper: 23× SWD, 13× QCA, 5× NML).
+    pub tp_mean: f64,
+    /// Geometric-mean T/A gain.
+    pub ta_geomean: f64,
+    /// Geometric-mean T/P gain.
+    pub tp_geomean: f64,
+}
+
+/// Runs the full flow (FO3 + BUF, the paper's §V configuration) once
+/// and evaluates all three technologies (Fig 9 + Table II source data).
+pub fn evaluate_suite(
+    suite: &[(&'static BenchmarkSpec, Mig)],
+) -> Vec<(String, Vec<tech::Comparison>)> {
+    let technologies = Technology::all();
+    suite
+        .iter()
+        .map(|(spec, g)| {
+            let flow = run_flow(g, FlowConfig::default())
+                .unwrap_or_else(|e| panic!("{}: flow verification failed: {e}", spec.name));
+            let comparisons = technologies.iter().map(|t| compare(&flow, t)).collect();
+            (spec.name.to_owned(), comparisons)
+        })
+        .collect()
+}
+
+/// Aggregates [`evaluate_suite`] output into Fig 9 bars.
+pub fn fig9_data(evaluated: &[(String, Vec<tech::Comparison>)]) -> Vec<Fig9Data> {
+    let technologies = Technology::all();
+    technologies
+        .iter()
+        .enumerate()
+        .map(|(ti, t)| {
+            let ta: Vec<f64> = evaluated.iter().map(|(_, c)| c[ti].ta_gain()).collect();
+            let tp: Vec<f64> = evaluated.iter().map(|(_, c)| c[ti].tp_gain()).collect();
+            Fig9Data {
+                technology: t.name.clone(),
+                ta_mean: tech::mean(&ta),
+                tp_mean: tech::mean(&tp),
+                ta_geomean: tech::geometric_mean(&ta),
+                tp_geomean: tech::geometric_mean(&tp),
+            }
+        })
+        .collect()
+}
+
+/// Table II rows for one technology over the paper's seven selected
+/// benchmarks.
+pub fn table2_rows(technology: &Technology) -> Vec<BenchmarkRow> {
+    benchsuite::TABLE2_SELECTION
+        .iter()
+        .map(|name| {
+            let spec = benchsuite::find(name).expect("Table II names are in the suite");
+            let flow = run_flow(&spec.build(), FlowConfig::default())
+                .unwrap_or_else(|e| panic!("{name}: flow verification failed: {e}"));
+            BenchmarkRow {
+                benchmark: (*name).to_owned(),
+                comparison: compare(&flow, technology),
+            }
+        })
+        .collect()
+}
+
+/// Ablation: ASAP vs retimed buffer insertion over the suite.
+#[derive(Clone, Debug)]
+#[derive(serde::Serialize, serde::Deserialize)]
+pub struct RetimingAblation {
+    /// Benchmark name.
+    pub name: String,
+    /// Buffers inserted against ASAP levels (the paper's Algorithm 1).
+    pub asap_buffers: usize,
+    /// Buffers inserted against hill-climbed levels.
+    pub retimed_buffers: usize,
+}
+
+impl RetimingAblation {
+    /// Fraction of buffers saved by retiming.
+    pub fn saving(&self) -> f64 {
+        if self.asap_buffers == 0 {
+            0.0
+        } else {
+            1.0 - self.retimed_buffers as f64 / self.asap_buffers as f64
+        }
+    }
+}
+
+/// Runs the retiming ablation (FO3 first, then both insertion variants).
+pub fn retiming_ablation(suite: &[(&'static BenchmarkSpec, Mig)]) -> Vec<RetimingAblation> {
+    suite
+        .iter()
+        .map(|(spec, g)| {
+            let mut base: Netlist = netlist_from_mig(g);
+            restrict_fanout(&mut base, 3);
+
+            let mut asap = base.clone();
+            let asap_stats = insert_buffers(&mut asap);
+            let mut retimed = base;
+            let retimed_stats = wavepipe::insert_buffers_retimed(&mut retimed);
+            RetimingAblation {
+                name: spec.name.to_owned(),
+                asap_buffers: asap_stats.total(),
+                retimed_buffers: retimed_stats.total(),
+            }
+        })
+        .collect()
+}
+
+/// Ablation: reference mapping vs inversion-minimized mapping, priced
+/// on QCA (where the inverter is 10×/7×/10× a cell).
+#[derive(Clone, Debug)]
+#[derive(serde::Serialize, serde::Deserialize)]
+pub struct InverterAblation {
+    /// Benchmark name.
+    pub name: String,
+    /// Inverters under the reference mapping.
+    pub plain_inv: usize,
+    /// Inverters under the polarity local search.
+    pub min_inv: usize,
+    /// QCA wave-pipelined area under the reference mapping (µm²).
+    pub plain_qca_area: f64,
+    /// QCA wave-pipelined area under the minimized mapping (µm²).
+    pub min_qca_area: f64,
+}
+
+impl InverterAblation {
+    /// Fraction of inverters removed.
+    pub fn inv_saving(&self) -> f64 {
+        if self.plain_inv == 0 {
+            0.0
+        } else {
+            1.0 - self.min_inv as f64 / self.plain_inv as f64
+        }
+    }
+}
+
+/// Runs the inversion-minimization ablation over the given circuits.
+pub fn inverter_ablation(suite: &[(&'static BenchmarkSpec, Mig)]) -> Vec<InverterAblation> {
+    let qca = Technology::qca();
+    suite
+        .iter()
+        .map(|(spec, g)| {
+            let plain = run_flow(g, FlowConfig::default()).expect("flow verifies");
+            let min = run_flow(
+                g,
+                FlowConfig {
+                    minimize_inverters: true,
+                    ..FlowConfig::default()
+                },
+            )
+            .expect("flow verifies");
+            InverterAblation {
+                name: spec.name.to_owned(),
+                plain_inv: plain.original.counts().inv,
+                min_inv: min.original.counts().inv,
+                plain_qca_area: tech::evaluate(
+                    &plain.pipelined,
+                    &qca,
+                    tech::OperatingMode::WavePipelined,
+                )
+                .area
+                .value(),
+                min_qca_area: tech::evaluate(
+                    &min.pipelined,
+                    &qca,
+                    tech::OperatingMode::WavePipelined,
+                )
+                .area
+                .value(),
+            }
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn quick_suite() -> Vec<(&'static BenchmarkSpec, Mig)> {
+        build_suite(Some(&QUICK_SUBSET))
+    }
+
+    #[test]
+    fn fig5_buffers_grow_with_size() {
+        let suite = quick_suite();
+        let points = fig5_points(&suite);
+        assert_eq!(points.len(), QUICK_SUBSET.len());
+        let fit = fig5_fit(&points);
+        assert!(fit.exponent > 0.0, "buffers must grow with size");
+    }
+
+    #[test]
+    fn fig7_k2_dominates_k5() {
+        let suite = quick_suite();
+        for row in fig7_rows(&suite) {
+            assert!(
+                row.increase[0] >= row.increase[3],
+                "{}: k=2 increase {} < k=5 increase {}",
+                row.name,
+                row.increase[0],
+                row.increase[3]
+            );
+        }
+    }
+
+    #[test]
+    fn fig8_orderings_match_the_paper() {
+        let suite = quick_suite();
+        let d = fig8_data(&suite);
+        assert!(d.buf_only > 1.0);
+        // FO ratios fall as the limit loosens.
+        assert!(d.fo_only[0] > d.fo_only[1]);
+        assert!(d.fo_only[1] > d.fo_only[2]);
+        assert!(d.fo_only[2] > d.fo_only[3]);
+        // Combined dominates both individual passes.
+        for i in 0..4 {
+            assert!(d.combined[i] > d.buf_only.max(d.fo_only[i]));
+            // Observation (b): FOG count independent of BUF.
+            assert!((d.fog_share[i] - d.combined_fog_share[i]).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn fig9_gains_exceed_one_on_deep_suites() {
+        let suite = build_suite(Some(&["MUL16", "HAMMING", "CRC8x64"]));
+        let evaluated = evaluate_suite(&suite);
+        for f in fig9_data(&evaluated) {
+            assert!(f.ta_mean > 1.0, "{}: T/A {}", f.technology, f.ta_mean);
+            assert!(f.tp_mean > 1.0, "{}: T/P {}", f.technology, f.tp_mean);
+        }
+    }
+
+    #[test]
+    fn inverter_ablation_never_loses() {
+        let suite = quick_suite();
+        for row in inverter_ablation(&suite) {
+            assert!(
+                row.min_inv <= row.plain_inv,
+                "{}: min-inv {} > plain {}",
+                row.name,
+                row.min_inv,
+                row.plain_inv
+            );
+        }
+    }
+
+    #[test]
+    fn retiming_never_loses() {
+        let suite = quick_suite();
+        for row in retiming_ablation(&suite) {
+            assert!(
+                row.retimed_buffers <= row.asap_buffers,
+                "{}: retimed {} > asap {}",
+                row.name,
+                row.retimed_buffers,
+                row.asap_buffers
+            );
+            assert!(row.saving() >= 0.0);
+        }
+    }
+}

@@ -1,0 +1,26 @@
+//! # wavepipe-bench — experiment harness
+//!
+//! Regenerates every table and figure of the DATE'17 wave-pipelining
+//! paper from the reconstructed benchmark suite:
+//!
+//! | Paper artifact | Binary | Driver |
+//! |---|---|---|
+//! | Table I (technology constants) | `table1` | [`tech::Technology`] |
+//! | Fig 5 (buffers vs size, power fit) | `fig5` | [`harness::fig5_points`] |
+//! | Fig 7 (critical path vs fan-out limit) | `fig7` | [`harness::fig7_rows`] |
+//! | Fig 8 (normalized component counts) | `fig8` | [`harness::fig8_data`] |
+//! | Fig 9 (T/A and T/P gains) | `fig9` | [`harness::fig9_data`] |
+//! | Table II (per-benchmark metrics) | `table2` | [`harness::table2_rows`] |
+//! | Retiming ablation (beyond paper) | `ablation_retiming` | [`harness::retiming_ablation`] |
+//! | Everything, to `results/` | `repro_all` | all of the above |
+//!
+//! Criterion performance benches for the two algorithms live under
+//! `benches/`.
+
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+pub mod fit;
+pub mod harness;
+
+pub use fit::{fit_power_law, PowerLaw};

@@ -1,0 +1,121 @@
+//! Adder benchmarks: ripple-carry (deep) and Kogge–Stone (shallow).
+
+use mig::{Mig, Signal};
+
+use crate::words;
+
+/// `width`-bit ripple-carry adder with carry-in and carry-out.
+pub fn ripple_adder(width: usize) -> Mig {
+    let mut g = Mig::with_name(format!("ADD{width}R"));
+    let a = g.add_inputs("a", width);
+    let b = g.add_inputs("b", width);
+    let cin = g.add_input("cin");
+    let (sum, cout) = words::ripple_add(&mut g, &a, &b, cin);
+    for (i, &s) in sum.iter().enumerate() {
+        g.add_output(format!("s{i}"), s);
+    }
+    g.add_output("cout", cout);
+    g
+}
+
+/// `width`-bit Kogge–Stone parallel-prefix adder.
+pub fn kogge_stone_adder(width: usize) -> Mig {
+    let mut g = Mig::with_name(format!("ADD{width}KS"));
+    let a = g.add_inputs("a", width);
+    let b = g.add_inputs("b", width);
+    let cin = g.add_input("cin");
+    let (sum, cout) = words::kogge_stone_add(&mut g, &a, &b, cin);
+    for (i, &s) in sum.iter().enumerate() {
+        g.add_output(format!("s{i}"), s);
+    }
+    g.add_output("cout", cout);
+    g
+}
+
+/// Adds `lanes` independent `width`-bit vectors pairwise into one sum —
+/// a carry-save adder tree (the vector-reduction kernel of DSP blocks).
+pub fn adder_tree(width: usize, lanes: usize) -> Mig {
+    let mut g = Mig::with_name(format!("ADDTREE{width}x{lanes}"));
+    let mut layer: Vec<Vec<Signal>> = (0..lanes)
+        .map(|l| g.add_inputs(&format!("v{l}_"), width))
+        .collect();
+    while layer.len() > 1 {
+        let mut next = Vec::with_capacity(layer.len().div_ceil(2));
+        let mut iter = layer.chunks(2);
+        for pair in &mut iter {
+            match pair {
+                [x, y] => next.push(words::add_words_var(&mut g, x, y)),
+                [x] => next.push(x.clone()),
+                _ => unreachable!(),
+            }
+        }
+        layer = next;
+    }
+    for (i, &s) in layer[0].iter().enumerate() {
+        g.add_output(format!("s{i}"), s);
+    }
+    g
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mig::Simulator;
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
+
+    fn drive(g: &Mig, values: &[(usize, u64)]) -> u64 {
+        let mut bits = Vec::new();
+        for &(w, v) in values {
+            for i in 0..w {
+                bits.push(v >> i & 1 != 0);
+            }
+        }
+        Simulator::new(g)
+            .eval(&bits)
+            .iter()
+            .enumerate()
+            .map(|(i, &b)| (b as u64) << i)
+            .sum()
+    }
+
+    #[test]
+    fn ripple_adder_adds() {
+        let g = ripple_adder(8);
+        let mut rng = StdRng::seed_from_u64(1);
+        for _ in 0..50 {
+            let (a, b) = (rng.gen::<u64>() & 0xFF, rng.gen::<u64>() & 0xFF);
+            let cin = rng.gen::<bool>() as u64;
+            let got = drive(&g, &[(8, a), (8, b), (1, cin)]);
+            assert_eq!(got, a + b + cin);
+        }
+    }
+
+    #[test]
+    fn kogge_stone_adder_adds() {
+        let g = kogge_stone_adder(12);
+        let mut rng = StdRng::seed_from_u64(2);
+        for _ in 0..50 {
+            let (a, b) = (rng.gen::<u64>() & 0xFFF, rng.gen::<u64>() & 0xFFF);
+            let got = drive(&g, &[(12, a), (12, b), (1, 0)]);
+            assert_eq!(got, a + b);
+        }
+    }
+
+    #[test]
+    fn adder_tree_sums_lanes() {
+        let g = adder_tree(6, 5);
+        let mut rng = StdRng::seed_from_u64(3);
+        for _ in 0..30 {
+            let vals: Vec<u64> = (0..5).map(|_| rng.gen::<u64>() & 0x3F).collect();
+            let inputs: Vec<(usize, u64)> = vals.iter().map(|&v| (6, v)).collect();
+            let got = drive(&g, &inputs);
+            assert_eq!(got, vals.iter().sum::<u64>());
+        }
+    }
+
+    #[test]
+    fn depth_profiles() {
+        assert!(ripple_adder(32).depth() > 2 * kogge_stone_adder(32).depth());
+    }
+}

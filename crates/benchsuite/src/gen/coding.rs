@@ -1,0 +1,278 @@
+//! Error-coding benchmarks: Hamming encode/correct rounds, combinational
+//! CRC, parity trees and Gray-code converters.
+
+use mig::{Mig, Signal};
+
+use crate::words::{word_xor, Word};
+
+/// Hamming(15,11) parity positions: bit i of the codeword is a parity
+/// bit iff `i + 1` is a power of two.
+fn is_parity_position(i: usize) -> bool {
+    (i + 1).is_power_of_two()
+}
+
+/// Encodes 11 data bits into a 15-bit Hamming codeword (even parity).
+fn hamming_encode(g: &mut Mig, data: &[Signal]) -> Word {
+    assert_eq!(data.len(), 11, "Hamming(15,11) takes 11 data bits");
+    let mut code: Word = vec![Signal::ZERO; 15];
+    let mut d = data.iter();
+    for (i, slot) in code.iter_mut().enumerate() {
+        if !is_parity_position(i) {
+            *slot = *d.next().expect("11 data positions");
+        }
+    }
+    for p in 0..4 {
+        let mask = 1usize << p;
+        let covered: Word = (0..15)
+            .filter(|&i| (i + 1) & mask != 0 && !is_parity_position(i))
+            .map(|i| code[i])
+            .collect();
+        code[mask - 1] = g.add_xor_n(&covered);
+    }
+    code
+}
+
+/// Computes the 4-bit syndrome of a 15-bit word and corrects the single
+/// flipped bit it points at; returns the corrected 11 data bits.
+fn hamming_correct(g: &mut Mig, code: &[Signal]) -> Word {
+    assert_eq!(code.len(), 15);
+    let syndrome: Word = (0..4)
+        .map(|p| {
+            let mask = 1usize << p;
+            let covered: Word = (0..15).filter(|&i| (i + 1) & mask != 0).map(|i| code[i]).collect();
+            g.add_xor_n(&covered)
+        })
+        .collect();
+    // flip[i] = (syndrome == i + 1)
+    let mut corrected = Vec::with_capacity(11);
+    for i in 0..15 {
+        if is_parity_position(i) {
+            continue;
+        }
+        let target = i + 1;
+        let bits: Word = (0..4)
+            .map(|p| syndrome[p].complement_if(target >> p & 1 == 0))
+            .collect();
+        let flip = g.add_and_n(&bits);
+        corrected.push(g.add_xor(code[i], flip));
+    }
+    corrected
+}
+
+/// Iterated Hamming pipeline: `rounds` of encode → XOR with a per-round
+/// 15-bit noise input → correct. With a single flipped bit per round the
+/// output equals the input data — a deep, realistic ECC datapath (the
+/// paper's `HAMMING` row is depth 61; four rounds land in that regime).
+pub fn hamming_rounds(rounds: usize) -> Mig {
+    let mut g = Mig::with_name(format!("HAMMING{rounds}"));
+    let mut data = g.add_inputs("d", 11);
+    for r in 0..rounds {
+        let noise = g.add_inputs(&format!("n{r}_"), 15);
+        let code = hamming_encode(&mut g, &data);
+        let corrupted = word_xor(&mut g, &code, &noise);
+        data = hamming_correct(&mut g, &corrupted);
+    }
+    for (i, &s) in data.iter().enumerate() {
+        g.add_output(format!("o{i}"), s);
+    }
+    g
+}
+
+/// Bit-serial combinational CRC over `message_bits` bits with the given
+/// polynomial (e.g. `0x07` for CRC-8-CCITT, width 8) — a long XOR chain,
+/// the classic deep-and-narrow benchmark shape.
+pub fn crc(message_bits: usize, crc_width: usize, poly: u64) -> Mig {
+    let mut g = Mig::with_name(format!("CRC{crc_width}x{message_bits}"));
+    let msg = g.add_inputs("m", message_bits);
+    let mut state: Word = vec![Signal::ZERO; crc_width];
+    for &bit in msg.iter().rev() {
+        // One LFSR step: feedback = msb ⊕ bit; shift; XOR poly taps.
+        let feedback = g.add_xor(state[crc_width - 1], bit);
+        let mut next: Word = Vec::with_capacity(crc_width);
+        next.push(if poly & 1 != 0 { feedback } else { Signal::ZERO });
+        for i in 1..crc_width {
+            let shifted = state[i - 1];
+            next.push(if poly >> i & 1 != 0 {
+                g.add_xor(shifted, feedback)
+            } else {
+                shifted
+            });
+        }
+        // The implicit x^width term always feeds back.
+        state = next;
+    }
+    for (i, &s) in state.iter().enumerate() {
+        g.add_output(format!("crc{i}"), s);
+    }
+    g
+}
+
+/// Balanced parity tree over `width` inputs.
+pub fn parity_tree(width: usize) -> Mig {
+    let mut g = Mig::with_name(format!("PARITY{width}"));
+    let x = g.add_inputs("x", width);
+    let p = g.add_xor_n(&x);
+    g.add_output("p", p);
+    g
+}
+
+/// Binary→Gray converter followed by Gray→binary — the identity, built
+/// from two XOR cascades (a favorite equivalence-checking benchmark).
+pub fn gray_roundtrip(width: usize) -> Mig {
+    let mut g = Mig::with_name(format!("GRAY{width}"));
+    let b = g.add_inputs("b", width);
+    // binary → gray: g[i] = b[i] ^ b[i+1]
+    let mut gray: Word = Vec::with_capacity(width);
+    for i in 0..width {
+        gray.push(if i + 1 < width {
+            g.add_xor(b[i], b[i + 1])
+        } else {
+            b[i]
+        });
+    }
+    // gray → binary: bin[i] = xor of gray[i..]
+    let mut bin: Word = vec![Signal::ZERO; width];
+    bin[width - 1] = gray[width - 1];
+    for i in (0..width - 1).rev() {
+        bin[i] = g.add_xor(gray[i], bin[i + 1]);
+    }
+    for (i, &s) in bin.iter().enumerate() {
+        g.add_output(format!("o{i}"), s);
+    }
+    g
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mig::Simulator;
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
+
+    #[test]
+    fn hamming_corrects_single_errors() {
+        let g = hamming_rounds(1);
+        let mut rng = StdRng::seed_from_u64(6);
+        for _ in 0..40 {
+            let data: u64 = rng.gen::<u64>() & 0x7FF;
+            // Flip exactly one of the 15 code bits (or none).
+            let flip = rng.gen_range(0..16usize);
+            let noise: u64 = if flip == 15 { 0 } else { 1 << flip };
+            let mut bits = Vec::new();
+            for i in 0..11 {
+                bits.push(data >> i & 1 != 0);
+            }
+            for i in 0..15 {
+                bits.push(noise >> i & 1 != 0);
+            }
+            let out: u64 = Simulator::new(&g)
+                .eval(&bits)
+                .iter()
+                .enumerate()
+                .map(|(i, &b)| (b as u64) << i)
+                .sum();
+            assert_eq!(out, data, "data {data:#x}, flipped bit {flip}");
+        }
+    }
+
+    #[test]
+    fn hamming_rounds_chain_correctly() {
+        let g = hamming_rounds(3);
+        let mut rng = StdRng::seed_from_u64(7);
+        for _ in 0..20 {
+            let data: u64 = rng.gen::<u64>() & 0x7FF;
+            let mut bits = Vec::new();
+            for i in 0..11 {
+                bits.push(data >> i & 1 != 0);
+            }
+            for r in 0..3 {
+                let flip = rng.gen_range(0..15usize);
+                for i in 0..15 {
+                    bits.push(i == flip && r != 1); // round 1 clean
+                }
+            }
+            let out: u64 = Simulator::new(&g)
+                .eval(&bits)
+                .iter()
+                .enumerate()
+                .map(|(i, &b)| (b as u64) << i)
+                .sum();
+            assert_eq!(out, data);
+        }
+    }
+
+    /// Software CRC reference (bit-serial LFSR, MSB-first, matching the
+    /// generator's `state' = (state << 1) ⊕ (feedback ? poly : 0)`).
+    fn crc_ref(message: u64, nbits: usize, width: usize, poly: u64) -> u64 {
+        let mut state = 0u64;
+        let mask = (1u64 << width) - 1;
+        for i in (0..nbits).rev() {
+            let bit = message >> i & 1;
+            let feedback = (state >> (width - 1) & 1) ^ bit;
+            state = (state << 1) & mask;
+            if feedback != 0 {
+                state ^= poly & mask;
+            }
+        }
+        state
+    }
+
+    #[test]
+    fn crc8_matches_reference() {
+        let g = crc(16, 8, 0x07);
+        let mut rng = StdRng::seed_from_u64(8);
+        for _ in 0..50 {
+            let msg = rng.gen::<u64>() & 0xFFFF;
+            let bits: Vec<bool> = (0..16).map(|i| msg >> i & 1 != 0).collect();
+            let got: u64 = Simulator::new(&g)
+                .eval(&bits)
+                .iter()
+                .enumerate()
+                .map(|(i, &b)| (b as u64) << i)
+                .sum();
+            assert_eq!(got, crc_ref(msg, 16, 8, 0x07), "msg {msg:#06x}");
+        }
+    }
+
+    #[test]
+    fn crc_is_deep() {
+        let g = crc(64, 8, 0x07);
+        assert!(g.depth() >= 48, "depth {}", g.depth());
+    }
+
+    #[test]
+    fn parity_tree_is_parity() {
+        let g = parity_tree(9);
+        for p in 0..1u32 << 9 {
+            let bits: Vec<bool> = (0..9).map(|i| p >> i & 1 != 0).collect();
+            assert_eq!(
+                Simulator::new(&g).eval(&bits)[0],
+                p.count_ones() % 2 == 1
+            );
+        }
+    }
+
+    #[test]
+    fn gray_roundtrip_is_identity() {
+        let g = gray_roundtrip(8);
+        let mut rng = StdRng::seed_from_u64(9);
+        for _ in 0..50 {
+            let v = rng.gen::<u64>() & 0xFF;
+            let bits: Vec<bool> = (0..8).map(|i| v >> i & 1 != 0).collect();
+            let out: u64 = Simulator::new(&g)
+                .eval(&bits)
+                .iter()
+                .enumerate()
+                .map(|(i, &b)| (b as u64) << i)
+                .sum();
+            assert_eq!(out, v);
+        }
+    }
+
+    #[test]
+    fn hamming_profile_is_deep() {
+        let g = hamming_rounds(4);
+        assert!(g.depth() >= 40, "depth {}", g.depth());
+        assert!(g.gate_count() >= 800, "size {}", g.gate_count());
+    }
+}

@@ -1,0 +1,112 @@
+//! Control-logic benchmarks.
+//!
+//! The MCNC control circuits of the paper's suite (`SASC`, a simple
+//! asynchronous serial controller, and friends) are unstructured
+//! decoder/mux logic; their netlist files are not available offline, so
+//! these generators reconstruct the *profile* the algorithms see: a
+//! realistic mix of state decoding, condition evaluation and output
+//! muxing tuned to the published (size, depth) operating point, plus
+//! seeded random MIGs for the suite's long tail (see DESIGN.md,
+//! substitution 1).
+
+use mig::{Mig, Signal};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// A controller-shaped circuit: `state_bits` are decoded one-hot,
+/// combined with `cond_bits` condition inputs through two levels of
+/// AND/OR cubes, and fanned out to `outputs` control lines.
+///
+/// Produces wide, shallow logic (depth ~6–8) with heavy fan-out on the
+/// decoded state lines — exactly the stress profile the fan-out
+/// restriction pass exists for.
+pub fn controller(state_bits: usize, cond_bits: usize, outputs: usize, seed: u64) -> Mig {
+    let mut g = Mig::with_name(format!("CTRL{state_bits}x{cond_bits}"));
+    let state = g.add_inputs("st", state_bits);
+    let cond = g.add_inputs("c", cond_bits);
+    let states = g.add_decoder(&state);
+    let mut rng = StdRng::seed_from_u64(seed);
+
+    for o in 0..outputs {
+        // Each control line: OR of 2–5 cubes, each cube = one decoded
+        // state AND 1–3 (possibly negated) conditions.
+        let n_cubes = rng.gen_range(2..=5);
+        let mut cubes: Vec<Signal> = Vec::with_capacity(n_cubes);
+        for _ in 0..n_cubes {
+            let st = states[rng.gen_range(0..states.len())];
+            let mut cube = st;
+            for _ in 0..rng.gen_range(1..=3usize) {
+                let c = cond[rng.gen_range(0..cond.len())].complement_if(rng.gen());
+                cube = g.add_and(cube, c);
+            }
+            cubes.push(cube);
+        }
+        let line = g.add_or_n(&cubes);
+        g.add_output(format!("ctl{o}"), line.complement_if(rng.gen()));
+    }
+    g
+}
+
+/// The `SASC` stand-in: a controller tuned to the paper's published
+/// operating point (size 622, depth 6).
+pub fn sasc_like() -> Mig {
+    let mut g = controller(5, 12, 130, 0x5A5C);
+    g.set_name("SASC");
+    g
+}
+
+/// Seeded random MIG with a named profile — the suite's long tail and
+/// the large-size end of Fig 5.
+pub fn random_profile(name: &str, inputs: usize, outputs: usize, gates: usize, depth: u32, seed: u64) -> Mig {
+    let mut g = mig::random_mig(mig::RandomMigConfig {
+        inputs,
+        outputs,
+        gates,
+        depth,
+        seed,
+    });
+    g.set_name(name);
+    g
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mig::FanoutHistogram;
+
+    #[test]
+    fn controller_is_wide_and_shallow() {
+        let g = controller(5, 12, 130, 1);
+        assert!(g.depth() <= 12, "depth {}", g.depth());
+        assert!(g.output_count() == 130);
+        // Decoded state lines must have heavy fan-out.
+        let h = FanoutHistogram::new(&g);
+        assert!(h.max_fanout() > 5, "max fan-out {}", h.max_fanout());
+    }
+
+    #[test]
+    fn sasc_profile_matches_the_paper_regime() {
+        let g = sasc_like();
+        // Paper: size 622, depth 6. Accept the same order of magnitude.
+        let size = g.gate_count();
+        assert!(
+            (300..1300).contains(&size),
+            "SASC stand-in size {size} out of regime"
+        );
+        assert!(g.depth() <= 12, "depth {}", g.depth());
+    }
+
+    #[test]
+    fn controller_is_deterministic() {
+        let a = controller(4, 8, 40, 7);
+        let b = controller(4, 8, 40, 7);
+        assert_eq!(mig::write_mig(&a), mig::write_mig(&b));
+    }
+
+    #[test]
+    fn random_profile_carries_its_name() {
+        let g = random_profile("X1", 10, 4, 100, 8, 3);
+        assert_eq!(g.name(), "X1");
+        assert_eq!(g.depth(), 8);
+    }
+}

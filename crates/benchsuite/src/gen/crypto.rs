@@ -1,0 +1,193 @@
+//! Cipher-shaped benchmarks: an S-box Feistel network (the `DES_AREA`
+//! profile — wide, S-box dominated, moderate depth) and an ARX mixing
+//! pipeline (the `REVX` profile — narrow and very deep).
+
+use mig::{Mig, Signal};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use crate::words::{ripple_add, word_xor, Word};
+
+/// Synthesizes an arbitrary `k`-input, `m`-output truth table as a
+/// minterm sum-of-products over a shared one-hot decoder (the generic
+/// random-logic block S-boxes are made of).
+fn synthesize_table(g: &mut Mig, inputs: &[Signal], table: &[u64], out_bits: usize) -> Word {
+    assert_eq!(table.len(), 1 << inputs.len());
+    let minterms = g.add_decoder(inputs);
+    (0..out_bits)
+        .map(|o| {
+            let selected: Word = minterms
+                .iter()
+                .zip(table)
+                .filter(|(_, &row)| row >> o & 1 != 0)
+                .map(|(&m, _)| m)
+                .collect();
+            g.add_or_n(&selected)
+        })
+        .collect()
+}
+
+/// Fixed pseudo-random 6→4 S-box tables (deterministic: seeded).
+fn sbox_tables(count: usize, seed: u64) -> Vec<Vec<u64>> {
+    let mut rng = StdRng::seed_from_u64(seed);
+    (0..count)
+        .map(|_| (0..64).map(|_| rng.gen_range(0..16u64)).collect())
+        .collect()
+}
+
+/// A DES-like Feistel network: `rounds` rounds over a 64-bit block with
+/// per-round 48-bit key inputs, eight fixed 6→4 S-boxes and a fixed
+/// permutation. Functionally faithful to the DES *structure* (expansion
+/// is a simple duplication pattern; S-boxes and P-permutation are seeded
+/// pseudo-random constants — the synthesis algorithms only see the
+/// shape).
+pub fn des_like(rounds: usize) -> Mig {
+    let mut g = Mig::with_name(format!("DES{rounds}"));
+    let block = g.add_inputs("x", 64);
+    let mut left: Word = block[..32].to_vec();
+    let mut right: Word = block[32..].to_vec();
+
+    let sboxes = sbox_tables(8, 0xDE5);
+    let mut perm_rng = StdRng::seed_from_u64(0xBEEF);
+    let mut perm: Vec<usize> = (0..32).collect();
+    // Fisher–Yates with the seeded RNG: one fixed P-permutation.
+    for i in (1..32).rev() {
+        let j = perm_rng.gen_range(0..=i);
+        perm.swap(i, j);
+    }
+
+    for r in 0..rounds {
+        let key = g.add_inputs(&format!("k{r}_"), 48);
+        // Expansion: 32 → 48 by duplicating every 4th bit's neighbors
+        // (structure-faithful stand-in for the DES E-table).
+        let expanded: Word = (0..48).map(|i| right[(i * 2 / 3) % 32]).collect();
+        let mixed = word_xor(&mut g, &expanded, &key);
+        // Eight 6→4 S-boxes.
+        let mut f_out: Word = Vec::with_capacity(32);
+        for (s, table) in sboxes.iter().enumerate() {
+            let chunk = &mixed[s * 6..s * 6 + 6];
+            f_out.extend(synthesize_table(&mut g, chunk, table, 4));
+        }
+        // P-permutation, then Feistel swap.
+        let permuted: Word = perm.iter().map(|&i| f_out[i]).collect();
+        let new_right = word_xor(&mut g, &left, &permuted);
+        left = right;
+        right = new_right;
+    }
+    for (i, &s) in left.iter().chain(right.iter()).enumerate() {
+        g.add_output(format!("y{i}"), s);
+    }
+    g
+}
+
+/// ARX-style mixing pipeline over two `width`-bit lanes:
+/// `rounds` iterations of `x ^= y; y += x>>>(fixed rotate via wiring)` —
+/// additions chain into a very deep, narrow circuit (the `REVX`
+/// profile: depth in the hundreds). All rounds are invertible, hence
+/// the name.
+pub fn revx(width: usize, rounds: usize) -> Mig {
+    let mut g = Mig::with_name(format!("REVX{width}x{rounds}"));
+    let mut x: Word = g.add_inputs("x", width);
+    let mut y: Word = g.add_inputs("y", width);
+    for r in 0..rounds {
+        let rot = (5 + 7 * r) % width;
+        let y_rot: Word = (0..width).map(|i| y[(i + rot) % width]).collect();
+        x = word_xor(&mut g, &x, &y_rot);
+        let (sum, _) = ripple_add(&mut g, &y, &x, Signal::ZERO);
+        y = sum;
+    }
+    for (i, &s) in x.iter().enumerate() {
+        g.add_output(format!("x{i}"), s);
+    }
+    for (i, &s) in y.iter().enumerate() {
+        g.add_output(format!("y{i}"), s);
+    }
+    g
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mig::Simulator;
+
+    /// Software model of `revx` for cross-checking.
+    fn revx_ref(width: usize, rounds: usize, mut x: u64, mut y: u64) -> (u64, u64) {
+        let mask = if width >= 64 { !0 } else { (1u64 << width) - 1 };
+        for r in 0..rounds {
+            let rot = (5 + 7 * r) % width;
+            let y_rot = ((y >> rot) | (y << (width - rot).min(63))) & mask;
+            let y_rot = if rot == 0 { y } else { y_rot };
+            x = (x ^ y_rot) & mask;
+            y = (y + x) & mask;
+        }
+        (x, y)
+    }
+
+    #[test]
+    fn revx_matches_reference() {
+        let (width, rounds) = (8, 5);
+        let g = revx(width, rounds);
+        let mut rng = StdRng::seed_from_u64(10);
+        for _ in 0..40 {
+            let xv = rng.gen::<u64>() & 0xFF;
+            let yv = rng.gen::<u64>() & 0xFF;
+            let mut bits = Vec::new();
+            for i in 0..width {
+                bits.push(xv >> i & 1 != 0);
+            }
+            for i in 0..width {
+                bits.push(yv >> i & 1 != 0);
+            }
+            let out = Simulator::new(&g).eval(&bits);
+            let gx: u64 = out[..width].iter().enumerate().map(|(i, &b)| (b as u64) << i).sum();
+            let gy: u64 = out[width..].iter().enumerate().map(|(i, &b)| (b as u64) << i).sum();
+            assert_eq!((gx, gy), revx_ref(width, rounds, xv, yv));
+        }
+    }
+
+    #[test]
+    fn revx_is_very_deep() {
+        let g = revx(16, 12);
+        assert!(g.depth() > 100, "depth {}", g.depth());
+    }
+
+    #[test]
+    fn des_structure_is_a_feistel() {
+        // One-round Feistel: output left half must equal input right
+        // half verbatim.
+        let g = des_like(1);
+        let mut rng = StdRng::seed_from_u64(11);
+        for _ in 0..10 {
+            let bits: Vec<bool> = (0..64 + 48).map(|_| rng.gen()).collect();
+            let out = Simulator::new(&g).eval(&bits);
+            for i in 0..32 {
+                assert_eq!(out[i], bits[32 + i], "left out = right in (bit {i})");
+            }
+        }
+    }
+
+    #[test]
+    fn des_keys_matter() {
+        let g = des_like(2);
+        let mut base: Vec<bool> = vec![false; 64 + 96];
+        base[0] = true;
+        let out1 = Simulator::new(&g).eval(&base);
+        let mut flipped = base.clone();
+        flipped[64] = true; // flip one key bit of round 0
+        let out2 = Simulator::new(&g).eval(&flipped);
+        assert_ne!(out1, out2, "key bits must influence the output");
+    }
+
+    #[test]
+    fn des_profile_is_wide_and_moderately_deep() {
+        // The paper's DES_AREA row: size 4187, depth 22 — S-box SOP
+        // logic dominates the area with modest depth per round.
+        let g = des_like(2);
+        assert!(g.gate_count() > 2000, "size {}", g.gate_count());
+        let d = g.depth();
+        assert!((10..60).contains(&d), "depth {d}");
+    }
+
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
+}

@@ -1,0 +1,210 @@
+//! Datapath benchmarks: the unrolled differential-equation solver
+//! (`DIFFEQ1` profile — huge and extremely deep), multiply-accumulate
+//! and a small ALU.
+
+use mig::{Mig, Signal};
+
+use crate::words::{array_multiply, ripple_add, ripple_sub, word_mux, word_xor, Word};
+
+fn truncate(word: Word, width: usize) -> Word {
+    let mut w = word;
+    w.truncate(width);
+    w
+}
+
+/// The classic HLS differential-equation kernel, `steps` Euler
+/// iterations unrolled combinationally over `width`-bit words:
+///
+/// ```text
+/// u' = u − (3·x·u·dt) − (3·y·dt)
+/// y' = y + u·dt
+/// x' = x + dt
+/// ```
+///
+/// Every iteration contains three array multiplications whose depth
+/// chains, matching the paper's `DIFFEQ1` profile (size 17726,
+/// depth 219).
+pub fn diffeq(width: usize, steps: usize) -> Mig {
+    let mut g = Mig::with_name(format!("DIFFEQ{width}x{steps}"));
+    let mut x = g.add_inputs("x", width);
+    let mut y = g.add_inputs("y", width);
+    let mut u = g.add_inputs("u", width);
+    let dt = g.add_inputs("dt", width);
+
+    // 3·w = w + (w << 1), truncated to width.
+    fn triple(g: &mut Mig, w: &[Signal]) -> Word {
+        let mut doubled: Word = vec![Signal::ZERO];
+        doubled.extend_from_slice(&w[..w.len() - 1]);
+        ripple_add(g, w, &doubled, Signal::ZERO).0
+    }
+
+    for _ in 0..steps {
+        let xu = truncate(array_multiply(&mut g, &x, &u), width);
+        let xu_dt = truncate(array_multiply(&mut g, &xu, &dt), width);
+        let y_dt = truncate(array_multiply(&mut g, &y, &dt), width);
+        let u_dt = truncate(array_multiply(&mut g, &u, &dt), width);
+        let t1 = triple(&mut g, &xu_dt);
+        let t2 = triple(&mut g, &y_dt);
+        let (d1, _) = ripple_sub(&mut g, &u, &t1);
+        let (new_u, _) = ripple_sub(&mut g, &d1, &t2);
+        let (new_y, _) = ripple_add(&mut g, &y, &u_dt, Signal::ZERO);
+        let (new_x, _) = ripple_add(&mut g, &x, &dt, Signal::ZERO);
+        u = new_u;
+        y = new_y;
+        x = new_x;
+    }
+    for (i, &s) in u.iter().enumerate() {
+        g.add_output(format!("u{i}"), s);
+    }
+    for (i, &s) in y.iter().enumerate() {
+        g.add_output(format!("y{i}"), s);
+    }
+    for (i, &s) in x.iter().enumerate() {
+        g.add_output(format!("x{i}"), s);
+    }
+    g
+}
+
+/// Multiply-accumulate: `a·b + c` with a full-width product.
+pub fn mac(width: usize) -> Mig {
+    let mut g = Mig::with_name(format!("MAC{width}"));
+    let a = g.add_inputs("a", width);
+    let b = g.add_inputs("b", width);
+    let c = g.add_inputs("c", 2 * width);
+    let p = array_multiply(&mut g, &a, &b);
+    let (sum, carry) = ripple_add(&mut g, &p, &c, Signal::ZERO);
+    for (i, &s) in sum.iter().enumerate() {
+        g.add_output(format!("s{i}"), s);
+    }
+    g.add_output("cout", carry);
+    g
+}
+
+/// A 4-operation ALU (`00` add, `01` subtract, `10` XOR, `11` AND) over
+/// `width`-bit operands.
+pub fn alu(width: usize) -> Mig {
+    let mut g = Mig::with_name(format!("ALU{width}"));
+    let a = g.add_inputs("a", width);
+    let b = g.add_inputs("b", width);
+    let op = g.add_inputs("op", 2);
+    let (add, _) = ripple_add(&mut g, &a, &b, Signal::ZERO);
+    let (sub, _) = ripple_sub(&mut g, &a, &b);
+    let xor = word_xor(&mut g, &a, &b);
+    let and: Word = a.iter().zip(&b).map(|(&x, &y)| g.add_and(x, y)).collect();
+    let arith = word_mux(&mut g, op[0], &sub, &add);
+    let logic = word_mux(&mut g, op[0], &and, &xor);
+    let out = word_mux(&mut g, op[1], &logic, &arith);
+    for (i, &s) in out.iter().enumerate() {
+        g.add_output(format!("r{i}"), s);
+    }
+    g
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mig::Simulator;
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
+
+    fn pack(values: &[(usize, u64)]) -> Vec<bool> {
+        let mut bits = Vec::new();
+        for &(w, v) in values {
+            for i in 0..w {
+                bits.push(v >> i & 1 != 0);
+            }
+        }
+        bits
+    }
+
+    fn unpack(bits: &[bool]) -> u64 {
+        bits.iter().enumerate().map(|(i, &b)| (b as u64) << i).sum()
+    }
+
+    /// Software model of one diffeq step (all ops mod 2^width).
+    fn diffeq_ref(width: usize, steps: usize, mut x: u64, mut y: u64, mut u: u64, dt: u64) -> (u64, u64, u64) {
+        let mask = (1u64 << width) - 1;
+        for _ in 0..steps {
+            let xu = x.wrapping_mul(u) & mask;
+            let xu_dt = xu.wrapping_mul(dt) & mask;
+            let y_dt = y.wrapping_mul(dt) & mask;
+            let u_dt = u.wrapping_mul(dt) & mask;
+            let t1 = xu_dt.wrapping_mul(3) & mask;
+            let t2 = y_dt.wrapping_mul(3) & mask;
+            let new_u = u.wrapping_sub(t1).wrapping_sub(t2) & mask;
+            let new_y = y.wrapping_add(u_dt) & mask;
+            let new_x = x.wrapping_add(dt) & mask;
+            u = new_u;
+            y = new_y;
+            x = new_x;
+        }
+        (u, y, x)
+    }
+
+    #[test]
+    fn diffeq_matches_software_model() {
+        let (width, steps) = (6, 2);
+        let g = diffeq(width, steps);
+        let sim = Simulator::new(&g);
+        let mut rng = StdRng::seed_from_u64(12);
+        for _ in 0..25 {
+            let m = (1u64 << width) - 1;
+            let (x, y, u, dt) = (
+                rng.gen::<u64>() & m,
+                rng.gen::<u64>() & m,
+                rng.gen::<u64>() & m,
+                rng.gen::<u64>() & m,
+            );
+            let bits = pack(&[(width, x), (width, y), (width, u), (width, dt)]);
+            let out = sim.eval(&bits);
+            let gu = unpack(&out[..width]);
+            let gy = unpack(&out[width..2 * width]);
+            let gx = unpack(&out[2 * width..]);
+            assert_eq!((gu, gy, gx), diffeq_ref(width, steps, x, y, u, dt));
+        }
+    }
+
+    #[test]
+    fn diffeq_profile_is_huge_and_deep() {
+        // The paper's DIFFEQ1 row: size 17726, depth 219.
+        let g = diffeq(16, 3);
+        assert!(g.gate_count() > 8000, "size {}", g.gate_count());
+        assert!(g.depth() > 150, "depth {}", g.depth());
+    }
+
+    #[test]
+    fn mac_accumulates() {
+        let g = mac(6);
+        let sim = Simulator::new(&g);
+        let mut rng = StdRng::seed_from_u64(13);
+        for _ in 0..40 {
+            let a = rng.gen::<u64>() & 0x3F;
+            let b = rng.gen::<u64>() & 0x3F;
+            let c = rng.gen::<u64>() & 0xFFF;
+            let bits = pack(&[(6, a), (6, b), (12, c)]);
+            let out = sim.eval(&bits);
+            assert_eq!(unpack(&out), a * b + c);
+        }
+    }
+
+    #[test]
+    fn alu_implements_all_ops() {
+        let g = alu(8);
+        let sim = Simulator::new(&g);
+        let mut rng = StdRng::seed_from_u64(14);
+        for _ in 0..60 {
+            let a = rng.gen::<u64>() & 0xFF;
+            let b = rng.gen::<u64>() & 0xFF;
+            let op = rng.gen_range(0..4u64);
+            let bits = pack(&[(8, a), (8, b), (2, op)]);
+            let out = unpack(&sim.eval(&bits));
+            let expect = match op {
+                0 => a.wrapping_add(b) & 0xFF,
+                1 => a.wrapping_sub(b) & 0xFF,
+                2 => a ^ b,
+                _ => a & b,
+            };
+            assert_eq!(out, expect, "op {op}, a {a}, b {b}");
+        }
+    }
+}

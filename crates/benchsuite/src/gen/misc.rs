@@ -1,0 +1,250 @@
+//! Assorted combinational kernels: comparators, population count,
+//! barrel shifter, decoder, wide multiplexer and a majority-native
+//! median (sorting) network.
+
+use mig::Mig;
+
+use crate::words;
+
+/// Unsigned comparator emitting `lt`, `eq`, `gt`.
+pub fn comparator(width: usize) -> Mig {
+    let mut g = Mig::with_name(format!("CMP{width}"));
+    let a = g.add_inputs("a", width);
+    let b = g.add_inputs("b", width);
+    let lt = words::word_lt(&mut g, &a, &b);
+    let eq = words::word_eq(&mut g, &a, &b);
+    let gt = g.add_nor(lt, eq);
+    g.add_output("lt", lt);
+    g.add_output("eq", eq);
+    g.add_output("gt", gt);
+    g
+}
+
+/// Population counter over `width` inputs.
+pub fn popcount_circuit(width: usize) -> Mig {
+    let mut g = Mig::with_name(format!("POP{width}"));
+    let x = g.add_inputs("x", width);
+    let c = words::popcount(&mut g, &x);
+    for (i, &s) in c.iter().enumerate() {
+        g.add_output(format!("c{i}"), s);
+    }
+    g
+}
+
+/// Variable left barrel shifter.
+pub fn barrel_shifter(width: usize) -> Mig {
+    assert!(width.is_power_of_two(), "barrel shifter width must be 2^k");
+    let mut g = Mig::with_name(format!("BSH{width}"));
+    let v = g.add_inputs("v", width);
+    let s = g.add_inputs("s", width.trailing_zeros() as usize);
+    let out = words::barrel_shift_left(&mut g, &v, &s);
+    for (i, &bit) in out.iter().enumerate() {
+        g.add_output(format!("o{i}"), bit);
+    }
+    g
+}
+
+/// `bits`-to-`2^bits` one-hot decoder.
+pub fn decoder(bits: usize) -> Mig {
+    let mut g = Mig::with_name(format!("DEC{bits}"));
+    let sel = g.add_inputs("s", bits);
+    for (i, out) in g.add_decoder(&sel).into_iter().enumerate() {
+        g.add_output(format!("d{i}"), out);
+    }
+    g
+}
+
+/// `2^sel_bits`:1 multiplexer.
+pub fn mux_tree(sel_bits: usize) -> Mig {
+    let mut g = Mig::with_name(format!("MUX{}", 1 << sel_bits));
+    let sel = g.add_inputs("s", sel_bits);
+    let data = g.add_inputs("d", 1 << sel_bits);
+    let out = g.add_mux_n(&sel, &data);
+    g.add_output("o", out);
+    g
+}
+
+/// Median filter over `n` (odd) single-bit lanes of `width`-bit words,
+/// bit-sliced: the native majority application. For `n = 3` each output
+/// bit is literally one MAJ gate — the showcase of majority logic.
+pub fn median3(width: usize) -> Mig {
+    let mut g = Mig::with_name(format!("MED3x{width}"));
+    let a = g.add_inputs("a", width);
+    let b = g.add_inputs("b", width);
+    let c = g.add_inputs("c", width);
+    for i in 0..width {
+        let m = g.add_maj(a[i], b[i], c[i]);
+        g.add_output(format!("m{i}"), m);
+    }
+    g
+}
+
+/// Iterated 1-D median smoothing over `width` boolean lanes: `rounds`
+/// rounds of `m[i] ← ⟨m[i−1] m[i] m[i+1]⟩` with wrap-around — every
+/// gate is a bare majority node, the signature workload of
+/// majority-native technologies, with depth = `rounds`.
+pub fn median_smooth(width: usize, rounds: usize) -> Mig {
+    assert!(width >= 3, "median smoothing needs at least 3 lanes");
+    let mut g = Mig::with_name(format!("MEDS{width}x{rounds}"));
+    let mut lanes = g.add_inputs("x", width);
+    for _ in 0..rounds {
+        let next: Vec<_> = (0..width)
+            .map(|i| {
+                let l = lanes[(i + width - 1) % width];
+                let r = lanes[(i + 1) % width];
+                g.add_maj(l, lanes[i], r)
+            })
+            .collect();
+        lanes = next;
+    }
+    for (i, &s) in lanes.iter().enumerate() {
+        g.add_output(format!("m{i}"), s);
+    }
+    g
+}
+
+/// Bitonic-style 2-element sort of `width`-bit unsigned words:
+/// outputs `(min, max)` — one compare-and-swap stage, `stages` of which
+/// chain into a sorting network over `2·stages` values here reduced to
+/// a chain for a deep benchmark shape.
+pub fn sort2_chain(width: usize, stages: usize) -> Mig {
+    let mut g = Mig::with_name(format!("SORT{width}x{stages}"));
+    let mut cur = g.add_inputs("v0_", width);
+    for s in 1..=stages {
+        let next = g.add_inputs(&format!("v{s}_"), width);
+        let lt = words::word_lt(&mut g, &cur, &next);
+        // keep the max flowing down the chain
+        cur = words::word_mux(&mut g, lt, &next, &cur);
+    }
+    for (i, &s) in cur.iter().enumerate() {
+        g.add_output(format!("max{i}"), s);
+    }
+    g
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mig::Simulator;
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
+
+    #[test]
+    fn comparator_flags() {
+        let g = comparator(6);
+        let sim = Simulator::new(&g);
+        let mut rng = StdRng::seed_from_u64(15);
+        for _ in 0..60 {
+            let a = rng.gen::<u64>() & 0x3F;
+            let b = rng.gen::<u64>() & 0x3F;
+            let mut bits = Vec::new();
+            for i in 0..6 {
+                bits.push(a >> i & 1 != 0);
+            }
+            for i in 0..6 {
+                bits.push(b >> i & 1 != 0);
+            }
+            let out = sim.eval(&bits);
+            assert_eq!(out, vec![a < b, a == b, a > b], "a={a}, b={b}");
+        }
+    }
+
+    #[test]
+    fn median3_is_bitwise_majority() {
+        let g = median3(4);
+        let sim = Simulator::new(&g);
+        for p in 0..1u32 << 12 {
+            let bits: Vec<bool> = (0..12).map(|i| p >> i & 1 != 0).collect();
+            let out = sim.eval(&bits);
+            for i in 0..4 {
+                let (a, b, c) = (bits[i], bits[4 + i], bits[8 + i]);
+                let expect = (a as u8 + b as u8 + c as u8) >= 2;
+                assert_eq!(out[i], expect);
+            }
+        }
+    }
+
+    #[test]
+    fn median3_size_is_one_gate_per_bit() {
+        let g = median3(8);
+        assert_eq!(g.gate_count(), 8);
+        assert_eq!(g.depth(), 1);
+    }
+
+    #[test]
+    fn sort_chain_tracks_maximum() {
+        let g = sort2_chain(5, 3);
+        let sim = Simulator::new(&g);
+        let mut rng = StdRng::seed_from_u64(16);
+        for _ in 0..40 {
+            let vals: Vec<u64> = (0..4).map(|_| rng.gen::<u64>() & 0x1F).collect();
+            let mut bits = Vec::new();
+            for &v in &vals {
+                for i in 0..5 {
+                    bits.push(v >> i & 1 != 0);
+                }
+            }
+            let got: u64 = sim
+                .eval(&bits)
+                .iter()
+                .enumerate()
+                .map(|(i, &b)| (b as u64) << i)
+                .sum();
+            assert_eq!(got, *vals.iter().max().unwrap(), "vals {vals:?}");
+        }
+    }
+
+    #[test]
+    fn decoder_and_mux_shapes() {
+        assert_eq!(decoder(4).output_count(), 16);
+        assert_eq!(mux_tree(3).input_count(), 3 + 8);
+        assert_eq!(popcount_circuit(16).input_count(), 16);
+        assert!(barrel_shifter(16).gate_count() > 0);
+    }
+}
+
+#[cfg(test)]
+mod median_smooth_tests {
+    use super::*;
+    use mig::Simulator;
+
+    /// Software model of the smoothing filter.
+    fn smooth_ref(mut lanes: Vec<bool>, rounds: usize) -> Vec<bool> {
+        let w = lanes.len();
+        for _ in 0..rounds {
+            lanes = (0..w)
+                .map(|i| {
+                    let (l, m, r) = (lanes[(i + w - 1) % w], lanes[i], lanes[(i + 1) % w]);
+                    (l as u8 + m as u8 + r as u8) >= 2
+                })
+                .collect();
+        }
+        lanes
+    }
+
+    #[test]
+    fn smoothing_matches_reference() {
+        let g = median_smooth(8, 4);
+        let sim = Simulator::new(&g);
+        for p in 0..256u32 {
+            let bits: Vec<bool> = (0..8).map(|i| p >> i & 1 != 0).collect();
+            assert_eq!(sim.eval(&bits), smooth_ref(bits.clone(), 4), "p={p:08b}");
+        }
+    }
+
+    #[test]
+    fn depth_equals_rounds() {
+        let g = median_smooth(16, 6);
+        assert!(g.depth() <= 6);
+        assert!(g.depth() >= 5, "strash may fold a little, not a lot: {}", g.depth());
+    }
+
+    #[test]
+    fn smoothing_reaches_fixpoints() {
+        // All-equal inputs are fixpoints of the filter.
+        let g = median_smooth(8, 3);
+        let sim = Simulator::new(&g);
+        assert_eq!(sim.eval(&[false; 8]), vec![false; 8]);
+        assert_eq!(sim.eval(&[true; 8]), vec![true; 8]);
+    }
+}

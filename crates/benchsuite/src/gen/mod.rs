@@ -1,0 +1,14 @@
+//! Circuit generators: one function per benchmark family.
+//!
+//! Every generator returns a self-contained [`mig::Mig`] whose function
+//! is verified in its module's tests against a plain-software reference
+//! model. The registry (`crate::registry`) instantiates them with the
+//! parameters that reproduce the paper's 37-benchmark profile.
+
+pub mod adders;
+pub mod coding;
+pub mod control;
+pub mod crypto;
+pub mod datapath;
+pub mod misc;
+pub mod multipliers;

@@ -1,0 +1,26 @@
+//! # benchsuite — the 37-circuit MIG benchmark suite
+//!
+//! Synthetic reconstruction of the benchmark population used by the
+//! DATE'17 wave-pipelining paper (the MIG suite of Amarù's TCAD'16,
+//! MCNC + arithmetic). Real, functionally-verified generators cover the
+//! arithmetic, coding, cipher and datapath families; profile-matched
+//! controller/random generators cover the control-dominated names. See
+//! DESIGN.md (substitution 1) for why this preserves the behaviour the
+//! paper measures.
+//!
+//! ```
+//! use benchsuite::{find, SUITE};
+//!
+//! assert_eq!(SUITE.len(), 37);
+//! let mul = find("MUL8").expect("in the suite").build();
+//! assert!(mul.gate_count() > 100);
+//! ```
+
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+pub mod gen;
+mod registry;
+pub mod words;
+
+pub use registry::{find, BenchmarkSpec, Category, SUITE, TABLE2_SELECTION};

@@ -1,0 +1,461 @@
+//! Word-level construction helpers: multi-bit buses over MIG signals.
+//!
+//! All benchmark generators build their datapaths through these
+//! primitives, so correctness is tested once here (against plain `u64`
+//! arithmetic) and inherited everywhere.
+
+use mig::{Mig, Signal};
+
+/// A little-endian bus: `bits[0]` is the least-significant bit.
+pub type Word = Vec<Signal>;
+
+/// Ripple-carry addition; returns `(sum, carry_out)`.
+///
+/// # Panics
+///
+/// Panics if the operand widths differ.
+pub fn ripple_add(g: &mut Mig, a: &[Signal], b: &[Signal], mut carry: Signal) -> (Word, Signal) {
+    assert_eq!(a.len(), b.len(), "ripple_add operands must match in width");
+    let mut sum = Vec::with_capacity(a.len());
+    for (&x, &y) in a.iter().zip(b) {
+        let (s, c) = g.add_full_adder(x, y, carry);
+        sum.push(s);
+        carry = c;
+    }
+    (sum, carry)
+}
+
+/// Kogge–Stone parallel-prefix addition; returns `(sum, carry_out)`.
+///
+/// Depth is logarithmic in the width — the "fast adder" counterpart the
+/// depth-optimized MIG benchmarks of the paper's input suite contain.
+///
+/// # Panics
+///
+/// Panics if the operand widths differ or are zero.
+pub fn kogge_stone_add(g: &mut Mig, a: &[Signal], b: &[Signal], carry_in: Signal) -> (Word, Signal) {
+    assert_eq!(a.len(), b.len(), "kogge_stone operands must match in width");
+    assert!(!a.is_empty(), "kogge_stone needs at least one bit");
+    let n = a.len();
+    // Generate/propagate pairs.
+    let mut gen: Vec<Signal> = Vec::with_capacity(n);
+    let mut prop: Vec<Signal> = Vec::with_capacity(n);
+    for i in 0..n {
+        gen.push(g.add_and(a[i], b[i]));
+        prop.push(g.add_xor(a[i], b[i]));
+    }
+    // Fold the carry-in into position 0: g0' = g0 ∨ (p0 ∧ cin).
+    let cin_and = g.add_and(prop[0], carry_in);
+    gen[0] = g.add_or(gen[0], cin_and);
+    // p0 consumed by the carry network as "never propagates past cin".
+    let mut gk = gen.clone();
+    let mut pk = prop.clone();
+    let mut dist = 1;
+    while dist < n {
+        let (gprev, pprev) = (gk.clone(), pk.clone());
+        for i in dist..n {
+            let and = g.add_and(pprev[i], gprev[i - dist]);
+            gk[i] = g.add_or(gprev[i], and);
+            pk[i] = g.add_and(pprev[i], pprev[i - dist]);
+        }
+        dist *= 2;
+    }
+    // carries[i] = carry INTO bit i.
+    let mut sum = Vec::with_capacity(n);
+    sum.push(g.add_xor(prop[0], carry_in));
+    for i in 1..n {
+        sum.push(g.add_xor(prop[i], gk[i - 1]));
+    }
+    (sum, gk[n - 1])
+}
+
+/// Two's-complement subtraction `a − b`; returns `(difference, borrow-free flag)`
+/// where the flag is the adder's carry-out (1 = no borrow, i.e. `a ≥ b`
+/// for unsigned operands).
+pub fn ripple_sub(g: &mut Mig, a: &[Signal], b: &[Signal]) -> (Word, Signal) {
+    let nb: Word = b.iter().map(|&s| !s).collect();
+    ripple_add(g, a, &nb, Signal::ONE)
+}
+
+/// Unsigned array multiplication; result has `a.len() + b.len()` bits.
+///
+/// Classic carry-propagate array: one AND row per multiplier bit, summed
+/// with ripple adders — the deep multiplier profile (`MUL32`/`MUL64`) of
+/// the paper's suite.
+pub fn array_multiply(g: &mut Mig, a: &[Signal], b: &[Signal]) -> Word {
+    let (n, m) = (a.len(), b.len());
+    let mut acc: Word = vec![Signal::ZERO; n + m];
+    for (j, &bj) in b.iter().enumerate() {
+        let row: Word = a.iter().map(|&ai| g.add_and(ai, bj)).collect();
+        let (sum, carry) = ripple_add(g, &acc[j..j + n], &row, Signal::ZERO);
+        acc[j..j + n].copy_from_slice(&sum);
+        // Propagate the carry into the upper accumulator bits.
+        let mut c = carry;
+        for slot in acc.iter_mut().skip(j + n) {
+            let (s, c2) = g.add_half_adder(*slot, c);
+            *slot = s;
+            c = c2;
+        }
+    }
+    acc
+}
+
+/// Wallace-tree multiplication (3:2 carry-save reduction, final ripple
+/// adder); same function as [`array_multiply`] with much smaller depth.
+pub fn wallace_multiply(g: &mut Mig, a: &[Signal], b: &[Signal]) -> Word {
+    let width = a.len() + b.len();
+    // Column-wise partial products.
+    let mut columns: Vec<Vec<Signal>> = vec![Vec::new(); width];
+    for (i, &ai) in a.iter().enumerate() {
+        for (j, &bj) in b.iter().enumerate() {
+            let pp = g.add_and(ai, bj);
+            columns[i + j].push(pp);
+        }
+    }
+    // 3:2 reduction until every column has ≤ 2 entries.
+    loop {
+        let max = columns.iter().map(Vec::len).max().unwrap_or(0);
+        if max <= 2 {
+            break;
+        }
+        let mut next: Vec<Vec<Signal>> = vec![Vec::new(); width];
+        for (c, col) in columns.iter().enumerate() {
+            let mut k = 0;
+            while col.len() - k >= 3 {
+                let (s, cy) = g.add_full_adder(col[k], col[k + 1], col[k + 2]);
+                next[c].push(s);
+                if c + 1 < width {
+                    next[c + 1].push(cy);
+                }
+                k += 3;
+            }
+            if col.len() - k == 2 {
+                let (s, cy) = g.add_half_adder(col[k], col[k + 1]);
+                next[c].push(s);
+                if c + 1 < width {
+                    next[c + 1].push(cy);
+                }
+                k += 2;
+            }
+            for &rest in &col[k..] {
+                next[c].push(rest);
+            }
+        }
+        columns = next;
+    }
+    // Final carry-propagate add of the two remaining rows.
+    let row0: Word = columns
+        .iter()
+        .map(|c| c.first().copied().unwrap_or(Signal::ZERO))
+        .collect();
+    let row1: Word = columns
+        .iter()
+        .map(|c| c.get(1).copied().unwrap_or(Signal::ZERO))
+        .collect();
+    ripple_add(g, &row0, &row1, Signal::ZERO).0
+}
+
+/// Bitwise word XOR.
+pub fn word_xor(g: &mut Mig, a: &[Signal], b: &[Signal]) -> Word {
+    a.iter().zip(b).map(|(&x, &y)| g.add_xor(x, y)).collect()
+}
+
+/// Word-wide 2:1 multiplexer.
+pub fn word_mux(g: &mut Mig, sel: Signal, then_w: &[Signal], else_w: &[Signal]) -> Word {
+    then_w
+        .iter()
+        .zip(else_w)
+        .map(|(&t, &e)| g.add_mux(sel, t, e))
+        .collect()
+}
+
+/// Unsigned equality comparator.
+pub fn word_eq(g: &mut Mig, a: &[Signal], b: &[Signal]) -> Signal {
+    let bits: Word = a.iter().zip(b).map(|(&x, &y)| g.add_xnor(x, y)).collect();
+    g.add_and_n(&bits)
+}
+
+/// Unsigned `a < b` comparator (via subtraction borrow).
+pub fn word_lt(g: &mut Mig, a: &[Signal], b: &[Signal]) -> Signal {
+    let (_, no_borrow) = ripple_sub(g, a, b);
+    !no_borrow
+}
+
+/// Population count: number of set bits, as a ⌈log2(n+1)⌉-bit word.
+pub fn popcount(g: &mut Mig, bits: &[Signal]) -> Word {
+    match bits.len() {
+        0 => vec![Signal::ZERO],
+        1 => vec![bits[0]],
+        _ => {
+            // Carry-save tree of full adders over three-way splits.
+            let third = bits.len() / 3;
+            let (lo, rest) = bits.split_at(third.max(1));
+            let (mid, hi) = rest.split_at(((rest.len() + 1) / 2).max(1));
+            let a = popcount(g, lo);
+            let b = popcount(g, mid);
+            let c = popcount(g, hi);
+            let ab = add_words_var(g, &a, &b);
+            add_words_var(g, &ab, &c)
+        }
+    }
+}
+
+/// Adds two words of possibly different widths, growing the result by
+/// one bit to hold the final carry.
+pub fn add_words_var(g: &mut Mig, a: &[Signal], b: &[Signal]) -> Word {
+    let width = a.len().max(b.len());
+    let pad = |w: &[Signal]| -> Word {
+        let mut v = w.to_vec();
+        v.resize(width, Signal::ZERO);
+        v
+    };
+    let (mut sum, carry) = ripple_add(g, &pad(a), &pad(b), Signal::ZERO);
+    sum.push(carry);
+    sum
+}
+
+/// Logical barrel shifter (left shift by a variable amount, zero fill).
+pub fn barrel_shift_left(g: &mut Mig, value: &[Signal], amount: &[Signal]) -> Word {
+    let mut cur: Word = value.to_vec();
+    for (k, &sel) in amount.iter().enumerate() {
+        let shift = 1usize << k;
+        let shifted: Word = (0..cur.len())
+            .map(|i| if i >= shift { cur[i - shift] } else { Signal::ZERO })
+            .collect();
+        cur = word_mux(g, sel, &shifted, &cur);
+    }
+    cur
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mig::Simulator;
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
+
+    /// Drives a two-operand word circuit and checks it against `expect`.
+    fn check_binop(
+        width: usize,
+        out_width: usize,
+        build: impl FnOnce(&mut Mig, &[Signal], &[Signal]) -> Word,
+        expect: impl Fn(u64, u64) -> u64,
+        seed: u64,
+    ) {
+        let mut g = Mig::new();
+        let a = g.add_inputs("a", width);
+        let b = g.add_inputs("b", width);
+        let out = build(&mut g, &a, &b);
+        assert!(out.len() >= out_width);
+        for (i, &s) in out.iter().enumerate() {
+            g.add_output(format!("o{i}"), s);
+        }
+        let sim = Simulator::new(&g);
+        let mut rng = StdRng::seed_from_u64(seed);
+        for _ in 0..100 {
+            let av = rng.gen::<u64>() & ((1 << width) - 1);
+            let bv = rng.gen::<u64>() & ((1 << width) - 1);
+            let mut bits = Vec::new();
+            for i in 0..width {
+                bits.push(av >> i & 1 != 0);
+            }
+            for i in 0..width {
+                bits.push(bv >> i & 1 != 0);
+            }
+            let got: u64 = sim
+                .eval(&bits)
+                .iter()
+                .take(out_width)
+                .enumerate()
+                .map(|(i, &b)| (b as u64) << i)
+                .sum();
+            let mask = if out_width >= 64 { !0 } else { (1u64 << out_width) - 1 };
+            assert_eq!(got, expect(av, bv) & mask, "a={av}, b={bv}");
+        }
+    }
+
+    #[test]
+    fn ripple_add_is_addition() {
+        check_binop(
+            8,
+            9,
+            |g, a, b| {
+                let (mut s, c) = ripple_add(g, a, b, Signal::ZERO);
+                s.push(c);
+                s
+            },
+            |a, b| a + b,
+            1,
+        );
+    }
+
+    #[test]
+    fn kogge_stone_matches_ripple() {
+        check_binop(
+            10,
+            11,
+            |g, a, b| {
+                let (mut s, c) = kogge_stone_add(g, a, b, Signal::ZERO);
+                s.push(c);
+                s
+            },
+            |a, b| a + b,
+            2,
+        );
+    }
+
+    #[test]
+    fn kogge_stone_with_carry_in() {
+        check_binop(
+            6,
+            7,
+            |g, a, b| {
+                let (mut s, c) = kogge_stone_add(g, a, b, Signal::ONE);
+                s.push(c);
+                s
+            },
+            |a, b| a + b + 1,
+            3,
+        );
+    }
+
+    #[test]
+    fn kogge_stone_is_shallower_than_ripple() {
+        let depth_of = |ks: bool| {
+            let mut g = Mig::new();
+            let a = g.add_inputs("a", 32);
+            let b = g.add_inputs("b", 32);
+            let (s, c) = if ks {
+                kogge_stone_add(&mut g, &a, &b, Signal::ZERO)
+            } else {
+                ripple_add(&mut g, &a, &b, Signal::ZERO)
+            };
+            for (i, &bit) in s.iter().enumerate() {
+                g.add_output(format!("s{i}"), bit);
+            }
+            g.add_output("c", c);
+            g.depth()
+        };
+        assert!(depth_of(true) < depth_of(false) / 2);
+    }
+
+    #[test]
+    fn subtraction_and_comparison() {
+        check_binop(
+            8,
+            8,
+            |g, a, b| ripple_sub(g, a, b).0,
+            |a, b| a.wrapping_sub(b),
+            4,
+        );
+        check_binop(
+            8,
+            1,
+            |g, a, b| vec![word_lt(g, a, b)],
+            |a, b| (a < b) as u64,
+            5,
+        );
+        check_binop(8, 1, |g, a, b| vec![word_eq(g, a, b)], |a, b| (a == b) as u64, 6);
+    }
+
+    #[test]
+    fn array_multiplier_multiplies() {
+        check_binop(6, 12, |g, a, b| array_multiply(g, a, b), |a, b| a * b, 7);
+    }
+
+    #[test]
+    fn wallace_multiplier_multiplies() {
+        check_binop(6, 12, |g, a, b| wallace_multiply(g, a, b), |a, b| a * b, 8);
+    }
+
+    #[test]
+    fn wallace_is_shallower_than_array() {
+        let depth_of = |wallace: bool| {
+            let mut g = Mig::new();
+            let a = g.add_inputs("a", 16);
+            let b = g.add_inputs("b", 16);
+            let p = if wallace {
+                wallace_multiply(&mut g, &a, &b)
+            } else {
+                array_multiply(&mut g, &a, &b)
+            };
+            for (i, &bit) in p.iter().enumerate() {
+                g.add_output(format!("p{i}"), bit);
+            }
+            g.depth()
+        };
+        assert!(depth_of(true) < depth_of(false));
+    }
+
+    #[test]
+    fn popcount_counts() {
+        let mut g = Mig::new();
+        let x = g.add_inputs("x", 11);
+        let c = popcount(&mut g, &x);
+        for (i, &s) in c.iter().enumerate() {
+            g.add_output(format!("c{i}"), s);
+        }
+        let sim = Simulator::new(&g);
+        for p in 0..1u32 << 11 {
+            let bits: Vec<bool> = (0..11).map(|i| p >> i & 1 != 0).collect();
+            let got: u32 = sim
+                .eval(&bits)
+                .iter()
+                .enumerate()
+                .map(|(i, &b)| (b as u32) << i)
+                .sum();
+            assert_eq!(got, p.count_ones(), "p={p:011b}");
+        }
+    }
+
+    #[test]
+    fn barrel_shifter_shifts() {
+        let mut g = Mig::new();
+        let v = g.add_inputs("v", 8);
+        let s = g.add_inputs("s", 3);
+        let out = barrel_shift_left(&mut g, &v, &s);
+        for (i, &bit) in out.iter().enumerate() {
+            g.add_output(format!("o{i}"), bit);
+        }
+        let sim = Simulator::new(&g);
+        let mut rng = StdRng::seed_from_u64(9);
+        for _ in 0..200 {
+            let vv = rng.gen::<u64>() & 0xFF;
+            let sv = rng.gen::<u64>() & 0x7;
+            let mut bits = Vec::new();
+            for i in 0..8 {
+                bits.push(vv >> i & 1 != 0);
+            }
+            for i in 0..3 {
+                bits.push(sv >> i & 1 != 0);
+            }
+            let got: u64 = sim
+                .eval(&bits)
+                .iter()
+                .enumerate()
+                .map(|(i, &b)| (b as u64) << i)
+                .sum();
+            assert_eq!(got, (vv << sv) & 0xFF);
+        }
+    }
+
+    #[test]
+    fn word_mux_and_xor() {
+        check_binop(8, 8, |g, a, b| word_xor(g, a, b), |a, b| a ^ b, 10);
+        let mut g = Mig::new();
+        let sel = g.add_input("sel");
+        let a = g.add_inputs("a", 4);
+        let b = g.add_inputs("b", 4);
+        let m = word_mux(&mut g, sel, &a, &b);
+        for (i, &s) in m.iter().enumerate() {
+            g.add_output(format!("m{i}"), s);
+        }
+        let sim = Simulator::new(&g);
+        let mut bits = vec![true]; // sel = 1 → a
+        bits.extend([true, false, true, false]);
+        bits.extend([false, true, false, true]);
+        assert_eq!(sim.eval(&bits), vec![true, false, true, false]);
+        bits[0] = false;
+        assert_eq!(sim.eval(&bits), vec![false, true, false, true]);
+    }
+}

@@ -1,0 +1,300 @@
+//! Mechanical verification of the wave-pipelining invariants.
+//!
+//! The paper states proofs of correctness for both algorithms but omits
+//! them for brevity (§III, §IV). This module checks the claimed
+//! postconditions on every concrete result instead:
+//!
+//! 1. **Unit-span edges** — every edge from a non-constant component
+//!    spans exactly one level, so each wave advances one clock zone per
+//!    phase and neighbouring waves can never interfere (Fig 4).
+//! 2. **Aligned outputs** — all non-constant primary outputs sit at the
+//!    same base distance, so one result wave leaves the circuit per
+//!    wave interval.
+//! 3. **Fan-out bound** (optional) — no component drives more than `k`
+//!    consumers, the §IV feasibility condition for gain-free
+//!    technologies.
+
+use std::fmt;
+
+use crate::component::{CompId, ComponentKind};
+use crate::netlist::Netlist;
+
+/// A violation of the wave-pipelining invariants.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum BalanceError {
+    /// An edge spans more (or fewer) than one level.
+    EdgeSpan {
+        /// Driving component.
+        from: CompId,
+        /// Consuming component.
+        to: CompId,
+        /// Level of the driver.
+        from_level: u32,
+        /// Level of the consumer.
+        to_level: u32,
+    },
+    /// Two non-constant outputs sit at different base distances.
+    OutputMisaligned {
+        /// Name of the first output.
+        first: String,
+        /// Level of the first output.
+        first_level: u32,
+        /// Name of the offending output.
+        other: String,
+        /// Level of the offending output.
+        other_level: u32,
+    },
+    /// A component exceeds the fan-out bound.
+    FanoutExceeded {
+        /// The offending component.
+        component: CompId,
+        /// Its fan-out count.
+        fanout: u32,
+        /// The bound that was requested.
+        limit: u32,
+    },
+}
+
+impl fmt::Display for BalanceError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            BalanceError::EdgeSpan {
+                from,
+                to,
+                from_level,
+                to_level,
+            } => write!(
+                f,
+                "edge {from} (level {from_level}) → {to} (level {to_level}) does not span exactly one level"
+            ),
+            BalanceError::OutputMisaligned {
+                first,
+                first_level,
+                other,
+                other_level,
+            } => write!(
+                f,
+                "output `{other}` at level {other_level} misaligned with `{first}` at level {first_level}"
+            ),
+            BalanceError::FanoutExceeded {
+                component,
+                fanout,
+                limit,
+            } => write!(f, "component {component} has fan-out {fanout} > limit {limit}"),
+        }
+    }
+}
+
+impl std::error::Error for BalanceError {}
+
+/// Summary of a netlist that passed verification.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct BalanceReport {
+    /// Common base distance of all outputs (= pipeline depth `d`).
+    pub depth: u32,
+    /// Number of waves simultaneously in flight under three-phase
+    /// clocking: `⌈d / 3⌉` (the paper's `N = d/3`).
+    pub waves_in_flight: u32,
+    /// Largest observed fan-out.
+    pub max_fanout: u32,
+}
+
+/// Checks the wave-pipelining invariants; `fanout_limit` additionally
+/// enforces the §IV bound when given.
+///
+/// # Errors
+///
+/// Returns the first [`BalanceError`] found, or `Ok` with a
+/// [`BalanceReport`].
+///
+/// # Examples
+///
+/// ```
+/// use wavepipe::{insert_buffers, verify_balance, Netlist};
+///
+/// # fn main() -> Result<(), wavepipe::BalanceError> {
+/// let mut n = Netlist::new("x");
+/// let a = n.add_input("a");
+/// let b = n.add_input("b");
+/// let c = n.add_input("c");
+/// let g1 = n.add_maj([a, b, c]);
+/// let g2 = n.add_maj([g1, a, b]);
+/// n.add_output("f", g2);
+/// assert!(verify_balance(&n, None).is_err(), "skewed before balancing");
+///
+/// insert_buffers(&mut n);
+/// let report = verify_balance(&n, None)?;
+/// assert_eq!(report.depth, 2);
+/// # Ok(())
+/// # }
+/// ```
+pub fn verify_balance(
+    netlist: &Netlist,
+    fanout_limit: Option<u32>,
+) -> Result<BalanceReport, BalanceError> {
+    let levels = netlist.levels();
+    let is_const =
+        |id: CompId| netlist.component(id).kind() == ComponentKind::Const;
+
+    // 1. Unit-span edges.
+    for id in netlist.ids() {
+        for &f in netlist.component(id).fanins() {
+            if is_const(f) {
+                continue;
+            }
+            let from_level = levels[f.index()];
+            let to_level = levels[id.index()];
+            if to_level != from_level + 1 {
+                return Err(BalanceError::EdgeSpan {
+                    from: f,
+                    to: id,
+                    from_level,
+                    to_level,
+                });
+            }
+        }
+    }
+
+    // 2. Aligned outputs.
+    let mut first: Option<(&str, u32)> = None;
+    for p in netlist.outputs() {
+        if is_const(p.driver) {
+            continue;
+        }
+        let level = levels[p.driver.index()];
+        match first {
+            None => first = Some((&p.name, level)),
+            Some((fname, flevel)) if flevel != level => {
+                return Err(BalanceError::OutputMisaligned {
+                    first: fname.to_owned(),
+                    first_level: flevel,
+                    other: p.name.clone(),
+                    other_level: level,
+                });
+            }
+            Some(_) => {}
+        }
+    }
+
+    // 3. Fan-out bound.
+    let max_fanout = netlist.max_fanout();
+    if let Some(limit) = fanout_limit {
+        let counts = netlist.fanout_counts();
+        for id in netlist.ids() {
+            if counts[id.index()] > limit {
+                return Err(BalanceError::FanoutExceeded {
+                    component: id,
+                    fanout: counts[id.index()],
+                    limit,
+                });
+            }
+        }
+    }
+
+    let depth = first.map(|(_, l)| l).unwrap_or(0);
+    Ok(BalanceReport {
+        depth,
+        waves_in_flight: depth.div_ceil(3),
+        max_fanout,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn balanced_single_gate_passes() {
+        let mut n = Netlist::new("ok");
+        let a = n.add_input("a");
+        let b = n.add_input("b");
+        let c = n.add_input("c");
+        let g = n.add_maj([a, b, c]);
+        n.add_output("f", g);
+        let r = verify_balance(&n, Some(3)).unwrap();
+        assert_eq!(r.depth, 1);
+        assert_eq!(r.waves_in_flight, 1);
+    }
+
+    #[test]
+    fn skewed_edge_is_reported() {
+        let mut n = Netlist::new("skew");
+        let a = n.add_input("a");
+        let b = n.add_input("b");
+        let c = n.add_input("c");
+        let g1 = n.add_maj([a, b, c]);
+        let g2 = n.add_maj([g1, a, b]);
+        n.add_output("f", g2);
+        match verify_balance(&n, None) {
+            Err(BalanceError::EdgeSpan { to_level, from_level, .. }) => {
+                assert_eq!(to_level, 2);
+                assert_eq!(from_level, 0);
+            }
+            other => panic!("expected EdgeSpan, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn misaligned_outputs_are_reported() {
+        let mut n = Netlist::new("mis");
+        let a = n.add_input("a");
+        let b = n.add_input("b");
+        let c = n.add_input("c");
+        let g1 = n.add_maj([a, b, c]);
+        let buf = n.add_buf(g1);
+        n.add_output("deep", buf);
+        n.add_output("shallow", g1);
+        // Edges are all unit-span; only output alignment fails.
+        match verify_balance(&n, None) {
+            Err(BalanceError::OutputMisaligned { other, .. }) => assert_eq!(other, "shallow"),
+            other => panic!("expected OutputMisaligned, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn fanout_limit_is_enforced() {
+        let mut n = Netlist::new("fo");
+        let a = n.add_input("a");
+        let b = n.add_input("b");
+        let c = n.add_input("c");
+        let d = n.add_input("d");
+        let g1 = n.add_maj([a, b, c]);
+        let g2 = n.add_maj([a, b, d]);
+        let g3 = n.add_maj([a, c, d]);
+        let g4 = n.add_maj([g1, g2, g3]);
+        n.add_output("f", g4);
+        // `a` drives three gates: fine at limit 3, fails at limit 2.
+        assert!(verify_balance(&n, Some(3)).is_ok());
+        match verify_balance(&n, Some(2)) {
+            Err(BalanceError::FanoutExceeded { fanout, limit, .. }) => {
+                assert_eq!(fanout, 3);
+                assert_eq!(limit, 2);
+            }
+            other => panic!("expected FanoutExceeded, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn waves_in_flight_rounds_up() {
+        let mut n = Netlist::new("w");
+        let a = n.add_input("a");
+        let b1 = n.add_buf(a);
+        let b2 = n.add_buf(b1);
+        let b3 = n.add_buf(b2);
+        let b4 = n.add_buf(b3);
+        n.add_output("f", b4);
+        let r = verify_balance(&n, None).unwrap();
+        assert_eq!(r.depth, 4);
+        assert_eq!(r.waves_in_flight, 2);
+    }
+
+    #[test]
+    fn error_messages_are_informative() {
+        let e = BalanceError::FanoutExceeded {
+            component: CompId::from_index(7),
+            fanout: 9,
+            limit: 3,
+        };
+        assert_eq!(e.to_string(), "component c7 has fan-out 9 > limit 3");
+    }
+}

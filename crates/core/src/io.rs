@@ -1,0 +1,330 @@
+//! Interchange formats for mapped wave-pipeline netlists: a textual
+//! `.wpn` format (read/write) and Graphviz DOT export with clock-phase
+//! coloring.
+
+use std::collections::HashMap;
+use std::fmt;
+
+use crate::component::{CompId, Component, ComponentKind};
+use crate::netlist::Netlist;
+
+/// Errors produced by [`parse_netlist`].
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct ParseNetlistError {
+    /// 1-based line number of the offending line.
+    pub line: usize,
+    /// Human-readable description.
+    pub message: String,
+}
+
+impl fmt::Display for ParseNetlistError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "line {}: {}", self.line, self.message)
+    }
+}
+
+impl std::error::Error for ParseNetlistError {}
+
+fn err(line: usize, message: impl Into<String>) -> ParseNetlistError {
+    ParseNetlistError {
+        line,
+        message: message.into(),
+    }
+}
+
+/// Serializes `netlist` into the `.wpn` text format:
+///
+/// ```text
+/// .model adder
+/// .inputs a b cin
+/// .outputs s cout
+/// c4 = MAJ(a, b, cin)
+/// c5 = INV(c4)
+/// c6 = BUF(a)
+/// c7 = FOG(c6)
+/// s = c5
+/// ```
+///
+/// Constants appear as the literals `0` and `1`.
+pub fn write_netlist(netlist: &Netlist) -> String {
+    let mut out = String::new();
+    out.push_str(&format!(".model {}\n", netlist.name()));
+    out.push_str(".inputs");
+    for pos in 0..netlist.inputs().len() {
+        out.push(' ');
+        out.push_str(netlist.input_name(pos));
+    }
+    out.push('\n');
+    out.push_str(".outputs");
+    for p in netlist.outputs() {
+        out.push(' ');
+        out.push_str(&p.name);
+    }
+    out.push('\n');
+
+    let name_of = |id: CompId| -> String {
+        match netlist.component(id) {
+            Component::Input { position } => netlist.input_name(*position as usize).to_owned(),
+            Component::Const { value } => if *value { "1" } else { "0" }.to_owned(),
+            _ => format!("c{}", id.index()),
+        }
+    };
+
+    for id in netlist.topo_order() {
+        let comp = netlist.component(id);
+        match comp {
+            Component::Input { .. } | Component::Const { .. } => {}
+            Component::Maj { fanins } => {
+                out.push_str(&format!(
+                    "c{} = MAJ({}, {}, {})\n",
+                    id.index(),
+                    name_of(fanins[0]),
+                    name_of(fanins[1]),
+                    name_of(fanins[2])
+                ));
+            }
+            Component::Inv { fanin } => {
+                out.push_str(&format!("c{} = INV({})\n", id.index(), name_of(*fanin)));
+            }
+            Component::Buf { fanin } => {
+                out.push_str(&format!("c{} = BUF({})\n", id.index(), name_of(*fanin)));
+            }
+            Component::Fog { fanin } => {
+                out.push_str(&format!("c{} = FOG({})\n", id.index(), name_of(*fanin)));
+            }
+        }
+    }
+    for p in netlist.outputs() {
+        out.push_str(&format!("{} = {}\n", p.name, name_of(p.driver)));
+    }
+    out
+}
+
+/// Parses the `.wpn` text format produced by [`write_netlist`].
+///
+/// # Errors
+///
+/// Returns [`ParseNetlistError`] with a line number on syntax errors,
+/// undefined signals, arity mismatches or unbound outputs.
+pub fn parse_netlist(source: &str) -> Result<Netlist, ParseNetlistError> {
+    let mut n = Netlist::new("top");
+    let mut by_name: HashMap<String, CompId> = HashMap::new();
+    let mut declared_outputs: Vec<String> = Vec::new();
+    let mut bound: HashMap<String, CompId> = HashMap::new();
+
+    for (lineno, raw) in source.lines().enumerate() {
+        let lineno = lineno + 1;
+        let line = match raw.find('#') {
+            Some(p) => &raw[..p],
+            None => raw,
+        }
+        .trim();
+        if line.is_empty() {
+            continue;
+        }
+        if let Some(rest) = line.strip_prefix(".model") {
+            let name = rest.trim();
+            if name.is_empty() {
+                return Err(err(lineno, ".model requires a name"));
+            }
+            n.set_name(name);
+        } else if let Some(rest) = line.strip_prefix(".inputs") {
+            for name in rest.split_whitespace() {
+                if by_name.contains_key(name) {
+                    return Err(err(lineno, format!("duplicate signal `{name}`")));
+                }
+                let id = n.add_input(name);
+                by_name.insert(name.to_owned(), id);
+            }
+        } else if let Some(rest) = line.strip_prefix(".outputs") {
+            for name in rest.split_whitespace() {
+                if declared_outputs.iter().any(|o| o == name) {
+                    return Err(err(lineno, format!("duplicate output `{name}`")));
+                }
+                declared_outputs.push(name.to_owned());
+            }
+        } else if line.starts_with('.') {
+            return Err(err(lineno, format!("unknown directive `{line}`")));
+        } else {
+            let (lhs, rhs) = line
+                .split_once('=')
+                .ok_or_else(|| err(lineno, "expected `name = ...`"))?;
+            let (lhs, rhs) = (lhs.trim(), rhs.trim());
+
+            let resolve = |tok: &str, n: &mut Netlist| -> Option<CompId> {
+                match tok {
+                    "0" => Some(n.add_const(false)),
+                    "1" => Some(n.add_const(true)),
+                    _ => by_name.get(tok).copied(),
+                }
+            };
+
+            let value = if let Some((op, args)) = rhs.split_once('(') {
+                let args = args
+                    .strip_suffix(')')
+                    .ok_or_else(|| err(lineno, "missing `)`"))?;
+                let operands: Vec<&str> = args.split(',').map(str::trim).collect();
+                let resolved: Option<Vec<CompId>> =
+                    operands.iter().map(|t| resolve(t, &mut n)).collect();
+                let resolved = resolved
+                    .ok_or_else(|| err(lineno, format!("undefined operand in `{rhs}`")))?;
+                match (op.trim(), resolved.as_slice()) {
+                    ("MAJ", &[a, b, c]) => n.add_maj([a, b, c]),
+                    ("INV", &[a]) => n.add_inv(a),
+                    ("BUF", &[a]) => n.add_buf(a),
+                    ("FOG", &[a]) => n.add_fog(a),
+                    (op, args) => {
+                        return Err(err(
+                            lineno,
+                            format!("bad operator/arity: {op} with {} operands", args.len()),
+                        ))
+                    }
+                }
+            } else {
+                resolve(rhs, &mut n).ok_or_else(|| err(lineno, format!("undefined signal `{rhs}`")))?
+            };
+
+            if declared_outputs.iter().any(|o| o == lhs) {
+                if bound.insert(lhs.to_owned(), value).is_some() {
+                    return Err(err(lineno, format!("output `{lhs}` bound twice")));
+                }
+                by_name.entry(lhs.to_owned()).or_insert(value);
+            } else {
+                if by_name.contains_key(lhs) {
+                    return Err(err(lineno, format!("signal `{lhs}` redefined")));
+                }
+                by_name.insert(lhs.to_owned(), value);
+            }
+        }
+    }
+
+    for name in &declared_outputs {
+        let id = *bound
+            .get(name)
+            .ok_or_else(|| err(0, format!("declared output `{name}` never bound")))?;
+        n.add_output(name.clone(), id);
+    }
+    Ok(n)
+}
+
+/// Renders the netlist as Graphviz DOT, coloring each component by its
+/// clock phase (`level mod 3`) so the three-phase wave zones of Fig 4
+/// are visible at a glance.
+pub fn to_dot(netlist: &Netlist) -> String {
+    let levels = netlist.levels();
+    let phase_color = ["#cfe8ff", "#ffe3cf", "#d8f5d0"];
+    let mut out = String::new();
+    out.push_str(&format!("digraph \"{}\" {{\n  rankdir=BT;\n", netlist.name()));
+    for id in netlist.ids() {
+        let comp = netlist.component(id);
+        let (label, shape) = match comp.kind() {
+            ComponentKind::Input => (
+                netlist.input_name(match comp {
+                    Component::Input { position } => *position as usize,
+                    _ => unreachable!(),
+                })
+                .to_owned(),
+                "box",
+            ),
+            ComponentKind::Const => (
+                match comp {
+                    Component::Const { value } => if *value { "1" } else { "0" }.to_owned(),
+                    _ => unreachable!(),
+                },
+                "plaintext",
+            ),
+            kind => (kind.to_string(), "ellipse"),
+        };
+        let color = phase_color[(levels[id.index()] % 3) as usize];
+        out.push_str(&format!(
+            "  c{} [label=\"{}\", shape={}, style=filled, fillcolor=\"{}\"];\n",
+            id.index(),
+            label,
+            shape,
+            color
+        ));
+        for &f in comp.fanins() {
+            out.push_str(&format!("  c{} -> c{};\n", f.index(), id.index()));
+        }
+    }
+    for (i, p) in netlist.outputs().iter().enumerate() {
+        out.push_str(&format!(
+            "  po{i} [label=\"{}\", shape=doubleoctagon];\n  c{} -> po{i};\n",
+            p.name,
+            p.driver.index()
+        ));
+    }
+    out.push_str("}\n");
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::buffer_insertion::insert_buffers;
+    use crate::from_mig::netlist_from_mig;
+
+    fn sample() -> Netlist {
+        let mut g = mig::Mig::with_name("rt");
+        let a = g.add_input("a");
+        let b = g.add_input("b");
+        let c = g.add_input("c");
+        let (s, cy) = g.add_full_adder(a, !b, c);
+        g.add_output("sum", s);
+        g.add_output("cout", !cy);
+        let mut n = netlist_from_mig(&g);
+        insert_buffers(&mut n);
+        n
+    }
+
+    #[test]
+    fn roundtrip_preserves_structure_and_function() {
+        let n = sample();
+        let text = write_netlist(&n);
+        let parsed = parse_netlist(&text).expect("own output parses");
+        assert_eq!(parsed.name(), "rt");
+        assert_eq!(parsed.counts(), n.counts());
+        assert_eq!(parsed.depth(), n.depth());
+        for p in 0..8u32 {
+            let bits: Vec<bool> = (0..3).map(|i| p >> i & 1 != 0).collect();
+            assert_eq!(n.eval(&bits), parsed.eval(&bits));
+        }
+    }
+
+    #[test]
+    fn all_component_kinds_roundtrip() {
+        let mut n = Netlist::new("kinds");
+        let a = n.add_input("a");
+        let b = n.add_input("b");
+        let k1 = n.add_const(true);
+        let m = n.add_maj([a, b, k1]);
+        let i = n.add_inv(m);
+        let bf = n.add_buf(i);
+        let f = n.add_fog(bf);
+        n.add_output("o", f);
+        let parsed = parse_netlist(&write_netlist(&n)).unwrap();
+        assert_eq!(parsed.counts(), n.counts());
+    }
+
+    #[test]
+    fn parse_errors_carry_line_numbers() {
+        let e = parse_netlist(".model x\n.inputs a\n.outputs f\nf = MAJ(a, q, 0)\n").unwrap_err();
+        assert_eq!(e.line, 4);
+        assert!(e.message.contains("undefined"));
+        let e = parse_netlist(".model x\n.inputs a\n.outputs f\nf = INV(a, a)\n").unwrap_err();
+        assert!(e.message.contains("bad operator/arity"));
+        let e = parse_netlist(".model x\n.inputs a\n.outputs f g\nf = a\n").unwrap_err();
+        assert!(e.message.contains("never bound"));
+    }
+
+    #[test]
+    fn dot_shows_phases() {
+        let n = sample();
+        let dot = to_dot(&n);
+        assert!(dot.contains("digraph"));
+        assert!(dot.contains("#cfe8ff"), "phase-0 color present");
+        assert!(dot.contains("MAJ"));
+        assert!(dot.contains("BUF"));
+        assert!(dot.contains("doubleoctagon"));
+    }
+}

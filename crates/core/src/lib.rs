@@ -1,0 +1,86 @@
+//! # wavepipe — wave pipelining for majority-based beyond-CMOS logic
+//!
+//! Implementation of the synthesis flow of *Zografos et al., "Wave
+//! Pipelining for Majority-based Beyond-CMOS Technologies", DATE 2017*:
+//! given a depth-optimized [`mig::Mig`], produce a netlist that a
+//! non-volatile, clocked, majority-based technology (Spin Wave Devices,
+//! QCA, NanoMagnetic Logic) can stream *waves* of data through — one new
+//! operation every three clock phases instead of one per full circuit
+//! latency.
+//!
+//! The flow has four stages:
+//!
+//! 1. [`netlist_from_mig`] maps the MIG onto physical components,
+//!    materializing inverters (priced cells in these technologies) and
+//!    constant cells.
+//! 2. [`restrict_fanout`] (§IV) bounds every fan-out to `k ∈ 2..=5` with
+//!    chains of fan-out gates, ordered so deep consumers absorb the FOG
+//!    latency ("delayed nodes").
+//! 3. [`insert_buffers`] (Algorithm 1, §III) equalizes every
+//!    input→output path with shared buffer chains, then pads all outputs
+//!    to a common depth.
+//! 4. [`verify_balance`] checks the invariants mechanically and
+//!    [`WaveSimulator`] demonstrates coherent streaming dynamically.
+//!
+//! [`run_flow`] composes all of it:
+//!
+//! ```
+//! use mig::Mig;
+//! use wavepipe::{run_flow, FlowConfig, WaveSimulator};
+//!
+//! # fn main() -> Result<(), wavepipe::BalanceError> {
+//! let mut g = Mig::new();
+//! let a = g.add_input("a");
+//! let b = g.add_input("b");
+//! let cin = g.add_input("cin");
+//! let (sum, cout) = g.add_full_adder(a, b, cin);
+//! g.add_output("sum", sum);
+//! g.add_output("cout", cout);
+//!
+//! let result = run_flow(&g, FlowConfig::default())?;
+//! let report = result.report.expect("flow verifies its output");
+//!
+//! // Stream three additions through the pipeline.
+//! let waves = vec![
+//!     vec![true, false, false],
+//!     vec![true, true, false],
+//!     vec![true, true, true],
+//! ];
+//! let run = WaveSimulator::new(&result.pipelined).run(&waves);
+//! assert_eq!(run.outputs[0], vec![true, false]);  // 1+0+0 = 01
+//! assert_eq!(run.outputs[1], vec![false, true]);  // 1+1+0 = 10
+//! assert_eq!(run.outputs[2], vec![true, true]);   // 1+1+1 = 11
+//! assert_eq!(report.depth, run.depth);
+//! # Ok(())
+//! # }
+//! ```
+
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+mod balance;
+mod buffer_insertion;
+mod component;
+mod fanout_restriction;
+mod flow;
+mod from_mig;
+pub mod io;
+mod netlist;
+mod retiming;
+pub mod stats;
+mod wavesim;
+mod weighted;
+
+pub use balance::{verify_balance, BalanceError, BalanceReport};
+pub use buffer_insertion::{insert_buffers, insert_buffers_with_levels, BufferInsertion};
+pub use component::{CompId, Component, ComponentKind};
+pub use fanout_restriction::{restrict_fanout, FanoutRestriction};
+pub use flow::{run_flow, FlowConfig, FlowResult};
+pub use from_mig::{netlist_from_mig, netlist_from_mig_min_inv};
+pub use netlist::{KindCounts, Netlist, Port};
+pub use retiming::{insert_buffers_retimed, schedule_levels, LevelSchedule};
+pub use wavesim::{WaveRun, WaveSimulator};
+pub use weighted::{
+    insert_buffers_weighted, verify_weighted_balance, weighted_arrivals, DelayWeights,
+    WeightedBalanceError, WeightedInsertion,
+};

@@ -1,0 +1,617 @@
+//! The mapped wave-pipeline netlist.
+
+use std::fmt;
+
+use crate::component::{CompId, Component, ComponentKind};
+
+/// A primary output binding.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Port {
+    /// Output port name.
+    pub name: String,
+    /// Driving component.
+    pub driver: CompId,
+}
+
+/// Per-kind component counts; the paper's "size" is
+/// [`KindCounts::priced_total`].
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
+pub struct KindCounts {
+    /// Primary inputs.
+    pub inputs: usize,
+    /// Constant cells.
+    pub consts: usize,
+    /// Majority gates.
+    pub maj: usize,
+    /// Inverters.
+    pub inv: usize,
+    /// Buffers.
+    pub buf: usize,
+    /// Fan-out gates.
+    pub fog: usize,
+}
+
+impl KindCounts {
+    /// Total priced components (MAJ + INV + BUF + FOG) — the netlist
+    /// "size" used throughout the paper's evaluation.
+    pub fn priced_total(&self) -> usize {
+        self.maj + self.inv + self.buf + self.fog
+    }
+}
+
+impl fmt::Display for KindCounts {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "MAJ {}, INV {}, BUF {}, FOG {} (size {})",
+            self.maj,
+            self.inv,
+            self.buf,
+            self.fog,
+            self.priced_total()
+        )
+    }
+}
+
+/// A flat netlist of physical components (majority gates, inverters,
+/// buffers, fan-out gates) — the representation the paper's two
+/// algorithms transform.
+///
+/// Components are stored in an arena; unlike [`mig::Mig`], fan-ins may
+/// point forward (transforms append components and retarget edges), so
+/// analyses use explicit topological traversal.
+///
+/// # Examples
+///
+/// ```
+/// use wavepipe::Netlist;
+///
+/// let mut n = Netlist::new("demo");
+/// let a = n.add_input("a");
+/// let b = n.add_input("b");
+/// let k0 = n.add_const(false);
+/// let g = n.add_maj([a, b, k0]); // AND gate
+/// n.add_output("f", g);
+///
+/// assert_eq!(n.counts().maj, 1);
+/// assert_eq!(n.depth(), 1);
+/// ```
+#[derive(Clone, Debug, Default)]
+pub struct Netlist {
+    name: String,
+    components: Vec<Component>,
+    inputs: Vec<CompId>,
+    input_names: Vec<String>,
+    outputs: Vec<Port>,
+    const_cells: [Option<CompId>; 2],
+}
+
+impl Netlist {
+    /// Creates an empty netlist.
+    pub fn new(name: impl Into<String>) -> Netlist {
+        Netlist {
+            name: name.into(),
+            ..Netlist::default()
+        }
+    }
+
+    /// The netlist name.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// Renames the netlist.
+    pub fn set_name(&mut self, name: impl Into<String>) {
+        self.name = name.into();
+    }
+
+    /// Adds a primary input.
+    pub fn add_input(&mut self, name: impl Into<String>) -> CompId {
+        let id = self.push(Component::Input {
+            position: self.inputs.len() as u32,
+        });
+        self.inputs.push(id);
+        self.input_names.push(name.into());
+        id
+    }
+
+    /// Returns the shared constant cell of the given value, creating it
+    /// on first use.
+    pub fn add_const(&mut self, value: bool) -> CompId {
+        if let Some(id) = self.const_cells[value as usize] {
+            return id;
+        }
+        let id = self.push(Component::Const { value });
+        self.const_cells[value as usize] = Some(id);
+        id
+    }
+
+    /// Adds a majority gate.
+    pub fn add_maj(&mut self, fanins: [CompId; 3]) -> CompId {
+        self.push(Component::Maj { fanins })
+    }
+
+    /// Adds an inverter.
+    pub fn add_inv(&mut self, fanin: CompId) -> CompId {
+        self.push(Component::Inv { fanin })
+    }
+
+    /// Adds a buffer.
+    pub fn add_buf(&mut self, fanin: CompId) -> CompId {
+        self.push(Component::Buf { fanin })
+    }
+
+    /// Adds a fan-out gate.
+    pub fn add_fog(&mut self, fanin: CompId) -> CompId {
+        self.push(Component::Fog { fanin })
+    }
+
+    fn push(&mut self, component: Component) -> CompId {
+        let id = CompId::from_index(self.components.len());
+        self.components.push(component);
+        id
+    }
+
+    /// Binds `driver` to a named primary output.
+    pub fn add_output(&mut self, name: impl Into<String>, driver: CompId) {
+        self.outputs.push(Port {
+            name: name.into(),
+            driver,
+        });
+    }
+
+    /// Rebinds the driver of output `position` (used by the transforms
+    /// when interposing buffers or fan-out gates).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `position >= self.outputs().len()`.
+    pub fn set_output_driver(&mut self, position: usize, driver: CompId) {
+        self.outputs[position].driver = driver;
+    }
+
+    /// The component at `id`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `id` is not part of this netlist.
+    pub fn component(&self, id: CompId) -> &Component {
+        &self.components[id.index()]
+    }
+
+    /// Mutable access to the component at `id`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `id` is not part of this netlist.
+    pub fn component_mut(&mut self, id: CompId) -> &mut Component {
+        &mut self.components[id.index()]
+    }
+
+    /// Number of components (all kinds).
+    pub fn len(&self) -> usize {
+        self.components.len()
+    }
+
+    /// `true` if the netlist has no components.
+    pub fn is_empty(&self) -> bool {
+        self.components.is_empty()
+    }
+
+    /// Primary inputs, in declaration order.
+    pub fn inputs(&self) -> &[CompId] {
+        &self.inputs
+    }
+
+    /// Name of input `position`.
+    pub fn input_name(&self, position: usize) -> &str {
+        &self.input_names[position]
+    }
+
+    /// Primary outputs, in declaration order.
+    pub fn outputs(&self) -> &[Port] {
+        &self.outputs
+    }
+
+    /// Iterates over all component ids in arena order (NOT necessarily
+    /// topological; see [`Netlist::topo_order`]).
+    pub fn ids(&self) -> impl Iterator<Item = CompId> + '_ {
+        (0..self.components.len()).map(CompId::from_index)
+    }
+
+    /// Per-kind component counts.
+    pub fn counts(&self) -> KindCounts {
+        let mut counts = KindCounts::default();
+        for c in &self.components {
+            match c.kind() {
+                ComponentKind::Input => counts.inputs += 1,
+                ComponentKind::Const => counts.consts += 1,
+                ComponentKind::Maj => counts.maj += 1,
+                ComponentKind::Inv => counts.inv += 1,
+                ComponentKind::Buf => counts.buf += 1,
+                ComponentKind::Fog => counts.fog += 1,
+            }
+        }
+        counts
+    }
+
+    /// Components in topological order (fan-ins before consumers).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the netlist contains a combinational cycle (transforms
+    /// in this crate never create one).
+    pub fn topo_order(&self) -> Vec<CompId> {
+        let n = self.components.len();
+        let mut state = vec![0u8; n]; // 0 new, 1 on stack, 2 done
+        let mut order = Vec::with_capacity(n);
+        let mut stack: Vec<(CompId, usize)> = Vec::new();
+        for root in 0..n {
+            if state[root] != 0 {
+                continue;
+            }
+            stack.push((CompId::from_index(root), 0));
+            state[root] = 1;
+            while let Some(&mut (id, ref mut next)) = stack.last_mut() {
+                let fanins = self.components[id.index()].fanins();
+                if *next < fanins.len() {
+                    let f = fanins[*next];
+                    *next += 1;
+                    match state[f.index()] {
+                        0 => {
+                            state[f.index()] = 1;
+                            stack.push((f, 0));
+                        }
+                        1 => panic!("combinational cycle through {f:?}"),
+                        _ => {}
+                    }
+                } else {
+                    state[id.index()] = 2;
+                    order.push(id);
+                    stack.pop();
+                }
+            }
+        }
+        order
+    }
+
+    /// Per-component levels: inputs and constants are level 0; every
+    /// other component is one more than its deepest **non-constant**
+    /// fan-in (constant cells are fixed polarization available at every
+    /// level, so they do not constrain wave timing).
+    ///
+    /// Indexed by `CompId::index()`.
+    pub fn levels(&self) -> Vec<u32> {
+        let mut levels = vec![0u32; self.components.len()];
+        for id in self.topo_order() {
+            let comp = &self.components[id.index()];
+            if comp.fanins().is_empty() {
+                continue;
+            }
+            levels[id.index()] = 1 + comp
+                .fanins()
+                .iter()
+                .filter(|f| !matches!(self.components[f.index()].kind(), ComponentKind::Const))
+                .map(|f| levels[f.index()])
+                .max()
+                .unwrap_or(0);
+        }
+        levels
+    }
+
+    /// Netlist depth: maximum level over non-constant primary outputs.
+    pub fn depth(&self) -> u32 {
+        let levels = self.levels();
+        self.outputs
+            .iter()
+            .filter(|p| self.components[p.driver.index()].kind() != ComponentKind::Const)
+            .map(|p| levels[p.driver.index()])
+            .max()
+            .unwrap_or(0)
+    }
+
+    /// Fan-out edge lists: for every component, the list of
+    /// `(consumer, fanin_slot)` pairs reading it. Primary-output uses are
+    /// returned separately as `(output_position, driver)` via
+    /// [`Netlist::outputs`]; they are *not* included here.
+    pub fn fanout_edges(&self) -> Vec<Vec<(CompId, usize)>> {
+        let mut edges = vec![Vec::new(); self.components.len()];
+        for id in self.ids() {
+            for (slot, f) in self.components[id.index()].fanins().iter().enumerate() {
+                edges[f.index()].push((id, slot));
+            }
+        }
+        edges
+    }
+
+    /// Fan-out counts including primary-output uses (what the fan-out
+    /// restriction bound applies to). Constant cells report 0: they are
+    /// fixed cells replicated at will, not driven nets.
+    pub fn fanout_counts(&self) -> Vec<u32> {
+        let mut counts = vec![0u32; self.components.len()];
+        for c in &self.components {
+            for f in c.fanins() {
+                counts[f.index()] += 1;
+            }
+        }
+        for p in &self.outputs {
+            counts[p.driver.index()] += 1;
+        }
+        for (i, c) in self.components.iter().enumerate() {
+            if c.kind() == ComponentKind::Const {
+                counts[i] = 0;
+            }
+        }
+        counts
+    }
+
+    /// Largest fan-out of any non-constant component.
+    pub fn max_fanout(&self) -> u32 {
+        self.fanout_counts().into_iter().max().unwrap_or(0)
+    }
+
+    /// Returns a copy containing only components reachable from the
+    /// primary outputs (inputs and their declaration order are always
+    /// preserved; dangling gates, buffers and inverters are dropped).
+    ///
+    /// Component identity is not preserved — ids are remapped densely.
+    pub fn sweep(&self) -> Netlist {
+        let mut live = vec![false; self.components.len()];
+        let mut stack: Vec<CompId> = self.outputs.iter().map(|p| p.driver).collect();
+        while let Some(id) = stack.pop() {
+            if live[id.index()] {
+                continue;
+            }
+            live[id.index()] = true;
+            for &f in self.components[id.index()].fanins() {
+                if !live[f.index()] {
+                    stack.push(f);
+                }
+            }
+        }
+
+        let mut out = Netlist::new(self.name.clone());
+        let mut map: Vec<Option<CompId>> = vec![None; self.components.len()];
+        // Inputs first, in declaration order, live or not (ports are part
+        // of the interface).
+        for (pos, &id) in self.inputs.iter().enumerate() {
+            map[id.index()] = Some(out.add_input(self.input_names[pos].clone()));
+        }
+        for id in self.topo_order() {
+            if !live[id.index()] || map[id.index()].is_some() {
+                continue;
+            }
+            let m = |map: &[Option<CompId>], f: CompId| {
+                map[f.index()].expect("fan-ins are mapped before consumers")
+            };
+            let new_id = match &self.components[id.index()] {
+                Component::Input { .. } => unreachable!("inputs pre-mapped"),
+                Component::Const { value } => out.add_const(*value),
+                Component::Maj { fanins } => {
+                    out.add_maj([m(&map, fanins[0]), m(&map, fanins[1]), m(&map, fanins[2])])
+                }
+                Component::Inv { fanin } => out.add_inv(m(&map, *fanin)),
+                Component::Buf { fanin } => out.add_buf(m(&map, *fanin)),
+                Component::Fog { fanin } => out.add_fog(m(&map, *fanin)),
+            };
+            map[id.index()] = Some(new_id);
+        }
+        for p in &self.outputs {
+            out.add_output(
+                p.name.clone(),
+                map[p.driver.index()].expect("output drivers are live"),
+            );
+        }
+        out
+    }
+
+    /// Evaluates the netlist combinationally on one input pattern.
+    ///
+    /// This is the golden reference the wave simulator is checked
+    /// against.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `pattern.len()` differs from the input count.
+    pub fn eval(&self, pattern: &[bool]) -> Vec<bool> {
+        assert_eq!(
+            pattern.len(),
+            self.inputs.len(),
+            "pattern width must match input count"
+        );
+        let mut values = vec![false; self.components.len()];
+        for id in self.topo_order() {
+            let v = match &self.components[id.index()] {
+                Component::Input { position } => pattern[*position as usize],
+                Component::Const { value } => *value,
+                Component::Maj { fanins } => {
+                    let ones = fanins
+                        .iter()
+                        .filter(|f| values[f.index()])
+                        .count();
+                    ones >= 2
+                }
+                Component::Inv { fanin } => !values[fanin.index()],
+                Component::Buf { fanin } | Component::Fog { fanin } => values[fanin.index()],
+            };
+            values[id.index()] = v;
+        }
+        self.outputs
+            .iter()
+            .map(|p| values[p.driver.index()])
+            .collect()
+    }
+}
+
+impl fmt::Display for Netlist {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "netlist `{}`: i/o {}/{}, {}, depth {}",
+            self.name,
+            self.inputs.len(),
+            self.outputs.len(),
+            self.counts(),
+            self.depth()
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn and_netlist() -> Netlist {
+        let mut n = Netlist::new("and");
+        let a = n.add_input("a");
+        let b = n.add_input("b");
+        let k0 = n.add_const(false);
+        let g = n.add_maj([a, b, k0]);
+        n.add_output("f", g);
+        n
+    }
+
+    #[test]
+    fn const_cells_are_shared() {
+        let mut n = Netlist::new("c");
+        let k0 = n.add_const(false);
+        let k0b = n.add_const(false);
+        let k1 = n.add_const(true);
+        assert_eq!(k0, k0b);
+        assert_ne!(k0, k1);
+        assert_eq!(n.counts().consts, 2);
+    }
+
+    #[test]
+    fn and_gate_eval() {
+        let n = and_netlist();
+        assert_eq!(n.eval(&[true, true]), vec![true]);
+        assert_eq!(n.eval(&[true, false]), vec![false]);
+        assert_eq!(n.eval(&[false, true]), vec![false]);
+    }
+
+    #[test]
+    fn const_fanin_does_not_add_depth() {
+        let n = and_netlist();
+        assert_eq!(n.depth(), 1);
+        let levels = n.levels();
+        let g = n.outputs()[0].driver;
+        assert_eq!(levels[g.index()], 1);
+    }
+
+    #[test]
+    fn inverter_and_buffer_chain_levels() {
+        let mut n = Netlist::new("chain");
+        let a = n.add_input("a");
+        let inv = n.add_inv(a);
+        let buf = n.add_buf(inv);
+        let fog = n.add_fog(buf);
+        n.add_output("f", fog);
+        let levels = n.levels();
+        assert_eq!(levels[inv.index()], 1);
+        assert_eq!(levels[buf.index()], 2);
+        assert_eq!(levels[fog.index()], 3);
+        assert_eq!(n.depth(), 3);
+        assert_eq!(n.eval(&[true]), vec![false]);
+        assert_eq!(n.eval(&[false]), vec![true]);
+    }
+
+    #[test]
+    fn topo_order_handles_forward_edges() {
+        // Build a netlist, then retarget an edge to a later component,
+        // as the transforms do.
+        let mut n = Netlist::new("fwd");
+        let a = n.add_input("a");
+        let b = n.add_input("b");
+        let k0 = n.add_const(false);
+        let g = n.add_maj([a, b, k0]);
+        n.add_output("f", g);
+        // Insert a buffer *after* g in the arena, feeding g's slot 0.
+        let buf = n.add_buf(a);
+        n.component_mut(g).fanins_mut()[0] = buf;
+        let order = n.topo_order();
+        let pos = |id: CompId| order.iter().position(|&x| x == id).unwrap();
+        assert!(pos(buf) < pos(g));
+        assert!(pos(a) < pos(buf));
+        assert_eq!(n.depth(), 2);
+        assert_eq!(n.eval(&[true, true]), vec![true]);
+    }
+
+    #[test]
+    fn fanout_counts_include_outputs_and_ignore_consts() {
+        let mut n = Netlist::new("fo");
+        let a = n.add_input("a");
+        let b = n.add_input("b");
+        let k0 = n.add_const(false);
+        let g1 = n.add_maj([a, b, k0]);
+        let g2 = n.add_maj([a, g1, k0]);
+        n.add_output("f", g2);
+        n.add_output("g", g1);
+        let counts = n.fanout_counts();
+        assert_eq!(counts[a.index()], 2);
+        assert_eq!(counts[g1.index()], 2); // g2 + output
+        assert_eq!(counts[g2.index()], 1);
+        assert_eq!(counts[k0.index()], 0, "constants are not driven nets");
+        assert_eq!(n.max_fanout(), 2);
+    }
+
+    #[test]
+    fn counts_and_display() {
+        let mut n = Netlist::new("k");
+        let a = n.add_input("a");
+        let inv = n.add_inv(a);
+        let buf = n.add_buf(inv);
+        n.add_output("o", buf);
+        let c = n.counts();
+        assert_eq!(c.inputs, 1);
+        assert_eq!(c.inv, 1);
+        assert_eq!(c.buf, 1);
+        assert_eq!(c.priced_total(), 2);
+        assert!(n.to_string().contains("depth 2"));
+    }
+
+    #[test]
+    fn sweep_drops_dangling_logic() {
+        let mut n = Netlist::new("dangle");
+        let a = n.add_input("a");
+        let b = n.add_input("b");
+        let k0 = n.add_const(false);
+        let live = n.add_maj([a, b, k0]);
+        let dead_inv = n.add_inv(a);
+        let _dead_buf = n.add_buf(dead_inv);
+        n.add_output("f", live);
+        assert_eq!(n.counts().inv, 1);
+        let swept = n.sweep();
+        assert_eq!(swept.counts().inv, 0);
+        assert_eq!(swept.counts().buf, 0);
+        assert_eq!(swept.counts().maj, 1);
+        assert_eq!(swept.inputs().len(), 2, "ports survive even if unused");
+        assert_eq!(swept.eval(&[true, true]), n.eval(&[true, true]));
+        assert_eq!(swept.eval(&[true, false]), n.eval(&[true, false]));
+    }
+
+    #[test]
+    fn sweep_preserves_everything_when_all_live() {
+        let mut n = Netlist::new("full");
+        let a = n.add_input("a");
+        let inv = n.add_inv(a);
+        let buf = n.add_buf(inv);
+        n.add_output("o", buf);
+        let swept = n.sweep();
+        assert_eq!(swept.counts(), n.counts());
+        assert_eq!(swept.depth(), n.depth());
+    }
+
+    #[test]
+    #[should_panic(expected = "combinational cycle")]
+    fn cycle_detection() {
+        let mut n = Netlist::new("cyc");
+        let a = n.add_input("a");
+        let buf1 = n.add_buf(a);
+        let buf2 = n.add_buf(buf1);
+        n.component_mut(buf1).fanins_mut()[0] = buf2;
+        n.add_output("f", buf2);
+        let _ = n.topo_order();
+    }
+}

@@ -1,0 +1,356 @@
+//! Cycle-accurate simulation of three-phase wave pipelining (Fig 4).
+//!
+//! Every component is a non-volatile cell that *stores* its value; the
+//! regeneration clock has three phases and a cell at level `ℓ` re-evaluates
+//! whenever the phase `ℓ mod 3` fires. A new input wave is injected every
+//! 3 phase steps, so `⌈d/3⌉` waves travel through a depth-`d` netlist
+//! simultaneously.
+//!
+//! On a **balanced** netlist (every edge spans one level) each cell reads
+//! fan-ins that were written exactly one phase earlier and remain stable
+//! for the next two phases — waves propagate coherently and the output
+//! stream equals the combinational function of the input stream. On an
+//! unbalanced netlist a cell reads data from the *wrong wave*; the
+//! simulator reproduces that corruption faithfully, which is how the
+//! tests demonstrate the necessity of buffer insertion.
+
+use crate::component::{Component, ComponentKind};
+use crate::netlist::Netlist;
+
+/// Result of a wave-pipelined simulation run.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct WaveRun {
+    /// One output vector per injected input wave, in injection order.
+    pub outputs: Vec<Vec<bool>>,
+    /// Netlist depth used for output sampling.
+    pub depth: u32,
+    /// Total phase steps simulated.
+    pub phase_steps: usize,
+}
+
+/// Three-phase wave-pipelined simulator.
+///
+/// # Examples
+///
+/// ```
+/// use wavepipe::{insert_buffers, Netlist, WaveSimulator};
+///
+/// let mut n = Netlist::new("maj");
+/// let a = n.add_input("a");
+/// let b = n.add_input("b");
+/// let c = n.add_input("c");
+/// let g = n.add_maj([a, b, c]);
+/// n.add_output("f", g);
+/// insert_buffers(&mut n);
+///
+/// let waves = vec![
+///     vec![true, true, false],
+///     vec![false, true, false],
+///     vec![true, false, true],
+/// ];
+/// let run = WaveSimulator::new(&n).run(&waves);
+/// assert_eq!(run.outputs[0], vec![true]);
+/// assert_eq!(run.outputs[1], vec![false]);
+/// assert_eq!(run.outputs[2], vec![true]);
+/// ```
+#[derive(Debug)]
+pub struct WaveSimulator<'n> {
+    netlist: &'n Netlist,
+    levels: Vec<u32>,
+}
+
+impl<'n> WaveSimulator<'n> {
+    /// Creates a simulator for `netlist` (levels are computed once).
+    pub fn new(netlist: &'n Netlist) -> WaveSimulator<'n> {
+        WaveSimulator {
+            netlist,
+            levels: netlist.levels(),
+        }
+    }
+
+    /// Streams `waves` through the netlist, injecting one input vector
+    /// every 3 phase steps, and samples one output vector per wave.
+    ///
+    /// All cells start at logic 0 (non-volatile cells power up with
+    /// whatever they last stored; 0 is the conventional reset). The
+    /// returned outputs are aligned with the injected waves: entry `w`
+    /// is sampled `depth` phase steps after wave `w` was injected.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any wave's width differs from the netlist input count,
+    /// or if the netlist's non-constant outputs sit at different levels
+    /// (wave sampling is only meaningful for aligned outputs — run
+    /// buffer insertion first; [`crate::verify_balance`] diagnoses this).
+    pub fn run(&self, waves: &[Vec<bool>]) -> WaveRun {
+        let n = self.netlist;
+        for w in waves {
+            assert_eq!(
+                w.len(),
+                n.inputs().len(),
+                "wave width must match input count"
+            );
+        }
+        let depth = self.common_output_level();
+
+        // Simulate until the last wave has fully drained.
+        let total_steps = 3 * waves.len().saturating_sub(1) + depth as usize + 1;
+        let mut state = vec![false; n.len()];
+        // Pre-load constant cells; they never change.
+        for id in n.ids() {
+            if let Component::Const { value } = n.component(id) {
+                state[id.index()] = *value;
+            }
+        }
+
+        let mut outputs: Vec<Vec<bool>> = Vec::with_capacity(waves.len());
+        for t in 0..total_steps {
+            let phase = (t % 3) as u32;
+            // Double-buffered update: same-phase cells are ≥ 3 levels
+            // apart in a balanced netlist, but unbalanced netlists can
+            // connect them — reading the old state models the physics
+            // (both cells latch simultaneously).
+            let mut next = state.clone();
+            for id in n.ids() {
+                if self.levels[id.index()] % 3 != phase {
+                    continue;
+                }
+                let v = match n.component(id) {
+                    Component::Input { position } => {
+                        // Inputs fire at phase 0 (level 0): inject the
+                        // next wave, or hold the last value when the
+                        // stream is exhausted.
+                        let wave_index = t / 3;
+                        match waves.get(wave_index) {
+                            Some(w) => w[*position as usize],
+                            None => state[id.index()],
+                        }
+                    }
+                    Component::Const { value } => *value,
+                    Component::Maj { fanins } => {
+                        fanins.iter().filter(|f| state[f.index()]).count() >= 2
+                    }
+                    Component::Inv { fanin } => !state[fanin.index()],
+                    Component::Buf { fanin } | Component::Fog { fanin } => state[fanin.index()],
+                };
+                next[id.index()] = v;
+            }
+            state = next;
+
+            // Sample outputs: wave w reaches level `depth` at step
+            // 3w + depth; sampling happens after that step's update.
+            let d = depth as usize;
+            if t >= d && (t - d) % 3 == 0 {
+                let wave_index = (t - d) / 3;
+                if wave_index < waves.len() {
+                    debug_assert_eq!(outputs.len(), wave_index);
+                    outputs.push(
+                        n.outputs()
+                            .iter()
+                            .map(|p| state[p.driver.index()])
+                            .collect(),
+                    );
+                }
+            }
+        }
+
+        WaveRun {
+            outputs,
+            depth,
+            phase_steps: total_steps,
+        }
+    }
+
+    /// Runs the wave simulation and compares each output wave against
+    /// the combinational golden model; returns the indices of corrupted
+    /// waves (empty = coherent streaming).
+    pub fn check_against_golden(&self, waves: &[Vec<bool>]) -> Vec<usize> {
+        let run = self.run(waves);
+        waves
+            .iter()
+            .enumerate()
+            .filter(|(i, w)| run.outputs[*i] != self.netlist.eval(w))
+            .map(|(i, _)| i)
+            .collect()
+    }
+
+    fn common_output_level(&self) -> u32 {
+        let n = self.netlist;
+        let mut level = None;
+        for p in n.outputs() {
+            if n.component(p.driver).kind() == ComponentKind::Const {
+                continue;
+            }
+            let l = self.levels[p.driver.index()];
+            match level {
+                None => level = Some(l),
+                Some(prev) => assert_eq!(
+                    prev, l,
+                    "outputs at different levels; balance the netlist before wave simulation"
+                ),
+            }
+        }
+        level.unwrap_or(0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::buffer_insertion::insert_buffers;
+    use crate::from_mig::netlist_from_mig;
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
+
+    fn random_waves(inputs: usize, count: usize, seed: u64) -> Vec<Vec<bool>> {
+        let mut rng = StdRng::seed_from_u64(seed);
+        (0..count)
+            .map(|_| (0..inputs).map(|_| rng.gen()).collect())
+            .collect()
+    }
+
+    /// Full adder, mapped and balanced.
+    fn balanced_adder() -> Netlist {
+        let mut g = mig::Mig::new();
+        let a = g.add_input("a");
+        let b = g.add_input("b");
+        let c = g.add_input("cin");
+        let (s, cy) = g.add_full_adder(a, b, c);
+        g.add_output("s", s);
+        g.add_output("cy", cy);
+        let mut n = netlist_from_mig(&g);
+        insert_buffers(&mut n);
+        n
+    }
+
+    #[test]
+    fn balanced_netlist_streams_coherently() {
+        let n = balanced_adder();
+        let sim = WaveSimulator::new(&n);
+        let waves = random_waves(3, 20, 7);
+        let corrupted = sim.check_against_golden(&waves);
+        assert!(corrupted.is_empty(), "corrupted waves: {corrupted:?}");
+    }
+
+    #[test]
+    fn single_wave_works() {
+        let n = balanced_adder();
+        let sim = WaveSimulator::new(&n);
+        let waves = vec![vec![true, true, true]];
+        let run = sim.run(&waves);
+        assert_eq!(run.outputs.len(), 1);
+        assert_eq!(run.outputs[0], n.eval(&waves[0]));
+    }
+
+    #[test]
+    fn empty_stream_is_fine() {
+        let n = balanced_adder();
+        let run = WaveSimulator::new(&n).run(&[]);
+        assert!(run.outputs.is_empty());
+    }
+
+    #[test]
+    fn unbalanced_netlist_corrupts_waves() {
+        // Non-volatile cells hold a value for a full 3-phase window, so
+        // small skews are absorbed; once a path-length spread reaches 3
+        // levels, a consumer reads the *next* wave through its short
+        // path. Here g4 (level 4) reads input `a` directly (gap 4): at
+        // the moment g4 computes wave w, `a` already stores wave w+1.
+        let mut n = Netlist::new("skew");
+        let a = n.add_input("a");
+        let b = n.add_input("b");
+        let c = n.add_input("c");
+        let g1 = n.add_maj([a, b, c]);
+        let g2 = n.add_maj([g1, b, c]);
+        let g3 = n.add_maj([g2, b, c]);
+        let g4 = n.add_maj([g3, a, a]); // = `a`, read through a gap-4 edge
+        n.add_output("f", g4);
+
+        let sim = WaveSimulator::new(&n);
+        // `a` alternates every wave, so a one-wave-late read always
+        // differs from the golden value.
+        let waves: Vec<Vec<bool>> = (0..16)
+            .map(|i| vec![i % 2 == 0, i % 2 == 1, i % 4 < 2])
+            .collect();
+        let corrupted = sim.check_against_golden(&waves);
+        assert!(
+            !corrupted.is_empty(),
+            "an unbalanced netlist must corrupt some wave"
+        );
+
+        // After balancing, the same stream is clean.
+        let mut balanced = n.clone();
+        insert_buffers(&mut balanced);
+        let clean = WaveSimulator::new(&balanced).check_against_golden(&waves);
+        assert!(clean.is_empty());
+    }
+
+    #[test]
+    fn small_skew_is_absorbed_by_the_phase_window() {
+        // A spread of 1 level does not corrupt under three-phase
+        // clocking (the stored value survives the window) — this is why
+        // the paper's constraint is "approximately the same delay"; the
+        // balancing still matters for spreads ≥ 3 and for output
+        // alignment.
+        let mut n = Netlist::new("mild");
+        let a = n.add_input("a");
+        let b = n.add_input("b");
+        let c = n.add_input("c");
+        let g1 = n.add_maj([a, b, c]);
+        let g2 = n.add_maj([g1, a, b]); // gap-2 edge from `a`
+        n.add_output("f", g2);
+        let waves: Vec<Vec<bool>> = (0..12)
+            .map(|i| vec![i % 2 == 0, i % 3 == 1, i % 4 < 2])
+            .collect();
+        let corrupted = WaveSimulator::new(&n).check_against_golden(&waves);
+        assert!(corrupted.is_empty());
+    }
+
+    #[test]
+    fn waves_in_flight_match_depth_over_three() {
+        // A deep buffered chain: depth 9 → 3 waves in flight.
+        let mut n = Netlist::new("deep");
+        let a = n.add_input("a");
+        let mut cur = a;
+        for _ in 0..9 {
+            cur = n.add_buf(cur);
+        }
+        n.add_output("f", cur);
+        let sim = WaveSimulator::new(&n);
+        let waves = random_waves(1, 10, 3);
+        let run = sim.run(&waves);
+        assert_eq!(run.depth, 9);
+        assert_eq!(run.outputs.len(), 10);
+        for (w, out) in waves.iter().zip(&run.outputs) {
+            assert_eq!(out, &vec![w[0]], "buffer chain is the identity");
+        }
+    }
+
+    #[test]
+    fn mapped_random_mig_streams_after_full_flow() {
+        let g = mig::random_mig(mig::RandomMigConfig {
+            inputs: 10,
+            outputs: 5,
+            gates: 200,
+            depth: 10,
+            seed: 5,
+        });
+        let mut n = netlist_from_mig(&g);
+        crate::fanout_restriction::restrict_fanout(&mut n, 3);
+        insert_buffers(&mut n);
+        let waves = random_waves(10, 30, 11);
+        let corrupted = WaveSimulator::new(&n).check_against_golden(&waves);
+        assert!(corrupted.is_empty(), "corrupted: {corrupted:?}");
+    }
+
+    #[test]
+    #[should_panic(expected = "balance the netlist")]
+    fn misaligned_outputs_panic() {
+        let mut n = Netlist::new("mis");
+        let a = n.add_input("a");
+        let buf = n.add_buf(a);
+        n.add_output("x", a);
+        n.add_output("y", buf);
+        let _ = WaveSimulator::new(&n).run(&[vec![true]]);
+    }
+}

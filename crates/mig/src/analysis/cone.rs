@@ -1,0 +1,260 @@
+//! Transitive fan-in cone and structural support analysis.
+//!
+//! Wave pipelining balances *all* input→output paths, so the buffer bill
+//! of an output depends on how wide and how skewed its cone is; this
+//! module exposes the per-output cone sizes and input supports that
+//! explain those costs (and that the benchmark reports print).
+
+use crate::graph::Mig;
+use crate::node::Node;
+use crate::signal::NodeId;
+
+/// A set of primary-input positions, packed as a bitset.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Support {
+    words: Vec<u64>,
+    inputs: usize,
+}
+
+impl Support {
+    fn empty(inputs: usize) -> Support {
+        Support {
+            words: vec![0; inputs.div_ceil(64)],
+            inputs,
+        }
+    }
+
+    fn insert(&mut self, position: usize) {
+        self.words[position / 64] |= 1 << (position % 64);
+    }
+
+    fn union_with(&mut self, other: &Support) {
+        for (a, b) in self.words.iter_mut().zip(&other.words) {
+            *a |= b;
+        }
+    }
+
+    /// Whether input `position` is in the support.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `position` is not a valid input position.
+    pub fn contains(&self, position: usize) -> bool {
+        assert!(position < self.inputs, "input position out of range");
+        self.words[position / 64] >> (position % 64) & 1 != 0
+    }
+
+    /// Number of inputs in the support.
+    pub fn len(&self) -> usize {
+        self.words.iter().map(|w| w.count_ones() as usize).sum()
+    }
+
+    /// `true` when the support is empty (constant cone).
+    pub fn is_empty(&self) -> bool {
+        self.words.iter().all(|&w| w == 0)
+    }
+
+    /// `true` when the two supports share no input.
+    pub fn is_disjoint(&self, other: &Support) -> bool {
+        self.words.iter().zip(&other.words).all(|(a, b)| a & b == 0)
+    }
+
+    /// Input positions in the support, ascending.
+    pub fn iter(&self) -> impl Iterator<Item = usize> + '_ {
+        (0..self.inputs).filter(move |&p| self.contains(p))
+    }
+}
+
+/// Per-node cone data for a whole graph.
+///
+/// # Examples
+///
+/// ```
+/// use mig::{ConeAnalysis, Mig};
+///
+/// let mut g = Mig::new();
+/// let a = g.add_input("a");
+/// let b = g.add_input("b");
+/// let c = g.add_input("c");
+/// let d = g.add_input("d");
+/// let m1 = g.add_maj(a, b, c);
+/// let m2 = g.add_and(c, d);
+/// g.add_output("f", m1);
+/// g.add_output("g", m2);
+///
+/// let cones = ConeAnalysis::new(&g);
+/// assert_eq!(cones.output_support(0).len(), 3); // {a, b, c}
+/// assert_eq!(cones.output_support(1).len(), 2); // {c, d}
+/// assert!(!cones.output_support(0).is_disjoint(cones.output_support(1)));
+/// ```
+#[derive(Clone, Debug)]
+pub struct ConeAnalysis {
+    supports: Vec<Support>,
+    cone_gates: Vec<u32>,
+    output_nodes: Vec<NodeId>,
+}
+
+impl ConeAnalysis {
+    /// Computes supports and cone sizes for every node of `graph`.
+    pub fn new(graph: &Mig) -> ConeAnalysis {
+        let n = graph.node_count();
+        let inputs = graph.input_count();
+        let mut supports: Vec<Support> = Vec::with_capacity(n);
+        // Cone gate sets would be quadratic to store; the gate *count*
+        // per node is computed exactly with a per-output DFS instead
+        // (cone counts are not additive over fan-ins due to sharing).
+        for id in graph.node_ids() {
+            let mut s = Support::empty(inputs);
+            match graph.node(id) {
+                Node::Constant => {}
+                Node::Input(pos) => s.insert(*pos as usize),
+                Node::Majority(fanins) => {
+                    for f in fanins {
+                        let fs = supports[f.node().index()].clone();
+                        s.union_with(&fs);
+                    }
+                }
+            }
+            supports.push(s);
+        }
+
+        // Exact cone gate counts per node via reverse reachability would
+        // also be quadratic; compute them only for output drivers (the
+        // quantity reports actually need).
+        let output_nodes: Vec<NodeId> = graph.outputs().iter().map(|o| o.signal.node()).collect();
+        let mut cone_gates = vec![0u32; graph.output_count()];
+        let mut mark = vec![u32::MAX; n];
+        for (oi, &root) in output_nodes.iter().enumerate() {
+            let mut count = 0u32;
+            let mut stack = vec![root];
+            while let Some(id) = stack.pop() {
+                if mark[id.index()] == oi as u32 {
+                    continue;
+                }
+                mark[id.index()] = oi as u32;
+                if graph.node(id).is_gate() {
+                    count += 1;
+                }
+                for f in graph.node(id).fanins() {
+                    if mark[f.node().index()] != oi as u32 {
+                        stack.push(f.node());
+                    }
+                }
+            }
+            cone_gates[oi] = count;
+        }
+
+        ConeAnalysis {
+            supports,
+            cone_gates,
+            output_nodes,
+        }
+    }
+
+    /// Structural support of `node` (over-approximates the functional
+    /// support: a variable may appear without affecting the function).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `node` is not part of the analyzed graph.
+    pub fn support(&self, node: NodeId) -> &Support {
+        &self.supports[node.index()]
+    }
+
+    /// Support of output `position` (by declaration order).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `position` is out of range.
+    pub fn output_support(&self, position: usize) -> &Support {
+        &self.supports[self.output_nodes[position].index()]
+    }
+
+    /// Number of majority gates in output `position`'s transitive
+    /// fan-in cone.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `position` is out of range.
+    pub fn output_cone_gates(&self, position: usize) -> u32 {
+        self.cone_gates[position]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn diamond() -> Mig {
+        // Shared middle gate feeding two outputs.
+        let mut g = Mig::new();
+        let a = g.add_input("a");
+        let b = g.add_input("b");
+        let c = g.add_input("c");
+        let d = g.add_input("d");
+        let mid = g.add_maj(a, b, c);
+        let f = g.add_maj(mid, a, d);
+        let h = g.add_maj(mid, b, !d);
+        g.add_output("f", f);
+        g.add_output("h", h);
+        g
+    }
+
+    #[test]
+    fn supports_are_exact_for_tree_cones() {
+        let g = diamond();
+        let cones = ConeAnalysis::new(&g);
+        let sf = cones.output_support(0);
+        assert_eq!(sf.len(), 4);
+        assert!(sf.contains(0) && sf.contains(3));
+        let ids: Vec<usize> = sf.iter().collect();
+        assert_eq!(ids, vec![0, 1, 2, 3]);
+    }
+
+    #[test]
+    fn cone_gate_counts_account_for_sharing() {
+        let g = diamond();
+        let cones = ConeAnalysis::new(&g);
+        // Each output cone: its own gate + shared mid = 2 gates.
+        assert_eq!(cones.output_cone_gates(0), 2);
+        assert_eq!(cones.output_cone_gates(1), 2);
+    }
+
+    #[test]
+    fn disjoint_supports_are_detected() {
+        let mut g = Mig::new();
+        let a = g.add_input("a");
+        let b = g.add_input("b");
+        let c = g.add_input("c");
+        let d = g.add_input("d");
+        let f = g.add_and(a, b);
+        let h = g.add_and(c, d);
+        g.add_output("f", f);
+        g.add_output("h", h);
+        let cones = ConeAnalysis::new(&g);
+        assert!(cones.output_support(0).is_disjoint(cones.output_support(1)));
+        assert!(!cones.output_support(0).is_empty());
+    }
+
+    #[test]
+    fn constant_output_has_empty_support() {
+        let mut g = Mig::new();
+        let _ = g.add_input("a");
+        g.add_output("k", crate::Signal::ONE);
+        let cones = ConeAnalysis::new(&g);
+        assert!(cones.output_support(0).is_empty());
+        assert_eq!(cones.output_cone_gates(0), 0);
+        assert_eq!(cones.output_support(0).len(), 0);
+    }
+
+    #[test]
+    fn wide_graph_supports_span_words() {
+        let mut g = Mig::new();
+        let ins = g.add_inputs("x", 100);
+        let f = g.add_and_n(&ins);
+        g.add_output("f", f);
+        let cones = ConeAnalysis::new(&g);
+        assert_eq!(cones.output_support(0).len(), 100);
+        assert!(cones.output_support(0).contains(99));
+    }
+}

@@ -1,0 +1,10 @@
+//! Structural analyses over MIGs: path-length statistics and summary
+//! metrics used by the wave-pipelining flow and the benchmark reports.
+
+mod cone;
+mod paths;
+mod stats;
+
+pub use cone::{ConeAnalysis, Support};
+pub use paths::{BaseDistance, PathAnalysis};
+pub use stats::{FanoutHistogram, GraphStats};

@@ -1,0 +1,205 @@
+//! Path-length analysis following the paper's definitions (§III):
+//!
+//! * **Distance** `D(u, v)` — the set of lengths of all paths from `u`
+//!   to `v`; the algorithms only ever need its minimum and maximum.
+//! * **Base distance** `BD(v)` — the set of lengths of all paths from
+//!   any primary input to `v`; `max BD(v)` is the *depth* of `v`.
+//! * **Exclusive base distance** `xBD(v)` — `BD(v)` excluding `v`
+//!   itself, i.e. one level lower than the depth.
+//!
+//! A netlist is *path balanced* (wave-pipelinable) exactly when for every
+//! node `min BD = max BD` and all primary outputs share one base
+//! distance.
+
+use crate::graph::Mig;
+use crate::node::Node;
+use crate::signal::NodeId;
+
+/// Minimum and maximum base distance of one node.
+///
+/// Edges count one unit each; inputs and constants have base distance 0.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct BaseDistance {
+    /// Shortest input→node path length.
+    pub min: u32,
+    /// Longest input→node path length (= the node's depth / level).
+    pub max: u32,
+}
+
+impl BaseDistance {
+    /// `true` when every input→node path has the same length.
+    pub fn is_tight(&self) -> bool {
+        self.min == self.max
+    }
+
+    /// Maximum exclusive base distance (`max xBD`), one level below the
+    /// node's depth. Zero for inputs and constants.
+    pub fn max_exclusive(&self) -> u32 {
+        self.max.saturating_sub(1)
+    }
+}
+
+/// Precomputed base distances for every node of a graph.
+///
+/// # Examples
+///
+/// ```
+/// use mig::{Mig, PathAnalysis};
+///
+/// let mut g = Mig::new();
+/// let a = g.add_input("a");
+/// let b = g.add_input("b");
+/// let c = g.add_input("c");
+/// let m1 = g.add_maj(a, b, c);
+/// let m2 = g.add_maj(m1, a, b); // a path of length 1 and one of length 2
+/// g.add_output("f", m2);
+///
+/// let pa = PathAnalysis::new(&g);
+/// assert!(!pa.base_distance(m2.node()).is_tight());
+/// assert!(!pa.is_balanced(&g));
+/// ```
+#[derive(Clone, Debug)]
+pub struct PathAnalysis {
+    distances: Vec<BaseDistance>,
+}
+
+impl PathAnalysis {
+    /// Computes base distances for every node of `graph`.
+    pub fn new(graph: &Mig) -> PathAnalysis {
+        let mut distances = vec![BaseDistance { min: 0, max: 0 }; graph.node_count()];
+        for id in graph.node_ids() {
+            if let Node::Majority(fanins) = graph.node(id) {
+                let mut min = u32::MAX;
+                let mut max = 0;
+                for s in fanins {
+                    let d = distances[s.node().index()];
+                    min = min.min(d.min);
+                    max = max.max(d.max);
+                }
+                distances[id.index()] = BaseDistance {
+                    min: min + 1,
+                    max: max + 1,
+                };
+            }
+        }
+        PathAnalysis { distances }
+    }
+
+    /// Base distance of `node`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `node` is not part of the analyzed graph.
+    pub fn base_distance(&self, node: NodeId) -> BaseDistance {
+        self.distances[node.index()]
+    }
+
+    /// `true` when the graph satisfies both balancing objectives of the
+    /// paper: every node's base-distance set is a single value, and all
+    /// primary outputs are at the same base distance.
+    ///
+    /// Constant-driven outputs are ignored (a constant wave carries no
+    /// timing), matching the buffer-insertion algorithm's treatment.
+    pub fn is_balanced(&self, graph: &Mig) -> bool {
+        for id in graph.node_ids() {
+            if graph.node(id).is_gate() && !self.distances[id.index()].is_tight() {
+                return false;
+            }
+        }
+        let mut output_bd = None;
+        for o in graph.outputs() {
+            if o.signal.is_const() {
+                continue;
+            }
+            let bd = self.distances[o.signal.node().index()];
+            if !bd.is_tight() {
+                return false;
+            }
+            match output_bd {
+                None => output_bd = Some(bd.max),
+                Some(prev) if prev != bd.max => return false,
+                Some(_) => {}
+            }
+        }
+        true
+    }
+
+    /// The largest spread (`max − min`) of any node's base distance — a
+    /// measure of how unbalanced the graph is (0 means balanced paths,
+    /// though outputs may still sit at different depths).
+    pub fn max_spread(&self) -> u32 {
+        self.distances
+            .iter()
+            .map(|d| d.max - d.min)
+            .max()
+            .unwrap_or(0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn inputs_have_zero_distance() {
+        let mut g = Mig::new();
+        let a = g.add_input("a");
+        let pa = PathAnalysis::new(&g);
+        assert_eq!(pa.base_distance(a.node()), BaseDistance { min: 0, max: 0 });
+        assert!(pa.base_distance(a.node()).is_tight());
+        assert_eq!(pa.base_distance(a.node()).max_exclusive(), 0);
+    }
+
+    #[test]
+    fn chain_is_tight() {
+        let mut g = Mig::new();
+        let a = g.add_input("a");
+        let b = g.add_input("b");
+        let c = g.add_input("c");
+        let m1 = g.add_maj(a, b, c);
+        let m2 = g.add_maj(m1, !m1, c); // folded away: equals c
+        assert_eq!(m2, c);
+        let m3 = g.add_maj(m1, a, !b);
+        g.add_output("f", m3);
+        let pa = PathAnalysis::new(&g);
+        let d = pa.base_distance(m3.node());
+        // m3 sees m1 (depth 1) and inputs (depth 0): spread.
+        assert_eq!(d, BaseDistance { min: 1, max: 2 });
+        assert!(!d.is_tight());
+        assert_eq!(d.max_exclusive(), 1);
+        assert_eq!(pa.max_spread(), 1);
+    }
+
+    #[test]
+    fn balanced_detection_requires_equal_output_depths() {
+        let mut g = Mig::new();
+        let a = g.add_input("a");
+        let b = g.add_input("b");
+        let c = g.add_input("c");
+        let m1 = g.add_maj(a, b, c);
+        let m2 = g.add_maj(a, !b, c);
+        g.add_output("f", m1);
+        g.add_output("g", m2);
+        let pa = PathAnalysis::new(&g);
+        assert!(pa.is_balanced(&g), "two depth-1 outputs are balanced");
+
+        let mut g2 = g.clone();
+        let m3 = g2.add_maj(m1, m2, c);
+        g2.add_output("h", m3);
+        let pa2 = PathAnalysis::new(&g2);
+        assert!(!pa2.is_balanced(&g2), "outputs at depth 1 and 2 are not");
+    }
+
+    #[test]
+    fn constant_outputs_do_not_break_balance() {
+        let mut g = Mig::new();
+        let a = g.add_input("a");
+        let b = g.add_input("b");
+        let c = g.add_input("c");
+        let m = g.add_maj(a, b, c);
+        g.add_output("f", m);
+        g.add_output("k", crate::Signal::ONE);
+        let pa = PathAnalysis::new(&g);
+        assert!(pa.is_balanced(&g));
+    }
+}

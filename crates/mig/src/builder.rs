@@ -1,0 +1,294 @@
+//! Derived logic operators built on top of the majority primitive.
+//!
+//! AND and OR are majority gates with a constant fan-in
+//! (`x∧y = ⟨x y 0⟩`, `x∨y = ⟨x y 1⟩`), which is exactly why AND/OR/INV
+//! graphs are a special case of MIGs (paper §II-A). Everything here
+//! reduces to [`Mig::add_maj`] and therefore inherits constant folding
+//! and structural hashing.
+
+use crate::graph::Mig;
+use crate::signal::Signal;
+
+impl Mig {
+    /// Two-input AND: `⟨x y 0⟩`.
+    pub fn add_and(&mut self, x: Signal, y: Signal) -> Signal {
+        self.add_maj(x, y, Signal::ZERO)
+    }
+
+    /// Two-input OR: `⟨x y 1⟩`.
+    pub fn add_or(&mut self, x: Signal, y: Signal) -> Signal {
+        self.add_maj(x, y, Signal::ONE)
+    }
+
+    /// Two-input NAND.
+    pub fn add_nand(&mut self, x: Signal, y: Signal) -> Signal {
+        !self.add_and(x, y)
+    }
+
+    /// Two-input NOR.
+    pub fn add_nor(&mut self, x: Signal, y: Signal) -> Signal {
+        !self.add_or(x, y)
+    }
+
+    /// Two-input XOR, three majority gates:
+    /// `x⊕y = ⟨⟨x y 1⟩ ¬⟨x y 0⟩ 0⟩`.
+    pub fn add_xor(&mut self, x: Signal, y: Signal) -> Signal {
+        let or = self.add_or(x, y);
+        let and = self.add_and(x, y);
+        self.add_and(or, !and)
+    }
+
+    /// Two-input XNOR.
+    pub fn add_xnor(&mut self, x: Signal, y: Signal) -> Signal {
+        !self.add_xor(x, y)
+    }
+
+    /// Implication `x → y`.
+    pub fn add_implies(&mut self, x: Signal, y: Signal) -> Signal {
+        self.add_or(!x, y)
+    }
+
+    /// 2:1 multiplexer `sel ? then_s : else_s`.
+    pub fn add_mux(&mut self, sel: Signal, then_s: Signal, else_s: Signal) -> Signal {
+        let a = self.add_and(sel, then_s);
+        let b = self.add_and(!sel, else_s);
+        self.add_or(a, b)
+    }
+
+    /// Full adder: returns `(sum, carry)` for `x + y + cin`.
+    ///
+    /// The carry *is* a majority gate (`⟨x y cin⟩`); the sum takes two
+    /// more: `sum = ⟨¬carry ⟨x y ¬cin⟩ cin⟩` — three gates total, the
+    /// canonical MIG full adder.
+    pub fn add_full_adder(&mut self, x: Signal, y: Signal, cin: Signal) -> (Signal, Signal) {
+        let carry = self.add_maj(x, y, cin);
+        let inner = self.add_maj(x, y, !cin);
+        let sum = self.add_maj(!carry, inner, cin);
+        (sum, carry)
+    }
+
+    /// Half adder: returns `(sum, carry)` for `x + y`.
+    pub fn add_half_adder(&mut self, x: Signal, y: Signal) -> (Signal, Signal) {
+        let carry = self.add_and(x, y);
+        let sum = self.add_xor(x, y);
+        (sum, carry)
+    }
+
+    /// Three-input XOR (the full-adder sum), three majority gates.
+    pub fn add_xor3(&mut self, x: Signal, y: Signal, z: Signal) -> Signal {
+        self.add_full_adder(x, y, z).0
+    }
+
+    /// Balanced AND over any number of signals.
+    ///
+    /// Returns constant one for an empty input (the identity of AND).
+    pub fn add_and_n(&mut self, signals: &[Signal]) -> Signal {
+        self.reduce_balanced(signals, Signal::ONE, Mig::add_and)
+    }
+
+    /// Balanced OR over any number of signals.
+    ///
+    /// Returns constant zero for an empty input.
+    pub fn add_or_n(&mut self, signals: &[Signal]) -> Signal {
+        self.reduce_balanced(signals, Signal::ZERO, Mig::add_or)
+    }
+
+    /// Balanced XOR (parity) over any number of signals.
+    ///
+    /// Returns constant zero for an empty input.
+    pub fn add_xor_n(&mut self, signals: &[Signal]) -> Signal {
+        self.reduce_balanced(signals, Signal::ZERO, Mig::add_xor)
+    }
+
+    fn reduce_balanced(
+        &mut self,
+        signals: &[Signal],
+        empty: Signal,
+        mut op: impl FnMut(&mut Mig, Signal, Signal) -> Signal,
+    ) -> Signal {
+        match signals {
+            [] => empty,
+            [s] => *s,
+            _ => {
+                let mut layer = signals.to_vec();
+                while layer.len() > 1 {
+                    let mut next = Vec::with_capacity(layer.len().div_ceil(2));
+                    for pair in layer.chunks(2) {
+                        next.push(match pair {
+                            [x, y] => op(self, *x, *y),
+                            [x] => *x,
+                            _ => unreachable!(),
+                        });
+                    }
+                    layer = next;
+                }
+                layer[0]
+            }
+        }
+    }
+
+    /// One-hot decoder tree selecting among `2^sel.len()` outputs.
+    ///
+    /// Output `i` is high iff the selector lines (LSB first) encode `i`.
+    pub fn add_decoder(&mut self, sel: &[Signal]) -> Vec<Signal> {
+        let mut terms = vec![Signal::ONE];
+        for &s in sel {
+            let mut next = Vec::with_capacity(terms.len() * 2);
+            for &t in &terms {
+                next.push(self.add_and(t, !s));
+            }
+            for &t in &terms {
+                next.push(self.add_and(t, s));
+            }
+            terms = next;
+        }
+        terms
+    }
+
+    /// Wide multiplexer: selects `inputs[i]` where `i` is encoded by
+    /// `sel` (LSB first).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `inputs.len() != 1 << sel.len()`.
+    pub fn add_mux_n(&mut self, sel: &[Signal], inputs: &[Signal]) -> Signal {
+        assert_eq!(
+            inputs.len(),
+            1usize << sel.len(),
+            "mux input count must be 2^selector-width"
+        );
+        let mut layer = inputs.to_vec();
+        for &s in sel {
+            let mut next = Vec::with_capacity(layer.len() / 2);
+            for pair in layer.chunks(2) {
+                next.push(self.add_mux(s, pair[1], pair[0]));
+            }
+            layer = next;
+        }
+        layer[0]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::simulate::Simulator;
+
+    /// Exhaustively checks `f` (on `n` inputs) against `expect`.
+    fn check(n: usize, build: impl FnOnce(&mut Mig, &[Signal]) -> Signal, expect: impl Fn(u32) -> bool) {
+        let mut g = Mig::new();
+        let ins = g.add_inputs("x", n);
+        let f = build(&mut g, &ins);
+        g.add_output("f", f);
+        let sim = Simulator::new(&g);
+        for pattern in 0..1u32 << n {
+            let bits: Vec<bool> = (0..n).map(|i| pattern >> i & 1 != 0).collect();
+            let out = sim.eval(&bits);
+            assert_eq!(out[0], expect(pattern), "pattern {pattern:0width$b}", width = n);
+        }
+    }
+
+    #[test]
+    fn and_or_xor_truth_tables() {
+        check(2, |g, x| g.add_and(x[0], x[1]), |p| p == 3);
+        check(2, |g, x| g.add_or(x[0], x[1]), |p| p != 0);
+        check(2, |g, x| g.add_xor(x[0], x[1]), |p| p == 1 || p == 2);
+        check(2, |g, x| g.add_nand(x[0], x[1]), |p| p != 3);
+        check(2, |g, x| g.add_nor(x[0], x[1]), |p| p == 0);
+        check(2, |g, x| g.add_xnor(x[0], x[1]), |p| p == 0 || p == 3);
+        check(2, |g, x| g.add_implies(x[0], x[1]), |p| p & 1 == 0 || p & 2 != 0);
+    }
+
+    #[test]
+    fn mux_selects() {
+        check(3, |g, x| g.add_mux(x[0], x[1], x[2]), |p| {
+            let (s, t, e) = (p & 1 != 0, p & 2 != 0, p & 4 != 0);
+            if s {
+                t
+            } else {
+                e
+            }
+        });
+    }
+
+    #[test]
+    fn full_adder_is_correct() {
+        for bit in 0..2 {
+            check(
+                3,
+                |g, x| {
+                    let (s, c) = g.add_full_adder(x[0], x[1], x[2]);
+                    if bit == 0 {
+                        s
+                    } else {
+                        c
+                    }
+                },
+                |p| {
+                    let total = (p & 1) + (p >> 1 & 1) + (p >> 2 & 1);
+                    total >> bit & 1 != 0
+                },
+            );
+        }
+    }
+
+    #[test]
+    fn full_adder_costs_three_gates() {
+        let mut g = Mig::new();
+        let ins = g.add_inputs("x", 3);
+        let _ = g.add_full_adder(ins[0], ins[1], ins[2]);
+        assert_eq!(g.gate_count(), 3);
+    }
+
+    #[test]
+    fn nary_reductions() {
+        check(5, |g, x| g.add_and_n(x), |p| p == 31);
+        check(5, |g, x| g.add_or_n(x), |p| p != 0);
+        check(5, |g, x| g.add_xor_n(x), |p| p.count_ones() % 2 == 1);
+    }
+
+    #[test]
+    fn nary_edge_cases() {
+        let mut g = Mig::new();
+        let a = g.add_input("a");
+        assert_eq!(g.add_and_n(&[]), Signal::ONE);
+        assert_eq!(g.add_or_n(&[]), Signal::ZERO);
+        assert_eq!(g.add_xor_n(&[]), Signal::ZERO);
+        assert_eq!(g.add_and_n(&[a]), a);
+        assert_eq!(g.gate_count(), 0);
+    }
+
+    #[test]
+    fn decoder_is_one_hot() {
+        let mut g = Mig::new();
+        let sel = g.add_inputs("s", 3);
+        let outs = g.add_decoder(&sel);
+        assert_eq!(outs.len(), 8);
+        for (i, &o) in outs.iter().enumerate() {
+            g.add_output(format!("d{i}"), o);
+        }
+        let sim = Simulator::new(&g);
+        for pattern in 0..8u32 {
+            let bits: Vec<bool> = (0..3).map(|i| pattern >> i & 1 != 0).collect();
+            let out = sim.eval(&bits);
+            for (i, &bit) in out.iter().enumerate() {
+                assert_eq!(bit, i as u32 == pattern);
+            }
+        }
+    }
+
+    #[test]
+    fn wide_mux_selects_indexed_input() {
+        let mut g = Mig::new();
+        let sel = g.add_inputs("s", 2);
+        let data = g.add_inputs("d", 4);
+        let f = g.add_mux_n(&sel, &data);
+        g.add_output("f", f);
+        let sim = Simulator::new(&g);
+        for pattern in 0..1u32 << 6 {
+            let bits: Vec<bool> = (0..6).map(|i| pattern >> i & 1 != 0).collect();
+            let idx = (pattern & 3) as usize;
+            assert_eq!(sim.eval(&bits)[0], bits[2 + idx]);
+        }
+    }
+}

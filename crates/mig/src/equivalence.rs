@@ -1,0 +1,284 @@
+//! Combinational equivalence checking between two MIGs.
+//!
+//! Small graphs (≤ 20 inputs) are compared exhaustively via
+//! [`TruthTable`]; larger graphs fall back to seeded random bit-parallel
+//! simulation, which is the standard pragmatic check for synthesis
+//! transforms that are correct by construction (the transforms in this
+//! workspace additionally carry structural proofs/tests of their own).
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use crate::graph::Mig;
+use crate::simulate::Simulator;
+use crate::truth_table::TruthTable;
+
+/// Outcome of an equivalence check.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum Equivalence {
+    /// Functions proven identical on all input patterns.
+    Equal,
+    /// Functions identical on every simulated random pattern (not a
+    /// proof).
+    ProbablyEqual {
+        /// Number of 64-pattern simulation rounds that were run.
+        rounds: usize,
+    },
+    /// A distinguishing input pattern was found for the named output.
+    NotEqual {
+        /// Name of the first mismatching output.
+        output: String,
+        /// Input assignment (one bool per input, declaration order).
+        pattern: Vec<bool>,
+    },
+}
+
+impl Equivalence {
+    /// `true` unless a counterexample was found.
+    pub fn holds(&self) -> bool {
+        !matches!(self, Equivalence::NotEqual { .. })
+    }
+}
+
+/// Errors raised when two graphs cannot even be compared.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum CheckError {
+    /// Input counts differ.
+    InputCountMismatch {
+        /// Inputs of the left graph.
+        left: usize,
+        /// Inputs of the right graph.
+        right: usize,
+    },
+    /// Output counts differ.
+    OutputCountMismatch {
+        /// Outputs of the left graph.
+        left: usize,
+        /// Outputs of the right graph.
+        right: usize,
+    },
+}
+
+impl std::fmt::Display for CheckError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            CheckError::InputCountMismatch { left, right } => {
+                write!(f, "input count mismatch: {left} vs {right}")
+            }
+            CheckError::OutputCountMismatch { left, right } => {
+                write!(f, "output count mismatch: {left} vs {right}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for CheckError {}
+
+/// Default number of 64-pattern random rounds for large graphs.
+pub const DEFAULT_RANDOM_ROUNDS: usize = 256;
+
+/// Checks combinational equivalence of `left` and `right`.
+///
+/// Outputs are matched by position, not by name. Graphs with at most
+/// [`TruthTable::MAX_INPUTS`] inputs are checked exhaustively; larger
+/// graphs are checked with [`DEFAULT_RANDOM_ROUNDS`] rounds of seeded
+/// random simulation (64 patterns per round).
+///
+/// # Errors
+///
+/// Returns [`CheckError`] if the interfaces (input/output counts) differ.
+///
+/// # Examples
+///
+/// ```
+/// use mig::{check_equivalence, Equivalence, Mig};
+///
+/// # fn main() -> Result<(), mig::CheckError> {
+/// let mut g1 = Mig::new();
+/// let a = g1.add_input("a");
+/// let b = g1.add_input("b");
+/// let f = g1.add_and(a, b);
+/// g1.add_output("f", f);
+///
+/// // De Morgan variant of the same function.
+/// let mut g2 = Mig::new();
+/// let a = g2.add_input("a");
+/// let b = g2.add_input("b");
+/// let f = g2.add_or(!a, !b);
+/// g2.add_output("f", !f);
+///
+/// assert_eq!(check_equivalence(&g1, &g2)?, Equivalence::Equal);
+/// # Ok(())
+/// # }
+/// ```
+pub fn check_equivalence(left: &Mig, right: &Mig) -> Result<Equivalence, CheckError> {
+    check_equivalence_seeded(left, right, 0xDA7E_2017)
+}
+
+/// [`check_equivalence`] with an explicit random seed for the fallback
+/// simulation path.
+///
+/// # Errors
+///
+/// Returns [`CheckError`] if the interfaces (input/output counts) differ.
+pub fn check_equivalence_seeded(
+    left: &Mig,
+    right: &Mig,
+    seed: u64,
+) -> Result<Equivalence, CheckError> {
+    if left.input_count() != right.input_count() {
+        return Err(CheckError::InputCountMismatch {
+            left: left.input_count(),
+            right: right.input_count(),
+        });
+    }
+    if left.output_count() != right.output_count() {
+        return Err(CheckError::OutputCountMismatch {
+            left: left.output_count(),
+            right: right.output_count(),
+        });
+    }
+
+    let n = left.input_count();
+    if n <= TruthTable::MAX_INPUTS && n <= 14 {
+        // Exhaustive proof for small graphs.
+        let lt = TruthTable::of_graph(left);
+        let rt = TruthTable::of_graph(right);
+        for (o, (a, b)) in lt.iter().zip(&rt).enumerate() {
+            if a != b {
+                let p = (0..a.pattern_count())
+                    .find(|&p| a.bit(p) != b.bit(p))
+                    .expect("tables differ");
+                return Ok(Equivalence::NotEqual {
+                    output: left.outputs()[o].name.clone(),
+                    pattern: (0..n).map(|i| p >> i & 1 != 0).collect(),
+                });
+            }
+        }
+        return Ok(Equivalence::Equal);
+    }
+
+    // Random bit-parallel simulation for large graphs.
+    let lsim = Simulator::new(left);
+    let rsim = Simulator::new(right);
+    let mut rng = StdRng::seed_from_u64(seed);
+    for _ in 0..DEFAULT_RANDOM_ROUNDS {
+        let inputs: Vec<u64> = (0..n).map(|_| rng.gen()).collect();
+        let lo = lsim.eval_words(&inputs);
+        let ro = rsim.eval_words(&inputs);
+        for (o, (a, b)) in lo.iter().zip(&ro).enumerate() {
+            if a != b {
+                let bit = (a ^ b).trailing_zeros() as usize;
+                return Ok(Equivalence::NotEqual {
+                    output: left.outputs()[o].name.clone(),
+                    pattern: inputs.iter().map(|w| w >> bit & 1 != 0).collect(),
+                });
+            }
+        }
+    }
+    Ok(Equivalence::ProbablyEqual {
+        rounds: DEFAULT_RANDOM_ROUNDS,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn adder_graph(swap: bool) -> Mig {
+        let mut g = Mig::new();
+        let a = g.add_input("a");
+        let b = g.add_input("b");
+        let c = g.add_input("c");
+        let (s, cy) = if swap {
+            g.add_full_adder(c, a, b)
+        } else {
+            g.add_full_adder(a, b, c)
+        };
+        g.add_output("s", s);
+        g.add_output("cy", cy);
+        g
+    }
+
+    #[test]
+    fn commuted_adders_are_equal() {
+        let r = check_equivalence(&adder_graph(false), &adder_graph(true)).unwrap();
+        assert_eq!(r, Equivalence::Equal);
+        assert!(r.holds());
+    }
+
+    #[test]
+    fn different_functions_yield_counterexample() {
+        let mut g1 = Mig::new();
+        let a = g1.add_input("a");
+        let b = g1.add_input("b");
+        let f = g1.add_and(a, b);
+        g1.add_output("f", f);
+
+        let mut g2 = Mig::new();
+        let a = g2.add_input("a");
+        let b = g2.add_input("b");
+        let f = g2.add_or(a, b);
+        g2.add_output("f", f);
+
+        match check_equivalence(&g1, &g2).unwrap() {
+            Equivalence::NotEqual { output, pattern } => {
+                assert_eq!(output, "f");
+                // The counterexample must actually distinguish AND from OR.
+                let ones = pattern.iter().filter(|&&b| b).count();
+                assert_eq!(ones, 1, "AND and OR differ exactly on one-hot patterns");
+            }
+            other => panic!("expected NotEqual, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn interface_mismatch_is_an_error() {
+        let mut g1 = Mig::new();
+        g1.add_input("a");
+        let mut g2 = Mig::new();
+        g2.add_input("a");
+        g2.add_input("b");
+        assert!(matches!(
+            check_equivalence(&g1, &g2),
+            Err(CheckError::InputCountMismatch { left: 1, right: 2 })
+        ));
+    }
+
+    #[test]
+    fn large_graphs_use_random_simulation() {
+        // 40-input parity vs the same parity with reordered reduction.
+        let build = |chunked: bool| {
+            let mut g = Mig::new();
+            let ins = g.add_inputs("x", 40);
+            let p = if chunked {
+                let front = g.add_xor_n(&ins[..20]);
+                let back = g.add_xor_n(&ins[20..]);
+                g.add_xor(front, back)
+            } else {
+                g.add_xor_n(&ins)
+            };
+            g.add_output("p", p);
+            g
+        };
+        let r = check_equivalence(&build(false), &build(true)).unwrap();
+        assert!(matches!(r, Equivalence::ProbablyEqual { .. }));
+        assert!(r.holds());
+    }
+
+    #[test]
+    fn large_graph_counterexample_is_found() {
+        let build = |broken: bool| {
+            let mut g = Mig::new();
+            let ins = g.add_inputs("x", 30);
+            let mut p = g.add_xor_n(&ins);
+            if broken {
+                p = !p;
+            }
+            g.add_output("p", p);
+            g
+        };
+        let r = check_equivalence(&build(false), &build(true)).unwrap();
+        assert!(!r.holds());
+    }
+}

@@ -1,0 +1,135 @@
+//! Graphviz DOT export for visual inspection of small MIGs.
+
+use crate::graph::Mig;
+use crate::node::Node;
+
+/// Renders `graph` as a Graphviz `digraph`.
+///
+/// Majority gates are ellipses, inputs are boxes, outputs are double
+/// octagons; complemented edges are drawn dashed with an odot arrowhead
+/// (the usual MIG/AIG convention).
+///
+/// # Examples
+///
+/// ```
+/// use mig::{to_dot, Mig};
+///
+/// let mut g = Mig::new();
+/// let a = g.add_input("a");
+/// let b = g.add_input("b");
+/// let f = g.add_and(a, b);
+/// g.add_output("f", f);
+/// let dot = to_dot(&g);
+/// assert!(dot.contains("digraph"));
+/// assert!(dot.contains("MAJ"));
+/// ```
+pub fn to_dot(graph: &Mig) -> String {
+    let mut out = String::new();
+    out.push_str(&format!("digraph \"{}\" {{\n", graph.name()));
+    out.push_str("  rankdir=BT;\n");
+    out.push_str("  node [fontname=\"Helvetica\"];\n");
+
+    let mut const_used = false;
+    for id in graph.node_ids() {
+        if let Node::Majority(f) = graph.node(id) {
+            const_used |= f.iter().any(|s| s.is_const());
+        }
+    }
+    const_used |= graph.outputs().iter().any(|o| o.signal.is_const());
+    if const_used {
+        out.push_str("  n0 [label=\"0\", shape=plaintext];\n");
+    }
+
+    for id in graph.node_ids() {
+        match graph.node(id) {
+            Node::Constant => {}
+            Node::Input(pos) => {
+                out.push_str(&format!(
+                    "  n{} [label=\"{}\", shape=box];\n",
+                    id.index(),
+                    graph.input_name(*pos as usize)
+                ));
+            }
+            Node::Majority(f) => {
+                out.push_str(&format!(
+                    "  n{} [label=\"MAJ\", shape=ellipse];\n",
+                    id.index()
+                ));
+                for s in f {
+                    let style = if s.is_complement() {
+                        " [style=dashed, arrowhead=odot]"
+                    } else {
+                        ""
+                    };
+                    out.push_str(&format!(
+                        "  n{} -> n{}{};\n",
+                        s.node().index(),
+                        id.index(),
+                        style
+                    ));
+                }
+            }
+        }
+    }
+
+    for (i, o) in graph.outputs().iter().enumerate() {
+        out.push_str(&format!(
+            "  po{} [label=\"{}\", shape=doubleoctagon];\n",
+            i, o.name
+        ));
+        let style = if o.signal.is_complement() {
+            " [style=dashed, arrowhead=odot]"
+        } else {
+            ""
+        };
+        out.push_str(&format!(
+            "  n{} -> po{}{};\n",
+            o.signal.node().index(),
+            i,
+            style
+        ));
+    }
+    out.push_str("}\n");
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn dot_contains_all_elements() {
+        let mut g = Mig::with_name("viz");
+        let a = g.add_input("a");
+        let b = g.add_input("b");
+        let c = g.add_input("c");
+        let m = g.add_maj(a, !b, c);
+        g.add_output("f", !m);
+
+        let dot = to_dot(&g);
+        assert!(dot.starts_with("digraph \"viz\""));
+        assert!(dot.contains("shape=box"), "inputs rendered");
+        assert!(dot.contains("MAJ"), "gates rendered");
+        assert!(dot.contains("doubleoctagon"), "outputs rendered");
+        assert!(dot.contains("arrowhead=odot"), "complement edges marked");
+        assert!(dot.ends_with("}\n"));
+    }
+
+    #[test]
+    fn constant_node_only_when_used() {
+        let mut g = Mig::new();
+        let a = g.add_input("a");
+        let b = g.add_input("b");
+        let m = g.add_maj(a, b, crate::Signal::ZERO);
+        g.add_output("f", m);
+        assert!(to_dot(&g).contains("n0 [label=\"0\""));
+
+        let mut h = Mig::new();
+        let a = h.add_input("a");
+        let b = h.add_input("b");
+        let c = h.add_input("c");
+        let m = h.add_maj(a, b, c);
+        h.add_output("f", m);
+        assert!(!to_dot(&h).contains("n0 [label=\"0\""));
+    }
+}

@@ -1,0 +1,10 @@
+//! Interchange formats: a textual `.mig` netlist format (read/write),
+//! Graphviz DOT export and structural Verilog export.
+
+mod dot;
+mod text;
+mod verilog;
+
+pub use dot::to_dot;
+pub use text::{parse_mig, write_mig, ParseMigError};
+pub use verilog::to_verilog;

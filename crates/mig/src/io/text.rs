@@ -1,0 +1,336 @@
+//! The textual `.mig` netlist format.
+//!
+//! A small, line-oriented format in the spirit of BLIF:
+//!
+//! ```text
+//! # comment
+//! .model adder
+//! .inputs a b cin
+//! .outputs sum cout
+//! n1 = MAJ(a, b, cin)
+//! n2 = MAJ(a, b, !cin)
+//! n3 = MAJ(!n1, n2, cin)
+//! sum = n3
+//! cout = n1
+//! ```
+//!
+//! Identifiers match `[A-Za-z_][A-Za-z0-9_.\[\]]*`; `0` and `1` denote
+//! constants; `!` prefixes complement an operand. Every gate must be
+//! defined before use (topological order), and output lines bind a
+//! declared output name to a signal.
+
+use std::collections::HashMap;
+use std::fmt;
+
+use crate::graph::Mig;
+use crate::node::Node;
+use crate::signal::Signal;
+
+/// Errors produced by [`parse_mig`].
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct ParseMigError {
+    /// 1-based line number of the offending line.
+    pub line: usize,
+    /// Human-readable description.
+    pub message: String,
+}
+
+impl fmt::Display for ParseMigError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "line {}: {}", self.line, self.message)
+    }
+}
+
+impl std::error::Error for ParseMigError {}
+
+fn err(line: usize, message: impl Into<String>) -> ParseMigError {
+    ParseMigError {
+        line,
+        message: message.into(),
+    }
+}
+
+fn is_ident(s: &str) -> bool {
+    let mut chars = s.chars();
+    matches!(chars.next(), Some(c) if c.is_ascii_alphabetic() || c == '_')
+        && chars.all(|c| c.is_ascii_alphanumeric() || "_.[]".contains(c))
+}
+
+/// Parses the `.mig` text format.
+///
+/// # Errors
+///
+/// Returns [`ParseMigError`] (with a line number) on syntax errors,
+/// references to undefined signals, redefinitions, or missing
+/// input/output declarations.
+///
+/// # Examples
+///
+/// ```
+/// # fn main() -> Result<(), mig::ParseMigError> {
+/// let src = "\
+/// .model tiny
+/// .inputs a b c
+/// .outputs f
+/// g = MAJ(a, !b, c)
+/// f = !g
+/// ";
+/// let g = mig::parse_mig(src)?;
+/// assert_eq!(g.gate_count(), 1);
+/// assert_eq!(g.name(), "tiny");
+/// # Ok(())
+/// # }
+/// ```
+pub fn parse_mig(source: &str) -> Result<Mig, ParseMigError> {
+    let mut graph = Mig::new();
+    let mut signals: HashMap<String, Signal> = HashMap::new();
+    let mut declared_outputs: Vec<String> = Vec::new();
+    let mut bound_outputs: HashMap<String, Signal> = HashMap::new();
+    let mut saw_model = false;
+
+    for (lineno, raw) in source.lines().enumerate() {
+        let lineno = lineno + 1;
+        let line = match raw.find('#') {
+            Some(p) => &raw[..p],
+            None => raw,
+        }
+        .trim();
+        if line.is_empty() {
+            continue;
+        }
+
+        if let Some(rest) = line.strip_prefix(".model") {
+            if saw_model {
+                return Err(err(lineno, "duplicate .model directive"));
+            }
+            saw_model = true;
+            let name = rest.trim();
+            if name.is_empty() {
+                return Err(err(lineno, ".model requires a name"));
+            }
+            graph.set_name(name);
+        } else if let Some(rest) = line.strip_prefix(".inputs") {
+            for name in rest.split_whitespace() {
+                if !is_ident(name) {
+                    return Err(err(lineno, format!("invalid input name `{name}`")));
+                }
+                if signals.contains_key(name) {
+                    return Err(err(lineno, format!("duplicate signal `{name}`")));
+                }
+                let s = graph.add_input(name);
+                signals.insert(name.to_owned(), s);
+            }
+        } else if let Some(rest) = line.strip_prefix(".outputs") {
+            for name in rest.split_whitespace() {
+                if !is_ident(name) {
+                    return Err(err(lineno, format!("invalid output name `{name}`")));
+                }
+                if declared_outputs.iter().any(|n| n == name) {
+                    return Err(err(lineno, format!("duplicate output `{name}`")));
+                }
+                declared_outputs.push(name.to_owned());
+            }
+        } else if line.starts_with('.') {
+            return Err(err(lineno, format!("unknown directive `{line}`")));
+        } else {
+            // `name = MAJ(a, b, c)` or `name = signal`
+            let (lhs, rhs) = line
+                .split_once('=')
+                .ok_or_else(|| err(lineno, "expected `name = ...`"))?;
+            let lhs = lhs.trim();
+            let rhs = rhs.trim();
+            if !is_ident(lhs) {
+                return Err(err(lineno, format!("invalid signal name `{lhs}`")));
+            }
+
+            let value = if let Some(args) = rhs
+                .strip_prefix("MAJ(")
+                .and_then(|r| r.strip_suffix(')'))
+            {
+                let operands: Vec<&str> = args.split(',').map(str::trim).collect();
+                if operands.len() != 3 {
+                    return Err(err(
+                        lineno,
+                        format!("MAJ takes exactly 3 operands, found {}", operands.len()),
+                    ));
+                }
+                let mut resolved = [Signal::ZERO; 3];
+                for (i, op) in operands.iter().enumerate() {
+                    resolved[i] = resolve(op, &signals)
+                        .ok_or_else(|| err(lineno, format!("undefined signal `{op}`")))?;
+                }
+                graph.add_maj(resolved[0], resolved[1], resolved[2])
+            } else {
+                resolve(rhs, &signals)
+                    .ok_or_else(|| err(lineno, format!("undefined signal `{rhs}`")))?
+            };
+
+            if declared_outputs.iter().any(|n| n == lhs) {
+                if bound_outputs.insert(lhs.to_owned(), value).is_some() {
+                    return Err(err(lineno, format!("output `{lhs}` bound twice")));
+                }
+                // An output name may also be referenced as an internal signal.
+                signals.entry(lhs.to_owned()).or_insert(value);
+            } else {
+                if signals.contains_key(lhs) {
+                    return Err(err(lineno, format!("signal `{lhs}` redefined")));
+                }
+                signals.insert(lhs.to_owned(), value);
+            }
+        }
+    }
+
+    for name in &declared_outputs {
+        let s = *bound_outputs
+            .get(name)
+            .ok_or_else(|| err(0, format!("declared output `{name}` never bound")))?;
+        graph.add_output(name.clone(), s);
+    }
+    Ok(graph)
+}
+
+fn resolve(token: &str, signals: &HashMap<String, Signal>) -> Option<Signal> {
+    let (compl, name) = match token.strip_prefix('!') {
+        Some(rest) => (true, rest.trim()),
+        None => (false, token),
+    };
+    let base = match name {
+        "0" => Signal::ZERO,
+        "1" => Signal::ONE,
+        _ => *signals.get(name)?,
+    };
+    Some(base.complement_if(compl))
+}
+
+/// Serializes `graph` into the `.mig` text format.
+///
+/// The output round-trips through [`parse_mig`] to an isomorphic graph.
+pub fn write_mig(graph: &Mig) -> String {
+    let mut out = String::new();
+    out.push_str(&format!(".model {}\n", graph.name()));
+    out.push_str(".inputs");
+    for pos in 0..graph.input_count() {
+        out.push(' ');
+        out.push_str(graph.input_name(pos));
+    }
+    out.push('\n');
+    out.push_str(".outputs");
+    for o in graph.outputs() {
+        out.push(' ');
+        out.push_str(&o.name);
+    }
+    out.push('\n');
+
+    let fmt_signal = |s: Signal, graph: &Mig| -> String {
+        let name = match graph.node(s.node()) {
+            Node::Constant => "0".to_owned(),
+            Node::Input(pos) => graph.input_name(*pos as usize).to_owned(),
+            Node::Majority(_) => format!("g{}", s.node().index()),
+        };
+        if s.is_complement() {
+            format!("!{name}")
+        } else {
+            name
+        }
+    };
+
+    for id in graph.gate_ids() {
+        let Node::Majority(f) = graph.node(id) else {
+            unreachable!("gate_ids yields gates");
+        };
+        out.push_str(&format!(
+            "g{} = MAJ({}, {}, {})\n",
+            id.index(),
+            fmt_signal(f[0], graph),
+            fmt_signal(f[1], graph),
+            fmt_signal(f[2], graph),
+        ));
+    }
+    for o in graph.outputs() {
+        out.push_str(&format!("{} = {}\n", o.name, fmt_signal(o.signal, graph)));
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::equivalence::check_equivalence;
+
+    #[test]
+    fn roundtrip_preserves_function() {
+        let mut g = Mig::with_name("rt");
+        let a = g.add_input("a");
+        let b = g.add_input("b");
+        let c = g.add_input("c");
+        let (s, cy) = g.add_full_adder(a, !b, c);
+        g.add_output("sum", s);
+        g.add_output("cout", !cy);
+
+        let text = write_mig(&g);
+        let parsed = parse_mig(&text).expect("own output parses");
+        assert_eq!(parsed.name(), "rt");
+        assert!(check_equivalence(&g, &parsed).unwrap().holds());
+    }
+
+    #[test]
+    fn constants_parse() {
+        let g = parse_mig(
+            ".model c\n.inputs a b\n.outputs f\nx = MAJ(a, b, 0)\nf = MAJ(x, !b, 1)\n",
+        )
+        .unwrap();
+        assert_eq!(g.gate_count(), 2);
+    }
+
+    #[test]
+    fn output_can_be_an_input_alias() {
+        let g = parse_mig(".model alias\n.inputs a\n.outputs f\nf = !a\n").unwrap();
+        assert_eq!(g.gate_count(), 0);
+        assert_eq!(g.output_count(), 1);
+        assert!(g.outputs()[0].signal.is_complement());
+    }
+
+    #[test]
+    fn error_reports_line_numbers() {
+        let e = parse_mig(".model x\n.inputs a\n.outputs f\nf = MAJ(a, q, 0)\n").unwrap_err();
+        assert_eq!(e.line, 4);
+        assert!(e.message.contains("undefined signal `q`"));
+        assert!(e.to_string().starts_with("line 4:"));
+    }
+
+    #[test]
+    fn wrong_arity_is_rejected() {
+        let e = parse_mig(".model x\n.inputs a b\n.outputs f\nf = MAJ(a, b)\n").unwrap_err();
+        assert!(e.message.contains("exactly 3 operands"));
+    }
+
+    #[test]
+    fn unbound_output_is_rejected() {
+        let e = parse_mig(".model x\n.inputs a\n.outputs f g\nf = a\n").unwrap_err();
+        assert!(e.message.contains("never bound"));
+    }
+
+    #[test]
+    fn redefinition_is_rejected() {
+        let e =
+            parse_mig(".model x\n.inputs a b\n.outputs f\nt = MAJ(a, b, 0)\nt = MAJ(a, b, 1)\nf = t\n")
+                .unwrap_err();
+        assert_eq!(e.line, 5);
+        assert!(e.message.contains("redefined"));
+    }
+
+    #[test]
+    fn comments_and_blank_lines_are_ignored() {
+        let g = parse_mig(
+            "# header\n\n.model c # trailing\n.inputs a b c\n.outputs f\n\nf = MAJ(a, b, c) # gate\n",
+        )
+        .unwrap();
+        assert_eq!(g.gate_count(), 1);
+    }
+
+    #[test]
+    fn duplicate_model_rejected() {
+        let e = parse_mig(".model a\n.model b\n").unwrap_err();
+        assert!(e.message.contains("duplicate .model"));
+    }
+}

@@ -1,0 +1,138 @@
+//! Structural Verilog export.
+//!
+//! Emits a gate-level module where each majority node becomes an
+//! `assign` of the expanded majority expression; useful for feeding MIG
+//! results into conventional EDA tooling.
+
+use crate::graph::Mig;
+use crate::node::Node;
+use crate::signal::Signal;
+
+fn sanitize(name: &str) -> String {
+    name.chars()
+        .map(|c| if c.is_ascii_alphanumeric() || c == '_' { c } else { '_' })
+        .collect()
+}
+
+/// Renders `graph` as a synthesizable Verilog module.
+///
+/// # Examples
+///
+/// ```
+/// use mig::{to_verilog, Mig};
+///
+/// let mut g = Mig::with_name("maj3");
+/// let a = g.add_input("a");
+/// let b = g.add_input("b");
+/// let c = g.add_input("c");
+/// let m = g.add_maj(a, b, c);
+/// g.add_output("f", m);
+/// let v = to_verilog(&g);
+/// assert!(v.contains("module maj3"));
+/// assert!(v.contains("assign"));
+/// ```
+pub fn to_verilog(graph: &Mig) -> String {
+    let mut out = String::new();
+    let ports: Vec<String> = (0..graph.input_count())
+        .map(|p| sanitize(graph.input_name(p)))
+        .chain(graph.outputs().iter().map(|o| sanitize(&o.name)))
+        .collect();
+    out.push_str(&format!(
+        "module {} ({});\n",
+        sanitize(graph.name()),
+        ports.join(", ")
+    ));
+    for p in 0..graph.input_count() {
+        out.push_str(&format!("  input {};\n", sanitize(graph.input_name(p))));
+    }
+    for o in graph.outputs() {
+        out.push_str(&format!("  output {};\n", sanitize(&o.name)));
+    }
+
+    let operand = |s: Signal, graph: &Mig| -> String {
+        let base = match graph.node(s.node()) {
+            Node::Constant => "1'b0".to_owned(),
+            Node::Input(pos) => sanitize(graph.input_name(*pos as usize)),
+            Node::Majority(_) => format!("w{}", s.node().index()),
+        };
+        if s.is_complement() {
+            format!("~{base}")
+        } else {
+            base
+        }
+    };
+
+    for id in graph.gate_ids() {
+        out.push_str(&format!("  wire w{};\n", id.index()));
+    }
+    for id in graph.gate_ids() {
+        let Node::Majority(f) = graph.node(id) else {
+            unreachable!("gate_ids yields gates");
+        };
+        let (a, b, c) = (
+            operand(f[0], graph),
+            operand(f[1], graph),
+            operand(f[2], graph),
+        );
+        out.push_str(&format!(
+            "  assign w{} = ({a} & {b}) | ({a} & {c}) | ({b} & {c});\n",
+            id.index()
+        ));
+    }
+    for o in graph.outputs() {
+        out.push_str(&format!(
+            "  assign {} = {};\n",
+            sanitize(&o.name),
+            operand(o.signal, graph)
+        ));
+    }
+    out.push_str("endmodule\n");
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn module_shape() {
+        let mut g = Mig::with_name("fa");
+        let a = g.add_input("a");
+        let b = g.add_input("b");
+        let c = g.add_input("cin");
+        let (s, cy) = g.add_full_adder(a, b, c);
+        g.add_output("sum", s);
+        g.add_output("cout", cy);
+
+        let v = to_verilog(&g);
+        assert!(v.starts_with("module fa (a, b, cin, sum, cout);"));
+        assert!(v.contains("input a;"));
+        assert!(v.contains("output cout;"));
+        assert_eq!(v.matches("assign").count(), g.gate_count() + 2);
+        assert!(v.trim_end().ends_with("endmodule"));
+    }
+
+    #[test]
+    fn complemented_operands_and_constants() {
+        let mut g = Mig::new();
+        let a = g.add_input("a");
+        let b = g.add_input("b");
+        let m = g.add_maj(a, !b, Signal::ZERO);
+        g.add_output("f", !m);
+        let v = to_verilog(&g);
+        assert!(v.contains("~b"));
+        assert!(v.contains("1'b0"), "constant zero fan-in rendered");
+        assert!(v.contains("assign f = ~w"));
+    }
+
+    #[test]
+    fn names_are_sanitized() {
+        let mut g = Mig::with_name("top-level");
+        let a = g.add_input("in[0]");
+        g.add_output("out.x", a);
+        let v = to_verilog(&g);
+        assert!(v.contains("module top_level"));
+        assert!(v.contains("in_0_"));
+        assert!(v.contains("out_x"));
+    }
+}

@@ -1,0 +1,72 @@
+//! Node payloads of a Majority-Inverter Graph.
+
+use crate::signal::Signal;
+
+/// Payload of one arena slot in a [`Mig`](crate::Mig).
+///
+/// A MIG is homogeneous: besides the constant and the primary inputs,
+/// every node is a 3-input majority gate. Inversions live on edges
+/// ([`Signal`] complement bits), never on nodes.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum Node {
+    /// The constant-zero node (always node 0).
+    Constant,
+    /// A primary input; the payload is the index into the graph's input
+    /// list.
+    Input(u32),
+    /// A 3-input majority gate `⟨a b c⟩ = ab ∨ ac ∨ bc`.
+    ///
+    /// Fan-ins are kept sorted (see [`Mig::add_maj`](crate::Mig::add_maj))
+    /// so that structural hashing can identify commutative variants.
+    Majority([Signal; 3]),
+}
+
+impl Node {
+    /// Fan-in signals of this node (empty for constants and inputs).
+    #[inline]
+    pub fn fanins(&self) -> &[Signal] {
+        match self {
+            Node::Constant | Node::Input(_) => &[],
+            Node::Majority(fanins) => fanins,
+        }
+    }
+
+    /// `true` for majority gates.
+    #[inline]
+    pub fn is_gate(&self) -> bool {
+        matches!(self, Node::Majority(_))
+    }
+
+    /// `true` for primary inputs.
+    #[inline]
+    pub fn is_input(&self) -> bool {
+        matches!(self, Node::Input(_))
+    }
+
+    /// `true` for the constant node.
+    #[inline]
+    pub fn is_constant(&self) -> bool {
+        matches!(self, Node::Constant)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fanins_of_leaf_nodes_are_empty() {
+        assert!(Node::Constant.fanins().is_empty());
+        assert!(Node::Input(3).fanins().is_empty());
+    }
+
+    #[test]
+    fn fanins_of_majority_are_exposed() {
+        let f = [Signal::ZERO, Signal::ONE, Signal::ZERO];
+        let n = Node::Majority(f);
+        assert_eq!(n.fanins(), &f);
+        assert!(n.is_gate());
+        assert!(!n.is_input());
+        assert!(!n.is_constant());
+    }
+}

@@ -1,0 +1,264 @@
+//! Depth-oriented MIG rewriting.
+//!
+//! Walks the graph in topological order rebuilding every gate, and on
+//! each gate whose deepest fan-in dominates the other two, tries the two
+//! depth-reducing axioms:
+//!
+//! * Ω.A associativity (free — no node duplication) when the critical
+//!   fan-in gate shares a fan-in with the gate under rewrite;
+//! * Ω.D distributivity right-to-left (duplicates the shallow context)
+//!   otherwise.
+//!
+//! The candidate with the smallest resulting level wins; ties keep the
+//! original structure so the pass is size-conservative where depth does
+//! not improve. This mirrors the depth recipe of Amarù's TCAD'16 MIG
+//! paper that the DATE'17 wave-pipelining flow takes as its input stage.
+
+use crate::graph::Mig;
+use crate::rewrite::axioms;
+use crate::signal::Signal;
+
+/// Result summary of [`optimize_depth`].
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct DepthOptOutcome {
+    /// Depth before optimization.
+    pub before: u32,
+    /// Depth after optimization.
+    pub after: u32,
+    /// Rewrite rounds actually run.
+    pub rounds: usize,
+}
+
+/// Rewrites `graph` to reduce logic depth; returns the optimized graph
+/// (dead nodes swept) and a summary.
+///
+/// `max_rounds` bounds the number of full-graph passes; the pass stops
+/// early once a round stops improving the depth. The result is always
+/// functionally equivalent to the input (each axiom is individually
+/// sound; see `rewrite::axioms` tests) and never deeper.
+///
+/// # Examples
+///
+/// ```
+/// use mig::{optimize_depth, Mig};
+///
+/// // A deliberately skewed chain: f = AND(x0, AND(x1, AND(x2, x3)))
+/// let mut g = Mig::new();
+/// let x = g.add_inputs("x", 4);
+/// let mut f = g.add_and(x[2], x[3]);
+/// f = g.add_and(x[1], f);
+/// f = g.add_and(x[0], f);
+/// g.add_output("f", f);
+/// assert_eq!(g.depth(), 3);
+///
+/// let (opt, outcome) = optimize_depth(&g, 4);
+/// assert!(outcome.after < outcome.before);
+/// assert_eq!(opt.depth(), outcome.after);
+/// ```
+pub fn optimize_depth(graph: &Mig, max_rounds: usize) -> (Mig, DepthOptOutcome) {
+    let before = graph.depth();
+    let mut best = graph.cleanup();
+    let mut rounds = 0;
+    for _ in 0..max_rounds {
+        let next = rewrite_round(&best);
+        rounds += 1;
+        if next.depth() < best.depth() {
+            best = next;
+        } else {
+            break;
+        }
+    }
+    let after = best.depth();
+    (best, DepthOptOutcome { before, after, rounds })
+}
+
+/// Ensures `levels` covers all nodes of `g` (nodes are topologically
+/// indexed, so missing suffix levels can be computed in index order).
+fn sync_levels(g: &Mig, levels: &mut Vec<u32>) {
+    while levels.len() < g.node_count() {
+        let id = crate::NodeId::from_index(levels.len());
+        let lvl = match g.node(id) {
+            crate::Node::Majority(f) => {
+                1 + f
+                    .iter()
+                    .map(|s| levels[s.node().index()])
+                    .max()
+                    .expect("gates have fan-ins")
+            }
+            _ => 0,
+        };
+        levels.push(lvl);
+    }
+}
+
+fn level_of(levels: &[u32], s: Signal) -> u32 {
+    levels[s.node().index()]
+}
+
+fn rewrite_round(graph: &Mig) -> Mig {
+    let mut out = Mig::with_name(graph.name().to_owned());
+    let mut map: Vec<Option<Signal>> = vec![None; graph.node_count()];
+    map[crate::NodeId::CONST.index()] = Some(Signal::ZERO);
+    for (pos, &id) in graph.inputs().iter().enumerate() {
+        map[id.index()] = Some(out.add_input(graph.input_name(pos).to_owned()));
+    }
+
+    let mut levels: Vec<u32> = Vec::new();
+    for id in graph.node_ids() {
+        let crate::Node::Majority(fanins) = graph.node(id) else {
+            continue;
+        };
+        let f: Vec<Signal> = fanins
+            .iter()
+            .map(|s| {
+                map[s.node().index()]
+                    .expect("fan-ins precede gates")
+                    .complement_if(s.is_complement())
+            })
+            .collect();
+
+        sync_levels(&out, &mut levels);
+        let mut best = out.add_maj(f[0], f[1], f[2]);
+        sync_levels(&out, &mut levels);
+        let mut best_level = level_of(&levels, best);
+
+        // Identify the critical fan-in (deepest); rewriting only helps
+        // when it strictly dominates both others.
+        let mut idx: Vec<usize> = vec![0, 1, 2];
+        idx.sort_by_key(|&i| level_of(&levels, f[i]));
+        let (s0, s1, crit) = (f[idx[0]], f[idx[1]], f[idx[2]]);
+        let dominates =
+            level_of(&levels, crit) >= level_of(&levels, s1) + 2 && !crit.is_const();
+        if dominates {
+            if let Some(inner) = axioms::as_majority(&out, crit) {
+                // Associativity: requires a fan-in shared with {s0, s1}.
+                for &u in &[s0, s1] {
+                    if inner.contains(&u) {
+                        let x = if u == s0 { s1 } else { s0 };
+                        if let Some(cand) = axioms::associativity(&mut out, x, u, crit) {
+                            sync_levels(&out, &mut levels);
+                            let lvl = level_of(&levels, cand);
+                            if lvl < best_level {
+                                best = cand;
+                                best_level = lvl;
+                            }
+                        }
+                    }
+                }
+                // Distributivity: lift the deepest inner fan-in.
+                let z_index = (0..3)
+                    .max_by_key(|&i| level_of(&levels, inner[i]))
+                    .expect("three fan-ins");
+                if let Some(cand) = axioms::distributivity_rl(&mut out, s0, s1, crit, z_index) {
+                    sync_levels(&out, &mut levels);
+                    let lvl = level_of(&levels, cand);
+                    if lvl < best_level {
+                        best = cand;
+                        best_level = lvl;
+                    }
+                }
+            }
+        }
+        map[id.index()] = Some(best);
+    }
+
+    for o in graph.outputs() {
+        let s = map[o.signal.node().index()]
+            .expect("output drivers are mapped")
+            .complement_if(o.signal.is_complement());
+        out.add_output(o.name.clone(), s);
+    }
+    out.cleanup()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::equivalence::check_equivalence;
+
+    fn skewed_and_chain(n: usize) -> Mig {
+        let mut g = Mig::new();
+        let x = g.add_inputs("x", n);
+        let mut f = x[n - 1];
+        for i in (0..n - 1).rev() {
+            f = g.add_and(x[i], f);
+        }
+        g.add_output("f", f);
+        g
+    }
+
+    #[test]
+    fn chain_depth_is_logarithmized() {
+        let g = skewed_and_chain(16);
+        assert_eq!(g.depth(), 15);
+        let (opt, outcome) = optimize_depth(&g, 32);
+        assert_eq!(outcome.before, 15);
+        assert!(outcome.after <= 6, "expected near-log depth, got {}", outcome.after);
+        assert!(
+            check_equivalence(&g, &opt).unwrap().holds(),
+            "depth optimization must preserve function"
+        );
+    }
+
+    #[test]
+    fn balanced_graph_is_left_alone() {
+        let mut g = Mig::new();
+        let x = g.add_inputs("x", 4);
+        let a = g.add_and(x[0], x[1]);
+        let b = g.add_and(x[2], x[3]);
+        let f = g.add_and(a, b);
+        g.add_output("f", f);
+        let (opt, outcome) = optimize_depth(&g, 8);
+        assert_eq!(outcome.before, 2);
+        assert_eq!(outcome.after, 2);
+        assert_eq!(opt.gate_count(), g.gate_count());
+    }
+
+    #[test]
+    fn or_chain_with_shared_literal_uses_associativity() {
+        // f = (((a ∨ u) ∨ u-free terms...)) — build M-chains sharing 1.
+        let mut g = Mig::new();
+        let x = g.add_inputs("x", 8);
+        let mut f = x[7];
+        for i in (0..7).rev() {
+            f = g.add_or(x[i], f); // all gates share the constant-one fan-in
+        }
+        g.add_output("f", f);
+        let before = g.depth();
+        let (opt, outcome) = optimize_depth(&g, 32);
+        assert!(outcome.after < before);
+        assert!(check_equivalence(&g, &opt).unwrap().holds());
+    }
+
+    #[test]
+    fn xor_tree_is_preserved_functionally() {
+        let mut g = Mig::new();
+        let x = g.add_inputs("x", 8);
+        let mut f = x[0];
+        for &xi in &x[1..] {
+            f = g.add_xor(f, xi);
+        }
+        g.add_output("f", f);
+        let (opt, _) = optimize_depth(&g, 16);
+        assert!(check_equivalence(&g, &opt).unwrap().holds());
+        assert!(opt.depth() <= g.depth());
+    }
+
+    #[test]
+    fn multi_output_graphs_keep_all_outputs() {
+        let g = {
+            let mut g = skewed_and_chain(10);
+            let extra = {
+                let ids: Vec<_> = g.inputs().to_vec();
+                let a = ids[0].signal();
+                let b = ids[1].signal();
+                g.add_xor(a, b)
+            };
+            g.add_output("g", !extra);
+            g
+        };
+        let (opt, _) = optimize_depth(&g, 16);
+        assert_eq!(opt.output_count(), 2);
+        assert!(check_equivalence(&g, &opt).unwrap().holds());
+    }
+}

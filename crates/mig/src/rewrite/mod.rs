@@ -1,0 +1,19 @@
+//! MIG algebraic rewriting.
+//!
+//! The paper assumes its input netlists are "already optimized" MIGs
+//! (§III); this module provides the optimizer that produces such inputs,
+//! built on the Ω axiom system of Amarù et al. (DAC'14/TCAD'16):
+//!
+//! * Ω.C commutativity and Ω.M majority — canonical form, handled
+//!   directly by [`Mig::add_maj`](crate::Mig::add_maj);
+//! * inverter propagation (self-duality) — also handled at construction;
+//! * Ω.A associativity — [`axioms::associativity`];
+//! * Ω.D distributivity — [`axioms::distributivity_rl`], the engine of
+//!   depth optimization.
+
+pub mod axioms;
+mod depth_opt;
+mod size_opt;
+
+pub use depth_opt::{optimize_depth, DepthOptOutcome};
+pub use size_opt::optimize_size;

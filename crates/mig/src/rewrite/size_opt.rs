@@ -1,0 +1,150 @@
+//! Size-oriented MIG rewriting.
+//!
+//! Rebuilds the graph through the strashing constructor (merging
+//! structural duplicates and folding constants) and collapses the
+//! left-to-right distributivity pattern
+//! `⟨⟨x y u⟩ ⟨x y v⟩ z⟩ → ⟨x y ⟨u v z⟩⟩`, which trades three nodes for
+//! two whenever two fan-ins share a two-signal context.
+
+use crate::graph::Mig;
+use crate::rewrite::axioms;
+use crate::signal::Signal;
+
+/// Rewrites `graph` to reduce gate count; the result is functionally
+/// equivalent and never larger.
+///
+/// `max_rounds` bounds the number of full passes (collapsing one pattern
+/// can expose another).
+///
+/// # Examples
+///
+/// ```
+/// use mig::{optimize_size, Mig};
+///
+/// let mut g = Mig::new();
+/// let x = g.add_inputs("x", 5);
+/// let a = g.add_maj(x[0], x[1], x[2]);
+/// let b = g.add_maj(x[0], x[1], x[3]);
+/// let f = g.add_maj(a, b, x[4]);
+/// g.add_output("f", f);
+/// assert_eq!(g.gate_count(), 3);
+///
+/// let opt = optimize_size(&g, 4);
+/// assert_eq!(opt.gate_count(), 2);
+/// ```
+pub fn optimize_size(graph: &Mig, max_rounds: usize) -> Mig {
+    let mut best = graph.cleanup();
+    for _ in 0..max_rounds {
+        let next = collapse_round(&best);
+        if next.gate_count() < best.gate_count() {
+            best = next;
+        } else {
+            break;
+        }
+    }
+    best
+}
+
+fn collapse_round(graph: &Mig) -> Mig {
+    let mut out = Mig::with_name(graph.name().to_owned());
+    let mut map: Vec<Option<Signal>> = vec![None; graph.node_count()];
+    map[crate::NodeId::CONST.index()] = Some(Signal::ZERO);
+    for (pos, &id) in graph.inputs().iter().enumerate() {
+        map[id.index()] = Some(out.add_input(graph.input_name(pos).to_owned()));
+    }
+
+    for id in graph.node_ids() {
+        let crate::Node::Majority(fanins) = graph.node(id) else {
+            continue;
+        };
+        let f: Vec<Signal> = fanins
+            .iter()
+            .map(|s| {
+                map[s.node().index()]
+                    .expect("fan-ins precede gates")
+                    .complement_if(s.is_complement())
+            })
+            .collect();
+
+        // Try collapsing with each fan-in playing the role of z.
+        let mut built = None;
+        for z_pos in (0..3).rev() {
+            let (a, b) = match z_pos {
+                0 => (f[1], f[2]),
+                1 => (f[0], f[2]),
+                _ => (f[0], f[1]),
+            };
+            if let Some(s) = axioms::distributivity_lr(&mut out, a, b, f[z_pos]) {
+                built = Some(s);
+                break;
+            }
+        }
+        map[id.index()] = Some(built.unwrap_or_else(|| out.add_maj(f[0], f[1], f[2])));
+    }
+
+    for o in graph.outputs() {
+        let s = map[o.signal.node().index()]
+            .expect("output drivers are mapped")
+            .complement_if(o.signal.is_complement());
+        out.add_output(o.name.clone(), s);
+    }
+    out.cleanup()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::equivalence::check_equivalence;
+
+    #[test]
+    fn shared_context_is_collapsed() {
+        let mut g = Mig::new();
+        let x = g.add_inputs("x", 5);
+        let a = g.add_maj(x[0], x[1], x[2]);
+        let b = g.add_maj(x[0], x[1], x[3]);
+        let f = g.add_maj(a, b, x[4]);
+        g.add_output("f", f);
+        let opt = optimize_size(&g, 4);
+        assert_eq!(opt.gate_count(), 2);
+        assert!(check_equivalence(&g, &opt).unwrap().holds());
+    }
+
+    #[test]
+    fn dead_logic_is_swept() {
+        let mut g = Mig::new();
+        let x = g.add_inputs("x", 4);
+        let live = g.add_maj(x[0], x[1], x[2]);
+        let _dead = g.add_maj(x[1], x[2], x[3]);
+        g.add_output("f", live);
+        let opt = optimize_size(&g, 1);
+        assert_eq!(opt.gate_count(), 1);
+    }
+
+    #[test]
+    fn irreducible_graph_is_unchanged() {
+        let mut g = Mig::new();
+        let x = g.add_inputs("x", 5);
+        let a = g.add_maj(x[0], x[1], x[2]);
+        let f = g.add_maj(a, x[3], x[4]);
+        g.add_output("f", f);
+        let opt = optimize_size(&g, 4);
+        assert_eq!(opt.gate_count(), 2);
+        assert!(check_equivalence(&g, &opt).unwrap().holds());
+    }
+
+    #[test]
+    fn never_larger_on_structured_logic() {
+        let mut g = Mig::new();
+        let x = g.add_inputs("x", 8);
+        let mut acc = Vec::new();
+        for w in x.windows(3) {
+            acc.push(g.add_maj(w[0], w[1], w[2]));
+        }
+        let f = g.add_and_n(&acc);
+        g.add_output("f", f);
+        let before = g.gate_count();
+        let opt = optimize_size(&g, 8);
+        assert!(opt.gate_count() <= before);
+        assert!(check_equivalence(&g, &opt).unwrap().holds());
+    }
+}

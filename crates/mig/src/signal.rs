@@ -1,0 +1,241 @@
+//! Node identifiers and complementable edge signals.
+//!
+//! A [`Signal`] packs a [`NodeId`] together with a complement bit into a
+//! single `u32`, mockturtle-style. Complemented edges are what makes a
+//! Majority-*Inverter* Graph: inversion is an edge attribute rather than a
+//! node, so the network stays homogeneous (every node is a 3-input
+//! majority gate).
+
+use std::fmt;
+
+/// Index of a node inside a [`Mig`](crate::Mig) arena.
+///
+/// Node 0 is always the constant-zero node; primary inputs and majority
+/// gates follow in insertion order. `NodeId`s are only meaningful relative
+/// to the graph that created them.
+///
+/// # Examples
+///
+/// ```
+/// use mig::Mig;
+///
+/// let mut g = Mig::new();
+/// let a = g.add_input("a");
+/// assert_eq!(a.node().index(), 1); // node 0 is the constant
+/// ```
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct NodeId(pub(crate) u32);
+
+impl NodeId {
+    /// The constant-zero node present in every graph.
+    pub const CONST: NodeId = NodeId(0);
+
+    /// Returns the arena index of this node.
+    #[inline]
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+
+    /// Builds a `NodeId` from a raw arena index.
+    ///
+    /// Intended for iteration code that walks `0..graph.node_count()`;
+    /// passing an index that is out of bounds for the target graph will
+    /// cause panics on later accesses, not undefined behaviour.
+    #[inline]
+    pub fn from_index(index: usize) -> NodeId {
+        debug_assert!(index <= u32::MAX as usize / 2);
+        NodeId(index as u32)
+    }
+
+    /// The non-complemented signal pointing at this node.
+    #[inline]
+    pub fn signal(self) -> Signal {
+        Signal::new(self, false)
+    }
+}
+
+impl fmt::Debug for NodeId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "n{}", self.0)
+    }
+}
+
+impl fmt::Display for NodeId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "n{}", self.0)
+    }
+}
+
+/// An edge in the MIG: a target node plus a complement flag.
+///
+/// `Signal` is the currency of MIG construction: every fan-in of a
+/// majority node, and every primary output, is a `Signal`. The complement
+/// flag is stored in the least-significant bit so that a `Signal` fits in
+/// a `u32` and ordering groups the two polarities of one node together.
+///
+/// # Examples
+///
+/// ```
+/// use mig::Mig;
+///
+/// let mut g = Mig::new();
+/// let a = g.add_input("a");
+/// let na = !a;
+/// assert_eq!(na.node(), a.node());
+/// assert!(na.is_complement());
+/// assert_eq!(!na, a);
+/// ```
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct Signal(u32);
+
+impl Signal {
+    /// The constant-zero signal.
+    pub const ZERO: Signal = Signal(0);
+    /// The constant-one signal (complement of constant zero).
+    pub const ONE: Signal = Signal(1);
+
+    /// Creates a signal pointing at `node`, complemented iff `complement`.
+    #[inline]
+    pub fn new(node: NodeId, complement: bool) -> Signal {
+        Signal(node.0 << 1 | complement as u32)
+    }
+
+    /// The node this signal points at.
+    #[inline]
+    pub fn node(self) -> NodeId {
+        NodeId(self.0 >> 1)
+    }
+
+    /// Whether the edge is complemented.
+    #[inline]
+    pub fn is_complement(self) -> bool {
+        self.0 & 1 != 0
+    }
+
+    /// Returns this signal with the complement bit forced to `complement`.
+    #[inline]
+    pub fn with_complement(self, complement: bool) -> Signal {
+        Signal(self.0 & !1 | complement as u32)
+    }
+
+    /// Returns this signal complemented iff `condition` holds.
+    ///
+    /// Convenient when propagating inversions:
+    ///
+    /// ```
+    /// use mig::Signal;
+    /// let s = Signal::ZERO.complement_if(true);
+    /// assert_eq!(s, Signal::ONE);
+    /// ```
+    #[inline]
+    pub fn complement_if(self, condition: bool) -> Signal {
+        Signal(self.0 ^ condition as u32)
+    }
+
+    /// `true` if this is one of the two constant signals.
+    #[inline]
+    pub fn is_const(self) -> bool {
+        self.node() == NodeId::CONST
+    }
+
+    /// Raw packed representation (node index << 1 | complement).
+    #[inline]
+    pub fn to_raw(self) -> u32 {
+        self.0
+    }
+
+    /// Rebuilds a signal from [`Signal::to_raw`] output.
+    #[inline]
+    pub fn from_raw(raw: u32) -> Signal {
+        Signal(raw)
+    }
+}
+
+impl std::ops::Not for Signal {
+    type Output = Signal;
+
+    #[inline]
+    fn not(self) -> Signal {
+        Signal(self.0 ^ 1)
+    }
+}
+
+impl From<NodeId> for Signal {
+    #[inline]
+    fn from(node: NodeId) -> Signal {
+        node.signal()
+    }
+}
+
+impl fmt::Debug for Signal {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.is_complement() {
+            write!(f, "!n{}", self.node().0)
+        } else {
+            write!(f, "n{}", self.node().0)
+        }
+    }
+}
+
+impl fmt::Display for Signal {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        fmt::Debug::fmt(self, f)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn constants_are_node_zero() {
+        assert_eq!(Signal::ZERO.node(), NodeId::CONST);
+        assert_eq!(Signal::ONE.node(), NodeId::CONST);
+        assert!(!Signal::ZERO.is_complement());
+        assert!(Signal::ONE.is_complement());
+        assert!(Signal::ZERO.is_const());
+        assert!(Signal::ONE.is_const());
+    }
+
+    #[test]
+    fn not_is_involutive() {
+        let s = Signal::new(NodeId::from_index(42), false);
+        assert_eq!(!!s, s);
+        assert_ne!(!s, s);
+        assert_eq!((!s).node(), s.node());
+    }
+
+    #[test]
+    fn complement_if_flips_only_when_true() {
+        let s = Signal::new(NodeId::from_index(7), false);
+        assert_eq!(s.complement_if(false), s);
+        assert_eq!(s.complement_if(true), !s);
+    }
+
+    #[test]
+    fn with_complement_forces_polarity() {
+        let s = Signal::new(NodeId::from_index(3), true);
+        assert!(!s.with_complement(false).is_complement());
+        assert!(s.with_complement(true).is_complement());
+        assert_eq!(s.with_complement(false).node(), s.node());
+    }
+
+    #[test]
+    fn raw_roundtrip() {
+        for idx in [0usize, 1, 17, 1 << 20] {
+            for c in [false, true] {
+                let s = Signal::new(NodeId::from_index(idx), c);
+                assert_eq!(Signal::from_raw(s.to_raw()), s);
+            }
+        }
+    }
+
+    #[test]
+    fn ordering_groups_polarities() {
+        let a = Signal::new(NodeId::from_index(1), false);
+        let na = !a;
+        let b = Signal::new(NodeId::from_index(2), false);
+        assert!(a < na);
+        assert!(na < b);
+    }
+}

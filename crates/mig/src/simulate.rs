@@ -1,0 +1,170 @@
+//! Combinational simulation of MIGs.
+//!
+//! The [`Simulator`] evaluates a graph on concrete input assignments,
+//! either one pattern at a time ([`Simulator::eval`]) or 64 patterns in
+//! parallel using bit-sliced words ([`Simulator::eval_words`]). The
+//! bit-parallel path is what makes random-vector equivalence checking and
+//! exhaustive truth tables cheap.
+
+use crate::graph::Mig;
+use crate::node::Node;
+
+/// Evaluates a [`Mig`] on input patterns.
+///
+/// # Examples
+///
+/// ```
+/// use mig::{Mig, Simulator};
+///
+/// let mut g = Mig::new();
+/// let a = g.add_input("a");
+/// let b = g.add_input("b");
+/// let f = g.add_and(a, b);
+/// g.add_output("f", f);
+///
+/// let sim = Simulator::new(&g);
+/// assert_eq!(sim.eval(&[true, true]), vec![true]);
+/// assert_eq!(sim.eval(&[true, false]), vec![false]);
+/// ```
+#[derive(Debug)]
+pub struct Simulator<'g> {
+    graph: &'g Mig,
+}
+
+impl<'g> Simulator<'g> {
+    /// Creates a simulator for `graph`.
+    pub fn new(graph: &'g Mig) -> Simulator<'g> {
+        Simulator { graph }
+    }
+
+    /// Evaluates one input pattern; returns one bool per primary output.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `inputs.len()` differs from the graph's input count.
+    pub fn eval(&self, inputs: &[bool]) -> Vec<bool> {
+        let words: Vec<u64> = inputs.iter().map(|&b| if b { !0 } else { 0 }).collect();
+        self.eval_words(&words)
+            .into_iter()
+            .map(|w| w & 1 != 0)
+            .collect()
+    }
+
+    /// Evaluates 64 patterns at once: bit `k` of `inputs[i]` is the value
+    /// of input `i` in pattern `k`. Returns one word per primary output.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `inputs.len()` differs from the graph's input count.
+    pub fn eval_words(&self, inputs: &[u64]) -> Vec<u64> {
+        assert_eq!(
+            inputs.len(),
+            self.graph.input_count(),
+            "input pattern width must match the graph's input count"
+        );
+        let g = self.graph;
+        let mut values = vec![0u64; g.node_count()];
+        for id in g.node_ids() {
+            values[id.index()] = match g.node(id) {
+                Node::Constant => 0,
+                Node::Input(pos) => inputs[*pos as usize],
+                Node::Majority(f) => {
+                    let v = |i: usize| {
+                        let s = f[i];
+                        let w = values[s.node().index()];
+                        if s.is_complement() {
+                            !w
+                        } else {
+                            w
+                        }
+                    };
+                    let (a, b, c) = (v(0), v(1), v(2));
+                    a & b | a & c | b & c
+                }
+            };
+        }
+        g.outputs()
+            .iter()
+            .map(|o| {
+                let w = values[o.signal.node().index()];
+                if o.signal.is_complement() {
+                    !w
+                } else {
+                    w
+                }
+            })
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn majority_semantics() {
+        let mut g = Mig::new();
+        let ins = g.add_inputs("x", 3);
+        let m = g.add_maj(ins[0], ins[1], ins[2]);
+        g.add_output("m", m);
+        let sim = Simulator::new(&g);
+        for p in 0..8u32 {
+            let bits: Vec<bool> = (0..3).map(|i| p >> i & 1 != 0).collect();
+            let expect = p.count_ones() >= 2;
+            assert_eq!(sim.eval(&bits)[0], expect, "pattern {p:03b}");
+        }
+    }
+
+    #[test]
+    fn complemented_edges_and_outputs() {
+        let mut g = Mig::new();
+        let a = g.add_input("a");
+        let b = g.add_input("b");
+        let f = g.add_and(!a, b);
+        g.add_output("f", !f);
+        let sim = Simulator::new(&g);
+        // !( !a & b )
+        assert_eq!(sim.eval(&[false, true]), vec![false]);
+        assert_eq!(sim.eval(&[true, true]), vec![true]);
+        assert_eq!(sim.eval(&[false, false]), vec![true]);
+    }
+
+    #[test]
+    fn word_eval_matches_scalar_eval() {
+        let mut g = Mig::new();
+        let ins = g.add_inputs("x", 4);
+        let m1 = g.add_maj(ins[0], !ins[1], ins[2]);
+        let m2 = g.add_maj(m1, ins[3], !ins[0]);
+        let x = g.add_xor(m1, m2);
+        g.add_output("f", x);
+        let sim = Simulator::new(&g);
+
+        // All 16 patterns packed into one word evaluation.
+        let words: Vec<u64> = (0..4)
+            .map(|i| {
+                let mut w = 0u64;
+                for p in 0..16u64 {
+                    if p >> i & 1 != 0 {
+                        w |= 1 << p;
+                    }
+                }
+                w
+            })
+            .collect();
+        let word_out = sim.eval_words(&words)[0];
+        for p in 0..16u64 {
+            let bits: Vec<bool> = (0..4).map(|i| p >> i & 1 != 0).collect();
+            assert_eq!(sim.eval(&bits)[0], word_out >> p & 1 != 0, "pattern {p}");
+        }
+    }
+
+    #[test]
+    fn constant_outputs() {
+        let mut g = Mig::new();
+        let _ = g.add_input("a");
+        g.add_output("zero", crate::Signal::ZERO);
+        g.add_output("one", crate::Signal::ONE);
+        let sim = Simulator::new(&g);
+        assert_eq!(sim.eval(&[true]), vec![false, true]);
+    }
+}

@@ -1,0 +1,260 @@
+//! Exhaustive truth tables for small MIGs.
+//!
+//! A [`TruthTable`] stores one bit per input pattern, packed into `u64`
+//! words. Tables are the ground truth used by the equivalence checker for
+//! graphs of up to [`TruthTable::MAX_INPUTS`] inputs.
+
+use std::fmt;
+
+use crate::graph::Mig;
+use crate::simulate::Simulator;
+
+/// A packed single-output truth table over `inputs` variables.
+///
+/// Bit `p` of the table is the function value on the input pattern whose
+/// binary encoding is `p` (input 0 is the least-significant selector
+/// bit).
+///
+/// # Examples
+///
+/// ```
+/// use mig::{Mig, TruthTable};
+///
+/// let mut g = Mig::new();
+/// let a = g.add_input("a");
+/// let b = g.add_input("b");
+/// let f = g.add_xor(a, b);
+/// g.add_output("f", f);
+///
+/// let tables = TruthTable::of_graph(&g);
+/// assert_eq!(tables[0].to_hex(), "6"); // XOR = 0b0110
+/// ```
+#[derive(Clone, PartialEq, Eq, Hash)]
+pub struct TruthTable {
+    inputs: usize,
+    words: Vec<u64>,
+}
+
+impl TruthTable {
+    /// Largest supported input count (2^20 pattern bits = 128 KiB/table).
+    pub const MAX_INPUTS: usize = 20;
+
+    /// All-zero table over `inputs` variables.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `inputs > TruthTable::MAX_INPUTS`.
+    pub fn zero(inputs: usize) -> TruthTable {
+        assert!(
+            inputs <= Self::MAX_INPUTS,
+            "truth tables support at most {} inputs",
+            Self::MAX_INPUTS
+        );
+        TruthTable {
+            inputs,
+            words: vec![0; Self::word_count(inputs)],
+        }
+    }
+
+    fn word_count(inputs: usize) -> usize {
+        if inputs >= 6 {
+            1 << (inputs - 6)
+        } else {
+            1
+        }
+    }
+
+    fn pattern_mask(inputs: usize) -> u64 {
+        if inputs >= 6 {
+            !0
+        } else {
+            (1u64 << (1 << inputs)) - 1
+        }
+    }
+
+    /// Number of input variables.
+    pub fn input_count(&self) -> usize {
+        self.inputs
+    }
+
+    /// Number of input patterns (`2^inputs`).
+    pub fn pattern_count(&self) -> usize {
+        1 << self.inputs
+    }
+
+    /// Value of the function on pattern `p`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `p >= self.pattern_count()`.
+    pub fn bit(&self, p: usize) -> bool {
+        assert!(p < self.pattern_count(), "pattern index out of range");
+        self.words[p / 64] >> (p % 64) & 1 != 0
+    }
+
+    /// Sets the value of the function on pattern `p`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `p >= self.pattern_count()`.
+    pub fn set_bit(&mut self, p: usize, value: bool) {
+        assert!(p < self.pattern_count(), "pattern index out of range");
+        let w = &mut self.words[p / 64];
+        if value {
+            *w |= 1 << (p % 64);
+        } else {
+            *w &= !(1 << (p % 64));
+        }
+    }
+
+    /// Number of patterns on which the function is 1.
+    pub fn count_ones(&self) -> usize {
+        let mask = Self::pattern_mask(self.inputs);
+        self.words
+            .iter()
+            .enumerate()
+            .map(|(i, &w)| {
+                let w = if i + 1 == self.words.len() { w & mask } else { w };
+                w.count_ones() as usize
+            })
+            .sum()
+    }
+
+    /// Computes the truth table of every primary output of `graph`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the graph has more than [`TruthTable::MAX_INPUTS`]
+    /// inputs.
+    pub fn of_graph(graph: &Mig) -> Vec<TruthTable> {
+        let n = graph.input_count();
+        assert!(
+            n <= Self::MAX_INPUTS,
+            "graph has {n} inputs; exhaustive tables support at most {}",
+            Self::MAX_INPUTS
+        );
+        let sim = Simulator::new(graph);
+        let mut tables = vec![TruthTable::zero(n); graph.output_count()];
+        let patterns = 1usize << n;
+        let mut base = 0usize;
+        while base < patterns {
+            // 64 consecutive patterns per word evaluation.
+            let inputs: Vec<u64> = (0..n)
+                .map(|i| {
+                    if i < 6 {
+                        // Within-word variation.
+                        const MASKS: [u64; 6] = [
+                            0xAAAA_AAAA_AAAA_AAAA,
+                            0xCCCC_CCCC_CCCC_CCCC,
+                            0xF0F0_F0F0_F0F0_F0F0,
+                            0xFF00_FF00_FF00_FF00,
+                            0xFFFF_0000_FFFF_0000,
+                            0xFFFF_FFFF_0000_0000,
+                        ];
+                        MASKS[i]
+                    } else if base >> i & 1 != 0 {
+                        !0
+                    } else {
+                        0
+                    }
+                })
+                .collect();
+            let out = sim.eval_words(&inputs);
+            for (t, w) in tables.iter_mut().zip(out) {
+                t.words[base / 64] = w;
+            }
+            base += 64;
+        }
+        tables
+    }
+
+    /// Hexadecimal encoding, most-significant pattern first (ABC style).
+    pub fn to_hex(&self) -> String {
+        let digits = usize::max(1, self.pattern_count() / 4);
+        let mut s = String::with_capacity(digits);
+        for d in (0..digits).rev() {
+            let mut nibble = 0u8;
+            for b in 0..4 {
+                let p = d * 4 + b;
+                if p < self.pattern_count() && self.bit(p) {
+                    nibble |= 1 << b;
+                }
+            }
+            s.push(char::from_digit(nibble as u32, 16).expect("nibble < 16"));
+        }
+        s
+    }
+}
+
+impl fmt::Debug for TruthTable {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "TruthTable({} vars, 0x{})", self.inputs, self.to_hex())
+    }
+}
+
+impl fmt::Display for TruthTable {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "0x{}", self.to_hex())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn xor_table_is_0x6() {
+        let mut g = Mig::new();
+        let a = g.add_input("a");
+        let b = g.add_input("b");
+        let f = g.add_xor(a, b);
+        g.add_output("f", f);
+        let t = &TruthTable::of_graph(&g)[0];
+        assert_eq!(t.to_hex(), "6");
+        assert_eq!(t.count_ones(), 2);
+    }
+
+    #[test]
+    fn majority_table_is_0xe8() {
+        let mut g = Mig::new();
+        let ins = g.add_inputs("x", 3);
+        let m = g.add_maj(ins[0], ins[1], ins[2]);
+        g.add_output("m", m);
+        let t = &TruthTable::of_graph(&g)[0];
+        assert_eq!(t.to_hex(), "e8");
+        assert_eq!(t.count_ones(), 4);
+    }
+
+    #[test]
+    fn seven_input_parity_spans_words() {
+        let mut g = Mig::new();
+        let ins = g.add_inputs("x", 7);
+        let p = g.add_xor_n(&ins);
+        g.add_output("p", p);
+        let t = &TruthTable::of_graph(&g)[0];
+        assert_eq!(t.pattern_count(), 128);
+        assert_eq!(t.count_ones(), 64);
+        for pat in 0..128usize {
+            assert_eq!(t.bit(pat), pat.count_ones() % 2 == 1, "pattern {pat}");
+        }
+    }
+
+    #[test]
+    fn set_bit_roundtrip() {
+        let mut t = TruthTable::zero(4);
+        t.set_bit(5, true);
+        t.set_bit(11, true);
+        assert!(t.bit(5));
+        assert!(t.bit(11));
+        assert!(!t.bit(6));
+        t.set_bit(5, false);
+        assert!(!t.bit(5));
+        assert_eq!(t.count_ones(), 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "pattern index out of range")]
+    fn bit_out_of_range_panics() {
+        TruthTable::zero(3).bit(8);
+    }
+}

@@ -1,0 +1,46 @@
+//! # tech — beyond-CMOS technology models and evaluation metrics
+//!
+//! The three technologies the DATE'17 wave-pipelining paper targets —
+//! Spin Wave Devices, Quantum-dot Cellular Automata and NanoMagnetic
+//! Logic — with the cell constants and relative component costs of its
+//! Table I, plus the metrics engine that turns a
+//! [`wavepipe::FlowResult`] into the area / power / throughput / T-A /
+//! T-P numbers of Table II and Fig 9.
+//!
+//! ```
+//! use mig::Mig;
+//! use tech::{compare, Technology};
+//! use wavepipe::{run_flow, FlowConfig};
+//!
+//! # fn main() -> Result<(), wavepipe::BalanceError> {
+//! let mut g = Mig::new();
+//! let a = g.add_input("a");
+//! let b = g.add_input("b");
+//! let cin = g.add_input("cin");
+//! let (s, c) = g.add_full_adder(a, b, cin);
+//! g.add_output("s", s);
+//! g.add_output("c", c);
+//!
+//! let result = run_flow(&g, FlowConfig::default())?;
+//! for technology in Technology::all() {
+//!     let row = compare(&result, &technology);
+//!     // Wave pipelining never loses on raw throughput (it ties only
+//!     // when the original depth is already ≤ 3 levels, as here).
+//!     assert!(row.pipelined.throughput.value() >= row.original.throughput.value());
+//! }
+//! # Ok(())
+//! # }
+//! ```
+
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+mod metrics;
+pub mod report;
+mod technology;
+pub mod units;
+
+pub use metrics::{compare, evaluate, Comparison, Evaluation, OperatingMode};
+pub use report::{geometric_mean, mean, BenchmarkRow};
+pub use technology::{RelativeCost, Technology};
+pub use units::{Area, Delay, Energy, Power, Throughput};

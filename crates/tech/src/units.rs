@@ -1,0 +1,156 @@
+//! Physical-unit newtypes used by the metrics engine.
+//!
+//! The paper's Table I mixes µm², ns, fJ, µW and MOPS; newtypes keep the
+//! arithmetic honest (C-NEWTYPE) while staying `f64` underneath.
+
+use std::fmt;
+use std::ops::{Add, AddAssign, Div, Mul};
+
+macro_rules! unit {
+    ($(#[$meta:meta])* $name:ident, $suffix:literal) => {
+        $(#[$meta])*
+        #[derive(Clone, Copy, Debug, Default, PartialEq, PartialOrd)]
+        #[derive(serde::Serialize, serde::Deserialize)]
+        pub struct $name(pub f64);
+
+        impl $name {
+            /// The zero quantity.
+            pub const ZERO: $name = $name(0.0);
+
+            /// Raw numeric value in the unit named by [`Self::SUFFIX`].
+            pub fn value(self) -> f64 {
+                self.0
+            }
+
+            /// Unit suffix used by `Display`.
+            pub const SUFFIX: &'static str = $suffix;
+        }
+
+        impl Add for $name {
+            type Output = $name;
+            fn add(self, rhs: $name) -> $name {
+                $name(self.0 + rhs.0)
+            }
+        }
+
+        impl AddAssign for $name {
+            fn add_assign(&mut self, rhs: $name) {
+                self.0 += rhs.0;
+            }
+        }
+
+        impl Mul<f64> for $name {
+            type Output = $name;
+            fn mul(self, rhs: f64) -> $name {
+                $name(self.0 * rhs)
+            }
+        }
+
+        impl Div<f64> for $name {
+            type Output = $name;
+            fn div(self, rhs: f64) -> $name {
+                $name(self.0 / rhs)
+            }
+        }
+
+        impl Div for $name {
+            type Output = f64;
+            fn div(self, rhs: $name) -> f64 {
+                self.0 / rhs.0
+            }
+        }
+
+        impl fmt::Display for $name {
+            fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+                if let Some(p) = f.precision() {
+                    write!(f, "{:.*} {}", p, self.0, $suffix)
+                } else {
+                    write!(f, "{} {}", self.0, $suffix)
+                }
+            }
+        }
+    };
+}
+
+unit!(
+    /// Silicon (or magnet) area in µm².
+    Area,
+    "µm²"
+);
+unit!(
+    /// Delay / latency in nanoseconds.
+    Delay,
+    "ns"
+);
+unit!(
+    /// Energy per operation in femtojoules.
+    Energy,
+    "fJ"
+);
+unit!(
+    /// Power in microwatts.
+    Power,
+    "µW"
+);
+unit!(
+    /// Throughput in mega-operations per second.
+    Throughput,
+    "MOPS"
+);
+
+impl Energy {
+    /// Energy dissipated over `delay`: `P = E / t`.
+    ///
+    /// 1 fJ / 1 ns = 1 µW, so the units line up exactly.
+    pub fn over(self, delay: Delay) -> Power {
+        Power(self.0 / delay.0)
+    }
+}
+
+impl Delay {
+    /// Operations per second for one operation per `self`:
+    /// 1/ns = 1000 MOPS.
+    pub fn to_throughput(self) -> Throughput {
+        Throughput(1000.0 / self.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn arithmetic() {
+        let a = Area(2.0) + Area(3.0);
+        assert_eq!(a, Area(5.0));
+        assert_eq!((a * 2.0).value(), 10.0);
+        assert_eq!(Area(10.0) / Area(4.0), 2.5);
+        let mut d = Delay(1.0);
+        d += Delay(0.5);
+        assert_eq!(d.value(), 1.5);
+    }
+
+    #[test]
+    fn energy_over_delay_is_power() {
+        // 356.4 fJ over 2.52 ns ≈ 141.43 µW (the paper's SASC/SWD row).
+        let p = Energy(356.4).over(Delay(2.52));
+        assert!((p.value() - 141.43).abs() < 0.01);
+    }
+
+    #[test]
+    fn delay_to_throughput() {
+        // 2.52 ns latency → 396.83 MOPS (SASC/SWD original throughput).
+        let t = Delay(2.52).to_throughput();
+        assert!((t.value() - 396.83).abs() < 0.01);
+        // 1.26 ns wave interval → 793.65 MOPS (SWD wave-pipelined).
+        let t = Delay(1.26).to_throughput();
+        assert!((t.value() - 793.65).abs() < 0.01);
+    }
+
+    #[test]
+    fn display_formats_with_suffix() {
+        assert_eq!(format!("{:.2}", Area(16.049)), "16.05 µm²");
+        assert_eq!(format!("{}", Throughput(5.0)), "5 MOPS");
+        assert_eq!(Power::SUFFIX, "µW");
+    }
+}

@@ -1,0 +1,58 @@
+//! Sweep a slice of the benchmark suite through the flow and print a
+//! compact scoreboard: sizes, depths, buffer/FOG overheads and the SWD
+//! gains — the bird's-eye view behind Figs 5, 8 and 9.
+//!
+//! ```text
+//! cargo run --release --example benchmark_sweep [N]
+//! ```
+//!
+//! `N` limits how many suite benchmarks to run (default 12, smallest
+//! first by original size; the full 37 take a few minutes in debug
+//! builds).
+
+use wave_pipelining::prelude::*;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let limit: usize = std::env::args()
+        .nth(1)
+        .map(|s| s.parse())
+        .transpose()?
+        .unwrap_or(12);
+
+    // Build everything cheap-ish first, sort by size, keep N.
+    let mut built: Vec<_> = SUITE
+        .iter()
+        .filter(|s| !matches!(s.name, "RAND50K" | "MUL64" | "DIFFEQ1"))
+        .map(|s| (s.name, s.build()))
+        .collect();
+    built.sort_by_key(|(_, g)| g.gate_count());
+    built.truncate(limit);
+
+    let swd = Technology::swd();
+    println!(
+        "{:<12} {:>8} {:>6} {:>8} {:>6} {:>7} {:>7} {:>9} {:>9}",
+        "benchmark", "size", "depth", "size'", "depth'", "+BUF", "+FOG", "SWD T/A", "SWD T/P"
+    );
+    for (name, g) in &built {
+        let result = run_flow(g, FlowConfig::default())?;
+        let (o, p) = (result.original.counts(), result.pipelined.counts());
+        let row = compare(&result, &swd);
+        println!(
+            "{:<12} {:>8} {:>6} {:>8} {:>6} {:>7} {:>7} {:>8.2}x {:>8.2}x",
+            name,
+            o.priced_total(),
+            result.original.depth(),
+            p.priced_total(),
+            result.pipelined.depth(),
+            p.buf,
+            p.fog,
+            row.ta_gain(),
+            row.tp_gain()
+        );
+    }
+    println!(
+        "\n(size' and depth' are after fan-out restriction to 3 and buffer\n\
+         insertion; gains are wave-pipelined vs original on Spin Wave Devices)"
+    );
+    Ok(())
+}

@@ -1,0 +1,176 @@
+//! The paper's quantitative claims, asserted as integration tests on a
+//! representative suite subset. Absolute values differ (our benchmarks
+//! are synthetic reconstructions — DESIGN.md substitution 1), so these
+//! tests pin the *orderings and regimes* that constitute the paper's
+//! findings; EXPERIMENTS.md records the measured-vs-paper numbers.
+
+use tech::Technology;
+use wavepipe_bench::harness::{
+    build_suite, evaluate_suite, fig5_fit, fig5_points, fig7_rows, fig8_data, fig9_data,
+    QUICK_SUBSET,
+};
+
+fn quick() -> Vec<(&'static benchsuite::BenchmarkSpec, mig::Mig)> {
+    build_suite(Some(&QUICK_SUBSET))
+}
+
+#[test]
+fn claim_fig5_buffer_count_follows_a_power_law() {
+    let points = fig5_points(&quick());
+    let fit = fig5_fit(&points);
+    // Paper: B(s) = 7.95·s^0.9. Claim: a power law with near-linear
+    // exponent and a decent log–log fit.
+    // The 8-circuit quick subset is flatter than the full 37 (the
+    // repro_all harness measures ~s^1.1 there); accept the broad
+    // power-law regime here.
+    assert!(
+        fit.exponent > 0.25 && fit.exponent < 1.7,
+        "exponent {} out of the power-law regime",
+        fit.exponent
+    );
+    // R² on 8 heterogeneous circuits is weak by construction; the
+    // full-suite fit (repro_all, EXPERIMENTS.md) is the meaningful one.
+    assert!(fit.r_squared > 0.0, "R² {}", fit.r_squared);
+}
+
+#[test]
+fn claim_fig5_buffers_are_a_multiple_of_size() {
+    // Paper: "the number of buffers inserted ranged from 2× to 4× the
+    // original netlist size" on average. Claim the same order.
+    let points = fig5_points(&quick());
+    let ratios: Vec<f64> = points
+        .iter()
+        .map(|p| p.buffers as f64 / p.size as f64)
+        .collect();
+    let mean = tech::mean(&ratios);
+    assert!(
+        (1.0..12.0).contains(&mean),
+        "mean buffer/size ratio {mean} out of regime"
+    );
+}
+
+#[test]
+fn claim_fig7_critical_path_increase_is_monotone_in_the_restriction() {
+    // Paper: +140 %, +57 %, +36 %, +26 % for k = 2, 3, 4, 5.
+    let rows = fig7_rows(&quick());
+    let avg = |i: usize| tech::mean(&rows.iter().map(|r| r.increase[i]).collect::<Vec<_>>());
+    let (k2, k3, k4, k5) = (avg(0), avg(1), avg(2), avg(3));
+    assert!(k2 > k3 && k3 > k4 && k4 >= k5, "{k2} {k3} {k4} {k5}");
+    assert!(k2 > 0.3, "k=2 must hurt substantially, got {k2}");
+    assert!(k5 < 0.5, "k=5 must hurt mildly, got {k5}");
+}
+
+#[test]
+fn claim_fig8_combined_flow_dominates_individual_passes() {
+    let d = fig8_data(&quick());
+    // Observation (a): FOx+BUF inserts more than either alone.
+    for i in 0..4 {
+        assert!(d.combined[i] > d.buf_only);
+        assert!(d.combined[i] > d.fo_only[i]);
+    }
+    // Observation (c): the best case is still a multiple-x blow-up.
+    let best = d
+        .combined
+        .iter()
+        .cloned()
+        .fold(f64::INFINITY, f64::min);
+    assert!(best > 3.0, "best combined ratio {best} (paper: ~4.91×)");
+}
+
+#[test]
+fn claim_fig8_fog_count_is_independent_of_buffering() {
+    // Observation (b), exact.
+    let d = fig8_data(&quick());
+    for i in 0..4 {
+        assert!((d.fog_share[i] - d.combined_fog_share[i]).abs() < 1e-12);
+    }
+}
+
+#[test]
+fn claim_fig9_gain_orderings() {
+    let evaluated = evaluate_suite(&quick());
+    let f9 = fig9_data(&evaluated);
+    let by_name = |n: &str| f9.iter().find(|f| f.technology == n).unwrap().clone();
+    let (swd, qca, nml) = (by_name("SWD"), by_name("QCA"), by_name("NML"));
+
+    // Paper T/P ordering: SWD (23) > QCA (13) > NML (5).
+    assert!(swd.tp_mean > qca.tp_mean && qca.tp_mean > nml.tp_mean);
+    // Paper T/A ordering: QCA (8) > SWD (5) > NML (3).
+    assert!(qca.ta_mean > swd.ta_mean && swd.ta_mean > nml.ta_mean);
+    // All gains exceed 1 on a realistic suite.
+    for f in &f9 {
+        assert!(f.ta_mean > 1.0 && f.tp_mean > 1.0, "{:?}", f.technology);
+    }
+}
+
+#[test]
+fn claim_wave_pipelined_throughput_is_constant_per_technology() {
+    // Table II: the WP throughput column is a single number per
+    // technology (793.65 / 83333.33 / 16.67 MOPS), independent of the
+    // benchmark.
+    let evaluated = evaluate_suite(&build_suite(Some(&["SASC", "MUL8", "HAMMING"])));
+    let expect = [793.65, 83333.33, 16.67];
+    for (_, comparisons) in &evaluated {
+        for (c, e) in comparisons.iter().zip(expect) {
+            assert!(
+                (c.pipelined.throughput.value() - e).abs() / e < 1e-3,
+                "{}: {} vs {e}",
+                c.technology,
+                c.pipelined.throughput
+            );
+        }
+    }
+}
+
+#[test]
+fn claim_power_artifact_swd_drops_nml_rises() {
+    // §V: "the calculated power metric for SWD and QCA technologies
+    // tends to decrease for the wave pipelined benchmarks … an
+    // increase of power in the case of NML".
+    let evaluated = evaluate_suite(&quick());
+    let mut swd_strict_drops = 0;
+    let mut nml_rises = 0;
+    for (name, comparisons) in &evaluated {
+        let swd = &comparisons[0];
+        let nml = &comparisons[2];
+        // SWD energy is sense-amplifier-bound (essentially constant per
+        // circuit: added buffers cost 1.44e-8 fJ each against fJ-scale
+        // sense energy), so power never increases materially; it
+        // strictly drops whenever the flow stretched the critical path.
+        assert!(
+            swd.pipelined.power.value() <= swd.original.power.value() * (1.0 + 1e-4),
+            "{name}: SWD power rose"
+        );
+        if swd.pipelined.power.value() < swd.original.power.value() * (1.0 - 1e-4) {
+            swd_strict_drops += 1;
+        }
+        if nml.pipelined.power.value() > nml.original.power.value() {
+            nml_rises += 1;
+        }
+    }
+    let n = evaluated.len();
+    assert!(
+        swd_strict_drops * 2 >= n,
+        "SWD power strictly dropped on only {swd_strict_drops}/{n}"
+    );
+    assert!(nml_rises >= n - 1, "NML power rose on {nml_rises}/{n}");
+}
+
+#[test]
+fn claim_deeper_originals_gain_more() {
+    // Table II trend: T/P gain grows with original depth (SASC 3.00 →
+    // DIFFEQ1 94.00 for SWD).
+    let suite = build_suite(Some(&["SASC", "HAMMING", "CRC8x64"]));
+    let evaluated = evaluate_suite(&suite);
+    let swd = Technology::swd();
+    let mut rows: Vec<(u32, f64)> = evaluated
+        .iter()
+        .map(|(_, c)| (c[0].original.depth, c[0].tp_gain()))
+        .collect();
+    rows.sort_by_key(|r| r.0);
+    assert!(
+        rows.windows(2).all(|w| w[0].1 <= w[1].1),
+        "gains not monotone in depth: {rows:?} ({})",
+        swd.name
+    );
+}

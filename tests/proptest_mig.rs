@@ -1,0 +1,141 @@
+//! Property-based tests on the MIG substrate: construction invariants,
+//! axiom soundness under simulation, optimization safety and format
+//! round-trips, over randomly generated graphs.
+
+use proptest::prelude::*;
+use wave_pipelining::prelude::*;
+
+/// Strategy: a random-MIG configuration small enough for exhaustive or
+/// heavy random checking.
+fn mig_config() -> impl Strategy<Value = mig::RandomMigConfig> {
+    (3usize..10, 1usize..6, 1u32..10, 0u64..1000).prop_flat_map(
+        |(inputs, outputs, depth, seed)| {
+            let min_gates = depth as usize;
+            (min_gates.max(5)..150).prop_map(move |gates| mig::RandomMigConfig {
+                inputs,
+                outputs,
+                gates,
+                depth,
+                seed,
+            })
+        },
+    )
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn generated_graphs_have_requested_shape(config in mig_config()) {
+        let g = mig::random_mig(config);
+        prop_assert_eq!(g.depth(), config.depth);
+        prop_assert_eq!(g.input_count(), config.inputs);
+        prop_assert_eq!(g.output_count(), config.outputs);
+        prop_assert!(g.gate_count() <= config.gates);
+    }
+
+    #[test]
+    fn structural_hashing_never_stores_duplicate_gates(config in mig_config()) {
+        let g = mig::random_mig(config);
+        let mut seen = std::collections::HashSet::new();
+        for id in g.gate_ids() {
+            let mig::Node::Majority(fanins) = g.node(id) else { unreachable!() };
+            prop_assert!(seen.insert(*fanins), "duplicate gate {:?}", fanins);
+            // Canonical form: sorted fan-ins, at most one complemented.
+            prop_assert!(fanins.windows(2).all(|w| w[0] < w[1]));
+            let ncompl = fanins.iter().filter(|s| s.is_complement()).count();
+            prop_assert!(ncompl <= 1, "self-duality violated: {:?}", fanins);
+        }
+    }
+
+    #[test]
+    fn cleanup_preserves_function(config in mig_config()) {
+        let g = mig::random_mig(config);
+        let cleaned = g.cleanup();
+        prop_assert!(cleaned.gate_count() <= g.gate_count());
+        prop_assert!(check_equivalence(&g, &cleaned).unwrap().holds());
+    }
+
+    #[test]
+    fn depth_optimization_is_safe(config in mig_config()) {
+        let g = mig::random_mig(config);
+        let (opt, outcome) = optimize_depth(&g, 4);
+        prop_assert!(outcome.after <= outcome.before);
+        prop_assert_eq!(opt.depth(), outcome.after);
+        prop_assert!(check_equivalence(&g, &opt).unwrap().holds());
+    }
+
+    #[test]
+    fn size_optimization_is_safe(config in mig_config()) {
+        let g = mig::random_mig(config);
+        let opt = optimize_size(&g, 4);
+        prop_assert!(opt.gate_count() <= g.gate_count());
+        prop_assert!(check_equivalence(&g, &opt).unwrap().holds());
+    }
+
+    #[test]
+    fn text_format_roundtrips(config in mig_config()) {
+        let g = mig::random_mig(config);
+        let text = mig::write_mig(&g);
+        let parsed = mig::parse_mig(&text).expect("own output parses");
+        prop_assert!(check_equivalence(&g, &parsed).unwrap().holds());
+        prop_assert_eq!(parsed.gate_count(), g.gate_count(), "write_mig emits every gate");
+    }
+
+    #[test]
+    fn word_simulation_matches_scalar(config in mig_config(), word in any::<u64>()) {
+        let g = mig::random_mig(config);
+        let sim = mig::Simulator::new(&g);
+        // Derive per-input words deterministically from `word`.
+        let inputs: Vec<u64> = (0..g.input_count())
+            .map(|i| word.rotate_left(i as u32 * 7).wrapping_mul(0x9E37_79B9_7F4A_7C15))
+            .collect();
+        let word_out = sim.eval_words(&inputs);
+        for bit in [0usize, 13, 63] {
+            let scalar: Vec<bool> = inputs.iter().map(|w| w >> bit & 1 != 0).collect();
+            let out = sim.eval(&scalar);
+            for (o, w) in out.iter().zip(&word_out) {
+                prop_assert_eq!(*o, w >> bit & 1 != 0);
+            }
+        }
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// The majority axioms, checked semantically on arbitrary operand
+    /// triples drawn from a small constructed graph.
+    #[test]
+    fn majority_axioms_hold_semantically(
+        sel in prop::collection::vec(0usize..6, 3),
+        compl in prop::collection::vec(any::<bool>(), 3),
+    ) {
+        let mut g = Mig::new();
+        let ins = g.add_inputs("x", 4);
+        let pool: Vec<Signal> = vec![
+            ins[0], ins[1], ins[2], ins[3], Signal::ZERO, Signal::ONE,
+        ];
+        let a = pool[sel[0]].complement_if(compl[0]);
+        let b = pool[sel[1]].complement_if(compl[1]);
+        let c = pool[sel[2]].complement_if(compl[2]);
+        let m = g.add_maj(a, b, c);
+        let dual = g.add_maj(!a, !b, !c);
+        prop_assert_eq!(dual, !m, "self-duality");
+
+        g.add_output("m", m);
+        let sim = mig::Simulator::new(&g);
+        for p in 0..16u32 {
+            let bits: Vec<bool> = (0..4).map(|i| p >> i & 1 != 0).collect();
+            let val = |s: Signal| -> bool {
+                let base = match s.node().index() {
+                    0 => false,
+                    i => bits[i - 1],
+                };
+                base ^ s.is_complement()
+            };
+            let expect = (val(a) as u8 + val(b) as u8 + val(c) as u8) >= 2;
+            prop_assert_eq!(sim.eval(&bits)[0], expect);
+        }
+    }
+}

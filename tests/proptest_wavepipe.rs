@@ -1,0 +1,152 @@
+//! Property-based tests on the wave-pipelining transforms: for *any*
+//! mapped random MIG, fan-out restriction bounds fan-out, buffer
+//! insertion balances, both preserve function, and the balanced result
+//! streams waves coherently.
+
+use proptest::prelude::*;
+use wave_pipelining::prelude::*;
+use wavepipe::{verify_weighted_balance, DelayWeights, WaveSimulator};
+
+fn mig_config() -> impl Strategy<Value = mig::RandomMigConfig> {
+    (3usize..10, 1usize..5, 2u32..9, 0u64..500).prop_flat_map(
+        |(inputs, outputs, depth, seed)| {
+            (depth as usize + 5..120).prop_map(move |gates| mig::RandomMigConfig {
+                inputs,
+                outputs,
+                gates,
+                depth,
+                seed,
+            })
+        },
+    )
+}
+
+fn patterns(inputs: usize, seed: u64) -> Vec<Vec<bool>> {
+    (0..12u64)
+        .map(|k| {
+            (0..inputs)
+                .map(|i| (seed ^ k.wrapping_mul(0x9E37)).rotate_left(i as u32 * 3) & 1 != 0)
+                .collect()
+        })
+        .collect()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(40))]
+
+    #[test]
+    fn buffer_insertion_balances_any_netlist(config in mig_config()) {
+        let g = mig::random_mig(config);
+        let mut n = netlist_from_mig(&g);
+        let golden = n.clone();
+        let stats = insert_buffers(&mut n);
+        let report = verify_balance(&n, None).expect("balanced after insertion");
+        prop_assert_eq!(report.depth, stats.depth);
+        for p in patterns(config.inputs, config.seed) {
+            prop_assert_eq!(golden.eval(&p), n.eval(&p));
+        }
+    }
+
+    #[test]
+    fn fanout_restriction_bounds_any_netlist(
+        config in mig_config(),
+        limit in 2u32..6,
+    ) {
+        let g = mig::random_mig(config);
+        let mut n = netlist_from_mig(&g);
+        let golden = n.clone();
+        let stats = restrict_fanout(&mut n, limit);
+        prop_assert!(n.max_fanout() <= limit);
+        prop_assert!(stats.depth_after >= stats.depth_before);
+        for p in patterns(config.inputs, config.seed ^ 1) {
+            prop_assert_eq!(golden.eval(&p), n.eval(&p));
+        }
+    }
+
+    #[test]
+    fn full_flow_always_verifies(config in mig_config(), limit in 2u32..6) {
+        let g = mig::random_mig(config);
+        let result = run_flow(
+            &g,
+            FlowConfig { fanout_limit: Some(limit), insert_buffers: true, ..FlowConfig::default() },
+        ).expect("flow verifies on any input");
+        prop_assert!(result.pipelined.max_fanout() <= limit);
+        prop_assert!(result.report.is_some());
+    }
+
+    #[test]
+    fn balanced_netlists_stream_coherently(config in mig_config()) {
+        let g = mig::random_mig(config);
+        let result = run_flow(&g, FlowConfig::default()).expect("flow verifies");
+        let waves = patterns(config.inputs, config.seed ^ 2);
+        let corrupted = WaveSimulator::new(&result.pipelined).check_against_golden(&waves);
+        prop_assert!(corrupted.is_empty(), "corrupted: {:?}", corrupted);
+    }
+
+    #[test]
+    fn buffer_count_is_exactly_the_gap_sum(config in mig_config()) {
+        // Shared chains make the total equal Σ_u max(0, maxreq(u) − ℓ(u));
+        // the retiming cost model computes that sum independently.
+        let g = mig::random_mig(config);
+        let n = netlist_from_mig(&g);
+        let schedule = wavepipe::schedule_levels(&n);
+        let mut inserted = n.clone();
+        let stats = insert_buffers(&mut inserted);
+        prop_assert_eq!(
+            wavepipe::LevelSchedule::buffer_cost(&n, &schedule.asap),
+            stats.total() as u64
+        );
+    }
+
+    #[test]
+    fn retiming_never_increases_buffers(config in mig_config()) {
+        let g = mig::random_mig(config);
+        let n = netlist_from_mig(&g);
+        let mut asap = n.clone();
+        let a = insert_buffers(&mut asap);
+        let mut retimed = n;
+        let r = wavepipe::insert_buffers_retimed(&mut retimed);
+        prop_assert!(r.total() <= a.total());
+        prop_assert!(verify_balance(&retimed, None).is_ok());
+    }
+
+    #[test]
+    fn weighted_unit_equals_plain(config in mig_config()) {
+        let g = mig::random_mig(config);
+        let n = netlist_from_mig(&g);
+        let mut plain = n.clone();
+        let p = insert_buffers(&mut plain);
+        let mut weighted = n;
+        let w = wavepipe::insert_buffers_weighted(&mut weighted, &DelayWeights::UNIT)
+            .expect("unit weights always divide");
+        prop_assert_eq!(w.buffers, p.total());
+        prop_assert_eq!(w.weighted_depth, p.depth);
+    }
+
+    #[test]
+    fn weighted_qca_balances_any_netlist(config in mig_config()) {
+        let g = mig::random_mig(config);
+        let mut n = netlist_from_mig(&g);
+        let golden = n.clone();
+        wavepipe::insert_buffers_weighted(&mut n, &DelayWeights::QCA)
+            .expect("buf weight 1 always divides");
+        verify_weighted_balance(&n, &DelayWeights::QCA).expect("weighted invariants");
+        for p in patterns(config.inputs, config.seed ^ 3) {
+            prop_assert_eq!(golden.eval(&p), n.eval(&p));
+        }
+    }
+
+    #[test]
+    fn netlist_text_roundtrip(config in mig_config()) {
+        let g = mig::random_mig(config);
+        let mut n = netlist_from_mig(&g);
+        restrict_fanout(&mut n, 3);
+        insert_buffers(&mut n);
+        let parsed = wavepipe::io::parse_netlist(&wavepipe::io::write_netlist(&n))
+            .expect("own output parses");
+        prop_assert_eq!(parsed.counts(), n.counts());
+        for p in patterns(config.inputs, config.seed ^ 4) {
+            prop_assert_eq!(parsed.eval(&p), n.eval(&p));
+        }
+    }
+}

@@ -1,0 +1,129 @@
+//! Validation of the reconstructed 37-circuit benchmark suite: every
+//! circuit builds deterministically, has sane structure, and the suite
+//! as a whole spans the size/depth population the paper's figures need.
+
+use wave_pipelining::prelude::*;
+
+/// The three giants are exercised by the release-mode harness
+/// (`repro_all`); skip them in debug-mode unit runs.
+const GIANTS: [&str; 3] = ["MUL64", "DIFFEQ1", "RAND50K"];
+
+fn non_giant_suite() -> Vec<(&'static str, Mig)> {
+    SUITE
+        .iter()
+        .filter(|s| !GIANTS.contains(&s.name))
+        .map(|s| (s.name, s.build()))
+        .collect()
+}
+
+#[test]
+fn all_non_giant_benchmarks_build_with_sane_structure() {
+    for (name, g) in non_giant_suite() {
+        assert!(g.gate_count() > 0, "{name}: empty");
+        assert!(g.output_count() > 0, "{name}: no outputs");
+        assert!(g.input_count() > 0, "{name}: no inputs");
+        assert!(g.depth() >= 1, "{name}: zero depth");
+        assert_eq!(g.name(), name);
+        // No output may dangle on an unmapped node.
+        for o in g.outputs() {
+            let _ = g.node(o.signal.node());
+        }
+    }
+}
+
+#[test]
+fn suite_spans_two_orders_of_magnitude_without_the_giants() {
+    let sizes: Vec<usize> = non_giant_suite().iter().map(|(_, g)| g.gate_count()).collect();
+    let min = *sizes.iter().min().expect("non-empty suite");
+    let max = *sizes.iter().max().expect("non-empty suite");
+    assert!(min < 500, "smallest benchmark {min}");
+    assert!(max > 10_000, "largest non-giant benchmark {max}");
+}
+
+#[test]
+fn suite_depth_population_matches_the_paper_regime() {
+    // The paper's Fig 7 x-axis spans original critical paths of 6..201;
+    // our population must cover shallow control (≤ 12) through deep
+    // arithmetic (≥ 100).
+    let depths: Vec<u32> = non_giant_suite().iter().map(|(_, g)| g.depth()).collect();
+    assert!(depths.iter().any(|&d| d <= 12), "no shallow circuits");
+    assert!(depths.iter().any(|&d| d >= 100), "no deep circuits");
+    let shallow = depths.iter().filter(|&&d| d <= 20).count();
+    assert!(
+        shallow * 3 >= depths.len(),
+        "control-profile share too small: {shallow}/{}",
+        depths.len()
+    );
+}
+
+#[test]
+fn table2_benchmarks_profile_against_paper_rows() {
+    // (name, paper size, paper depth): our synthetic stand-ins must be
+    // within an order of magnitude on size and on the same side of the
+    // shallow/deep divide.
+    let rows = [
+        ("SASC", 622usize, 6u32),
+        ("DES_AREA", 4187, 22),
+        ("MUL32", 9097, 36),
+        ("HAMMING", 2072, 61),
+        ("REVX", 7517, 143),
+    ];
+    for (name, paper_size, paper_depth) in rows {
+        let g = find_benchmark(name).expect("table 2 name").build();
+        let size = g.gate_count();
+        assert!(
+            size * 10 >= paper_size && size <= paper_size * 10,
+            "{name}: size {size} vs paper {paper_size}"
+        );
+        // Depth: within an order of magnitude. Exact agreement is not
+        // expected — the paper's netlists were depth-optimized MIGs
+        // (our MUL32 is a true ripple array: depth ~124 vs paper 36),
+        // and mapped depth also counts inverter levels. EXPERIMENTS.md
+        // documents the per-name deviations.
+        let depth = g.depth();
+        assert!(
+            depth * 10 >= paper_depth && depth <= paper_depth * 10,
+            "{name}: depth {depth} vs paper {paper_depth}"
+        );
+    }
+}
+
+#[test]
+fn every_benchmark_maps_to_a_netlist() {
+    for (name, g) in non_giant_suite() {
+        let n = netlist_from_mig(&g);
+        assert_eq!(n.counts().maj, g.gate_count(), "{name}");
+        assert!(n.depth() >= g.depth(), "{name}");
+        // Inverter-minimized mapping never has more inverters.
+        let opt = wavepipe::netlist_from_mig_min_inv(&g);
+        assert!(
+            opt.counts().inv <= n.counts().inv,
+            "{name}: min-inv {} > plain {}",
+            opt.counts().inv,
+            n.counts().inv
+        );
+    }
+}
+
+#[test]
+fn cone_analysis_runs_on_the_suite() {
+    for (name, g) in non_giant_suite().into_iter().take(12) {
+        let cones = mig::ConeAnalysis::new(&g);
+        for pos in 0..g.output_count() {
+            let support = cones.output_support(pos);
+            assert!(
+                support.len() <= g.input_count(),
+                "{name}: support exceeds inputs"
+            );
+        }
+    }
+}
+
+#[test]
+#[ignore = "builds the three giant circuits; run with --ignored (or use the release harness)"]
+fn giant_benchmarks_build() {
+    for name in GIANTS {
+        let g = find_benchmark(name).expect("giant in suite").build();
+        assert!(g.gate_count() > 10_000, "{name}: {}", g.gate_count());
+    }
+}
