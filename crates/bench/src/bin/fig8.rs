@@ -12,10 +12,22 @@ fn main() {
     let suite = build_suite(quick.then_some(&QUICK_SUBSET[..]));
     let d = fig8_data(&suite);
 
-    println!("Fig 8 — normalized component counts (averaged over {} benchmarks)\n", suite.len());
-    println!("{:<12} {:>10} {:>12} {:>10}", "config", "measured", "FOG share", "paper");
-    println!("{:<12} {:>9.2}× {:>12} {:>10}", "original", 1.0, "—", "1.00×");
-    println!("{:<12} {:>9.2}× {:>12} {:>10}", "BUF", d.buf_only, "—", "3.81×");
+    println!(
+        "Fig 8 — normalized component counts (averaged over {} benchmarks)\n",
+        suite.len()
+    );
+    println!(
+        "{:<12} {:>10} {:>12} {:>10}",
+        "config", "measured", "FOG share", "paper"
+    );
+    println!(
+        "{:<12} {:>9.2}× {:>12} {:>10}",
+        "original", 1.0, "—", "1.00×"
+    );
+    println!(
+        "{:<12} {:>9.2}× {:>12} {:>10}",
+        "BUF", d.buf_only, "—", "3.81×"
+    );
     let paper_fo = ["2.48×(.55)", "1.61×(.26)", "1.35×(.17)", "1.25×(.13)"];
     let paper_combined = ["9.74×", "6.21×", "5.30×", "4.91×"];
     for (i, k) in (2..=5).enumerate() {

@@ -5,12 +5,13 @@
 //! cargo run --release -p wavepipe-bench --bin repro_all
 //! ```
 
+use std::collections::BTreeMap;
 use std::fs;
 use std::path::Path;
 
 use tech::{BenchmarkRow, Technology};
 use wavepipe_bench::harness::{
-    build_suite, evaluate_suite, fig5_fit, fig5_points, fig7_rows, fig8_data, fig9_data,
+    build_suite, evaluate_suite_traced, fig5_fit, fig5_points, fig7_rows, fig8_data, fig9_data,
     inverter_ablation, retiming_ablation, table2_rows,
 };
 
@@ -19,6 +20,40 @@ fn main() {
     fs::create_dir_all(out_dir).expect("create results/");
     let suite = build_suite(None);
     println!("built {} benchmarks", suite.len());
+
+    // Per-pass instrumentation: run the default pipeline over the whole
+    // suite through the parallel batch driver and record every pass's
+    // wall time, component delta and depth change.
+    // One default-flow suite run feeds both the trace files here and
+    // the Fig 9 / Table II evaluation further down.
+    let (evaluated, traces) = evaluate_suite_traced(&suite);
+    let mut trace_txt = String::new();
+    let mut total_micros: BTreeMap<String, u64> = BTreeMap::new();
+    let mut total_added: BTreeMap<String, usize> = BTreeMap::new();
+    for (name, trace) in &traces {
+        trace_txt.push_str(&format!("--- {name} ---\n"));
+        for pass in trace {
+            trace_txt.push_str(&pass.to_string());
+            trace_txt.push('\n');
+            *total_micros.entry(pass.pass.clone()).or_default() += pass.micros;
+            *total_added.entry(pass.pass.clone()).or_default() += pass.added.priced_total();
+        }
+        trace_txt.push('\n');
+    }
+    fs::write(out_dir.join("flow_trace.txt"), &trace_txt).expect("write flow trace");
+    fs::write(
+        out_dir.join("flow_trace.json"),
+        serde_json::to_string_pretty(&traces).expect("serialize"),
+    )
+    .expect("write flow_trace.json");
+    println!("flow passes (suite totals):");
+    for (pass, micros) in &total_micros {
+        println!(
+            "  {pass:<24} {:>9.1} ms  +{} components",
+            *micros as f64 / 1000.0,
+            total_added[pass]
+        );
+    }
 
     // Fig 5.
     let points = fig5_points(&suite);
@@ -37,7 +72,10 @@ fn main() {
         serde_json::to_string_pretty(&(&points, &fit)).expect("serialize"),
     )
     .expect("write fig5.json");
-    println!("fig5: fit B(s) = {:.2} * s^{:.3}", fit.coefficient, fit.exponent);
+    println!(
+        "fig5: fit B(s) = {:.2} * s^{:.3}",
+        fit.coefficient, fit.exponent
+    );
 
     // Fig 7.
     let rows = fig7_rows(&suite);
@@ -85,7 +123,6 @@ fn main() {
     );
 
     // Fig 9 + Table II.
-    let evaluated = evaluate_suite(&suite);
     let f9 = fig9_data(&evaluated);
     fs::write(
         out_dir.join("fig9.json"),
@@ -132,8 +169,7 @@ fn main() {
         serde_json::to_string_pretty(&ablation).expect("serialize"),
     )
     .expect("write ablation");
-    let avg_saving =
-        tech::mean(&ablation.iter().map(|r| r.saving()).collect::<Vec<_>>()) * 100.0;
+    let avg_saving = tech::mean(&ablation.iter().map(|r| r.saving()).collect::<Vec<_>>()) * 100.0;
     println!("ablation: retiming saves {avg_saving:.1}% buffers on average");
 
     let inv = inverter_ablation(&suite);
@@ -142,8 +178,7 @@ fn main() {
         serde_json::to_string_pretty(&inv).expect("serialize"),
     )
     .expect("write inverter ablation");
-    let avg_inv =
-        tech::mean(&inv.iter().map(|r| r.inv_saving()).collect::<Vec<_>>()) * 100.0;
+    let avg_inv = tech::mean(&inv.iter().map(|r| r.inv_saving()).collect::<Vec<_>>()) * 100.0;
     println!("ablation: polarity search removes {avg_inv:.1}% of inverters on average");
 
     println!("\nall results written to {}", out_dir.display());

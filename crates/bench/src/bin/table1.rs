@@ -10,7 +10,10 @@ fn main() {
         println!("  area   = {:.6} µm²", t.cell_area.value());
         println!("  delay  = {} ns", t.cell_delay.value());
         println!("  energy = {:e} fJ", t.cell_energy.value());
-        println!("  {:>8} {:>6} {:>6} {:>6} {:>6}", "relative", "INV", "MAJ", "BUF", "FOG");
+        println!(
+            "  {:>8} {:>6} {:>6} {:>6} {:>6}",
+            "relative", "INV", "MAJ", "BUF", "FOG"
+        );
         println!(
             "  {:>8} {:>6} {:>6} {:>6} {:>6}",
             "area", t.inv.area, t.maj.area, t.buf.area, t.fog.area

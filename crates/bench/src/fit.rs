@@ -5,8 +5,7 @@
 //! log–log space.
 
 /// A fitted power law `y = coefficient · x^exponent`.
-#[derive(Clone, Copy, Debug, PartialEq)]
-#[derive(serde::Serialize, serde::Deserialize)]
+#[derive(Clone, Copy, Debug, PartialEq, serde::Serialize, serde::Deserialize)]
 pub struct PowerLaw {
     /// Multiplicative coefficient (the paper reports 7.95).
     pub coefficient: f64,
@@ -52,7 +51,11 @@ pub fn fit_power_law(samples: &[(f64, f64)]) -> PowerLaw {
         .iter()
         .map(|p| (p.1 - (intercept + exponent * p.0)).powi(2))
         .sum();
-    let r_squared = if ss_tot > 0.0 { 1.0 - ss_res / ss_tot } else { 1.0 };
+    let r_squared = if ss_tot > 0.0 {
+        1.0 - ss_res / ss_tot
+    } else {
+        1.0
+    };
 
     PowerLaw {
         coefficient: intercept.exp(),
@@ -89,7 +92,11 @@ mod tests {
             })
             .collect();
         let fit = fit_power_law(&samples);
-        assert!((fit.exponent - 1.1).abs() < 0.05, "exponent {}", fit.exponent);
+        assert!(
+            (fit.exponent - 1.1).abs() < 0.05,
+            "exponent {}",
+            fit.exponent
+        );
         assert!(fit.r_squared > 0.99);
     }
 

@@ -1,22 +1,29 @@
 //! Suite-level experiment drivers: one function per paper table/figure,
 //! shared by the regenerator binaries and the integration tests.
+//!
+//! Since the pass-pipeline refactor every driver expresses its flow
+//! configuration as a [`wavepipe::FlowPipeline`] and evaluates the
+//! suite **concurrently** (one task per circuit, scheduled across all
+//! cores by the pipeline's parallel batch driver). [`flow_traces`]
+//! exposes the per-pass instrumentation (wall time, component delta,
+//! depth change) that `repro_all` prints alongside the figures.
 
 use benchsuite::BenchmarkSpec;
 use mig::Mig;
+use rayon::prelude::*;
 use tech::{compare, BenchmarkRow, Technology};
-use wavepipe::{
-    insert_buffers, netlist_from_mig, restrict_fanout, run_flow, FlowConfig, Netlist,
-};
+use wavepipe::{run_flow_batch, BufferStrategy, FlowConfig, FlowPipeline, PassStats, PipelineRun};
 
 use crate::fit::{fit_power_law, PowerLaw};
 
-/// Builds the whole suite (or the named subset) once.
+/// Builds the whole suite (or the named subset) once, generating the
+/// circuits in parallel.
 pub fn build_suite(subset: Option<&[&str]>) -> Vec<(&'static BenchmarkSpec, Mig)> {
-    benchsuite::SUITE
+    let specs: Vec<&'static BenchmarkSpec> = benchsuite::SUITE
         .iter()
-        .filter(|s| subset.map_or(true, |names| names.contains(&s.name)))
-        .map(|s| (s, s.build()))
-        .collect()
+        .filter(|s| subset.is_none_or(|names| names.contains(&s.name)))
+        .collect();
+    specs.par_iter().map(|spec| (*spec, spec.build())).collect()
 }
 
 /// A smaller deterministic subset for quick runs and perf benches
@@ -25,9 +32,58 @@ pub const QUICK_SUBSET: [&str; 8] = [
     "SASC", "ADD32R", "MUL16", "HAMMING", "CRC8x64", "ALU16", "CMP32", "DES_AREA",
 ];
 
+/// Runs `pipeline` over every circuit of `suite` in parallel, panicking
+/// with the benchmark name if any run fails (suite circuits are known
+/// to verify).
+fn run_pipeline_over(
+    pipeline: &FlowPipeline,
+    suite: &[(&'static BenchmarkSpec, Mig)],
+) -> Vec<PipelineRun> {
+    let graphs: Vec<&Mig> = suite.iter().map(|(_, g)| g).collect();
+    pipeline
+        .run_batch(&graphs)
+        .into_iter()
+        .zip(suite)
+        .map(|(outcome, (spec, _))| {
+            outcome.unwrap_or_else(|e| panic!("{}: flow failed: {e}", spec.name))
+        })
+        .collect()
+}
+
+/// Runs the paper's default flow (FO3 + BUF) over the suite **once**
+/// and returns both the per-technology comparisons (Fig 9 / Table II
+/// source data) and the per-pass instrumentation trace of every
+/// benchmark — so drivers wanting both don't pay for two suite runs.
+#[allow(clippy::type_complexity)]
+pub fn evaluate_suite_traced(
+    suite: &[(&'static BenchmarkSpec, Mig)],
+) -> (
+    Vec<(String, Vec<tech::Comparison>)>,
+    Vec<(String, Vec<PassStats>)>,
+) {
+    let technologies = Technology::all();
+    let pipeline = FlowPipeline::for_config(FlowConfig::default());
+    let mut evaluated = Vec::with_capacity(suite.len());
+    let mut traces = Vec::with_capacity(suite.len());
+    for (run, (spec, _)) in run_pipeline_over(&pipeline, suite).into_iter().zip(suite) {
+        let comparisons = technologies
+            .iter()
+            .map(|t| compare(&run.result, t))
+            .collect();
+        evaluated.push((spec.name.to_owned(), comparisons));
+        traces.push((spec.name.to_owned(), run.trace));
+    }
+    (evaluated, traces)
+}
+
+/// Runs the paper's default flow (FO3 + BUF) over the suite and returns
+/// the per-pass instrumentation trace for every benchmark.
+pub fn flow_traces(suite: &[(&'static BenchmarkSpec, Mig)]) -> Vec<(String, Vec<PassStats>)> {
+    evaluate_suite_traced(suite).1
+}
+
 /// One Fig 5 sample: buffers inserted by BUF alone vs original size.
-#[derive(Clone, Debug)]
-#[derive(serde::Serialize, serde::Deserialize)]
+#[derive(Clone, Debug, serde::Serialize, serde::Deserialize)]
 pub struct Fig5Point {
     /// Benchmark name.
     pub name: String,
@@ -37,19 +93,21 @@ pub struct Fig5Point {
     pub buffers: usize,
 }
 
-/// Runs buffer insertion alone over the given circuits (Fig 5).
+/// Runs buffer insertion alone over the given circuits (Fig 5) — the
+/// BUF-only pipeline, in parallel.
 pub fn fig5_points(suite: &[(&'static BenchmarkSpec, Mig)]) -> Vec<Fig5Point> {
-    suite
-        .iter()
-        .map(|(spec, g)| {
-            let mut n = netlist_from_mig(g);
-            let size = n.counts().priced_total();
-            let stats = insert_buffers(&mut n);
-            Fig5Point {
-                name: spec.name.to_owned(),
-                size,
-                buffers: stats.total(),
-            }
+    let pipeline = FlowPipeline::builder()
+        .map(false)
+        .insert_buffers(BufferStrategy::Asap)
+        .build()
+        .expect("BUF-only pipeline is well-ordered");
+    run_pipeline_over(&pipeline, suite)
+        .into_iter()
+        .zip(suite)
+        .map(|(run, (spec, _))| Fig5Point {
+            name: spec.name.to_owned(),
+            size: run.result.original_counts().priced_total(),
+            buffers: run.result.buffers.expect("insertion pass ran").total(),
         })
         .collect()
 }
@@ -65,8 +123,7 @@ pub fn fig5_fit(points: &[Fig5Point]) -> PowerLaw {
 }
 
 /// One Fig 7 row: critical-path increase per fan-out restriction.
-#[derive(Clone, Debug)]
-#[derive(serde::Serialize, serde::Deserialize)]
+#[derive(Clone, Debug, serde::Serialize, serde::Deserialize)]
 pub struct Fig7Row {
     /// Benchmark name.
     pub name: String,
@@ -76,30 +133,37 @@ pub struct Fig7Row {
     pub increase: [f64; 4],
 }
 
-/// Runs fan-out restriction alone for k ∈ {2,3,4,5} (Fig 7).
+/// Runs fan-out restriction alone for k ∈ {2,3,4,5} (Fig 7): four
+/// FOk-only pipelines, each over the whole suite in parallel.
 pub fn fig7_rows(suite: &[(&'static BenchmarkSpec, Mig)]) -> Vec<Fig7Row> {
+    // Keep only the small Copy stats per run — the netlists of one
+    // sweep are dropped before the next sweep starts.
+    let sweeps: Vec<Vec<wavepipe::FanoutRestriction>> = (2..=5u32)
+        .map(|k| {
+            let pipeline = FlowPipeline::builder()
+                .map(false)
+                .restrict_fanout(k)
+                .build()
+                .expect("FOk-only pipeline is well-ordered");
+            run_pipeline_over(&pipeline, suite)
+                .into_iter()
+                .map(|run| run.result.fanout.expect("restriction pass ran"))
+                .collect()
+        })
+        .collect();
     suite
         .iter()
-        .map(|(spec, g)| {
-            let base = netlist_from_mig(g);
-            let mut increase = [0.0; 4];
-            for (i, k) in (2..=5u32).enumerate() {
-                let mut n = base.clone();
-                let stats = restrict_fanout(&mut n, k);
-                increase[i] = stats.depth_increase();
-            }
-            Fig7Row {
-                name: spec.name.to_owned(),
-                original_depth: base.depth(),
-                increase,
-            }
+        .enumerate()
+        .map(|(i, (spec, _))| Fig7Row {
+            name: spec.name.to_owned(),
+            original_depth: sweeps[0][i].depth_before,
+            increase: std::array::from_fn(|k_index| sweeps[k_index][i].depth_increase()),
         })
         .collect()
 }
 
 /// Fig 8 aggregate: normalized component counts averaged over the suite.
-#[derive(Clone, Debug)]
-#[derive(serde::Serialize, serde::Deserialize)]
+#[derive(Clone, Debug, serde::Serialize, serde::Deserialize)]
 pub struct Fig8Data {
     /// Normalized size after buffer insertion alone (paper: 3.81).
     pub buf_only: f64,
@@ -115,53 +179,87 @@ pub struct Fig8Data {
     pub combined_fog_share: [f64; 4],
 }
 
-/// Runs BUF, FOk and FOk+BUF over the suite and averages normalized
-/// sizes (Fig 8).
+/// Per-circuit Fig 8 sample, computed in one parallel task.
+struct Fig8Sample {
+    buf_ratio: f64,
+    fo_ratio: [f64; 4],
+    fog_share: [f64; 4],
+    combined_ratio: [f64; 4],
+    combined_fog: [f64; 4],
+}
+
+/// Runs BUF and FOk+BUF over the suite and averages normalized sizes
+/// (Fig 8). All five flow configurations of one circuit run in the same
+/// parallel task; the FOk-*only* numbers are not re-run — they are read
+/// off the combined run's per-pass trace, whose `counts_after` for the
+/// restriction pass is exactly the FOk-only netlist.
 pub fn fig8_data(suite: &[(&'static BenchmarkSpec, Mig)]) -> Fig8Data {
-    let mut buf_ratios = Vec::new();
-    let mut fo_ratios = vec![Vec::new(); 4];
-    let mut fog_shares = vec![Vec::new(); 4];
-    let mut combined_ratios = vec![Vec::new(); 4];
-    let mut combined_fog = vec![Vec::new(); 4];
+    let buf_only = FlowPipeline::builder()
+        .map(false)
+        .insert_buffers(BufferStrategy::Asap)
+        .build()
+        .expect("well-ordered");
+    let per_k: Vec<FlowPipeline> = (2..=5u32)
+        .map(|k| {
+            FlowPipeline::builder()
+                .map(false)
+                .restrict_fanout(k)
+                .insert_buffers(BufferStrategy::Asap)
+                .build()
+                .expect("well-ordered")
+        })
+        .collect();
 
-    for (_, g) in suite {
-        let base = netlist_from_mig(g);
-        let orig = base.counts().priced_total() as f64;
+    let samples: Vec<Fig8Sample> = suite
+        .par_iter()
+        .map(|(spec, g)| {
+            let fail = |e| -> ! { panic!("{}: flow failed: {e}", spec.name) };
+            let buf = buf_only.run(g).unwrap_or_else(|e| fail(e));
+            let orig = buf.result.original_counts().priced_total() as f64;
+            let mut sample = Fig8Sample {
+                buf_ratio: buf.result.pipelined_counts().priced_total() as f64 / orig,
+                fo_ratio: [0.0; 4],
+                fog_share: [0.0; 4],
+                combined_ratio: [0.0; 4],
+                combined_fog: [0.0; 4],
+            };
+            for (i, combined) in per_k.iter().enumerate() {
+                let full = combined.run(g).unwrap_or_else(|e| fail(e));
+                // The netlist right after the restriction pass *is* the
+                // FOk-only result; its counts are in the trace.
+                let c = full
+                    .trace
+                    .iter()
+                    .find(|p| p.pass.starts_with("fanout_restriction"))
+                    .expect("combined pipeline restricts fan-out")
+                    .counts_after;
+                sample.fo_ratio[i] = c.priced_total() as f64 / orig;
+                sample.fog_share[i] = c.fog as f64 / orig;
 
-        let mut buf_net = base.clone();
-        insert_buffers(&mut buf_net);
-        buf_ratios.push(buf_net.counts().priced_total() as f64 / orig);
+                let c = full.result.pipelined_counts();
+                sample.combined_ratio[i] = c.priced_total() as f64 / orig;
+                sample.combined_fog[i] = c.fog as f64 / orig;
+            }
+            sample
+        })
+        .collect();
 
-        for (i, k) in (2..=5u32).enumerate() {
-            let mut fo_net = base.clone();
-            restrict_fanout(&mut fo_net, k);
-            let c = fo_net.counts();
-            fo_ratios[i].push(c.priced_total() as f64 / orig);
-            fog_shares[i].push(c.fog as f64 / orig);
-
-            let mut full = fo_net;
-            insert_buffers(&mut full);
-            let c = full.counts();
-            combined_ratios[i].push(c.priced_total() as f64 / orig);
-            combined_fog[i].push(c.fog as f64 / orig);
-        }
-    }
-
-    let avg = |v: &[f64]| tech::mean(v);
+    let avg = |pick: &dyn Fn(&Fig8Sample) -> f64| {
+        tech::mean(&samples.iter().map(pick).collect::<Vec<_>>())
+    };
     Fig8Data {
-        buf_only: avg(&buf_ratios),
-        fo_only: std::array::from_fn(|i| avg(&fo_ratios[i])),
-        fog_share: std::array::from_fn(|i| avg(&fog_shares[i])),
-        combined: std::array::from_fn(|i| avg(&combined_ratios[i])),
-        combined_fog_share: std::array::from_fn(|i| avg(&combined_fog[i])),
+        buf_only: avg(&|s| s.buf_ratio),
+        fo_only: std::array::from_fn(|i| avg(&|s| s.fo_ratio[i])),
+        fog_share: std::array::from_fn(|i| avg(&|s| s.fog_share[i])),
+        combined: std::array::from_fn(|i| avg(&|s| s.combined_ratio[i])),
+        combined_fog_share: std::array::from_fn(|i| avg(&|s| s.combined_fog[i])),
     }
 }
 
 /// Fig 9 aggregate: T/A and T/P gains per technology, averaged over the
 /// suite (both arithmetic mean, as the paper reports, and geometric
 /// mean, the fairer average for ratios).
-#[derive(Clone, Debug)]
-#[derive(serde::Serialize, serde::Deserialize)]
+#[derive(Clone, Debug, serde::Serialize, serde::Deserialize)]
 pub struct Fig9Data {
     /// Technology name.
     pub technology: String,
@@ -175,21 +273,13 @@ pub struct Fig9Data {
     pub tp_geomean: f64,
 }
 
-/// Runs the full flow (FO3 + BUF, the paper's §V configuration) once
-/// and evaluates all three technologies (Fig 9 + Table II source data).
+/// Runs the full flow (FO3 + BUF, the paper's §V configuration) over
+/// the suite through the parallel batch driver and evaluates all three
+/// technologies (Fig 9 + Table II source data).
 pub fn evaluate_suite(
     suite: &[(&'static BenchmarkSpec, Mig)],
 ) -> Vec<(String, Vec<tech::Comparison>)> {
-    let technologies = Technology::all();
-    suite
-        .iter()
-        .map(|(spec, g)| {
-            let flow = run_flow(g, FlowConfig::default())
-                .unwrap_or_else(|e| panic!("{}: flow verification failed: {e}", spec.name));
-            let comparisons = technologies.iter().map(|t| compare(&flow, t)).collect();
-            (spec.name.to_owned(), comparisons)
-        })
-        .collect()
+    evaluate_suite_traced(suite).0
 }
 
 /// Aggregates [`evaluate_suite`] output into Fig 9 bars.
@@ -213,14 +303,26 @@ pub fn fig9_data(evaluated: &[(String, Vec<tech::Comparison>)]) -> Vec<Fig9Data>
 }
 
 /// Table II rows for one technology over the paper's seven selected
-/// benchmarks.
+/// benchmarks (built and evaluated in parallel).
 pub fn table2_rows(technology: &Technology) -> Vec<BenchmarkRow> {
-    benchsuite::TABLE2_SELECTION
+    let suite = build_suite(Some(&benchsuite::TABLE2_SELECTION));
+    // `build_suite` filters against SUITE order; re-order to match the
+    // paper's selection list.
+    let graphs: Vec<&Mig> = benchsuite::TABLE2_SELECTION
         .iter()
         .map(|name| {
-            let spec = benchsuite::find(name).expect("Table II names are in the suite");
-            let flow = run_flow(&spec.build(), FlowConfig::default())
-                .unwrap_or_else(|e| panic!("{name}: flow verification failed: {e}"));
+            &suite
+                .iter()
+                .find(|(spec, _)| spec.name == *name)
+                .expect("Table II names are in the suite")
+                .1
+        })
+        .collect();
+    run_flow_batch(&graphs, FlowConfig::default())
+        .into_iter()
+        .zip(benchsuite::TABLE2_SELECTION.iter())
+        .map(|(outcome, name)| {
+            let flow = outcome.unwrap_or_else(|e| panic!("{name}: flow verification failed: {e}"));
             BenchmarkRow {
                 benchmark: (*name).to_owned(),
                 comparison: compare(&flow, technology),
@@ -230,8 +332,7 @@ pub fn table2_rows(technology: &Technology) -> Vec<BenchmarkRow> {
 }
 
 /// Ablation: ASAP vs retimed buffer insertion over the suite.
-#[derive(Clone, Debug)]
-#[derive(serde::Serialize, serde::Deserialize)]
+#[derive(Clone, Debug, serde::Serialize, serde::Deserialize)]
 pub struct RetimingAblation {
     /// Benchmark name.
     pub name: String,
@@ -252,31 +353,44 @@ impl RetimingAblation {
     }
 }
 
-/// Runs the retiming ablation (FO3 first, then both insertion variants).
+/// Runs the retiming ablation: the same FO3 pipeline with the two
+/// insertion strategies swapped — a one-line pipeline edit.
 pub fn retiming_ablation(suite: &[(&'static BenchmarkSpec, Mig)]) -> Vec<RetimingAblation> {
+    let strategy_pipeline = |strategy| {
+        FlowPipeline::builder()
+            .map(false)
+            .restrict_fanout(3)
+            .insert_buffers(strategy)
+            .verify(Some(3))
+            .build()
+            .expect("well-ordered")
+    };
+    // Reduce each suite run to its buffer totals immediately so two
+    // suites' worth of netlists are never alive at once.
+    let buffer_totals = |strategy| -> Vec<usize> {
+        run_pipeline_over(&strategy_pipeline(strategy), suite)
+            .into_iter()
+            .map(|run| run.result.buffers.expect("insertion ran").total())
+            .collect()
+    };
+    let asap = buffer_totals(BufferStrategy::Asap);
+    let retimed = buffer_totals(BufferStrategy::Retimed);
     suite
         .iter()
-        .map(|(spec, g)| {
-            let mut base: Netlist = netlist_from_mig(g);
-            restrict_fanout(&mut base, 3);
-
-            let mut asap = base.clone();
-            let asap_stats = insert_buffers(&mut asap);
-            let mut retimed = base;
-            let retimed_stats = wavepipe::insert_buffers_retimed(&mut retimed);
-            RetimingAblation {
+        .zip(asap.into_iter().zip(retimed))
+        .map(
+            |((spec, _), (asap_buffers, retimed_buffers))| RetimingAblation {
                 name: spec.name.to_owned(),
-                asap_buffers: asap_stats.total(),
-                retimed_buffers: retimed_stats.total(),
-            }
-        })
+                asap_buffers,
+                retimed_buffers,
+            },
+        )
         .collect()
 }
 
 /// Ablation: reference mapping vs inversion-minimized mapping, priced
 /// on QCA (where the inverter is 10×/7×/10× a cell).
-#[derive(Clone, Debug)]
-#[derive(serde::Serialize, serde::Deserialize)]
+#[derive(Clone, Debug, serde::Serialize, serde::Deserialize)]
 pub struct InverterAblation {
     /// Benchmark name.
     pub name: String,
@@ -301,21 +415,25 @@ impl InverterAblation {
     }
 }
 
-/// Runs the inversion-minimization ablation over the given circuits.
+/// Runs the inversion-minimization ablation over the given circuits:
+/// the default flow with the mapping pass swapped.
 pub fn inverter_ablation(suite: &[(&'static BenchmarkSpec, Mig)]) -> Vec<InverterAblation> {
     let qca = Technology::qca();
+    let graphs: Vec<&Mig> = suite.iter().map(|(_, g)| g).collect();
+    let plain_runs = run_flow_batch(&graphs, FlowConfig::default());
+    let min_runs = run_flow_batch(
+        &graphs,
+        FlowConfig {
+            minimize_inverters: true,
+            ..FlowConfig::default()
+        },
+    );
     suite
         .iter()
-        .map(|(spec, g)| {
-            let plain = run_flow(g, FlowConfig::default()).expect("flow verifies");
-            let min = run_flow(
-                g,
-                FlowConfig {
-                    minimize_inverters: true,
-                    ..FlowConfig::default()
-                },
-            )
-            .expect("flow verifies");
+        .zip(plain_runs.into_iter().zip(min_runs))
+        .map(|((spec, _), (plain, min))| {
+            let plain = plain.unwrap_or_else(|e| panic!("{}: flow failed: {e}", spec.name));
+            let min = min.unwrap_or_else(|e| panic!("{}: flow failed: {e}", spec.name));
             InverterAblation {
                 name: spec.name.to_owned(),
                 plain_inv: plain.original.counts().inv,
@@ -423,6 +541,34 @@ mod tests {
                 row.asap_buffers
             );
             assert!(row.saving() >= 0.0);
+        }
+    }
+
+    #[test]
+    fn traces_cover_every_pass_of_every_benchmark() {
+        let suite = build_suite(Some(&["SASC", "HAMMING"]));
+        let traces = flow_traces(&suite);
+        assert_eq!(traces.len(), 2);
+        for (name, trace) in traces {
+            assert_eq!(trace.len(), 4, "{name}: map + FO + BUF + verify");
+            assert!(trace.iter().any(|p| p.added.fog > 0), "{name}");
+            assert!(trace.iter().any(|p| p.added.buf > 0), "{name}");
+        }
+    }
+
+    #[test]
+    fn parallel_suite_evaluation_matches_serial_flow() {
+        // The batch driver must be a pure parallelization: identical
+        // results to one-at-a-time `run_flow`.
+        let suite = build_suite(Some(&["SASC", "ALU16"]));
+        let evaluated = evaluate_suite(&suite);
+        for ((spec, g), (name, comparisons)) in suite.iter().zip(&evaluated) {
+            assert_eq!(spec.name, name);
+            let serial = wavepipe::run_flow(g, FlowConfig::default()).unwrap();
+            let technologies = Technology::all();
+            for (t, c) in technologies.iter().zip(comparisons) {
+                assert_eq!(compare(&serial, t), *c);
+            }
         }
     }
 }

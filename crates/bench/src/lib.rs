@@ -14,6 +14,12 @@
 //! | Retiming ablation (beyond paper) | `ablation_retiming` | [`harness::retiming_ablation`] |
 //! | Everything, to `results/` | `repro_all` | all of the above |
 //!
+//! Every driver runs its suite through the pass pipeline's **parallel
+//! batch driver** (one task per circuit across all cores), and
+//! `repro_all` additionally writes the per-pass instrumentation trace
+//! (wall time, component delta, depth change per pass per benchmark)
+//! from [`harness::flow_traces`] to `results/flow_trace.{txt,json}`.
+//!
 //! Criterion performance benches for the two algorithms live under
 //! `benches/`.
 

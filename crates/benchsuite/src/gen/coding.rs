@@ -39,13 +39,16 @@ fn hamming_correct(g: &mut Mig, code: &[Signal]) -> Word {
     let syndrome: Word = (0..4)
         .map(|p| {
             let mask = 1usize << p;
-            let covered: Word = (0..15).filter(|&i| (i + 1) & mask != 0).map(|i| code[i]).collect();
+            let covered: Word = (0..15)
+                .filter(|&i| (i + 1) & mask != 0)
+                .map(|i| code[i])
+                .collect();
             g.add_xor_n(&covered)
         })
         .collect();
     // flip[i] = (syndrome == i + 1)
     let mut corrected = Vec::with_capacity(11);
-    for i in 0..15 {
+    for (i, &code_bit) in code.iter().enumerate() {
         if is_parity_position(i) {
             continue;
         }
@@ -54,7 +57,7 @@ fn hamming_correct(g: &mut Mig, code: &[Signal]) -> Word {
             .map(|p| syndrome[p].complement_if(target >> p & 1 == 0))
             .collect();
         let flip = g.add_and_n(&bits);
-        corrected.push(g.add_xor(code[i], flip));
+        corrected.push(g.add_xor(code_bit, flip));
     }
     corrected
 }
@@ -89,7 +92,11 @@ pub fn crc(message_bits: usize, crc_width: usize, poly: u64) -> Mig {
         // One LFSR step: feedback = msb ⊕ bit; shift; XOR poly taps.
         let feedback = g.add_xor(state[crc_width - 1], bit);
         let mut next: Word = Vec::with_capacity(crc_width);
-        next.push(if poly & 1 != 0 { feedback } else { Signal::ZERO });
+        next.push(if poly & 1 != 0 {
+            feedback
+        } else {
+            Signal::ZERO
+        });
         for i in 1..crc_width {
             let shifted = state[i - 1];
             next.push(if poly >> i & 1 != 0 {
@@ -245,10 +252,7 @@ mod tests {
         let g = parity_tree(9);
         for p in 0..1u32 << 9 {
             let bits: Vec<bool> = (0..9).map(|i| p >> i & 1 != 0).collect();
-            assert_eq!(
-                Simulator::new(&g).eval(&bits)[0],
-                p.count_ones() % 2 == 1
-            );
+            assert_eq!(Simulator::new(&g).eval(&bits)[0], p.count_ones() % 2 == 1);
         }
     }
 

@@ -57,7 +57,14 @@ pub fn sasc_like() -> Mig {
 
 /// Seeded random MIG with a named profile — the suite's long tail and
 /// the large-size end of Fig 5.
-pub fn random_profile(name: &str, inputs: usize, outputs: usize, gates: usize, depth: u32, seed: u64) -> Mig {
+pub fn random_profile(
+    name: &str,
+    inputs: usize,
+    outputs: usize,
+    gates: usize,
+    depth: u32,
+    seed: u64,
+) -> Mig {
     let mut g = mig::random_mig(mig::RandomMigConfig {
         inputs,
         outputs,

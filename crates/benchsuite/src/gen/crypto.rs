@@ -139,8 +139,16 @@ mod tests {
                 bits.push(yv >> i & 1 != 0);
             }
             let out = Simulator::new(&g).eval(&bits);
-            let gx: u64 = out[..width].iter().enumerate().map(|(i, &b)| (b as u64) << i).sum();
-            let gy: u64 = out[width..].iter().enumerate().map(|(i, &b)| (b as u64) << i).sum();
+            let gx: u64 = out[..width]
+                .iter()
+                .enumerate()
+                .map(|(i, &b)| (b as u64) << i)
+                .sum();
+            let gy: u64 = out[width..]
+                .iter()
+                .enumerate()
+                .map(|(i, &b)| (b as u64) << i)
+                .sum();
             assert_eq!((gx, gy), revx_ref(width, rounds, xv, yv));
         }
     }

@@ -122,7 +122,14 @@ mod tests {
     }
 
     /// Software model of one diffeq step (all ops mod 2^width).
-    fn diffeq_ref(width: usize, steps: usize, mut x: u64, mut y: u64, mut u: u64, dt: u64) -> (u64, u64, u64) {
+    fn diffeq_ref(
+        width: usize,
+        steps: usize,
+        mut x: u64,
+        mut y: u64,
+        mut u: u64,
+        dt: u64,
+    ) -> (u64, u64, u64) {
         let mask = (1u64 << width) - 1;
         for _ in 0..steps {
             let xu = x.wrapping_mul(u) & mask;

@@ -236,7 +236,11 @@ mod median_smooth_tests {
     fn depth_equals_rounds() {
         let g = median_smooth(16, 6);
         assert!(g.depth() <= 6);
-        assert!(g.depth() >= 5, "strash may fold a little, not a lot: {}", g.depth());
+        assert!(
+            g.depth() >= 5,
+            "strash may fold a little, not a lot: {}",
+            g.depth()
+        );
     }
 
     #[test]

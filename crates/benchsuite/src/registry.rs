@@ -68,100 +68,188 @@ macro_rules! spec {
 /// The full 37-circuit suite, smallest-ish to largest-ish.
 pub static SUITE: &[BenchmarkSpec] = &[
     // — The seven Table II names —
-    spec!("SASC", Control, "simple asynchronous serial controller profile (paper: 622/6)", || {
-        control::sasc_like()
-    }),
-    spec!("DES_AREA", Crypto, "two-round S-box Feistel network (paper: 4187/22)", || {
-        crypto::des_like(2)
-    }),
-    spec!("MUL32", Multiplier, "32×32 array multiplier (paper: 9097/36)", || {
-        multipliers::array_multiplier(32)
-    }),
-    spec!("HAMMING", Coding, "four chained Hamming(15,11) encode/correct rounds (paper: 2072/61)", || {
-        coding::hamming_rounds(4)
-    }),
-    spec!("MUL64", Multiplier, "64×64 array multiplier (paper: 25773/109)", || {
-        multipliers::array_multiplier(64)
-    }),
-    spec!("REVX", Crypto, "12-round ARX mixing pipeline (paper: 7517/143)", || {
-        crypto::revx(16, 12)
-    }),
-    spec!("DIFFEQ1", Datapath, "three unrolled Euler steps of the HLS diffeq kernel (paper: 17726/219)", || {
-        datapath::diffeq(16, 3)
-    }),
+    spec!(
+        "SASC",
+        Control,
+        "simple asynchronous serial controller profile (paper: 622/6)",
+        || { control::sasc_like() }
+    ),
+    spec!(
+        "DES_AREA",
+        Crypto,
+        "two-round S-box Feistel network (paper: 4187/22)",
+        || { crypto::des_like(2) }
+    ),
+    spec!(
+        "MUL32",
+        Multiplier,
+        "32×32 array multiplier (paper: 9097/36)",
+        || { multipliers::array_multiplier(32) }
+    ),
+    spec!(
+        "HAMMING",
+        Coding,
+        "four chained Hamming(15,11) encode/correct rounds (paper: 2072/61)",
+        || { coding::hamming_rounds(4) }
+    ),
+    spec!(
+        "MUL64",
+        Multiplier,
+        "64×64 array multiplier (paper: 25773/109)",
+        || { multipliers::array_multiplier(64) }
+    ),
+    spec!(
+        "REVX",
+        Crypto,
+        "12-round ARX mixing pipeline (paper: 7517/143)",
+        || { crypto::revx(16, 12) }
+    ),
+    spec!(
+        "DIFFEQ1",
+        Datapath,
+        "three unrolled Euler steps of the HLS diffeq kernel (paper: 17726/219)",
+        || { datapath::diffeq(16, 3) }
+    ),
     // — Adders —
-    spec!("ADD32R", Arithmetic, "32-bit ripple-carry adder", || adders::ripple_adder(32)),
+    spec!("ADD32R", Arithmetic, "32-bit ripple-carry adder", || {
+        adders::ripple_adder(32)
+    }),
     spec!("ADD32KS", Arithmetic, "32-bit Kogge–Stone adder", || {
         adders::kogge_stone_adder(32)
     }),
     spec!("ADD64KS", Arithmetic, "64-bit Kogge–Stone adder", || {
         adders::kogge_stone_adder(64)
     }),
-    spec!("ADDTREE8x8", Arithmetic, "8-lane 8-bit adder reduction tree", || {
-        adders::adder_tree(8, 8)
-    }),
+    spec!(
+        "ADDTREE8x8",
+        Arithmetic,
+        "8-lane 8-bit adder reduction tree",
+        || { adders::adder_tree(8, 8) }
+    ),
     // — Multipliers —
-    spec!("MUL8", Multiplier, "8×8 array multiplier", || multipliers::array_multiplier(8)),
+    spec!("MUL8", Multiplier, "8×8 array multiplier", || {
+        multipliers::array_multiplier(8)
+    }),
     spec!("MUL16", Multiplier, "16×16 array multiplier", || {
         multipliers::array_multiplier(16)
     }),
-    spec!("MUL16W", Multiplier, "16×16 Wallace-tree multiplier", || {
-        multipliers::wallace_multiplier(16)
+    spec!(
+        "MUL16W",
+        Multiplier,
+        "16×16 Wallace-tree multiplier",
+        || { multipliers::wallace_multiplier(16) }
+    ),
+    spec!(
+        "MUL32W",
+        Multiplier,
+        "32×32 Wallace-tree multiplier",
+        || { multipliers::wallace_multiplier(32) }
+    ),
+    spec!("MAC16", Datapath, "16×16 multiply-accumulate", || {
+        datapath::mac(16)
     }),
-    spec!("MUL32W", Multiplier, "32×32 Wallace-tree multiplier", || {
-        multipliers::wallace_multiplier(32)
-    }),
-    spec!("MAC16", Datapath, "16×16 multiply-accumulate", || datapath::mac(16)),
     // — Datapath —
     spec!("ALU16", Datapath, "16-bit 4-op ALU", || datapath::alu(16)),
-    spec!("DIFFEQ_S", Datapath, "single Euler step, 12-bit", || datapath::diffeq(12, 1)),
+    spec!("DIFFEQ_S", Datapath, "single Euler step, 12-bit", || {
+        datapath::diffeq(12, 1)
+    }),
     // — Comparators / counting —
-    spec!("CMP32", Arithmetic, "32-bit three-way comparator", || misc::comparator(32)),
-    spec!("POP32", Arithmetic, "32-bit population count", || misc::popcount_circuit(32)),
+    spec!("CMP32", Arithmetic, "32-bit three-way comparator", || {
+        misc::comparator(32)
+    }),
+    spec!("POP32", Arithmetic, "32-bit population count", || {
+        misc::popcount_circuit(32)
+    }),
     // — Steering —
-    spec!("BSH32", Steering, "32-bit barrel shifter", || misc::barrel_shifter(32)),
-    spec!("DEC6", Steering, "6-to-64 one-hot decoder", || misc::decoder(6)),
-    spec!("MEDS32x8", Steering, "8 rounds of 32-lane median smoothing (native majority)", || {
-        misc::median_smooth(32, 8)
+    spec!("BSH32", Steering, "32-bit barrel shifter", || {
+        misc::barrel_shifter(32)
     }),
-    spec!("SORT16x4", Steering, "4-stage 16-bit max-of-chain sorter", || {
-        misc::sort2_chain(16, 4)
+    spec!("DEC6", Steering, "6-to-64 one-hot decoder", || {
+        misc::decoder(6)
     }),
+    spec!(
+        "MEDS32x8",
+        Steering,
+        "8 rounds of 32-lane median smoothing (native majority)",
+        || { misc::median_smooth(32, 8) }
+    ),
+    spec!(
+        "SORT16x4",
+        Steering,
+        "4-stage 16-bit max-of-chain sorter",
+        || { misc::sort2_chain(16, 4) }
+    ),
     // — Coding —
-    spec!("PARITY64", Coding, "64-input parity tree", || coding::parity_tree(64)),
-    spec!("CRC8x64", Coding, "CRC-8 over a 64-bit message", || coding::crc(64, 8, 0x07)),
-    spec!("GRAY32", Coding, "32-bit binary/Gray round-trip", || coding::gray_roundtrip(32)),
+    spec!("PARITY64", Coding, "64-input parity tree", || {
+        coding::parity_tree(64)
+    }),
+    spec!("CRC8x64", Coding, "CRC-8 over a 64-bit message", || {
+        coding::crc(64, 8, 0x07)
+    }),
+    spec!("GRAY32", Coding, "32-bit binary/Gray round-trip", || {
+        coding::gray_roundtrip(32)
+    }),
     // — Control / random tail —
-    spec!("CTRL40", Control, "small controller: 4 state bits, 40 control lines", || {
-        control::controller(4, 8, 40, 0xA1)
-    }),
-    spec!("CTRL80", Control, "controller: 5 state bits, 80 control lines", || {
-        control::controller(5, 10, 80, 0xA2)
-    }),
-    spec!("CTRL160", Control, "controller: 5 state bits, 160 control lines", || {
-        control::controller(5, 14, 160, 0xA3)
-    }),
-    spec!("CTRL300", Control, "wide controller: 6 state bits, 300 control lines", || {
-        control::controller(6, 18, 300, 0xA4)
-    }),
-    spec!("CTRL_BIG", Control, "large controller: 6 state bits, 200 control lines", || {
-        control::controller(6, 16, 200, 0xC7B1)
-    }),
-    spec!("RAND1K", Control, "random MIG, 1 000 gates, depth 9", || {
-        control::random_profile("RAND1K", 40, 30, 1_000, 9, 0xB11)
-    }),
-    spec!("RAND4K", Control, "random MIG, 4 000 gates, depth 12", || {
-        control::random_profile("RAND4K", 48, 40, 4_000, 12, 0xB12)
-    }),
-    spec!("RAND10K", Control, "random MIG, 10 000 gates, depth 16", || {
-        control::random_profile("RAND10K", 56, 48, 10_000, 16, 0xB13)
-    }),
-    spec!("RAND20K", Control, "random MIG, 20 000 gates, depth 24", || {
-        control::random_profile("RAND20K", 64, 48, 20_000, 24, 0xB14)
-    }),
-    spec!("RAND50K", Control, "random MIG, 50 000 gates, depth 40 (Fig 5 upper end)", || {
-        control::random_profile("RAND50K", 64, 32, 50_000, 40, 0xB16)
-    }),
+    spec!(
+        "CTRL40",
+        Control,
+        "small controller: 4 state bits, 40 control lines",
+        || { control::controller(4, 8, 40, 0xA1) }
+    ),
+    spec!(
+        "CTRL80",
+        Control,
+        "controller: 5 state bits, 80 control lines",
+        || { control::controller(5, 10, 80, 0xA2) }
+    ),
+    spec!(
+        "CTRL160",
+        Control,
+        "controller: 5 state bits, 160 control lines",
+        || { control::controller(5, 14, 160, 0xA3) }
+    ),
+    spec!(
+        "CTRL300",
+        Control,
+        "wide controller: 6 state bits, 300 control lines",
+        || { control::controller(6, 18, 300, 0xA4) }
+    ),
+    spec!(
+        "CTRL_BIG",
+        Control,
+        "large controller: 6 state bits, 200 control lines",
+        || { control::controller(6, 16, 200, 0xC7B1) }
+    ),
+    spec!(
+        "RAND1K",
+        Control,
+        "random MIG, 1 000 gates, depth 9",
+        || { control::random_profile("RAND1K", 40, 30, 1_000, 9, 0xB11) }
+    ),
+    spec!(
+        "RAND4K",
+        Control,
+        "random MIG, 4 000 gates, depth 12",
+        || { control::random_profile("RAND4K", 48, 40, 4_000, 12, 0xB12) }
+    ),
+    spec!(
+        "RAND10K",
+        Control,
+        "random MIG, 10 000 gates, depth 16",
+        || { control::random_profile("RAND10K", 56, 48, 10_000, 16, 0xB13) }
+    ),
+    spec!(
+        "RAND20K",
+        Control,
+        "random MIG, 20 000 gates, depth 24",
+        || { control::random_profile("RAND20K", 64, 48, 20_000, 24, 0xB14) }
+    ),
+    spec!(
+        "RAND50K",
+        Control,
+        "random MIG, 50 000 gates, depth 40 (Fig 5 upper end)",
+        || { control::random_profile("RAND50K", 64, 32, 50_000, 40, 0xB16) }
+    ),
 ];
 
 /// Looks a benchmark up by name.
@@ -196,9 +284,10 @@ mod tests {
 
     #[test]
     fn small_benchmarks_build_and_are_nonempty() {
-        for spec in SUITE.iter().filter(|s| {
-            !matches!(s.name, "MUL64" | "DIFFEQ1" | "RAND50K" | "MUL32W" | "REVX")
-        }) {
+        for spec in SUITE
+            .iter()
+            .filter(|s| !matches!(s.name, "MUL64" | "DIFFEQ1" | "RAND50K" | "MUL32W" | "REVX"))
+        {
             let g = spec.build();
             assert_eq!(g.name(), spec.name);
             assert!(g.gate_count() > 0, "{} is empty", spec.name);

@@ -33,7 +33,12 @@ pub fn ripple_add(g: &mut Mig, a: &[Signal], b: &[Signal], mut carry: Signal) ->
 /// # Panics
 ///
 /// Panics if the operand widths differ or are zero.
-pub fn kogge_stone_add(g: &mut Mig, a: &[Signal], b: &[Signal], carry_in: Signal) -> (Word, Signal) {
+pub fn kogge_stone_add(
+    g: &mut Mig,
+    a: &[Signal],
+    b: &[Signal],
+    carry_in: Signal,
+) -> (Word, Signal) {
     assert_eq!(a.len(), b.len(), "kogge_stone operands must match in width");
     assert!(!a.is_empty(), "kogge_stone needs at least one bit");
     let n = a.len();
@@ -190,7 +195,7 @@ pub fn popcount(g: &mut Mig, bits: &[Signal]) -> Word {
             // Carry-save tree of full adders over three-way splits.
             let third = bits.len() / 3;
             let (lo, rest) = bits.split_at(third.max(1));
-            let (mid, hi) = rest.split_at(((rest.len() + 1) / 2).max(1));
+            let (mid, hi) = rest.split_at(rest.len().div_ceil(2).max(1));
             let a = popcount(g, lo);
             let b = popcount(g, mid);
             let c = popcount(g, hi);
@@ -220,7 +225,13 @@ pub fn barrel_shift_left(g: &mut Mig, value: &[Signal], amount: &[Signal]) -> Wo
     for (k, &sel) in amount.iter().enumerate() {
         let shift = 1usize << k;
         let shifted: Word = (0..cur.len())
-            .map(|i| if i >= shift { cur[i - shift] } else { Signal::ZERO })
+            .map(|i| {
+                if i >= shift {
+                    cur[i - shift]
+                } else {
+                    Signal::ZERO
+                }
+            })
             .collect();
         cur = word_mux(g, sel, &shifted, &cur);
     }
@@ -269,7 +280,11 @@ mod tests {
                 .enumerate()
                 .map(|(i, &b)| (b as u64) << i)
                 .sum();
-            let mask = if out_width >= 64 { !0 } else { (1u64 << out_width) - 1 };
+            let mask = if out_width >= 64 {
+                !0
+            } else {
+                (1u64 << out_width) - 1
+            };
             assert_eq!(got, expect(av, bv) & mask, "a={av}, b={bv}");
         }
     }
@@ -355,17 +370,23 @@ mod tests {
             |a, b| (a < b) as u64,
             5,
         );
-        check_binop(8, 1, |g, a, b| vec![word_eq(g, a, b)], |a, b| (a == b) as u64, 6);
+        check_binop(
+            8,
+            1,
+            |g, a, b| vec![word_eq(g, a, b)],
+            |a, b| (a == b) as u64,
+            6,
+        );
     }
 
     #[test]
     fn array_multiplier_multiplies() {
-        check_binop(6, 12, |g, a, b| array_multiply(g, a, b), |a, b| a * b, 7);
+        check_binop(6, 12, array_multiply, |a, b| a * b, 7);
     }
 
     #[test]
     fn wallace_multiplier_multiplies() {
-        check_binop(6, 12, |g, a, b| wallace_multiply(g, a, b), |a, b| a * b, 8);
+        check_binop(6, 12, wallace_multiply, |a, b| a * b, 8);
     }
 
     #[test]
@@ -441,7 +462,7 @@ mod tests {
 
     #[test]
     fn word_mux_and_xor() {
-        check_binop(8, 8, |g, a, b| word_xor(g, a, b), |a, b| a ^ b, 10);
+        check_binop(8, 8, word_xor, |a, b| a ^ b, 10);
         let mut g = Mig::new();
         let sel = g.add_input("sel");
         let a = g.add_inputs("a", 4);

@@ -133,8 +133,7 @@ pub fn verify_balance(
     fanout_limit: Option<u32>,
 ) -> Result<BalanceReport, BalanceError> {
     let levels = netlist.levels();
-    let is_const =
-        |id: CompId| netlist.component(id).kind() == ComponentKind::Const;
+    let is_const = |id: CompId| netlist.component(id).kind() == ComponentKind::Const;
 
     // 1. Unit-span edges.
     for id in netlist.ids() {
@@ -199,6 +198,74 @@ pub fn verify_balance(
     })
 }
 
+/// Pipeline pass wrapping [`verify_balance`]: checks the
+/// wave-pipelining invariants and records the [`BalanceReport`].
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct VerifyBalancePass {
+    /// Additionally enforce the §IV fan-out bound when given.
+    pub fanout_limit: Option<u32>,
+}
+
+impl crate::pipeline::Pass for VerifyBalancePass {
+    fn name(&self) -> String {
+        match self.fanout_limit {
+            Some(limit) => format!("verify(fo≤{limit})"),
+            None => "verify".to_owned(),
+        }
+    }
+
+    fn kind(&self) -> crate::pipeline::PassKind {
+        crate::pipeline::PassKind::Verify
+    }
+
+    fn run(
+        &self,
+        ctx: &mut crate::pipeline::FlowContext<'_>,
+    ) -> Result<(), crate::pipeline::PassError> {
+        let report = verify_balance(ctx.netlist(), self.fanout_limit)?;
+        ctx.report = Some(report);
+        Ok(())
+    }
+}
+
+/// Pipeline pass checking only the fan-out bound — the verification the
+/// FOx-only configurations of Fig 8 admit (balance cannot hold without
+/// buffer insertion).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct FanoutBoundPass {
+    /// The fan-out bound to enforce.
+    pub limit: u32,
+}
+
+impl crate::pipeline::Pass for FanoutBoundPass {
+    fn name(&self) -> String {
+        format!("check_fanout({})", self.limit)
+    }
+
+    fn kind(&self) -> crate::pipeline::PassKind {
+        crate::pipeline::PassKind::Verify
+    }
+
+    fn run(
+        &self,
+        ctx: &mut crate::pipeline::FlowContext<'_>,
+    ) -> Result<(), crate::pipeline::PassError> {
+        let netlist = ctx.netlist();
+        let counts = netlist.fanout_counts();
+        for id in netlist.ids() {
+            if counts[id.index()] > self.limit {
+                return Err(BalanceError::FanoutExceeded {
+                    component: id,
+                    fanout: counts[id.index()],
+                    limit: self.limit,
+                }
+                .into());
+            }
+        }
+        Ok(())
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -226,7 +293,11 @@ mod tests {
         let g2 = n.add_maj([g1, a, b]);
         n.add_output("f", g2);
         match verify_balance(&n, None) {
-            Err(BalanceError::EdgeSpan { to_level, from_level, .. }) => {
+            Err(BalanceError::EdgeSpan {
+                to_level,
+                from_level,
+                ..
+            }) => {
                 assert_eq!(to_level, 2);
                 assert_eq!(from_level, 0);
             }

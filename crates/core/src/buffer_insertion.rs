@@ -175,6 +175,30 @@ pub fn insert_buffers_with_levels(netlist: &mut Netlist, levels: &[u32]) -> Buff
     stats
 }
 
+/// Pipeline pass wrapping [`insert_buffers`] (Algorithm 1 against ASAP
+/// levels — the paper's reference strategy).
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct BufferInsertionPass;
+
+impl crate::pipeline::Pass for BufferInsertionPass {
+    fn name(&self) -> String {
+        "insert_buffers(asap)".to_owned()
+    }
+
+    fn kind(&self) -> crate::pipeline::PassKind {
+        crate::pipeline::PassKind::BufferInsertion
+    }
+
+    fn run(
+        &self,
+        ctx: &mut crate::pipeline::FlowContext<'_>,
+    ) -> Result<(), crate::pipeline::PassError> {
+        let stats = insert_buffers(ctx.netlist_mut());
+        ctx.buffers = Some(stats);
+        Ok(())
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -291,7 +315,10 @@ mod tests {
         let max_before = n.max_fanout();
         insert_buffers(&mut n);
         assert!(max_before <= 3);
-        assert!(n.max_fanout() <= 3, "buffering must not blow the fan-out bound");
+        assert!(
+            n.max_fanout() <= 3,
+            "buffering must not blow the fan-out bound"
+        );
         assert!(verify_balance(&n, Some(3)).is_ok());
     }
 

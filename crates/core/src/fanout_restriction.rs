@@ -116,7 +116,10 @@ pub fn restrict_fanout(netlist: &mut Netlist, limit: u32) -> FanoutRestriction {
         let mut uses: Vec<(u32, Use)> = fanout[idx]
             .iter()
             .map(|&(consumer, slot)| {
-                (original_levels[consumer.index()], Use::Gate { consumer, slot })
+                (
+                    original_levels[consumer.index()],
+                    Use::Gate { consumer, slot },
+                )
             })
             .collect();
         for &position in &output_uses[idx] {
@@ -164,6 +167,35 @@ pub fn restrict_fanout(netlist: &mut Netlist, limit: u32) -> FanoutRestriction {
 
     stats.depth_after = netlist.depth();
     stats
+}
+
+/// Pipeline pass wrapping [`restrict_fanout`].
+///
+/// Records its [`FanoutRestriction`] statistics and the enforced limit
+/// in the [`crate::pipeline::FlowContext`].
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct FanoutRestrictionPass {
+    /// The §IV fan-out limit (2–5).
+    pub limit: u32,
+}
+
+impl crate::pipeline::Pass for FanoutRestrictionPass {
+    fn name(&self) -> String {
+        format!("fanout_restriction({})", self.limit)
+    }
+
+    fn kind(&self) -> crate::pipeline::PassKind {
+        crate::pipeline::PassKind::FanoutRestriction
+    }
+
+    fn run(
+        &self,
+        ctx: &mut crate::pipeline::FlowContext<'_>,
+    ) -> Result<(), crate::pipeline::PassError> {
+        let stats = restrict_fanout(ctx.netlist_mut(), self.limit);
+        ctx.fanout = Some(stats);
+        Ok(())
+    }
 }
 
 #[cfg(test)]
@@ -223,7 +255,13 @@ mod tests {
     fn fog_count_matches_chain_arithmetic() {
         // driver capacity k, each FOG adds k−1 net new slots; for f
         // consumers: fogs = ceil((f − k) / (k − 1)) when f > k.
-        for (f, k, expect) in [(9usize, 3u32, 3usize), (4, 2, 2), (10, 5, 2), (6, 5, 1), (5, 5, 0)] {
+        for (f, k, expect) in [
+            (9usize, 3u32, 3usize),
+            (4, 2, 2),
+            (10, 5, 2),
+            (6, 5, 1),
+            (5, 5, 0),
+        ] {
             let mut n = wide_fanout(f);
             // Each gate consumer + its output: `a` has fan-out f, each gate
             // has fan-out 1 (its own output), so only `a` splits.
@@ -289,11 +327,15 @@ mod tests {
             increases.push(stats.depth_increase());
         }
         assert!(
-            increases[0] >= increases[1] && increases[1] >= increases[2]
+            increases[0] >= increases[1]
+                && increases[1] >= increases[2]
                 && increases[2] >= increases[3],
             "depth increase should be monotone in the restriction: {increases:?}"
         );
-        assert!(increases[0] > 0.0, "k=2 must delay something on this netlist");
+        assert!(
+            increases[0] > 0.0,
+            "k=2 must delay something on this netlist"
+        );
     }
 
     #[test]

@@ -6,14 +6,21 @@
 //! must run **before** buffer insertion because splitting fan-out
 //! changes path lengths (Fig 8's observation (a): the combined flow
 //! inserts more buffers than either pass alone).
+//!
+//! Since the pass-pipeline refactor, [`run_flow`] is a thin
+//! compatibility wrapper: it assembles the default
+//! [`crate::FlowPipeline`] for the given [`FlowConfig`] and converts
+//! the instrumented [`crate::PipelineRun`] back into the legacy
+//! [`FlowResult`] shape. [`run_flow_batch`] evaluates whole suites in
+//! parallel.
 
 use mig::Mig;
 
-use crate::balance::{verify_balance, BalanceError, BalanceReport};
-use crate::buffer_insertion::{insert_buffers, BufferInsertion};
-use crate::fanout_restriction::{restrict_fanout, FanoutRestriction};
-use crate::from_mig::netlist_from_mig;
+use crate::balance::{BalanceError, BalanceReport};
+use crate::buffer_insertion::BufferInsertion;
+use crate::fanout_restriction::FanoutRestriction;
 use crate::netlist::{KindCounts, Netlist};
+use crate::pipeline::{FlowPipeline, PassError, PipelineRun};
 
 /// Configuration of the enablement flow.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
@@ -109,45 +116,58 @@ impl FlowResult {
 /// # }
 /// ```
 pub fn run_flow(graph: &Mig, config: FlowConfig) -> Result<FlowResult, BalanceError> {
-    let original = if config.minimize_inverters {
-        crate::from_mig::netlist_from_mig_min_inv(graph)
-    } else {
-        netlist_from_mig(graph)
-    };
-    let mut pipelined = original.clone();
+    into_legacy(FlowPipeline::for_config(config).run(graph))
+}
 
-    let fanout = config
-        .fanout_limit
-        .map(|limit| restrict_fanout(&mut pipelined, limit));
+/// Runs the configured flow over many graphs concurrently (one task per
+/// graph, scheduled across all cores by the pipeline's parallel batch
+/// driver), preserving input order.
+///
+/// Each graph gets its own `Result`, so one failing circuit does not
+/// poison a suite run.
+///
+/// # Examples
+///
+/// ```
+/// use mig::Mig;
+/// use wavepipe::{run_flow_batch, FlowConfig};
+///
+/// let graphs: Vec<Mig> = (0..4)
+///     .map(|seed| {
+///         mig::random_mig(mig::RandomMigConfig {
+///             inputs: 6,
+///             outputs: 3,
+///             gates: 60,
+///             depth: 6,
+///             seed,
+///         })
+///     })
+///     .collect();
+/// let refs: Vec<&Mig> = graphs.iter().collect();
+/// let results = run_flow_batch(&refs, FlowConfig::default());
+/// assert_eq!(results.len(), 4);
+/// assert!(results.iter().all(|r| r.is_ok()));
+/// ```
+pub fn run_flow_batch(
+    graphs: &[&Mig],
+    config: FlowConfig,
+) -> Vec<Result<FlowResult, BalanceError>> {
+    FlowPipeline::for_config(config)
+        .run_batch(graphs)
+        .into_iter()
+        .map(into_legacy)
+        .collect()
+}
 
-    let buffers = config.insert_buffers.then(|| insert_buffers(&mut pipelined));
-
-    let report = if config.insert_buffers {
-        Some(verify_balance(&pipelined, config.fanout_limit)?)
-    } else {
-        // Without buffer insertion only the fan-out bound can hold.
-        if let Some(limit) = config.fanout_limit {
-            let counts = pipelined.fanout_counts();
-            for id in pipelined.ids() {
-                if counts[id.index()] > limit {
-                    return Err(BalanceError::FanoutExceeded {
-                        component: id,
-                        fanout: counts[id.index()],
-                        limit,
-                    });
-                }
-            }
+/// Converts a pipeline outcome back into the legacy `run_flow` shape.
+fn into_legacy(outcome: Result<PipelineRun, PassError>) -> Result<FlowResult, BalanceError> {
+    match outcome {
+        Ok(run) => Ok(run.result),
+        Err(PassError::Balance(e)) => Err(e),
+        Err(other) => {
+            unreachable!("config-assembled pipelines only produce balance errors: {other}")
         }
-        None
-    };
-
-    Ok(FlowResult {
-        original,
-        pipelined,
-        fanout,
-        buffers,
-        report,
-    })
+    }
 }
 
 #[cfg(test)]
@@ -255,7 +275,10 @@ mod tests {
                 more += 1;
             }
         }
-        assert!(more >= 5, "combined flow should dominate on most seeds ({more}/6)");
+        assert!(
+            more >= 5,
+            "combined flow should dominate on most seeds ({more}/6)"
+        );
     }
 
     #[test]

@@ -241,6 +241,45 @@ pub fn netlist_from_mig_min_inv(graph: &Mig) -> Netlist {
     n
 }
 
+/// Pipeline pass mapping the input MIG onto the working netlist
+/// ([`netlist_from_mig`] / [`netlist_from_mig_min_inv`]).
+///
+/// Must be the first pass of every [`crate::FlowPipeline`]; the builder
+/// enforces this.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct MapPass {
+    /// Use the polarity local search that minimizes materialized
+    /// inverters.
+    pub minimize_inverters: bool,
+}
+
+impl crate::pipeline::Pass for MapPass {
+    fn name(&self) -> String {
+        if self.minimize_inverters {
+            "map(min_inv)".to_owned()
+        } else {
+            "map".to_owned()
+        }
+    }
+
+    fn kind(&self) -> crate::pipeline::PassKind {
+        crate::pipeline::PassKind::Map
+    }
+
+    fn run(
+        &self,
+        ctx: &mut crate::pipeline::FlowContext<'_>,
+    ) -> Result<(), crate::pipeline::PassError> {
+        let mapped = if self.minimize_inverters {
+            netlist_from_mig_min_inv(ctx.graph())
+        } else {
+            netlist_from_mig(ctx.graph())
+        };
+        ctx.set_mapped(mapped);
+        Ok(())
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

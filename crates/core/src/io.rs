@@ -166,8 +166,8 @@ pub fn parse_netlist(source: &str) -> Result<Netlist, ParseNetlistError> {
                 let operands: Vec<&str> = args.split(',').map(str::trim).collect();
                 let resolved: Option<Vec<CompId>> =
                     operands.iter().map(|t| resolve(t, &mut n)).collect();
-                let resolved = resolved
-                    .ok_or_else(|| err(lineno, format!("undefined operand in `{rhs}`")))?;
+                let resolved =
+                    resolved.ok_or_else(|| err(lineno, format!("undefined operand in `{rhs}`")))?;
                 match (op.trim(), resolved.as_slice()) {
                     ("MAJ", &[a, b, c]) => n.add_maj([a, b, c]),
                     ("INV", &[a]) => n.add_inv(a),
@@ -181,7 +181,8 @@ pub fn parse_netlist(source: &str) -> Result<Netlist, ParseNetlistError> {
                     }
                 }
             } else {
-                resolve(rhs, &mut n).ok_or_else(|| err(lineno, format!("undefined signal `{rhs}`")))?
+                resolve(rhs, &mut n)
+                    .ok_or_else(|| err(lineno, format!("undefined signal `{rhs}`")))?
             };
 
             if declared_outputs.iter().any(|o| o == lhs) {
@@ -214,16 +215,20 @@ pub fn to_dot(netlist: &Netlist) -> String {
     let levels = netlist.levels();
     let phase_color = ["#cfe8ff", "#ffe3cf", "#d8f5d0"];
     let mut out = String::new();
-    out.push_str(&format!("digraph \"{}\" {{\n  rankdir=BT;\n", netlist.name()));
+    out.push_str(&format!(
+        "digraph \"{}\" {{\n  rankdir=BT;\n",
+        netlist.name()
+    ));
     for id in netlist.ids() {
         let comp = netlist.component(id);
         let (label, shape) = match comp.kind() {
             ComponentKind::Input => (
-                netlist.input_name(match comp {
-                    Component::Input { position } => *position as usize,
-                    _ => unreachable!(),
-                })
-                .to_owned(),
+                netlist
+                    .input_name(match comp {
+                        Component::Input { position } => *position as usize,
+                        _ => unreachable!(),
+                    })
+                    .to_owned(),
                 "box",
             ),
             ComponentKind::Const => (

@@ -8,21 +8,66 @@
 //! operation every three clock phases instead of one per full circuit
 //! latency.
 //!
-//! The flow has four stages:
+//! ## The pass pipeline
 //!
-//! 1. [`netlist_from_mig`] maps the MIG onto physical components,
-//!    materializing inverters (priced cells in these technologies) and
-//!    constant cells.
-//! 2. [`restrict_fanout`] (§IV) bounds every fan-out to `k ∈ 2..=5` with
-//!    chains of fan-out gates, ordered so deep consumers absorb the FOG
-//!    latency ("delayed nodes").
-//! 3. [`insert_buffers`] (Algorithm 1, §III) equalizes every
-//!    input→output path with shared buffer chains, then pads all outputs
-//!    to a common depth.
-//! 4. [`verify_balance`] checks the invariants mechanically and
-//!    [`WaveSimulator`] demonstrates coherent streaming dynamically.
+//! The flow is organized as a **pass pipeline**: each stage is a
+//! [`Pass`] over a shared [`FlowContext`], assembled and
+//! ordering-validated by [`FlowPipeline::builder`]:
 //!
-//! [`run_flow`] composes all of it:
+//! 1. **map** ([`netlist_from_mig`] / [`netlist_from_mig_min_inv`]) —
+//!    maps the MIG onto physical components, materializing inverters
+//!    (priced cells in these technologies) and constant cells.
+//! 2. **fanout_restriction** ([`restrict_fanout`], §IV) — bounds every
+//!    fan-out to `k ∈ 2..=5` with chains of fan-out gates, ordered so
+//!    deep consumers absorb the FOG latency ("delayed nodes").
+//! 3. **insert_buffers** ([`insert_buffers`], Algorithm 1, §III) —
+//!    equalizes every input→output path with shared buffer chains, then
+//!    pads all outputs to a common depth. Swap in
+//!    [`BufferStrategy::Retimed`] (fewer buffers, same depth) or
+//!    [`BufferStrategy::Weighted`] (per-technology delays) with a
+//!    one-line pipeline edit.
+//! 4. **verify** ([`verify_balance`]) — checks the invariants
+//!    mechanically; [`WaveSimulator`] demonstrates coherent streaming
+//!    dynamically.
+//!
+//! The builder rejects ill-ordered pipelines (mapping must come first,
+//! fan-out restriction before buffer insertion, verification last) with
+//! a [`PipelineError`], and every run records a per-pass [`PassStats`]
+//! trace: wall time, component-count delta, depth change.
+//!
+//! ```
+//! use mig::Mig;
+//! use wavepipe::{BufferStrategy, FlowPipeline};
+//!
+//! # fn main() -> Result<(), wavepipe::PassError> {
+//! let mut g = Mig::new();
+//! let a = g.add_input("a");
+//! let b = g.add_input("b");
+//! let cin = g.add_input("cin");
+//! let (sum, cout) = g.add_full_adder(a, b, cin);
+//! g.add_output("sum", sum);
+//! g.add_output("cout", cout);
+//!
+//! let pipeline = FlowPipeline::builder()
+//!     .map(false)
+//!     .restrict_fanout(3)
+//!     .insert_buffers(BufferStrategy::Asap)
+//!     .verify(Some(3))
+//!     .build()
+//!     .expect("well-ordered pipeline");
+//! let run = pipeline.run(&g)?;
+//! assert!(run.result.report.is_some());
+//! assert_eq!(run.trace.len(), 4); // one instrumented record per pass
+//! # Ok(())
+//! # }
+//! ```
+//!
+//! ## Compatibility wrapper and batch driver
+//!
+//! [`run_flow`] assembles the default pipeline for a [`FlowConfig`] and
+//! returns the classic [`FlowResult`]; [`run_flow_batch`] (and
+//! [`FlowPipeline::run_batch`]) evaluate many graphs concurrently
+//! across all cores:
 //!
 //! ```
 //! use mig::Mig;
@@ -54,6 +99,10 @@
 //! # Ok(())
 //! # }
 //! ```
+//!
+//! With the `serde` cargo feature enabled, the statistics types
+//! ([`KindCounts`], [`PassStats`], the per-pass stats structs) are
+//! JSON-serializable for harness output.
 
 #![warn(missing_docs)]
 #![warn(missing_debug_implementations)]
@@ -66,21 +115,30 @@ mod flow;
 mod from_mig;
 pub mod io;
 mod netlist;
+mod pipeline;
 mod retiming;
 pub mod stats;
 mod wavesim;
 mod weighted;
 
-pub use balance::{verify_balance, BalanceError, BalanceReport};
-pub use buffer_insertion::{insert_buffers, insert_buffers_with_levels, BufferInsertion};
+pub use balance::{
+    verify_balance, BalanceError, BalanceReport, FanoutBoundPass, VerifyBalancePass,
+};
+pub use buffer_insertion::{
+    insert_buffers, insert_buffers_with_levels, BufferInsertion, BufferInsertionPass,
+};
 pub use component::{CompId, Component, ComponentKind};
-pub use fanout_restriction::{restrict_fanout, FanoutRestriction};
-pub use flow::{run_flow, FlowConfig, FlowResult};
-pub use from_mig::{netlist_from_mig, netlist_from_mig_min_inv};
+pub use fanout_restriction::{restrict_fanout, FanoutRestriction, FanoutRestrictionPass};
+pub use flow::{run_flow, run_flow_batch, FlowConfig, FlowResult};
+pub use from_mig::{netlist_from_mig, netlist_from_mig_min_inv, MapPass};
 pub use netlist::{KindCounts, Netlist, Port};
-pub use retiming::{insert_buffers_retimed, schedule_levels, LevelSchedule};
+pub use pipeline::{
+    BufferStrategy, FlowContext, FlowPipeline, FlowPipelineBuilder, Pass, PassError, PassKind,
+    PassStats, PipelineError, PipelineRun,
+};
+pub use retiming::{insert_buffers_retimed, schedule_levels, LevelSchedule, RetimedInsertionPass};
 pub use wavesim::{WaveRun, WaveSimulator};
 pub use weighted::{
     insert_buffers_weighted, verify_weighted_balance, weighted_arrivals, DelayWeights,
-    WeightedBalanceError, WeightedInsertion,
+    VerifyWeightedPass, WeightedBalanceError, WeightedInsertion, WeightedInsertionPass,
 };

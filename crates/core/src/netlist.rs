@@ -38,6 +38,20 @@ impl KindCounts {
     pub fn priced_total(&self) -> usize {
         self.maj + self.inv + self.buf + self.fog
     }
+
+    /// Per-kind counts added since `earlier`, saturating at zero — the
+    /// pass-delta quantity the pipeline trace records (the flow's
+    /// passes only ever add components).
+    pub fn added_since(&self, earlier: &KindCounts) -> KindCounts {
+        KindCounts {
+            inputs: self.inputs.saturating_sub(earlier.inputs),
+            consts: self.consts.saturating_sub(earlier.consts),
+            maj: self.maj.saturating_sub(earlier.maj),
+            inv: self.inv.saturating_sub(earlier.inv),
+            buf: self.buf.saturating_sub(earlier.buf),
+            fog: self.fog.saturating_sub(earlier.fog),
+        }
+    }
 }
 
 impl fmt::Display for KindCounts {
@@ -426,10 +440,7 @@ impl Netlist {
                 Component::Input { position } => pattern[*position as usize],
                 Component::Const { value } => *value,
                 Component::Maj { fanins } => {
-                    let ones = fanins
-                        .iter()
-                        .filter(|f| values[f.index()])
-                        .count();
+                    let ones = fanins.iter().filter(|f| values[f.index()]).count();
                     ones >= 2
                 }
                 Component::Inv { fanin } => !values[fanin.index()],

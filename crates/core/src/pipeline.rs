@@ -1,0 +1,751 @@
+//! Composable pass-pipeline architecture for the enablement flow.
+//!
+//! The paper's flow (map MIG → restrict fan-out → insert buffers →
+//! verify balance) used to be a hardcoded 4-call sequence; this module
+//! turns each stage into a [`Pass`] over a shared [`FlowContext`], so a
+//! flow configuration is *data*: an ordered list of passes assembled by
+//! [`FlowPipelineBuilder`]. New scenarios (retimed or weighted
+//! insertion, FOG-k sweeps, verification-only runs) become one-line
+//! pipeline edits instead of hand-rolled drivers.
+//!
+//! Every pass execution is instrumented: the pipeline records wall
+//! time, component-count delta and depth change per pass in a
+//! [`PassStats`] trace, which the bench harness surfaces per benchmark.
+//!
+//! The builder enforces the paper's structural constraints
+//! (§IV: fan-out restriction must precede buffer insertion; mapping
+//! must come first; verification last) at [`FlowPipelineBuilder::build`]
+//! time, returning a [`PipelineError`] instead of producing a pipeline
+//! that would compute garbage.
+//!
+//! [`crate::run_flow`] remains as a thin compatibility wrapper that
+//! assembles the default pipeline for a [`crate::FlowConfig`], and
+//! [`crate::run_flow_batch`] evaluates many graphs concurrently.
+
+use std::fmt;
+use std::time::Instant;
+
+use mig::Mig;
+use rayon::prelude::*;
+
+use crate::balance::{BalanceError, BalanceReport};
+use crate::buffer_insertion::BufferInsertion;
+use crate::fanout_restriction::FanoutRestriction;
+use crate::flow::FlowResult;
+use crate::netlist::{KindCounts, Netlist};
+use crate::weighted::{DelayWeights, WeightedBalanceError, WeightedInsertion};
+
+/// Why a pass (and therefore a pipeline run) failed.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum PassError {
+    /// Unit-delay balance verification failed.
+    Balance(BalanceError),
+    /// Weighted-delay balancing or verification failed.
+    Weighted(WeightedBalanceError),
+    /// A custom pass failed with a free-form message.
+    Custom(String),
+}
+
+impl fmt::Display for PassError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            PassError::Balance(e) => write!(f, "{e}"),
+            PassError::Weighted(e) => write!(f, "{e}"),
+            PassError::Custom(message) => write!(f, "{message}"),
+        }
+    }
+}
+
+impl std::error::Error for PassError {}
+
+impl From<BalanceError> for PassError {
+    fn from(e: BalanceError) -> PassError {
+        PassError::Balance(e)
+    }
+}
+
+impl From<WeightedBalanceError> for PassError {
+    fn from(e: WeightedBalanceError) -> PassError {
+        PassError::Weighted(e)
+    }
+}
+
+/// Coarse category of a pass, used by the builder's ordering checks.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum PassKind {
+    /// Maps the input MIG onto the physical netlist (must run first).
+    Map,
+    /// Splits fan-out with FOG chains (must precede buffer insertion).
+    FanoutRestriction,
+    /// Inserts path-balancing buffers.
+    BufferInsertion,
+    /// Checks invariants without transforming (must come after all
+    /// transforms).
+    Verify,
+    /// Anything else: analyses, dumps, custom transforms.
+    Other,
+}
+
+/// The shared state a pipeline threads through its passes.
+///
+/// Passes read and mutate the working [`Netlist`] and deposit their
+/// typed statistics in the dedicated slots; the pipeline itself fills
+/// the instrumentation trace.
+#[derive(Debug)]
+pub struct FlowContext<'g> {
+    graph: &'g Mig,
+    netlist: Netlist,
+    original: Option<Netlist>,
+    /// Fan-out restriction statistics (set by the fan-out pass).
+    pub fanout: Option<FanoutRestriction>,
+    /// Buffer insertion statistics (set by ASAP/retimed insertion).
+    pub buffers: Option<BufferInsertion>,
+    /// Weighted insertion statistics (set by weighted insertion).
+    pub weighted: Option<WeightedInsertion>,
+    /// Balance verification report (set by the verify pass).
+    pub report: Option<BalanceReport>,
+}
+
+impl<'g> FlowContext<'g> {
+    fn new(graph: &'g Mig) -> FlowContext<'g> {
+        FlowContext {
+            graph,
+            netlist: Netlist::new("unmapped"),
+            original: None,
+            fanout: None,
+            buffers: None,
+            weighted: None,
+            report: None,
+        }
+    }
+
+    /// The input MIG.
+    pub fn graph(&self) -> &'g Mig {
+        self.graph
+    }
+
+    /// The working netlist.
+    pub fn netlist(&self) -> &Netlist {
+        &self.netlist
+    }
+
+    /// Mutable access to the working netlist (transform passes).
+    pub fn netlist_mut(&mut self) -> &mut Netlist {
+        &mut self.netlist
+    }
+
+    /// Installs the freshly mapped netlist and snapshots it as the
+    /// pre-transformation original (mapping passes call this).
+    pub fn set_mapped(&mut self, netlist: Netlist) {
+        self.original = Some(netlist.clone());
+        self.netlist = netlist;
+    }
+
+    /// The mapped netlist before any transformation, if mapping ran.
+    pub fn original(&self) -> Option<&Netlist> {
+        self.original.as_ref()
+    }
+}
+
+/// One transformation or analysis over the [`FlowContext`].
+pub trait Pass: Sync + Send {
+    /// Short stable identifier (shows up in traces and JSON).
+    fn name(&self) -> String;
+
+    /// Category used by the builder's ordering validation.
+    fn kind(&self) -> PassKind {
+        PassKind::Other
+    }
+
+    /// Executes the pass.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`PassError`] when the pass's invariants cannot be
+    /// established (verification failures, indivisible weighted gaps).
+    fn run(&self, ctx: &mut FlowContext<'_>) -> Result<(), PassError>;
+}
+
+/// Per-pass instrumentation record.
+#[derive(Clone, Debug, PartialEq, Eq)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize))]
+pub struct PassStats {
+    /// Pass name.
+    pub pass: String,
+    /// Wall-clock execution time in microseconds.
+    pub micros: u64,
+    /// Component counts before the pass ran.
+    pub counts_before: KindCounts,
+    /// Component counts after the pass ran.
+    pub counts_after: KindCounts,
+    /// Components the pass added, per kind (saturating — the flow's
+    /// passes only add components).
+    pub added: KindCounts,
+    /// Netlist depth before the pass.
+    pub depth_before: u32,
+    /// Netlist depth after the pass.
+    pub depth_after: u32,
+}
+
+impl fmt::Display for PassStats {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{:<24} {:>8.1} ms  depth {:>3} → {:<3}",
+            self.pass,
+            self.micros as f64 / 1000.0,
+            self.depth_before,
+            self.depth_after,
+        )?;
+        let a = &self.added;
+        if a.priced_total() > 0 {
+            write!(
+                f,
+                "  +{} (MAJ {}, INV {}, BUF {}, FOG {})",
+                a.priced_total(),
+                a.maj,
+                a.inv,
+                a.buf,
+                a.fog
+            )?;
+        }
+        Ok(())
+    }
+}
+
+/// Everything one pipeline execution produced.
+#[derive(Clone, Debug)]
+pub struct PipelineRun {
+    /// The flow result in the legacy [`FlowResult`] shape.
+    pub result: FlowResult,
+    /// Weighted-insertion statistics, when a weighted pass ran (the
+    /// legacy result shape has no slot for them).
+    pub weighted: Option<WeightedInsertion>,
+    /// Per-pass instrumentation, in execution order.
+    pub trace: Vec<PassStats>,
+}
+
+impl PipelineRun {
+    /// Renders the instrumentation trace as an aligned text block.
+    pub fn trace_table(&self) -> String {
+        let mut out = String::new();
+        for stats in &self.trace {
+            out.push_str(&stats.to_string());
+            out.push('\n');
+        }
+        out
+    }
+}
+
+/// Why a pipeline could not be built.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum PipelineError {
+    /// The pipeline has no passes.
+    Empty,
+    /// The first pass is not a mapping pass (nothing would populate the
+    /// netlist).
+    MapNotFirst,
+    /// More than one mapping pass was registered.
+    DuplicateMap,
+    /// A fan-out restriction pass was placed after buffer insertion —
+    /// §IV requires splitting fan-out *before* balancing, because FOG
+    /// chains change path lengths.
+    FanoutAfterBuffers,
+    /// A transform pass was placed after a verification pass.
+    TransformAfterVerify,
+}
+
+impl fmt::Display for PipelineError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            PipelineError::Empty => write!(f, "pipeline has no passes"),
+            PipelineError::MapNotFirst => {
+                write!(f, "the first pass must map the MIG onto a netlist")
+            }
+            PipelineError::DuplicateMap => write!(f, "only one mapping pass is allowed"),
+            PipelineError::FanoutAfterBuffers => write!(
+                f,
+                "fan-out restriction must run before buffer insertion (§IV)"
+            ),
+            PipelineError::TransformAfterVerify => {
+                write!(f, "transform passes cannot follow verification")
+            }
+        }
+    }
+}
+
+impl std::error::Error for PipelineError {}
+
+/// An ordered, validated sequence of passes.
+pub struct FlowPipeline {
+    passes: Vec<Box<dyn Pass>>,
+}
+
+impl fmt::Debug for FlowPipeline {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("FlowPipeline")
+            .field(
+                "passes",
+                &self.passes.iter().map(|p| p.name()).collect::<Vec<_>>(),
+            )
+            .finish()
+    }
+}
+
+impl FlowPipeline {
+    /// Starts an empty pipeline builder.
+    pub fn builder() -> FlowPipelineBuilder {
+        FlowPipelineBuilder { passes: Vec::new() }
+    }
+
+    /// Assembles the default pipeline for a [`crate::FlowConfig`] — the
+    /// exact pass sequence the legacy `run_flow` hardcoded.
+    pub fn for_config(config: crate::FlowConfig) -> FlowPipeline {
+        let mut builder = FlowPipeline::builder().map(config.minimize_inverters);
+        if let Some(limit) = config.fanout_limit {
+            builder = builder.restrict_fanout(limit);
+        }
+        if config.insert_buffers {
+            builder = builder
+                .insert_buffers(BufferStrategy::Asap)
+                .verify(config.fanout_limit);
+        } else if let Some(limit) = config.fanout_limit {
+            builder = builder.check_fanout_bound(limit);
+        }
+        builder
+            .build()
+            .expect("the default pipeline is always well-ordered")
+    }
+
+    /// Names of the registered passes, in order.
+    pub fn pass_names(&self) -> Vec<String> {
+        self.passes.iter().map(|p| p.name()).collect()
+    }
+
+    /// Runs the pipeline on one graph, collecting per-pass
+    /// instrumentation.
+    ///
+    /// # Errors
+    ///
+    /// Propagates the first [`PassError`], or a [`PassError::Custom`]
+    /// if the mapping pass never installed a netlist (a custom pass
+    /// with `kind() == PassKind::Map` must call
+    /// [`FlowContext::set_mapped`]).
+    pub fn run(&self, graph: &Mig) -> Result<PipelineRun, PassError> {
+        let mut ctx = FlowContext::new(graph);
+        let mut trace = Vec::with_capacity(self.passes.len());
+        for pass in &self.passes {
+            let counts_before = ctx.netlist.counts();
+            let depth_before = ctx.netlist.depth();
+            let started = Instant::now();
+            pass.run(&mut ctx)?;
+            let micros = started.elapsed().as_micros() as u64;
+            let counts_after = ctx.netlist.counts();
+            trace.push(PassStats {
+                pass: pass.name(),
+                micros,
+                counts_before,
+                counts_after,
+                added: counts_after.added_since(&counts_before),
+                depth_before,
+                depth_after: ctx.netlist.depth(),
+            });
+        }
+
+        // The builder only checks the *kind tag*; a custom mapping pass
+        // could still forget to install a netlist. Surface that as an
+        // error rather than panicking.
+        let original = ctx.original.take().ok_or_else(|| {
+            PassError::Custom(
+                "mapping pass never installed a netlist (call FlowContext::set_mapped)".to_owned(),
+            )
+        })?;
+        Ok(PipelineRun {
+            result: FlowResult {
+                original,
+                pipelined: ctx.netlist,
+                fanout: ctx.fanout,
+                buffers: ctx.buffers,
+                report: ctx.report,
+            },
+            weighted: ctx.weighted,
+            trace,
+        })
+    }
+
+    /// Runs the pipeline over many graphs in parallel (one task per
+    /// graph, scheduled across all cores), preserving input order.
+    pub fn run_batch(&self, graphs: &[&Mig]) -> Vec<Result<PipelineRun, PassError>> {
+        graphs.par_iter().map(|graph| self.run(graph)).collect()
+    }
+}
+
+/// Buffer-insertion strategy selector for [`FlowPipelineBuilder`].
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum BufferStrategy {
+    /// Algorithm 1 against ASAP levels (the paper's reference).
+    Asap,
+    /// Algorithm 1 against hill-climbed retimed levels (fewer buffers,
+    /// identical depth).
+    Retimed,
+    /// Weighted-delay balancing with per-kind delays (§III's
+    /// technology-tailored mode).
+    Weighted(DelayWeights),
+}
+
+/// Incremental pipeline assembly with ordering validation at
+/// [`FlowPipelineBuilder::build`].
+///
+/// # Examples
+///
+/// ```
+/// use wavepipe::{BufferStrategy, FlowPipeline};
+///
+/// // The paper's §V configuration, as an explicit pipeline:
+/// let pipeline = FlowPipeline::builder()
+///     .map(false)
+///     .restrict_fanout(3)
+///     .insert_buffers(BufferStrategy::Asap)
+///     .verify(Some(3))
+///     .build()
+///     .unwrap();
+/// assert_eq!(pipeline.pass_names().len(), 4);
+///
+/// // Ill-ordered pipelines fail to build:
+/// let err = FlowPipeline::builder()
+///     .map(false)
+///     .insert_buffers(BufferStrategy::Asap)
+///     .restrict_fanout(3)
+///     .build()
+///     .unwrap_err();
+/// assert_eq!(err, wavepipe::PipelineError::FanoutAfterBuffers);
+/// ```
+#[derive(Default)]
+pub struct FlowPipelineBuilder {
+    passes: Vec<Box<dyn Pass>>,
+}
+
+impl fmt::Debug for FlowPipelineBuilder {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("FlowPipelineBuilder")
+            .field(
+                "passes",
+                &self.passes.iter().map(|p| p.name()).collect::<Vec<_>>(),
+            )
+            .finish()
+    }
+}
+
+impl FlowPipelineBuilder {
+    /// Adds the MIG→netlist mapping pass; `minimize_inverters` selects
+    /// the polarity-local-search mapping.
+    pub fn map(self, minimize_inverters: bool) -> FlowPipelineBuilder {
+        self.pass(Box::new(crate::from_mig::MapPass { minimize_inverters }))
+    }
+
+    /// Adds a fan-out restriction pass with the §IV limit `k ∈ 2..=5`.
+    pub fn restrict_fanout(self, limit: u32) -> FlowPipelineBuilder {
+        self.pass(Box::new(crate::fanout_restriction::FanoutRestrictionPass {
+            limit,
+        }))
+    }
+
+    /// Adds a buffer-insertion pass with the chosen strategy.
+    pub fn insert_buffers(self, strategy: BufferStrategy) -> FlowPipelineBuilder {
+        match strategy {
+            BufferStrategy::Asap => {
+                self.pass(Box::new(crate::buffer_insertion::BufferInsertionPass))
+            }
+            BufferStrategy::Retimed => self.pass(Box::new(crate::retiming::RetimedInsertionPass)),
+            BufferStrategy::Weighted(weights) => {
+                self.pass(Box::new(crate::weighted::WeightedInsertionPass { weights }))
+            }
+        }
+    }
+
+    /// Adds unit-delay balance verification (plus the fan-out bound
+    /// when `fanout_limit` is given).
+    pub fn verify(self, fanout_limit: Option<u32>) -> FlowPipelineBuilder {
+        self.pass(Box::new(crate::balance::VerifyBalancePass { fanout_limit }))
+    }
+
+    /// Adds weighted-delay balance verification.
+    pub fn verify_weighted(self, weights: DelayWeights) -> FlowPipelineBuilder {
+        self.pass(Box::new(crate::weighted::VerifyWeightedPass { weights }))
+    }
+
+    /// Adds a fan-out bound check without full balance verification
+    /// (the FOx-only configurations of Fig 8).
+    pub fn check_fanout_bound(self, limit: u32) -> FlowPipelineBuilder {
+        self.pass(Box::new(crate::balance::FanoutBoundPass { limit }))
+    }
+
+    /// Registers an arbitrary custom pass.
+    pub fn pass(mut self, pass: Box<dyn Pass>) -> FlowPipelineBuilder {
+        self.passes.push(pass);
+        self
+    }
+
+    /// Validates ordering and produces the pipeline.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`PipelineError`] when the pass sequence violates the
+    /// structural constraints (map first, fan-out restriction before
+    /// buffer insertion, no transforms after verification).
+    pub fn build(self) -> Result<FlowPipeline, PipelineError> {
+        let kinds: Vec<PassKind> = self.passes.iter().map(|p| p.kind()).collect();
+        validate_order(&kinds)?;
+        Ok(FlowPipeline {
+            passes: self.passes,
+        })
+    }
+}
+
+/// The ordering rules, factored out so tests can drive them directly.
+pub(crate) fn validate_order(kinds: &[PassKind]) -> Result<(), PipelineError> {
+    if kinds.is_empty() {
+        return Err(PipelineError::Empty);
+    }
+    if kinds[0] != PassKind::Map {
+        return Err(PipelineError::MapNotFirst);
+    }
+    if kinds[1..].contains(&PassKind::Map) {
+        return Err(PipelineError::DuplicateMap);
+    }
+    let first_buffer = kinds.iter().position(|k| *k == PassKind::BufferInsertion);
+    let last_fanout = kinds
+        .iter()
+        .rposition(|k| *k == PassKind::FanoutRestriction);
+    if let (Some(buffer), Some(fanout)) = (first_buffer, last_fanout) {
+        if fanout > buffer {
+            return Err(PipelineError::FanoutAfterBuffers);
+        }
+    }
+    if let Some(first_verify) = kinds.iter().position(|k| *k == PassKind::Verify) {
+        let transform_after = kinds[first_verify..].iter().any(|k| {
+            matches!(
+                k,
+                PassKind::Map | PassKind::FanoutRestriction | PassKind::BufferInsertion
+            )
+        });
+        if transform_after {
+            return Err(PipelineError::TransformAfterVerify);
+        }
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::FlowConfig;
+
+    fn sample_mig(seed: u64) -> Mig {
+        mig::random_mig(mig::RandomMigConfig {
+            inputs: 8,
+            outputs: 4,
+            gates: 120,
+            depth: 8,
+            seed,
+        })
+    }
+
+    #[test]
+    fn default_pipeline_matches_legacy_flow() {
+        let g = sample_mig(1);
+        let run = FlowPipeline::for_config(FlowConfig::default())
+            .run(&g)
+            .unwrap();
+        let legacy = crate::flow::run_flow(&g, FlowConfig::default()).unwrap();
+        assert_eq!(run.result.pipelined_counts(), legacy.pipelined_counts());
+        assert_eq!(run.result.original_counts(), legacy.original_counts());
+        assert_eq!(run.result.pipelined.depth(), legacy.pipelined.depth());
+        assert_eq!(run.result.report, legacy.report);
+        assert_eq!(run.result.fanout, legacy.fanout);
+        assert_eq!(run.result.buffers, legacy.buffers);
+    }
+
+    #[test]
+    fn trace_records_every_pass_in_order() {
+        let g = sample_mig(2);
+        let run = FlowPipeline::for_config(FlowConfig::default())
+            .run(&g)
+            .unwrap();
+        let names: Vec<String> = run.trace.iter().map(|s| s.pass.clone()).collect();
+        assert_eq!(
+            names,
+            vec![
+                "map",
+                "fanout_restriction(3)",
+                "insert_buffers(asap)",
+                "verify(fo≤3)"
+            ]
+        );
+        // The mapping pass creates the netlist from nothing.
+        assert_eq!(run.trace[0].counts_before, KindCounts::default());
+        // Fan-out restriction only adds FOGs; insertion only buffers.
+        assert_eq!(run.trace[1].added.buf, 0);
+        assert!(run.trace[1].added.fog > 0);
+        assert!(run.trace[2].added.buf > 0);
+        assert_eq!(run.trace[2].added.fog, 0);
+        // Verification transforms nothing.
+        assert_eq!(run.trace[3].added, KindCounts::default());
+        assert!(run.trace_table().contains("insert_buffers(asap)"));
+    }
+
+    #[test]
+    fn builder_rejects_ill_ordered_pipelines() {
+        assert_eq!(
+            FlowPipeline::builder().build().unwrap_err(),
+            PipelineError::Empty
+        );
+        assert_eq!(
+            FlowPipeline::builder()
+                .restrict_fanout(3)
+                .build()
+                .unwrap_err(),
+            PipelineError::MapNotFirst
+        );
+        assert_eq!(
+            FlowPipeline::builder()
+                .map(false)
+                .map(true)
+                .build()
+                .unwrap_err(),
+            PipelineError::DuplicateMap
+        );
+        assert_eq!(
+            FlowPipeline::builder()
+                .map(false)
+                .insert_buffers(BufferStrategy::Asap)
+                .restrict_fanout(3)
+                .build()
+                .unwrap_err(),
+            PipelineError::FanoutAfterBuffers
+        );
+        assert_eq!(
+            FlowPipeline::builder()
+                .map(false)
+                .verify(None)
+                .insert_buffers(BufferStrategy::Asap)
+                .build()
+                .unwrap_err(),
+            PipelineError::TransformAfterVerify
+        );
+    }
+
+    #[test]
+    fn retimed_strategy_is_a_one_line_edit() {
+        let g = sample_mig(3);
+        let asap = FlowPipeline::builder()
+            .map(false)
+            .restrict_fanout(3)
+            .insert_buffers(BufferStrategy::Asap)
+            .verify(Some(3))
+            .build()
+            .unwrap()
+            .run(&g)
+            .unwrap();
+        let retimed = FlowPipeline::builder()
+            .map(false)
+            .restrict_fanout(3)
+            .insert_buffers(BufferStrategy::Retimed)
+            .verify(Some(3))
+            .build()
+            .unwrap()
+            .run(&g)
+            .unwrap();
+        assert!(retimed.result.buffers.unwrap().total() <= asap.result.buffers.unwrap().total());
+        assert_eq!(
+            retimed.result.pipelined.depth(),
+            asap.result.pipelined.depth()
+        );
+    }
+
+    #[test]
+    fn weighted_strategy_populates_weighted_stats() {
+        let g = sample_mig(4);
+        let run = FlowPipeline::builder()
+            .map(false)
+            .restrict_fanout(3)
+            .insert_buffers(BufferStrategy::Weighted(DelayWeights::QCA))
+            .verify_weighted(DelayWeights::QCA)
+            .build()
+            .unwrap()
+            .run(&g)
+            .unwrap();
+        assert!(run.weighted.unwrap().buffers > 0);
+        assert!(run.result.buffers.is_none());
+    }
+
+    #[test]
+    fn batch_driver_matches_single_runs() {
+        let graphs: Vec<Mig> = (10..16).map(sample_mig).collect();
+        let refs: Vec<&Mig> = graphs.iter().collect();
+        let pipeline = FlowPipeline::for_config(FlowConfig::default());
+        let batch = pipeline.run_batch(&refs);
+        assert_eq!(batch.len(), graphs.len());
+        for (graph, outcome) in graphs.iter().zip(batch) {
+            let single = pipeline.run(graph).unwrap();
+            let parallel = outcome.unwrap();
+            assert_eq!(
+                single.result.pipelined_counts(),
+                parallel.result.pipelined_counts()
+            );
+            assert_eq!(single.result.report, parallel.result.report);
+        }
+    }
+
+    #[test]
+    fn map_kind_pass_that_never_maps_is_an_error_not_a_panic() {
+        struct ForgetfulMapPass;
+        impl Pass for ForgetfulMapPass {
+            fn name(&self) -> String {
+                "forgetful_map".to_owned()
+            }
+            fn kind(&self) -> PassKind {
+                PassKind::Map
+            }
+            fn run(&self, _ctx: &mut FlowContext<'_>) -> Result<(), PassError> {
+                Ok(()) // claims to map but never calls set_mapped
+            }
+        }
+        let g = sample_mig(6);
+        let err = FlowPipeline::builder()
+            .pass(Box::new(ForgetfulMapPass))
+            .build()
+            .expect("kind tag satisfies the builder")
+            .run(&g)
+            .unwrap_err();
+        assert!(matches!(err, PassError::Custom(_)), "{err}");
+    }
+
+    #[test]
+    fn custom_passes_slot_in() {
+        struct SweepPass;
+        impl Pass for SweepPass {
+            fn name(&self) -> String {
+                "sweep".to_owned()
+            }
+            fn run(&self, ctx: &mut FlowContext<'_>) -> Result<(), PassError> {
+                let swept = ctx.netlist().sweep();
+                *ctx.netlist_mut() = swept;
+                Ok(())
+            }
+        }
+        let g = sample_mig(5);
+        let run = FlowPipeline::builder()
+            .map(false)
+            .pass(Box::new(SweepPass))
+            .restrict_fanout(3)
+            .insert_buffers(BufferStrategy::Asap)
+            .verify(Some(3))
+            .build()
+            .unwrap()
+            .run(&g)
+            .unwrap();
+        assert_eq!(run.trace[1].pass, "sweep");
+        assert!(run.result.report.is_some());
+    }
+}

@@ -72,9 +72,8 @@ impl LevelSchedule {
             }
             let mut maxreq: Option<u32> = None;
             for &(c, _) in &fanout[id.index()] {
-                maxreq = Some(maxreq.map_or(levels[c.index()] - 1, |m| {
-                    m.max(levels[c.index()] - 1)
-                }));
+                maxreq =
+                    Some(maxreq.map_or(levels[c.index()] - 1, |m| m.max(levels[c.index()] - 1)));
             }
             if output_driver[id.index()] {
                 maxreq = Some(maxreq.map_or(depth, |m| m.max(depth)));
@@ -135,9 +134,8 @@ pub fn schedule_levels(netlist: &Netlist) -> LevelSchedule {
     }
     for i in 0..n {
         let id = CompId::from_index(i);
-        if !is_movable(id) {
-            alap[i] = asap[i];
-        } else if alap[i] < asap[i] {
+        // Pinned components get no slack; movable ones never below ASAP.
+        if !is_movable(id) || alap[i] < asap[i] {
             alap[i] = asap[i];
         }
     }
@@ -150,7 +148,11 @@ pub fn schedule_levels(netlist: &Netlist) -> LevelSchedule {
         }
         // Feasibility bound: one below the shallowest consumer; output
         // drivers may not pass the common output depth.
-        let mut ub = if output_driver[id.index()] { depth } else { u32::MAX };
+        let mut ub = if output_driver[id.index()] {
+            depth
+        } else {
+            u32::MAX
+        };
         for &(c, _) in &fanout[id.index()] {
             ub = ub.min(retimed[c.index()] - 1);
         }
@@ -181,7 +183,8 @@ pub fn schedule_levels(netlist: &Netlist) -> LevelSchedule {
                     maxreq_other = Some(maxreq_other.map_or(depth, |m| m.max(depth)));
                 }
                 // We require the driver at level `next − 1`.
-                let covered = maxreq_other.map_or(retimed[f.index()], |m| m.max(retimed[f.index()]));
+                let covered =
+                    maxreq_other.map_or(retimed[f.index()], |m| m.max(retimed[f.index()]));
                 if next - 1 > covered {
                     extensions += 1;
                 }
@@ -193,7 +196,11 @@ pub fn schedule_levels(netlist: &Netlist) -> LevelSchedule {
         }
     }
 
-    LevelSchedule { asap, alap, retimed }
+    LevelSchedule {
+        asap,
+        alap,
+        retimed,
+    }
 }
 
 /// Runs buffer insertion against the retimed levels instead of ASAP.
@@ -204,6 +211,30 @@ pub fn schedule_levels(netlist: &Netlist) -> LevelSchedule {
 pub fn insert_buffers_retimed(netlist: &mut Netlist) -> BufferInsertion {
     let schedule = schedule_levels(netlist);
     insert_buffers_with_levels(netlist, &schedule.retimed)
+}
+
+/// Pipeline pass wrapping [`insert_buffers_retimed`] (Algorithm 1
+/// against hill-climbed levels — same depth, fewer buffers).
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct RetimedInsertionPass;
+
+impl crate::pipeline::Pass for RetimedInsertionPass {
+    fn name(&self) -> String {
+        "insert_buffers(retimed)".to_owned()
+    }
+
+    fn kind(&self) -> crate::pipeline::PassKind {
+        crate::pipeline::PassKind::BufferInsertion
+    }
+
+    fn run(
+        &self,
+        ctx: &mut crate::pipeline::FlowContext<'_>,
+    ) -> Result<(), crate::pipeline::PassError> {
+        let stats = insert_buffers_retimed(ctx.netlist_mut());
+        ctx.buffers = Some(stats);
+        Ok(())
+    }
 }
 
 #[cfg(test)]
@@ -233,7 +264,7 @@ mod tests {
                     continue;
                 }
                 assert!(
-                    s.retimed[id.index()] >= s.retimed[f.index()] + 1,
+                    s.retimed[id.index()] > s.retimed[f.index()],
                     "retimed levels must keep edges causal"
                 );
             }

@@ -89,8 +89,8 @@ impl fmt::Display for Schedule {
             f,
             "depth {}, phase loads φ1/φ2/φ3 = {}/{}/{}, widest level {}",
             self.depth,
-            self.phase_loads[1 % 3],
-            self.phase_loads[2 % 3],
+            self.phase_loads[1],
+            self.phase_loads[2],
             self.phase_loads[0],
             self.max_level_width()
         )
@@ -125,7 +125,10 @@ impl GrowthReport {
     /// original (the flow only adds components).
     pub fn between(original: &Netlist, transformed: &Netlist) -> GrowthReport {
         let (o, t) = (original.counts(), transformed.counts());
-        assert!(t.buf >= o.buf && t.fog >= o.fog, "flow only adds components");
+        assert!(
+            t.buf >= o.buf && t.fog >= o.fog,
+            "flow only adds components"
+        );
         GrowthReport {
             original_size: o.priced_total(),
             transformed_size: t.priced_total(),

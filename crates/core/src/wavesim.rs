@@ -140,7 +140,7 @@ impl<'n> WaveSimulator<'n> {
             // Sample outputs: wave w reaches level `depth` at step
             // 3w + depth; sampling happens after that step's update.
             let d = depth as usize;
-            if t >= d && (t - d) % 3 == 0 {
+            if t >= d && (t - d).is_multiple_of(3) {
                 let wave_index = (t - d) / 3;
                 if wave_index < waves.len() {
                     debug_assert_eq!(outputs.len(), wave_index);

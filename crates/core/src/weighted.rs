@@ -202,7 +202,7 @@ pub fn insert_buffers_weighted(
             let kind = netlist.component(consumer).kind();
             let need = arrival[consumer.index()] - weights.of(kind);
             let gap = need - arrival[idx];
-            if gap % weights.buf != 0 {
+            if !gap.is_multiple_of(weights.buf) {
                 return Err(WeightedBalanceError::IndivisibleGap {
                     from: comp,
                     to: consumer,
@@ -213,7 +213,7 @@ pub fn insert_buffers_weighted(
         }
         for &_pos in &output_uses[idx] {
             let gap = max_output_arrival - arrival[idx];
-            if gap % weights.buf != 0 {
+            if !gap.is_multiple_of(weights.buf) {
                 return Err(WeightedBalanceError::IndivisibleGap {
                     from: comp,
                     to: comp,
@@ -278,10 +278,7 @@ pub fn insert_buffers_weighted(
 
 /// Verifies the weighted balancing invariants (the weighted analogue of
 /// [`crate::verify_balance`]).
-pub fn verify_weighted_balance(
-    netlist: &Netlist,
-    weights: &DelayWeights,
-) -> Result<u32, String> {
+pub fn verify_weighted_balance(netlist: &Netlist, weights: &DelayWeights) -> Result<u32, String> {
     let arrival = weighted_arrivals(netlist, weights);
     for id in netlist.ids() {
         let comp = netlist.component(id);
@@ -316,6 +313,60 @@ pub fn verify_weighted_balance(
         }
     }
     Ok(out_arrival.unwrap_or(0))
+}
+
+/// Pipeline pass wrapping [`insert_buffers_weighted`] (§III's
+/// technology-tailored mode). Deposits [`WeightedInsertion`] statistics
+/// in the context; the unit-delay `buffers` slot stays empty.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct WeightedInsertionPass {
+    /// Per-kind delay weights to balance against.
+    pub weights: DelayWeights,
+}
+
+impl crate::pipeline::Pass for WeightedInsertionPass {
+    fn name(&self) -> String {
+        "insert_buffers(weighted)".to_owned()
+    }
+
+    fn kind(&self) -> crate::pipeline::PassKind {
+        crate::pipeline::PassKind::BufferInsertion
+    }
+
+    fn run(
+        &self,
+        ctx: &mut crate::pipeline::FlowContext<'_>,
+    ) -> Result<(), crate::pipeline::PassError> {
+        let stats = insert_buffers_weighted(ctx.netlist_mut(), &self.weights)?;
+        ctx.weighted = Some(stats);
+        Ok(())
+    }
+}
+
+/// Pipeline pass wrapping [`verify_weighted_balance`].
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct VerifyWeightedPass {
+    /// The weights the netlist was balanced against.
+    pub weights: DelayWeights,
+}
+
+impl crate::pipeline::Pass for VerifyWeightedPass {
+    fn name(&self) -> String {
+        "verify(weighted)".to_owned()
+    }
+
+    fn kind(&self) -> crate::pipeline::PassKind {
+        crate::pipeline::PassKind::Verify
+    }
+
+    fn run(
+        &self,
+        ctx: &mut crate::pipeline::FlowContext<'_>,
+    ) -> Result<(), crate::pipeline::PassError> {
+        verify_weighted_balance(ctx.netlist(), &self.weights)
+            .map(|_depth| ())
+            .map_err(crate::pipeline::PassError::Custom)
+    }
 }
 
 #[cfg(test)]
@@ -377,7 +428,12 @@ mod tests {
         let u = insert_buffers_weighted(&mut unit, &DelayWeights::UNIT).unwrap();
         let mut qca = n.clone();
         let q = insert_buffers_weighted(&mut qca, &DelayWeights::QCA).unwrap();
-        assert!(q.buffers > u.buffers, "QCA {} vs unit {}", q.buffers, u.buffers);
+        assert!(
+            q.buffers > u.buffers,
+            "QCA {} vs unit {}",
+            q.buffers,
+            u.buffers
+        );
         assert!(verify_weighted_balance(&qca, &DelayWeights::QCA).is_ok());
     }
 
@@ -411,7 +467,9 @@ mod tests {
         n.add_output("f", g);
         let before = n.clone();
         match insert_buffers_weighted(&mut n, &DelayWeights::NML) {
-            Err(WeightedBalanceError::IndivisibleGap { gap, buf_weight, .. }) => {
+            Err(WeightedBalanceError::IndivisibleGap {
+                gap, buf_weight, ..
+            }) => {
                 assert_eq!(gap % buf_weight, gap % 2);
                 assert_eq!(buf_weight, 2);
             }

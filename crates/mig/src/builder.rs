@@ -175,7 +175,11 @@ mod tests {
     use crate::simulate::Simulator;
 
     /// Exhaustively checks `f` (on `n` inputs) against `expect`.
-    fn check(n: usize, build: impl FnOnce(&mut Mig, &[Signal]) -> Signal, expect: impl Fn(u32) -> bool) {
+    fn check(
+        n: usize,
+        build: impl FnOnce(&mut Mig, &[Signal]) -> Signal,
+        expect: impl Fn(u32) -> bool,
+    ) {
         let mut g = Mig::new();
         let ins = g.add_inputs("x", n);
         let f = build(&mut g, &ins);
@@ -184,7 +188,12 @@ mod tests {
         for pattern in 0..1u32 << n {
             let bits: Vec<bool> = (0..n).map(|i| pattern >> i & 1 != 0).collect();
             let out = sim.eval(&bits);
-            assert_eq!(out[0], expect(pattern), "pattern {pattern:0width$b}", width = n);
+            assert_eq!(
+                out[0],
+                expect(pattern),
+                "pattern {pattern:0width$b}",
+                width = n
+            );
         }
     }
 
@@ -196,19 +205,27 @@ mod tests {
         check(2, |g, x| g.add_nand(x[0], x[1]), |p| p != 3);
         check(2, |g, x| g.add_nor(x[0], x[1]), |p| p == 0);
         check(2, |g, x| g.add_xnor(x[0], x[1]), |p| p == 0 || p == 3);
-        check(2, |g, x| g.add_implies(x[0], x[1]), |p| p & 1 == 0 || p & 2 != 0);
+        check(
+            2,
+            |g, x| g.add_implies(x[0], x[1]),
+            |p| p & 1 == 0 || p & 2 != 0,
+        );
     }
 
     #[test]
     fn mux_selects() {
-        check(3, |g, x| g.add_mux(x[0], x[1], x[2]), |p| {
-            let (s, t, e) = (p & 1 != 0, p & 2 != 0, p & 4 != 0);
-            if s {
-                t
-            } else {
-                e
-            }
-        });
+        check(
+            3,
+            |g, x| g.add_mux(x[0], x[1], x[2]),
+            |p| {
+                let (s, t, e) = (p & 1 != 0, p & 2 != 0, p & 4 != 0);
+                if s {
+                    t
+                } else {
+                    e
+                }
+            },
+        );
     }
 
     #[test]

@@ -88,7 +88,7 @@ impl Mig {
     pub fn add_input(&mut self, name: impl Into<String>) -> Signal {
         let name = name.into();
         assert!(
-            !self.input_names.iter().any(|n| *n == name),
+            !self.input_names.contains(&name),
             "duplicate input name `{name}`"
         );
         let id = NodeId::from_index(self.nodes.len());

@@ -143,27 +143,25 @@ pub fn parse_mig(source: &str) -> Result<Mig, ParseMigError> {
                 return Err(err(lineno, format!("invalid signal name `{lhs}`")));
             }
 
-            let value = if let Some(args) = rhs
-                .strip_prefix("MAJ(")
-                .and_then(|r| r.strip_suffix(')'))
-            {
-                let operands: Vec<&str> = args.split(',').map(str::trim).collect();
-                if operands.len() != 3 {
-                    return Err(err(
-                        lineno,
-                        format!("MAJ takes exactly 3 operands, found {}", operands.len()),
-                    ));
-                }
-                let mut resolved = [Signal::ZERO; 3];
-                for (i, op) in operands.iter().enumerate() {
-                    resolved[i] = resolve(op, &signals)
-                        .ok_or_else(|| err(lineno, format!("undefined signal `{op}`")))?;
-                }
-                graph.add_maj(resolved[0], resolved[1], resolved[2])
-            } else {
-                resolve(rhs, &signals)
-                    .ok_or_else(|| err(lineno, format!("undefined signal `{rhs}`")))?
-            };
+            let value =
+                if let Some(args) = rhs.strip_prefix("MAJ(").and_then(|r| r.strip_suffix(')')) {
+                    let operands: Vec<&str> = args.split(',').map(str::trim).collect();
+                    if operands.len() != 3 {
+                        return Err(err(
+                            lineno,
+                            format!("MAJ takes exactly 3 operands, found {}", operands.len()),
+                        ));
+                    }
+                    let mut resolved = [Signal::ZERO; 3];
+                    for (i, op) in operands.iter().enumerate() {
+                        resolved[i] = resolve(op, &signals)
+                            .ok_or_else(|| err(lineno, format!("undefined signal `{op}`")))?;
+                    }
+                    graph.add_maj(resolved[0], resolved[1], resolved[2])
+                } else {
+                    resolve(rhs, &signals)
+                        .ok_or_else(|| err(lineno, format!("undefined signal `{rhs}`")))?
+                };
 
             if declared_outputs.iter().any(|n| n == lhs) {
                 if bound_outputs.insert(lhs.to_owned(), value).is_some() {
@@ -275,10 +273,9 @@ mod tests {
 
     #[test]
     fn constants_parse() {
-        let g = parse_mig(
-            ".model c\n.inputs a b\n.outputs f\nx = MAJ(a, b, 0)\nf = MAJ(x, !b, 1)\n",
-        )
-        .unwrap();
+        let g =
+            parse_mig(".model c\n.inputs a b\n.outputs f\nx = MAJ(a, b, 0)\nf = MAJ(x, !b, 1)\n")
+                .unwrap();
         assert_eq!(g.gate_count(), 2);
     }
 
@@ -312,9 +309,10 @@ mod tests {
 
     #[test]
     fn redefinition_is_rejected() {
-        let e =
-            parse_mig(".model x\n.inputs a b\n.outputs f\nt = MAJ(a, b, 0)\nt = MAJ(a, b, 1)\nf = t\n")
-                .unwrap_err();
+        let e = parse_mig(
+            ".model x\n.inputs a b\n.outputs f\nt = MAJ(a, b, 0)\nt = MAJ(a, b, 1)\nf = t\n",
+        )
+        .unwrap_err();
         assert_eq!(e.line, 5);
         assert!(e.message.contains("redefined"));
     }

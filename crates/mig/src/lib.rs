@@ -61,7 +61,9 @@ mod signal;
 mod simulate;
 mod truth_table;
 
-pub use analysis::{BaseDistance, ConeAnalysis, FanoutHistogram, GraphStats, PathAnalysis, Support};
+pub use analysis::{
+    BaseDistance, ConeAnalysis, FanoutHistogram, GraphStats, PathAnalysis, Support,
+};
 pub use equivalence::{
     check_equivalence, check_equivalence_seeded, CheckError, Equivalence, DEFAULT_RANDOM_ROUNDS,
 };

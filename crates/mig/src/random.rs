@@ -117,11 +117,7 @@ pub fn random_mig(config: RandomMigConfig) -> Mig {
     // Fan-in locality: real mapped netlists draw most fan-ins from
     // nearby levels; sample a backward distance from a geometric
     // distribution (P(δ = k) ∝ 2^-k) so edges mostly span 1–3 levels.
-    fn pick_local(
-        rng: &mut StdRng,
-        levels: &[Vec<Signal>],
-        current: usize,
-    ) -> Signal {
+    fn pick_local(rng: &mut StdRng, levels: &[Vec<Signal>], current: usize) -> Signal {
         let mut delta = 0usize;
         while delta < current && rng.gen_bool(0.5) {
             delta += 1;
@@ -216,7 +212,7 @@ mod tests {
         let g = random_mig(cfg);
         let got = g.gate_count();
         assert!(
-            got >= 900 && got <= 1000,
+            (900..=1000).contains(&got),
             "gate count {got} not within 10% of target 1000"
         );
     }

@@ -109,10 +109,11 @@ mod tests {
     /// Asserts two single-output builders over `n` inputs are equivalent.
     fn assert_equiv(
         n: usize,
-        lhs: impl FnOnce(&mut Mig, &[Signal]) -> Signal,
-        rhs: impl FnOnce(&mut Mig, &[Signal]) -> Signal,
+        lhs: impl FnOnce(&mut Mig, &[Signal]) -> Signal + 'static,
+        rhs: impl FnOnce(&mut Mig, &[Signal]) -> Signal + 'static,
     ) {
-        let table = |build: Box<dyn FnOnce(&mut Mig, &[Signal]) -> Signal>| {
+        type Builder = Box<dyn FnOnce(&mut Mig, &[Signal]) -> Signal>;
+        let table = |build: Builder| {
             let mut g = Mig::new();
             let ins = g.add_inputs("x", n);
             let f = build(&mut g, &ins);

@@ -69,7 +69,14 @@ pub fn optimize_depth(graph: &Mig, max_rounds: usize) -> (Mig, DepthOptOutcome) 
         }
     }
     let after = best.depth();
-    (best, DepthOptOutcome { before, after, rounds })
+    (
+        best,
+        DepthOptOutcome {
+            before,
+            after,
+            rounds,
+        },
+    )
 }
 
 /// Ensures `levels` covers all nodes of `g` (nodes are topologically
@@ -127,8 +134,7 @@ fn rewrite_round(graph: &Mig) -> Mig {
         let mut idx: Vec<usize> = vec![0, 1, 2];
         idx.sort_by_key(|&i| level_of(&levels, f[i]));
         let (s0, s1, crit) = (f[idx[0]], f[idx[1]], f[idx[2]]);
-        let dominates =
-            level_of(&levels, crit) >= level_of(&levels, s1) + 2 && !crit.is_const();
+        let dominates = level_of(&levels, crit) >= level_of(&levels, s1) + 2 && !crit.is_const();
         if dominates {
             if let Some(inner) = axioms::as_majority(&out, crit) {
                 // Associativity: requires a fan-in shared with {s0, s1}.
@@ -193,7 +199,11 @@ mod tests {
         assert_eq!(g.depth(), 15);
         let (opt, outcome) = optimize_depth(&g, 32);
         assert_eq!(outcome.before, 15);
-        assert!(outcome.after <= 6, "expected near-log depth, got {}", outcome.after);
+        assert!(
+            outcome.after <= 6,
+            "expected near-log depth, got {}",
+            outcome.after
+        );
         assert!(
             check_equivalence(&g, &opt).unwrap().holds(),
             "depth optimization must preserve function"

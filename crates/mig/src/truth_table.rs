@@ -114,7 +114,11 @@ impl TruthTable {
             .iter()
             .enumerate()
             .map(|(i, &w)| {
-                let w = if i + 1 == self.words.len() { w & mask } else { w };
+                let w = if i + 1 == self.words.len() {
+                    w & mask
+                } else {
+                    w
+                };
                 w.count_ones() as usize
             })
             .sum()

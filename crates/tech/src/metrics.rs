@@ -19,8 +19,7 @@ use crate::technology::Technology;
 use crate::units::{Area, Delay, Energy, Power, Throughput};
 
 /// How the netlist is operated.
-#[derive(Clone, Copy, Debug, PartialEq, Eq)]
-#[derive(serde::Serialize, serde::Deserialize)]
+#[derive(Clone, Copy, Debug, PartialEq, Eq, serde::Serialize, serde::Deserialize)]
 pub enum OperatingMode {
     /// One operation at a time; the next starts after the previous
     /// drains (the paper's "Original" columns).
@@ -31,8 +30,7 @@ pub enum OperatingMode {
 }
 
 /// All Table II metrics for one netlist in one mode on one technology.
-#[derive(Clone, Debug, PartialEq)]
-#[derive(serde::Serialize, serde::Deserialize)]
+#[derive(Clone, Debug, PartialEq, serde::Serialize, serde::Deserialize)]
 pub struct Evaluation {
     /// Netlist size (priced components).
     pub size: usize,
@@ -125,8 +123,7 @@ pub fn evaluate(netlist: &Netlist, technology: &Technology, mode: OperatingMode)
 
 /// Original-vs-wave-pipelined comparison for one benchmark on one
 /// technology — one row of Table II.
-#[derive(Clone, Debug, PartialEq)]
-#[derive(serde::Serialize, serde::Deserialize)]
+#[derive(Clone, Debug, PartialEq, serde::Serialize, serde::Deserialize)]
 pub struct Comparison {
     /// Technology name.
     pub technology: String,
@@ -201,9 +198,17 @@ mod tests {
     #[test]
     fn qca_and_nml_wp_throughputs_match_table_two() {
         let r = flow_sample(3);
-        let qca = evaluate(&r.pipelined, &Technology::qca(), OperatingMode::WavePipelined);
+        let qca = evaluate(
+            &r.pipelined,
+            &Technology::qca(),
+            OperatingMode::WavePipelined,
+        );
         assert!((qca.throughput.value() - 83333.33).abs() < 0.01);
-        let nml = evaluate(&r.pipelined, &Technology::nml(), OperatingMode::WavePipelined);
+        let nml = evaluate(
+            &r.pipelined,
+            &Technology::nml(),
+            OperatingMode::WavePipelined,
+        );
         assert!((nml.throughput.value() - 16.67).abs() < 0.01);
     }
 
@@ -222,7 +227,10 @@ mod tests {
             c.original.power
         );
         let energy_ratio = c.pipelined.energy.value() / c.original.energy.value();
-        assert!(energy_ratio < 1.05, "energy nearly invariant, got ×{energy_ratio}");
+        assert!(
+            energy_ratio < 1.05,
+            "energy nearly invariant, got ×{energy_ratio}"
+        );
     }
 
     #[test]
@@ -245,10 +253,13 @@ mod tests {
         let t = Technology::qca();
         let r = flow_sample(6);
         let c = compare(&r, &t);
-        let analytic = (c.original.depth as f64 / 3.0)
-            * (c.original.area.value() / c.pipelined.area.value());
+        let analytic =
+            (c.original.depth as f64 / 3.0) * (c.original.area.value() / c.pipelined.area.value());
         assert!((c.ta_gain() - analytic).abs() < 1e-9);
-        assert!(c.ta_gain() > 1.0, "QCA T/A gain should exceed 1 on depth-12 logic");
+        assert!(
+            c.ta_gain() > 1.0,
+            "QCA T/A gain should exceed 1 on depth-12 logic"
+        );
     }
 
     #[test]

@@ -8,8 +8,7 @@ use crate::metrics::Comparison;
 use crate::units::Area;
 
 /// One benchmark evaluated on one technology (a Table II row).
-#[derive(Clone, Debug, PartialEq)]
-#[derive(serde::Serialize, serde::Deserialize)]
+#[derive(Clone, Debug, PartialEq, serde::Serialize, serde::Deserialize)]
 pub struct BenchmarkRow {
     /// Benchmark name.
     pub benchmark: String,
@@ -133,10 +132,7 @@ mod tests {
         assert!(line.starts_with("RAND"));
         // Header and line agree on column count by construction; sanity
         // check that both are non-trivially long and aligned.
-        assert_eq!(
-            BenchmarkRow::table_header().split_whitespace().count(),
-            13
-        );
+        assert_eq!(BenchmarkRow::table_header().split_whitespace().count(), 13);
         assert!(line.split_whitespace().count() >= 13);
     }
 
@@ -158,7 +154,10 @@ mod tests {
     fn two_column_rendering() {
         let t = two_column_table(
             "demo",
-            &[("alpha".to_owned(), "1".to_owned()), ("b".to_owned(), "2".to_owned())],
+            &[
+                ("alpha".to_owned(), "1".to_owned()),
+                ("b".to_owned(), "2".to_owned()),
+            ],
         );
         assert!(t.contains("== demo =="));
         assert!(t.contains("alpha"));

@@ -8,8 +8,7 @@ use crate::units::{Area, Delay, Energy};
 /// Relative cost multipliers for one component kind (a row slice of
 /// Table I: e.g. for QCA an INV costs 10× the cell area, 7× the cell
 /// delay, 10× the cell energy).
-#[derive(Clone, Copy, Debug, PartialEq)]
-#[derive(serde::Serialize, serde::Deserialize)]
+#[derive(Clone, Copy, Debug, PartialEq, serde::Serialize, serde::Deserialize)]
 pub struct RelativeCost {
     /// Area multiplier over the base cell area.
     pub area: f64,
@@ -53,8 +52,7 @@ impl RelativeCost {
 /// assert_eq!(swd.name, "SWD");
 /// assert_eq!(swd.cell_delay.value(), 0.42);
 /// ```
-#[derive(Clone, Debug, PartialEq)]
-#[derive(serde::Serialize, serde::Deserialize)]
+#[derive(Clone, Debug, PartialEq, serde::Serialize, serde::Deserialize)]
 pub struct Technology {
     /// Short display name ("SWD", "QCA", "NML").
     pub name: String,

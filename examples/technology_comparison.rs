@@ -12,10 +12,15 @@
 use wave_pipelining::prelude::*;
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
-    let name = std::env::args().nth(1).unwrap_or_else(|| "HAMMING".to_owned());
-    let spec = find_benchmark(&name)
-        .ok_or_else(|| format!("unknown benchmark `{name}`; known: {:?}",
-            SUITE.iter().map(|s| s.name).collect::<Vec<_>>()))?;
+    let name = std::env::args()
+        .nth(1)
+        .unwrap_or_else(|| "HAMMING".to_owned());
+    let spec = find_benchmark(&name).ok_or_else(|| {
+        format!(
+            "unknown benchmark `{name}`; known: {:?}",
+            SUITE.iter().map(|s| s.name).collect::<Vec<_>>()
+        )
+    })?;
     let g = spec.build();
     println!("benchmark: {} — {}", spec.name, spec.description);
     println!("MIG: {g}\n");
@@ -61,8 +66,16 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
                 format!("{:.3}", e.power),
                 format!("{:.3}", e.latency),
                 format!("{:.1}", e.throughput),
-                if mode == "wave" { format!("{:.2}x", row.ta_gain()) } else { "—".into() },
-                if mode == "wave" { format!("{:.2}x", row.tp_gain()) } else { "—".into() },
+                if mode == "wave" {
+                    format!("{:.2}x", row.ta_gain())
+                } else {
+                    "—".into()
+                },
+                if mode == "wave" {
+                    format!("{:.2}x", row.tp_gain())
+                } else {
+                    "—".into()
+                },
             );
         }
     }

@@ -27,7 +27,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     n.add_output("f", g4);
 
     println!("unbalanced: {n}");
-    println!("balance check: {:?}\n", verify_balance(&n, None).err().map(|e| e.to_string()));
+    println!(
+        "balance check: {:?}\n",
+        verify_balance(&n, None).err().map(|e| e.to_string())
+    );
 
     // Alternate `a` every wave so a one-wave-late read is always wrong.
     let waves: Vec<Vec<bool>> = (0..10)

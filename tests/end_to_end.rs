@@ -10,8 +10,7 @@ use wavepipe::WaveSimulator;
 /// Benchmarks small enough to run the full pipeline + simulation in a
 /// debug-build test.
 const SMALL: [&str; 10] = [
-    "SASC", "ADD32R", "ADD32KS", "MUL8", "HAMMING", "CRC8x64", "ALU16", "CMP32", "DEC6",
-    "MEDS32x8",
+    "SASC", "ADD32R", "ADD32KS", "MUL8", "HAMMING", "CRC8x64", "ALU16", "CMP32", "DEC6", "MEDS32x8",
 ];
 
 fn random_patterns(inputs: usize, count: usize, seed: u64) -> Vec<Vec<bool>> {
@@ -42,8 +41,8 @@ fn flow_satisfies_all_invariants_on_small_suite() {
     for name in SMALL {
         let g = find_benchmark(name).expect("suite benchmark").build();
         let result = run_flow(&g, FlowConfig::default()).expect("flow verifies");
-        let report = verify_balance(&result.pipelined, Some(3))
-            .unwrap_or_else(|e| panic!("{name}: {e}"));
+        let report =
+            verify_balance(&result.pipelined, Some(3)).unwrap_or_else(|e| panic!("{name}: {e}"));
         assert_eq!(report.depth, result.pipelined.depth());
         assert!(result.pipelined.max_fanout() <= 3, "{name}");
         // Sizes are monotone: the flow only adds components.
@@ -71,7 +70,10 @@ fn wave_streaming_is_coherent_on_small_suite() {
         let result = run_flow(&g, FlowConfig::default()).expect("flow verifies");
         let waves = random_patterns(g.input_count(), 20, 0x3A3E);
         let corrupted = WaveSimulator::new(&result.pipelined).check_against_golden(&waves);
-        assert!(corrupted.is_empty(), "{name}: corrupted waves {corrupted:?}");
+        assert!(
+            corrupted.is_empty(),
+            "{name}: corrupted waves {corrupted:?}"
+        );
     }
 }
 

@@ -69,11 +69,7 @@ fn claim_fig8_combined_flow_dominates_individual_passes() {
         assert!(d.combined[i] > d.fo_only[i]);
     }
     // Observation (c): the best case is still a multiple-x blow-up.
-    let best = d
-        .combined
-        .iter()
-        .cloned()
-        .fold(f64::INFINITY, f64::min);
+    let best = d.combined.iter().cloned().fold(f64::INFINITY, f64::min);
     assert!(best > 3.0, "best combined ratio {best} (paper: ~4.91×)");
 }
 

@@ -8,18 +8,16 @@ use wave_pipelining::prelude::*;
 /// Strategy: a random-MIG configuration small enough for exhaustive or
 /// heavy random checking.
 fn mig_config() -> impl Strategy<Value = mig::RandomMigConfig> {
-    (3usize..10, 1usize..6, 1u32..10, 0u64..1000).prop_flat_map(
-        |(inputs, outputs, depth, seed)| {
-            let min_gates = depth as usize;
-            (min_gates.max(5)..150).prop_map(move |gates| mig::RandomMigConfig {
-                inputs,
-                outputs,
-                gates,
-                depth,
-                seed,
-            })
-        },
-    )
+    (3usize..10, 1usize..6, 1u32..10, 0u64..1000).prop_flat_map(|(inputs, outputs, depth, seed)| {
+        let min_gates = depth as usize;
+        (min_gates.max(5)..150).prop_map(move |gates| mig::RandomMigConfig {
+            inputs,
+            outputs,
+            gates,
+            depth,
+            seed,
+        })
+    })
 }
 
 proptest! {

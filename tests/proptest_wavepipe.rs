@@ -8,17 +8,15 @@ use wave_pipelining::prelude::*;
 use wavepipe::{verify_weighted_balance, DelayWeights, WaveSimulator};
 
 fn mig_config() -> impl Strategy<Value = mig::RandomMigConfig> {
-    (3usize..10, 1usize..5, 2u32..9, 0u64..500).prop_flat_map(
-        |(inputs, outputs, depth, seed)| {
-            (depth as usize + 5..120).prop_map(move |gates| mig::RandomMigConfig {
-                inputs,
-                outputs,
-                gates,
-                depth,
-                seed,
-            })
-        },
-    )
+    (3usize..10, 1usize..5, 2u32..9, 0u64..500).prop_flat_map(|(inputs, outputs, depth, seed)| {
+        (depth as usize + 5..120).prop_map(move |gates| mig::RandomMigConfig {
+            inputs,
+            outputs,
+            gates,
+            depth,
+            seed,
+        })
+    })
 }
 
 fn patterns(inputs: usize, seed: u64) -> Vec<Vec<bool>> {

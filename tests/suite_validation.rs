@@ -33,7 +33,10 @@ fn all_non_giant_benchmarks_build_with_sane_structure() {
 
 #[test]
 fn suite_spans_two_orders_of_magnitude_without_the_giants() {
-    let sizes: Vec<usize> = non_giant_suite().iter().map(|(_, g)| g.gate_count()).collect();
+    let sizes: Vec<usize> = non_giant_suite()
+        .iter()
+        .map(|(_, g)| g.gate_count())
+        .collect();
     let min = *sizes.iter().min().expect("non-empty suite");
     let max = *sizes.iter().max().expect("non-empty suite");
     assert!(min < 500, "smallest benchmark {min}");

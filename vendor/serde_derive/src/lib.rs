@@ -1,0 +1,310 @@
+//! `#[derive(Serialize)]` / `#[derive(Deserialize)]` for the vendored
+//! mini-serde, implemented directly on `proc_macro::TokenStream` (the
+//! build environment has no `syn`/`quote`).
+//!
+//! Supported shapes — everything this workspace derives on:
+//!
+//! * structs with named fields
+//! * tuple structs (newtypes serialize transparently, like real serde)
+//! * enums with only unit variants (serialized as the variant name)
+//!
+//! Generics, data-carrying enums and `#[serde(...)]` attributes are
+//! rejected with a compile error.
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+
+/// What the input item turned out to be.
+enum Shape {
+    Named { name: String, fields: Vec<String> },
+    Tuple { name: String, arity: usize },
+    UnitEnum { name: String, variants: Vec<String> },
+}
+
+fn parse_shape(input: TokenStream) -> Result<Shape, String> {
+    let mut tokens = input.into_iter().peekable();
+
+    // Skip attributes (`#[...]`, including doc comments) and visibility.
+    let kind = loop {
+        match tokens.next() {
+            Some(TokenTree::Punct(p)) if p.as_char() == '#' => {
+                // Consume the following [...] group.
+                match tokens.next() {
+                    Some(TokenTree::Group(_)) => {}
+                    _ => return Err("malformed attribute".into()),
+                }
+            }
+            Some(TokenTree::Ident(id)) => {
+                let s = id.to_string();
+                if s == "pub" {
+                    // Optional `(crate)` / `(super)` restriction.
+                    if let Some(TokenTree::Group(g)) = tokens.peek() {
+                        if g.delimiter() == Delimiter::Parenthesis {
+                            tokens.next();
+                        }
+                    }
+                } else if s == "struct" || s == "enum" {
+                    break s;
+                } else {
+                    return Err(format!("unexpected token `{s}` before struct/enum"));
+                }
+            }
+            Some(other) => return Err(format!("unexpected token `{other}`")),
+            None => return Err("no struct or enum found".into()),
+        }
+    };
+
+    let name = match tokens.next() {
+        Some(TokenTree::Ident(id)) => id.to_string(),
+        _ => return Err("missing type name".into()),
+    };
+
+    match tokens.next() {
+        Some(TokenTree::Punct(p)) if p.as_char() == '<' => Err(format!(
+            "generic type `{name}` is not supported by mini-serde derive"
+        )),
+        Some(TokenTree::Group(body)) if body.delimiter() == Delimiter::Brace => {
+            if kind == "struct" {
+                Ok(Shape::Named {
+                    name,
+                    fields: parse_named_fields(body.stream())?,
+                })
+            } else {
+                Ok(Shape::UnitEnum {
+                    name,
+                    variants: parse_unit_variants(body.stream())?,
+                })
+            }
+        }
+        Some(TokenTree::Group(body)) if body.delimiter() == Delimiter::Parenthesis => {
+            if kind != "struct" {
+                return Err("parenthesized enum body".into());
+            }
+            Ok(Shape::Tuple {
+                name,
+                arity: count_tuple_fields(body.stream()),
+            })
+        }
+        other => Err(format!("unsupported item body after `{name}`: {other:?}")),
+    }
+}
+
+/// Extracts field names from a named-struct body. Types are irrelevant:
+/// the generated code lets inference pick the right impl per field.
+fn parse_named_fields(body: TokenStream) -> Result<Vec<String>, String> {
+    let mut fields = Vec::new();
+    let mut tokens = body.into_iter().peekable();
+    loop {
+        // Skip attributes and visibility before the field name.
+        let field = loop {
+            match tokens.next() {
+                Some(TokenTree::Punct(p)) if p.as_char() == '#' => match tokens.next() {
+                    Some(TokenTree::Group(_)) => {}
+                    _ => return Err("malformed field attribute".into()),
+                },
+                Some(TokenTree::Ident(id)) if id.to_string() == "pub" => {
+                    if let Some(TokenTree::Group(g)) = tokens.peek() {
+                        if g.delimiter() == Delimiter::Parenthesis {
+                            tokens.next();
+                        }
+                    }
+                }
+                Some(TokenTree::Ident(id)) => break id.to_string(),
+                Some(other) => return Err(format!("unexpected token in fields: `{other}`")),
+                None => return Ok(fields),
+            }
+        };
+        fields.push(field);
+        match tokens.next() {
+            Some(TokenTree::Punct(p)) if p.as_char() == ':' => {}
+            _ => return Err("field name not followed by `:`".into()),
+        }
+        // Consume the type: tokens until a comma at angle-bracket depth 0.
+        let mut angle_depth = 0i32;
+        loop {
+            match tokens.next() {
+                Some(TokenTree::Punct(p)) if p.as_char() == '<' => angle_depth += 1,
+                Some(TokenTree::Punct(p)) if p.as_char() == '>' => angle_depth -= 1,
+                Some(TokenTree::Punct(p)) if p.as_char() == ',' && angle_depth == 0 => break,
+                Some(_) => {}
+                None => return Ok(fields),
+            }
+        }
+    }
+}
+
+fn parse_unit_variants(body: TokenStream) -> Result<Vec<String>, String> {
+    let mut variants = Vec::new();
+    let mut tokens = body.into_iter();
+    loop {
+        match tokens.next() {
+            Some(TokenTree::Punct(p)) if p.as_char() == '#' => match tokens.next() {
+                Some(TokenTree::Group(_)) => {}
+                _ => return Err("malformed variant attribute".into()),
+            },
+            Some(TokenTree::Ident(id)) => variants.push(id.to_string()),
+            Some(TokenTree::Punct(p)) if p.as_char() == ',' => {}
+            Some(TokenTree::Group(_)) => {
+                return Err("mini-serde derive supports only unit enum variants".into())
+            }
+            Some(TokenTree::Punct(p)) if p.as_char() == '=' => {
+                return Err("explicit enum discriminants are not supported".into())
+            }
+            Some(other) => return Err(format!("unexpected token in enum: `{other}`")),
+            None => return Ok(variants),
+        }
+    }
+}
+
+fn count_tuple_fields(body: TokenStream) -> usize {
+    let mut arity = 1usize;
+    let mut angle_depth = 0i32;
+    let mut any = false;
+    for token in body {
+        any = true;
+        match token {
+            TokenTree::Punct(p) if p.as_char() == '<' => angle_depth += 1,
+            TokenTree::Punct(p) if p.as_char() == '>' => angle_depth -= 1,
+            TokenTree::Punct(p) if p.as_char() == ',' && angle_depth == 0 => arity += 1,
+            _ => {}
+        }
+    }
+    if any {
+        arity
+    } else {
+        0
+    }
+}
+
+fn compile_error(message: &str) -> TokenStream {
+    format!("compile_error!({message:?});")
+        .parse()
+        .expect("valid error")
+}
+
+/// Derives `serde::Serialize` (the mini-serde `to_value` form).
+#[proc_macro_derive(Serialize)]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    let shape = match parse_shape(input) {
+        Ok(shape) => shape,
+        Err(e) => return compile_error(&e),
+    };
+    let code = match shape {
+        Shape::Named { name, fields } => {
+            let entries: String = fields
+                .iter()
+                .map(|f| format!("(\"{f}\".to_string(), ::serde::Serialize::to_value(&self.{f})),"))
+                .collect();
+            format!(
+                "impl ::serde::Serialize for {name} {{\n\
+                     fn to_value(&self) -> ::serde::Value {{\n\
+                         ::serde::Value::Object(vec![{entries}])\n\
+                     }}\n\
+                 }}"
+            )
+        }
+        Shape::Tuple { name, arity: 1 } => format!(
+            "impl ::serde::Serialize for {name} {{\n\
+                 fn to_value(&self) -> ::serde::Value {{\n\
+                     ::serde::Serialize::to_value(&self.0)\n\
+                 }}\n\
+             }}"
+        ),
+        Shape::Tuple { name, arity } => {
+            let items: String = (0..arity)
+                .map(|i| format!("::serde::Serialize::to_value(&self.{i}),"))
+                .collect();
+            format!(
+                "impl ::serde::Serialize for {name} {{\n\
+                     fn to_value(&self) -> ::serde::Value {{\n\
+                         ::serde::Value::Array(vec![{items}])\n\
+                     }}\n\
+                 }}"
+            )
+        }
+        Shape::UnitEnum { name, variants } => {
+            let arms: String = variants
+                .iter()
+                .map(|v| format!("{name}::{v} => \"{v}\","))
+                .collect();
+            format!(
+                "impl ::serde::Serialize for {name} {{\n\
+                     fn to_value(&self) -> ::serde::Value {{\n\
+                         ::serde::Value::Str(match self {{ {arms} }}.to_string())\n\
+                     }}\n\
+                 }}"
+            )
+        }
+    };
+    code.parse().expect("generated impl parses")
+}
+
+/// Derives `serde::Deserialize` (the mini-serde `from_value` form).
+#[proc_macro_derive(Deserialize)]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    let shape = match parse_shape(input) {
+        Ok(shape) => shape,
+        Err(e) => return compile_error(&e),
+    };
+    let code = match shape {
+        Shape::Named { name, fields } => {
+            let inits: String = fields
+                .iter()
+                .map(|f| {
+                    format!(
+                        "{f}: ::serde::Deserialize::from_value(::serde::field(entries, \"{f}\")?)?,"
+                    )
+                })
+                .collect();
+            format!(
+                "impl ::serde::Deserialize for {name} {{\n\
+                     fn from_value(value: &::serde::Value) -> Result<{name}, ::serde::DeError> {{\n\
+                         let entries = value.as_object()\
+                             .ok_or_else(|| ::serde::DeError::expected(\"object for {name}\"))?;\n\
+                         Ok({name} {{ {inits} }})\n\
+                     }}\n\
+                 }}"
+            )
+        }
+        Shape::Tuple { name, arity: 1 } => format!(
+            "impl ::serde::Deserialize for {name} {{\n\
+                 fn from_value(value: &::serde::Value) -> Result<{name}, ::serde::DeError> {{\n\
+                     Ok({name}(::serde::Deserialize::from_value(value)?))\n\
+                 }}\n\
+             }}"
+        ),
+        Shape::Tuple { name, arity } => {
+            let items: String = (0..arity)
+                .map(|i| format!("::serde::Deserialize::from_value(&items[{i}])?,"))
+                .collect();
+            format!(
+                "impl ::serde::Deserialize for {name} {{\n\
+                     fn from_value(value: &::serde::Value) -> Result<{name}, ::serde::DeError> {{\n\
+                         let items = value.as_array()\
+                             .ok_or_else(|| ::serde::DeError::expected(\"array for {name}\"))?;\n\
+                         if items.len() != {arity} {{\n\
+                             return Err(::serde::DeError::expected(\"array of length {arity}\"));\n\
+                         }}\n\
+                         Ok({name}({items}))\n\
+                     }}\n\
+                 }}"
+            )
+        }
+        Shape::UnitEnum { name, variants } => {
+            let arms: String = variants
+                .iter()
+                .map(|v| format!("Some(\"{v}\") => Ok({name}::{v}),"))
+                .collect();
+            format!(
+                "impl ::serde::Deserialize for {name} {{\n\
+                     fn from_value(value: &::serde::Value) -> Result<{name}, ::serde::DeError> {{\n\
+                         match value.as_str() {{\n\
+                             {arms}\n\
+                             _ => Err(::serde::DeError::expected(\"variant of {name}\")),\n\
+                         }}\n\
+                     }}\n\
+                 }}"
+            )
+        }
+    };
+    code.parse().expect("generated impl parses")
+}
