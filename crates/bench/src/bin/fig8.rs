@@ -3,6 +3,9 @@
 //! 2.48/1.61/1.35/1.25× with FOG shares .55/.26/.17/.13;
 //! FOx+BUF 9.74/6.21/5.30/4.91×).
 //!
+//! The five flow configurations sweep as one pipeline × circuit grid
+//! on the work-pulling scheduler (`wavepipe::run_config_grid`).
+//!
 //! Pass `--quick` to run on the 8-benchmark subset instead of all 37.
 
 use wavepipe_bench::harness::{build_suite, fig8_data, QUICK_SUBSET};

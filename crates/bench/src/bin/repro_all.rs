@@ -4,60 +4,110 @@
 //! ```text
 //! cargo run --release -p wavepipe-bench --bin repro_all
 //! ```
+//!
+//! The multi-technology experiments (Fig 9, Table II) come from **one**
+//! circuit × technology grid sweep (`FlowPipeline::run_grid`); its
+//! priced per-(circuit, tech, pass) traces land in
+//! `results/flow_trace.{txt,json}` and the aggregate wall-time /
+//! priced-delta record in `results/BENCH_pr2.json`.
 
 use std::collections::BTreeMap;
 use std::fs;
 use std::path::Path;
+use std::time::Instant;
 
-use tech::{BenchmarkRow, Technology};
+use tech::BenchmarkRow;
 use wavepipe_bench::harness::{
-    build_suite, evaluate_suite_traced, fig5_fit, fig5_points, fig7_rows, fig8_data, fig9_data,
-    inverter_ablation, retiming_ablation, table2_rows,
+    build_suite, evaluate_suite_grid, fig5_fit, fig5_points, fig7_rows, fig8_data, fig9_data,
+    inverter_ablation, retiming_ablation, table2_from_grid,
 };
+
+/// Aggregate of one pass across every circuit of the suite, per
+/// technology — the machine-readable perf-trajectory record.
+#[derive(serde::Serialize)]
+struct PassSummary {
+    technology: String,
+    pass: String,
+    micros: u64,
+    area_delta: f64,
+    energy_delta: f64,
+    cycle_time_delta: f64,
+}
+
+#[derive(serde::Serialize)]
+struct BenchRecord {
+    /// Wall time of each experiment stage, milliseconds.
+    wall_ms: BTreeMap<String, f64>,
+    /// Per-(technology, pass) priced deltas summed over the suite.
+    passes: Vec<PassSummary>,
+}
 
 fn main() {
     let out_dir = Path::new("results");
     fs::create_dir_all(out_dir).expect("create results/");
+    let mut wall_ms: BTreeMap<String, f64> = BTreeMap::new();
+    let mut timed = |name: &str, started: Instant| {
+        wall_ms.insert(name.to_owned(), started.elapsed().as_secs_f64() * 1000.0);
+    };
+
+    let started = Instant::now();
     let suite = build_suite(None);
+    timed("build_suite", started);
     println!("built {} benchmarks", suite.len());
 
-    // Per-pass instrumentation: run the default pipeline over the whole
-    // suite through the parallel batch driver and record every pass's
-    // wall time, component delta and depth change.
-    // One default-flow suite run feeds both the trace files here and
-    // the Fig 9 / Table II evaluation further down.
-    let (evaluated, traces) = evaluate_suite_traced(&suite);
+    // The circuit × technology grid: one parallel sweep feeds the
+    // priced traces, Fig 9 and Table II.
+    let started = Instant::now();
+    let grid = evaluate_suite_grid(&suite);
+    timed("grid_sweep", started);
+
     let mut trace_txt = String::new();
-    let mut total_micros: BTreeMap<String, u64> = BTreeMap::new();
-    let mut total_added: BTreeMap<String, usize> = BTreeMap::new();
-    for (name, trace) in &traces {
-        trace_txt.push_str(&format!("--- {name} ---\n"));
-        for pass in trace {
+    let mut pass_totals: BTreeMap<(String, String), PassSummary> = BTreeMap::new();
+    for t in &grid.traces {
+        trace_txt.push_str(&format!("--- {} @ {} ---\n", t.circuit, t.technology));
+        for pass in &t.trace {
             trace_txt.push_str(&pass.to_string());
             trace_txt.push('\n');
-            *total_micros.entry(pass.pass.clone()).or_default() += pass.micros;
-            *total_added.entry(pass.pass.clone()).or_default() += pass.added.priced_total();
+            let entry = pass_totals
+                .entry((t.technology.clone(), pass.pass.clone()))
+                .or_insert_with(|| PassSummary {
+                    technology: t.technology.clone(),
+                    pass: pass.pass.clone(),
+                    micros: 0,
+                    area_delta: 0.0,
+                    energy_delta: 0.0,
+                    cycle_time_delta: 0.0,
+                });
+            entry.micros += pass.micros;
+            if let Some(priced) = &pass.priced {
+                entry.area_delta += priced.area_delta();
+                entry.energy_delta += priced.energy_delta();
+                entry.cycle_time_delta += priced.latency_delta();
+            }
         }
         trace_txt.push('\n');
     }
     fs::write(out_dir.join("flow_trace.txt"), &trace_txt).expect("write flow trace");
     fs::write(
         out_dir.join("flow_trace.json"),
-        serde_json::to_string_pretty(&traces).expect("serialize"),
+        serde_json::to_string_pretty(&grid.traces).expect("serialize"),
     )
     .expect("write flow_trace.json");
-    println!("flow passes (suite totals):");
-    for (pass, micros) in &total_micros {
+    println!("flow passes (suite totals, priced):");
+    for ((technology, pass), s) in &pass_totals {
         println!(
-            "  {pass:<24} {:>9.1} ms  +{} components",
-            *micros as f64 / 1000.0,
-            total_added[pass]
+            "  {technology:<4} {pass:<24} {:>9.1} ms  Δarea {:>12.1} µm², Δenergy {:>12.1} fJ",
+            s.micros as f64 / 1000.0,
+            s.area_delta,
+            s.energy_delta
         );
     }
 
     // Fig 5.
+    let started = Instant::now();
     let points = fig5_points(&suite);
     let fit = fig5_fit(&points);
+    timed("fig5", started);
     let mut fig5_txt = String::from("benchmark,size,buffers\n");
     for p in &points {
         fig5_txt.push_str(&format!("{},{},{}\n", p.name, p.size, p.buffers));
@@ -78,7 +128,9 @@ fn main() {
     );
 
     // Fig 7.
+    let started = Instant::now();
     let rows = fig7_rows(&suite);
+    timed("fig7", started);
     let mut fig7_txt = String::from("benchmark,orig_cp,k2,k3,k4,k5\n");
     for r in &rows {
         fig7_txt.push_str(&format!(
@@ -102,8 +154,10 @@ fn main() {
         avgs[3] * 100.0
     );
 
-    // Fig 8.
+    // Fig 8 (configuration × circuit grid).
+    let started = Instant::now();
     let f8 = fig8_data(&suite);
+    timed("fig8", started);
     fs::write(
         out_dir.join("fig8.json"),
         serde_json::to_string_pretty(&f8).expect("serialize"),
@@ -122,8 +176,8 @@ fn main() {
         f8.combined[3]
     );
 
-    // Fig 9 + Table II.
-    let f9 = fig9_data(&evaluated);
+    // Fig 9 + Table II — both read off the grid sweep above.
+    let f9 = fig9_data(&grid.evaluated);
     fs::write(
         out_dir.join("fig9.json"),
         serde_json::to_string_pretty(&f9).expect("serialize"),
@@ -149,11 +203,11 @@ fn main() {
     }
 
     let mut table2_txt = String::new();
-    for technology in Technology::all() {
-        table2_txt.push_str(&format!("--- {} ---\n", technology.name));
+    for (technology, rows) in table2_from_grid(&grid) {
+        table2_txt.push_str(&format!("--- {technology} ---\n"));
         table2_txt.push_str(&BenchmarkRow::table_header());
         table2_txt.push('\n');
-        for row in table2_rows(&technology) {
+        for row in rows {
             table2_txt.push_str(&row.to_table_line());
             table2_txt.push('\n');
         }
@@ -163,7 +217,9 @@ fn main() {
     println!("table2: written to results/table2.txt");
 
     // Ablation.
+    let started = Instant::now();
     let ablation = retiming_ablation(&suite);
+    timed("ablation_retiming", started);
     fs::write(
         out_dir.join("ablation_retiming.json"),
         serde_json::to_string_pretty(&ablation).expect("serialize"),
@@ -172,7 +228,9 @@ fn main() {
     let avg_saving = tech::mean(&ablation.iter().map(|r| r.saving()).collect::<Vec<_>>()) * 100.0;
     println!("ablation: retiming saves {avg_saving:.1}% buffers on average");
 
+    let started = Instant::now();
     let inv = inverter_ablation(&suite);
+    timed("ablation_inverters", started);
     fs::write(
         out_dir.join("ablation_inverters.json"),
         serde_json::to_string_pretty(&inv).expect("serialize"),
@@ -180,6 +238,18 @@ fn main() {
     .expect("write inverter ablation");
     let avg_inv = tech::mean(&inv.iter().map(|r| r.inv_saving()).collect::<Vec<_>>()) * 100.0;
     println!("ablation: polarity search removes {avg_inv:.1}% of inverters on average");
+
+    // Machine-readable perf-trajectory record.
+    let record = BenchRecord {
+        wall_ms,
+        passes: pass_totals.into_values().collect(),
+    };
+    fs::write(
+        out_dir.join("BENCH_pr2.json"),
+        serde_json::to_string_pretty(&record).expect("serialize"),
+    )
+    .expect("write BENCH_pr2.json");
+    println!("perf record: written to results/BENCH_pr2.json");
 
     println!("\nall results written to {}", out_dir.display());
 }

@@ -1,6 +1,9 @@
-//! Regenerates Table I: technology cell and gate parameters.
+//! Regenerates Table I: technology cell and gate parameters, plus the
+//! absolute per-component pricing each technology's [`tech::CostModel`]
+//! hands the flow (the `CostTable` the grid driver sweeps).
 
-use tech::Technology;
+use tech::{CostModel, Technology};
+use wavepipe::ComponentKind;
 
 fn main() {
     println!("Table I — Technology cell and gate parameters");
@@ -27,10 +30,34 @@ fn main() {
             "energy", t.inv.energy, t.maj.energy, t.buf.energy, t.fog.energy
         );
         println!(
-            "  model knobs: phase = {:.4} ns ({}× cell delay), sense energy/output = {} fJ\n",
+            "  model knobs: phase = {:.4} ns ({}× cell delay), sense energy/output = {} fJ",
             t.phase_delay().value(),
             t.phase_weight,
             t.output_sense_energy.value()
         );
+
+        // The absolute pricing the flow's cost-model layer sees.
+        let table = t.cost_table();
+        println!("  cost table (absolute, per component):");
+        println!(
+            "  {:>10} {:>12} {:>12} {:>12} {:>7}",
+            "kind", "area µm²", "delay ns", "energy fJ", "phases"
+        );
+        for kind in [
+            ComponentKind::Maj,
+            ComponentKind::Inv,
+            ComponentKind::Buf,
+            ComponentKind::Fog,
+        ] {
+            println!(
+                "  {:>10} {:>12.6} {:>12.6} {:>12.4e} {:>7}",
+                kind.to_string(),
+                table.area_of(kind),
+                table.delay_of(kind),
+                table.energy_of(kind),
+                table.phase_occupancy(kind)
+            );
+        }
+        println!();
     }
 }

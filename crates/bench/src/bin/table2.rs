@@ -1,9 +1,11 @@
 //! Regenerates Table II: per-benchmark depth/size/area/power/throughput
 //! and T/A, T/P gains, original vs wave-pipelined, for SWD, QCA and NML
-//! over the paper's seven selected benchmarks.
+//! over the paper's seven selected benchmarks — all technologies from
+//! **one** circuit × technology grid sweep (the suite used to be built
+//! and run once per technology).
 
-use tech::{BenchmarkRow, Technology};
-use wavepipe_bench::harness::table2_rows;
+use tech::BenchmarkRow;
+use wavepipe_bench::harness::{build_suite, evaluate_suite_grid, table2_from_grid};
 
 /// The paper's published rows for reference: (name, depth orig, depth
 /// wp, size orig, size wp) — identical across technologies.
@@ -19,10 +21,12 @@ const PAPER_STRUCTURE: [(&str, u32, u32, usize, usize); 7] = [
 
 fn main() {
     println!("Table II — summary of benchmarking results (FO3 + BUF)\n");
-    for technology in Technology::all() {
-        println!("--- {} ---", technology.name);
+    let suite = build_suite(Some(&benchsuite::TABLE2_SELECTION));
+    let grid = evaluate_suite_grid(&suite);
+    for (technology, rows) in table2_from_grid(&grid) {
+        println!("--- {technology} ---");
         println!("{}", BenchmarkRow::table_header());
-        for row in table2_rows(&technology) {
+        for row in rows {
             println!("{}", row.to_table_line());
         }
         println!();

@@ -3,16 +3,23 @@
 //!
 //! Since the pass-pipeline refactor every driver expresses its flow
 //! configuration as a [`wavepipe::FlowPipeline`] and evaluates the
-//! suite **concurrently** (one task per circuit, scheduled across all
-//! cores by the pipeline's parallel batch driver). [`flow_traces`]
-//! exposes the per-pass instrumentation (wall time, component delta,
-//! depth change) that `repro_all` prints alongside the figures.
+//! suite **concurrently**, scheduled across all cores by the pipeline's
+//! work-pulling parallel drivers. The multi-technology experiments
+//! (Fig 9, Table II) run the full circuit × technology grid through
+//! [`FlowPipeline::run_grid`] — one cell per (circuit, technology) —
+//! and [`evaluate_suite_grid`] surfaces both the Table II comparisons
+//! and the per-(circuit, technology, pass) **priced** instrumentation
+//! traces (wall time, component delta, depth change, area/energy/
+//! cycle-time deltas under that technology's [`tech::CostModel`]).
 
 use benchsuite::BenchmarkSpec;
 use mig::Mig;
 use rayon::prelude::*;
-use tech::{compare, BenchmarkRow, Technology};
-use wavepipe::{run_flow_batch, BufferStrategy, FlowConfig, FlowPipeline, PassStats, PipelineRun};
+use tech::{BenchmarkRow, CostTable, Technology};
+use wavepipe::{
+    run_config_grid, run_flow_batch, BufferStrategy, FlowConfig, FlowPipeline, PassStats,
+    PipelineRun,
+};
 
 use crate::fit::{fit_power_law, PowerLaw};
 
@@ -50,36 +57,77 @@ fn run_pipeline_over(
         .collect()
 }
 
-/// Runs the paper's default flow (FO3 + BUF) over the suite **once**
-/// and returns both the per-technology comparisons (Fig 9 / Table II
-/// source data) and the per-pass instrumentation trace of every
-/// benchmark — so drivers wanting both don't pay for two suite runs.
-#[allow(clippy::type_complexity)]
-pub fn evaluate_suite_traced(
-    suite: &[(&'static BenchmarkSpec, Mig)],
-) -> (
-    Vec<(String, Vec<tech::Comparison>)>,
-    Vec<(String, Vec<PassStats>)>,
-) {
-    let technologies = Technology::all();
-    let pipeline = FlowPipeline::for_config(FlowConfig::default());
-    let mut evaluated = Vec::with_capacity(suite.len());
-    let mut traces = Vec::with_capacity(suite.len());
-    for (run, (spec, _)) in run_pipeline_over(&pipeline, suite).into_iter().zip(suite) {
-        let comparisons = technologies
-            .iter()
-            .map(|t| compare(&run.result, t))
-            .collect();
-        evaluated.push((spec.name.to_owned(), comparisons));
-        traces.push((spec.name.to_owned(), run.trace));
-    }
-    (evaluated, traces)
+/// The priced per-pass instrumentation of one (circuit, technology)
+/// grid cell.
+#[derive(Clone, Debug, serde::Serialize)]
+pub struct PricedTrace {
+    /// Benchmark name.
+    pub circuit: String,
+    /// Technology the cell ran under.
+    pub technology: String,
+    /// Per-pass instrumentation, priced under that technology.
+    pub trace: Vec<PassStats>,
 }
 
-/// Runs the paper's default flow (FO3 + BUF) over the suite and returns
-/// the per-pass instrumentation trace for every benchmark.
-pub fn flow_traces(suite: &[(&'static BenchmarkSpec, Mig)]) -> Vec<(String, Vec<PassStats>)> {
-    evaluate_suite_traced(suite).1
+/// Everything one circuit × technology grid sweep produced.
+#[derive(Clone, Debug)]
+pub struct GridEvaluation {
+    /// The technologies of the sweep, in [`Technology::all`] order.
+    pub technologies: Vec<Technology>,
+    /// Per-circuit comparisons, one per technology (Fig 9 / Table II
+    /// source data), in suite order.
+    pub evaluated: Vec<(String, Vec<tech::Comparison>)>,
+    /// Per-(circuit, technology) priced traces, circuit-major.
+    pub traces: Vec<PricedTrace>,
+}
+
+/// Runs the paper's default flow (FO3 + BUF) over the full circuit ×
+/// technology grid in one parallel sweep ([`FlowPipeline::run_grid`]):
+/// every (circuit, technology) cell is one task on the work-pulling
+/// scheduler, carries that technology's cost model through the
+/// pipeline, and comes back as a Table II comparison plus a priced
+/// per-pass trace. Panics with the cell coordinates if any run fails
+/// (suite circuits are known to verify).
+///
+/// Note the deliberate tradeoff: the default pipeline is cost-blind, so
+/// each circuit's three cells recompute the same transformation and
+/// only the pricing differs — the grid pays ~3× the flow CPU of the old
+/// one-run-then-price-post-hoc path (sub-second for the full suite in
+/// release, absorbed by the scheduler) in exchange for per-cell cost
+/// threading, which is what lets cost-aware pipelines legitimately
+/// produce *different* netlists per technology through the same driver.
+pub fn evaluate_suite_grid(suite: &[(&'static BenchmarkSpec, Mig)]) -> GridEvaluation {
+    let technologies = Technology::all();
+    let tables: Vec<CostTable> = technologies.iter().map(Technology::cost_table).collect();
+    let pipeline = FlowPipeline::for_config(FlowConfig::default());
+    let graphs: Vec<&Mig> = suite.iter().map(|(_, g)| g).collect();
+    let cells = pipeline.run_grid(&graphs, &tables);
+
+    let mut evaluated: Vec<(String, Vec<tech::Comparison>)> = suite
+        .iter()
+        .map(|(spec, _)| (spec.name.to_owned(), Vec::with_capacity(technologies.len())))
+        .collect();
+    let mut traces = Vec::with_capacity(cells.len());
+    for cell in cells {
+        let spec = suite[cell.circuit].0;
+        let technology = &technologies[cell.model];
+        let run = cell
+            .outcome
+            .unwrap_or_else(|e| panic!("{} @ {}: flow failed: {e}", spec.name, technology.name));
+        evaluated[cell.circuit]
+            .1
+            .push(tech::compare_with_table(&run.result, &tables[cell.model]));
+        traces.push(PricedTrace {
+            circuit: spec.name.to_owned(),
+            technology: technology.name.clone(),
+            trace: run.trace,
+        });
+    }
+    GridEvaluation {
+        technologies,
+        evaluated,
+        traces,
+    }
 }
 
 /// One Fig 5 sample: buffers inserted by BUF alone vs original size.
@@ -189,10 +237,14 @@ struct Fig8Sample {
 }
 
 /// Runs BUF and FOk+BUF over the suite and averages normalized sizes
-/// (Fig 8). All five flow configurations of one circuit run in the same
-/// parallel task; the FOk-*only* numbers are not re-run — they are read
-/// off the combined run's per-pass trace, whose `counts_after` for the
-/// restriction pass is exactly the FOk-only netlist.
+/// (Fig 8). The five flow configurations span the other grid axis —
+/// pipeline *configuration* × circuit — so the sweep goes through
+/// [`run_config_grid`] on the same work-pulling scheduler as the
+/// technology grid (finer-grained than the old one-task-per-circuit
+/// scheme: each of the 5 × N cells schedules independently). The
+/// FOk-*only* numbers are not re-run — they are read off the combined
+/// run's per-pass trace, whose `counts_after` for the restriction pass
+/// is exactly the FOk-only netlist.
 pub fn fig8_data(suite: &[(&'static BenchmarkSpec, Mig)]) -> Fig8Data {
     let buf_only = FlowPipeline::builder()
         .map(false)
@@ -209,12 +261,20 @@ pub fn fig8_data(suite: &[(&'static BenchmarkSpec, Mig)]) -> Fig8Data {
                 .expect("well-ordered")
         })
         .collect();
+    let pipelines: Vec<&FlowPipeline> = std::iter::once(&buf_only).chain(per_k.iter()).collect();
+    let graphs: Vec<&Mig> = suite.iter().map(|(_, g)| g).collect();
+    let grid = run_config_grid(&pipelines, &graphs);
 
     let samples: Vec<Fig8Sample> = suite
-        .par_iter()
-        .map(|(spec, g)| {
-            let fail = |e| -> ! { panic!("{}: flow failed: {e}", spec.name) };
-            let buf = buf_only.run(g).unwrap_or_else(|e| fail(e));
+        .iter()
+        .enumerate()
+        .map(|(ci, (spec, _))| {
+            let cell = |pi: usize| -> &PipelineRun {
+                grid[pi][ci]
+                    .as_ref()
+                    .unwrap_or_else(|e| panic!("{}: flow failed: {e}", spec.name))
+            };
+            let buf = cell(0);
             let orig = buf.result.original_counts().priced_total() as f64;
             let mut sample = Fig8Sample {
                 buf_ratio: buf.result.pipelined_counts().priced_total() as f64 / orig,
@@ -223,8 +283,8 @@ pub fn fig8_data(suite: &[(&'static BenchmarkSpec, Mig)]) -> Fig8Data {
                 combined_ratio: [0.0; 4],
                 combined_fog: [0.0; 4],
             };
-            for (i, combined) in per_k.iter().enumerate() {
-                let full = combined.run(g).unwrap_or_else(|e| fail(e));
+            for i in 0..per_k.len() {
+                let full = cell(1 + i);
                 // The netlist right after the restriction pass *is* the
                 // FOk-only result; its counts are in the trace.
                 let c = full
@@ -274,12 +334,14 @@ pub struct Fig9Data {
 }
 
 /// Runs the full flow (FO3 + BUF, the paper's §V configuration) over
-/// the suite through the parallel batch driver and evaluates all three
-/// technologies (Fig 9 + Table II source data).
+/// the circuit × technology grid and returns the per-circuit
+/// comparisons (Fig 9 + Table II source data). Thin wrapper over
+/// [`evaluate_suite_grid`] for callers that don't need the priced
+/// traces.
 pub fn evaluate_suite(
     suite: &[(&'static BenchmarkSpec, Mig)],
 ) -> Vec<(String, Vec<tech::Comparison>)> {
-    evaluate_suite_traced(suite).0
+    evaluate_suite_grid(suite).evaluated
 }
 
 /// Aggregates [`evaluate_suite`] output into Fig 9 bars.
@@ -302,31 +364,48 @@ pub fn fig9_data(evaluated: &[(String, Vec<tech::Comparison>)]) -> Vec<Fig9Data>
         .collect()
 }
 
-/// Table II rows for one technology over the paper's seven selected
-/// benchmarks (built and evaluated in parallel).
-pub fn table2_rows(technology: &Technology) -> Vec<BenchmarkRow> {
-    let suite = build_suite(Some(&benchsuite::TABLE2_SELECTION));
-    // `build_suite` filters against SUITE order; re-order to match the
-    // paper's selection list.
-    let graphs: Vec<&Mig> = benchsuite::TABLE2_SELECTION
+/// Table II rows for every technology, read off an already-computed
+/// grid sweep (the hand-rolled per-technology loop this replaces built
+/// and ran the suite once *per technology*). The grid must cover the
+/// paper's seven selected benchmarks — `repro_all` hands in the
+/// full-suite grid, the `table2` binary a grid over just the selection.
+///
+/// # Panics
+///
+/// Panics if a Table II benchmark is missing from the grid.
+pub fn table2_from_grid(grid: &GridEvaluation) -> Vec<(String, Vec<BenchmarkRow>)> {
+    rows_from_grid(grid, &benchsuite::TABLE2_SELECTION)
+}
+
+/// [`table2_from_grid`] for an arbitrary benchmark selection: one row
+/// table per technology, rows in `selection` order.
+///
+/// # Panics
+///
+/// Panics if a selected benchmark is missing from the grid.
+pub fn rows_from_grid(
+    grid: &GridEvaluation,
+    selection: &[&str],
+) -> Vec<(String, Vec<BenchmarkRow>)> {
+    grid.technologies
         .iter()
-        .map(|name| {
-            &suite
+        .enumerate()
+        .map(|(ti, technology)| {
+            let rows = selection
                 .iter()
-                .find(|(spec, _)| spec.name == *name)
-                .expect("Table II names are in the suite")
-                .1
-        })
-        .collect();
-    run_flow_batch(&graphs, FlowConfig::default())
-        .into_iter()
-        .zip(benchsuite::TABLE2_SELECTION.iter())
-        .map(|(outcome, name)| {
-            let flow = outcome.unwrap_or_else(|e| panic!("{name}: flow verification failed: {e}"));
-            BenchmarkRow {
-                benchmark: (*name).to_owned(),
-                comparison: compare(&flow, technology),
-            }
+                .map(|name| {
+                    let (_, comparisons) = grid
+                        .evaluated
+                        .iter()
+                        .find(|(n, _)| n == name)
+                        .unwrap_or_else(|| panic!("benchmark {name} not in the grid"));
+                    BenchmarkRow {
+                        benchmark: (*name).to_owned(),
+                        comparison: comparisons[ti].clone(),
+                    }
+                })
+                .collect();
+            (technology.name.clone(), rows)
         })
         .collect()
 }
@@ -460,6 +539,7 @@ pub fn inverter_ablation(suite: &[(&'static BenchmarkSpec, Mig)]) -> Vec<Inverte
 #[cfg(test)]
 mod tests {
     use super::*;
+    use tech::compare;
 
     fn quick_suite() -> Vec<(&'static BenchmarkSpec, Mig)> {
         build_suite(Some(&QUICK_SUBSET))
@@ -545,14 +625,38 @@ mod tests {
     }
 
     #[test]
-    fn traces_cover_every_pass_of_every_benchmark() {
+    fn grid_traces_cover_every_cell_of_every_benchmark() {
         let suite = build_suite(Some(&["SASC", "HAMMING"]));
-        let traces = flow_traces(&suite);
-        assert_eq!(traces.len(), 2);
-        for (name, trace) in traces {
-            assert_eq!(trace.len(), 4, "{name}: map + FO + BUF + verify");
-            assert!(trace.iter().any(|p| p.added.fog > 0), "{name}");
-            assert!(trace.iter().any(|p| p.added.buf > 0), "{name}");
+        let grid = evaluate_suite_grid(&suite);
+        // One priced trace per (circuit, technology) cell.
+        assert_eq!(grid.traces.len(), 2 * grid.technologies.len());
+        for t in &grid.traces {
+            let name = format!("{} @ {}", t.circuit, t.technology);
+            assert_eq!(t.trace.len(), 4, "{name}: map + FO + BUF + verify");
+            assert!(t.trace.iter().any(|p| p.added.fog > 0), "{name}");
+            assert!(t.trace.iter().any(|p| p.added.buf > 0), "{name}");
+            for pass in &t.trace {
+                let priced = pass.priced.as_ref().expect("grid runs are priced");
+                assert_eq!(priced.model, t.technology, "{name}");
+                assert!(priced.area_delta() >= 0.0, "{name}: flow only adds");
+            }
+        }
+    }
+
+    #[test]
+    fn benchmark_rows_read_off_the_grid() {
+        let selection = ["HAMMING", "SASC"];
+        let suite = build_suite(Some(&["SASC", "HAMMING"]));
+        let grid = evaluate_suite_grid(&suite);
+        let tables = rows_from_grid(&grid, &selection);
+        assert_eq!(tables.len(), 3);
+        for (technology, rows) in &tables {
+            // Rows come back in selection order, not suite order.
+            assert_eq!(rows.len(), 2);
+            for (row, name) in rows.iter().zip(selection) {
+                assert_eq!(row.benchmark, name, "{technology}");
+                assert_eq!(row.comparison.technology, *technology);
+            }
         }
     }
 

@@ -5,20 +5,27 @@
 //!
 //! | Paper artifact | Binary | Driver |
 //! |---|---|---|
-//! | Table I (technology constants) | `table1` | [`tech::Technology`] |
+//! | Table I (technology constants) | `table1` | [`tech::Technology`] / [`tech::CostModel`] |
 //! | Fig 5 (buffers vs size, power fit) | `fig5` | [`harness::fig5_points`] |
 //! | Fig 7 (critical path vs fan-out limit) | `fig7` | [`harness::fig7_rows`] |
 //! | Fig 8 (normalized component counts) | `fig8` | [`harness::fig8_data`] |
 //! | Fig 9 (T/A and T/P gains) | `fig9` | [`harness::fig9_data`] |
-//! | Table II (per-benchmark metrics) | `table2` | [`harness::table2_rows`] |
+//! | Table II (per-benchmark metrics) | `table2` | [`harness::table2_from_grid`] |
 //! | Retiming ablation (beyond paper) | `ablation_retiming` | [`harness::retiming_ablation`] |
 //! | Everything, to `results/` | `repro_all` | all of the above |
 //!
-//! Every driver runs its suite through the pass pipeline's **parallel
-//! batch driver** (one task per circuit across all cores), and
-//! `repro_all` additionally writes the per-pass instrumentation trace
-//! (wall time, component delta, depth change per pass per benchmark)
-//! from [`harness::flow_traces`] to `results/flow_trace.{txt,json}`.
+//! Every driver runs its suite through the pass pipeline's work-pulling
+//! **parallel drivers**: single-configuration experiments through the
+//! batch driver, the multi-technology experiments through the circuit ×
+//! technology **grid driver** ([`harness::evaluate_suite_grid`] over
+//! `FlowPipeline::run_grid`), and the Fig 8 configuration ladder
+//! through the pipeline × circuit config grid. `repro_all` additionally
+//! writes the per-(circuit, technology, pass) **priced** traces (wall
+//! time, component delta, depth change, area/energy/cycle-time deltas)
+//! to `results/flow_trace.{txt,json}`, and a machine-readable
+//! `results/BENCH_pr2.json` (wall time per experiment, per-pass priced
+//! deltas per technology) so the performance trajectory is tracked
+//! across PRs.
 //!
 //! Criterion performance benches for the two algorithms live under
 //! `benches/`.

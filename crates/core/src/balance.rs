@@ -132,7 +132,28 @@ pub fn verify_balance(
     netlist: &Netlist,
     fanout_limit: Option<u32>,
 ) -> Result<BalanceReport, BalanceError> {
-    let levels = netlist.levels();
+    verify_balance_prepared(
+        netlist,
+        fanout_limit,
+        &netlist.levels(),
+        &netlist.fanout_counts(),
+    )
+}
+
+/// [`verify_balance`] against already-computed ASAP levels and fan-out
+/// counts, so the pipeline's verify pass reuses the
+/// [`StructuralCaches`](crate::netlist::StructuralCaches) snapshot the
+/// preceding insertion pass already primed.
+///
+/// # Errors
+///
+/// As [`verify_balance`].
+pub fn verify_balance_prepared(
+    netlist: &Netlist,
+    fanout_limit: Option<u32>,
+    levels: &[u32],
+    fanout_counts: &[u32],
+) -> Result<BalanceReport, BalanceError> {
     let is_const = |id: CompId| netlist.component(id).kind() == ComponentKind::Const;
 
     // 1. Unit-span edges.
@@ -176,18 +197,9 @@ pub fn verify_balance(
     }
 
     // 3. Fan-out bound.
-    let max_fanout = netlist.max_fanout();
+    let max_fanout = fanout_counts.iter().copied().max().unwrap_or(0);
     if let Some(limit) = fanout_limit {
-        let counts = netlist.fanout_counts();
-        for id in netlist.ids() {
-            if counts[id.index()] > limit {
-                return Err(BalanceError::FanoutExceeded {
-                    component: id,
-                    fanout: counts[id.index()],
-                    limit,
-                });
-            }
-        }
+        check_fanout_bound(netlist, fanout_counts, limit)?;
     }
 
     let depth = first.map(|(_, l)| l).unwrap_or(0);
@@ -198,8 +210,34 @@ pub fn verify_balance(
     })
 }
 
-/// Pipeline pass wrapping [`verify_balance`]: checks the
-/// wave-pipelining invariants and records the [`BalanceReport`].
+/// Enforces the §IV fan-out bound against precomputed fan-out counts
+/// (the one shared implementation behind the plain, bound-only and
+/// cost-aware verifiers).
+///
+/// # Errors
+///
+/// Returns [`BalanceError::FanoutExceeded`] for the first component
+/// over the limit.
+pub(crate) fn check_fanout_bound(
+    netlist: &Netlist,
+    fanout_counts: &[u32],
+    limit: u32,
+) -> Result<(), BalanceError> {
+    for id in netlist.ids() {
+        if fanout_counts[id.index()] > limit {
+            return Err(BalanceError::FanoutExceeded {
+                component: id,
+                fanout: fanout_counts[id.index()],
+                limit,
+            });
+        }
+    }
+    Ok(())
+}
+
+/// Pipeline pass wrapping [`verify_balance`]: checks structural
+/// well-formedness ([`Netlist::validate`]) and the wave-pipelining
+/// invariants, and records the [`BalanceReport`].
 #[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
 pub struct VerifyBalancePass {
     /// Additionally enforce the §IV fan-out bound when given.
@@ -222,7 +260,13 @@ impl crate::pipeline::Pass for VerifyBalancePass {
         &self,
         ctx: &mut crate::pipeline::FlowContext<'_>,
     ) -> Result<(), crate::pipeline::PassError> {
-        let report = verify_balance(ctx.netlist(), self.fanout_limit)?;
+        ctx.netlist()
+            .validate()
+            .map_err(crate::pipeline::PassError::Custom)?;
+        let levels = ctx.levels();
+        let fanout_counts = ctx.fanout_counts();
+        let report =
+            verify_balance_prepared(ctx.netlist(), self.fanout_limit, &levels, &fanout_counts)?;
         ctx.report = Some(report);
         Ok(())
     }
@@ -250,18 +294,11 @@ impl crate::pipeline::Pass for FanoutBoundPass {
         &self,
         ctx: &mut crate::pipeline::FlowContext<'_>,
     ) -> Result<(), crate::pipeline::PassError> {
-        let netlist = ctx.netlist();
-        let counts = netlist.fanout_counts();
-        for id in netlist.ids() {
-            if counts[id.index()] > self.limit {
-                return Err(BalanceError::FanoutExceeded {
-                    component: id,
-                    fanout: counts[id.index()],
-                    limit: self.limit,
-                }
-                .into());
-            }
-        }
+        ctx.netlist()
+            .validate()
+            .map_err(crate::pipeline::PassError::Custom)?;
+        let counts = ctx.fanout_counts();
+        check_fanout_bound(ctx.netlist(), &counts, self.limit)?;
         Ok(())
     }
 }

@@ -88,14 +88,31 @@ pub fn insert_buffers(netlist: &mut Netlist) -> BufferInsertion {
 ///
 /// Panics if `levels` is infeasible or shorter than the netlist.
 pub fn insert_buffers_with_levels(netlist: &mut Netlist, levels: &[u32]) -> BufferInsertion {
+    let fanout = netlist.fanout_edges();
+    insert_buffers_prepared(netlist, levels, &fanout)
+}
+
+/// [`insert_buffers_with_levels`] against an already-computed fan-out
+/// edge snapshot, so pipeline passes holding a fresh
+/// [`StructuralCaches`](crate::netlist::StructuralCaches) view don't
+/// recompute it.
+///
+/// # Panics
+///
+/// As [`insert_buffers_with_levels`]; additionally if `fanout` does not
+/// cover every component.
+pub fn insert_buffers_prepared(
+    netlist: &mut Netlist,
+    levels: &[u32],
+    fanout: &[Vec<(CompId, usize)>],
+) -> BufferInsertion {
     assert!(
-        levels.len() >= netlist.len(),
-        "level assignment must cover every component"
+        levels.len() >= netlist.len() && fanout.len() >= netlist.len(),
+        "level assignment and fan-out snapshot must cover every component"
     );
 
-    // Snapshot structure before mutation: fan-out edges and the set of
-    // drivers to process (inputs ∪ gates, per Algorithm 1's Union).
-    let fanout = netlist.fanout_edges();
+    // The set of drivers to process is inputs ∪ gates, per Algorithm
+    // 1's Union — everything present before mutation starts.
     let original_len = netlist.len();
 
     // Deepest non-constant output level = padding target.
@@ -193,7 +210,9 @@ impl crate::pipeline::Pass for BufferInsertionPass {
         &self,
         ctx: &mut crate::pipeline::FlowContext<'_>,
     ) -> Result<(), crate::pipeline::PassError> {
-        let stats = insert_buffers(ctx.netlist_mut());
+        let levels = ctx.levels();
+        let fanout = ctx.fanout_edges();
+        let stats = insert_buffers_prepared(ctx.netlist_mut(), &levels, &fanout);
         ctx.buffers = Some(stats);
         Ok(())
     }

@@ -27,6 +27,9 @@ use crate::netlist::Netlist;
 #[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
 #[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub struct FanoutRestriction {
+    /// The fan-out limit that was enforced (the *chosen* `k` when the
+    /// cost-aware pass selected it).
+    pub limit: u32,
     /// Fan-out gates inserted.
     pub fogs_inserted: usize,
     /// Components whose fan-out had to be split.
@@ -84,19 +87,52 @@ impl FanoutRestriction {
 /// assert!(n.max_fanout() <= 3);
 /// ```
 pub fn restrict_fanout(netlist: &mut Netlist, limit: u32) -> FanoutRestriction {
-    assert!(limit >= 2, "fan-out limit must be at least 2");
-    let depth_before = netlist.depth();
     let original_levels = netlist.levels();
-    let original_len = netlist.len();
-
-    // Snapshot fan-out edges and primary-output uses.
     let fanout = netlist.fanout_edges();
+    let depth_before = netlist.depth_from_levels(&original_levels);
+    let mut stats =
+        restrict_fanout_prepared(netlist, limit, &original_levels, &fanout, depth_before);
+    stats.depth_after = netlist.depth();
+    stats
+}
+
+/// [`restrict_fanout`] against already-computed structural views (the
+/// pre-mutation ASAP levels and fan-out edge lists, plus the depth they
+/// imply), so pipeline passes holding a fresh
+/// [`StructuralCaches`](crate::netlist::StructuralCaches) snapshot
+/// don't recompute them from scratch.
+///
+/// The returned statistics leave `depth_after` at zero — the netlist
+/// has just been mutated, so the caller decides where the fresh depth
+/// comes from (the pipeline pass reads it back through the cache, which
+/// also primes it for the instrumentation layer).
+///
+/// # Panics
+///
+/// Panics if `limit < 2`, or if `levels` / `fanout` do not cover every
+/// component.
+pub fn restrict_fanout_prepared(
+    netlist: &mut Netlist,
+    limit: u32,
+    original_levels: &[u32],
+    fanout: &[Vec<(CompId, usize)>],
+    depth_before: u32,
+) -> FanoutRestriction {
+    assert!(limit >= 2, "fan-out limit must be at least 2");
+    let original_len = netlist.len();
+    assert!(
+        original_levels.len() >= original_len && fanout.len() >= original_len,
+        "structural views must cover every component"
+    );
+
+    // Snapshot primary-output uses.
     let mut output_uses: Vec<Vec<usize>> = vec![Vec::new(); original_len];
     for (pos, p) in netlist.outputs().iter().enumerate() {
         output_uses[p.driver.index()].push(pos);
     }
 
     let mut stats = FanoutRestriction {
+        limit,
         depth_before,
         ..FanoutRestriction::default()
     };
@@ -165,7 +201,6 @@ pub fn restrict_fanout(netlist: &mut Netlist, limit: u32) -> FanoutRestriction {
         }
     }
 
-    stats.depth_after = netlist.depth();
     stats
 }
 
@@ -192,7 +227,106 @@ impl crate::pipeline::Pass for FanoutRestrictionPass {
         &self,
         ctx: &mut crate::pipeline::FlowContext<'_>,
     ) -> Result<(), crate::pipeline::PassError> {
-        let stats = restrict_fanout(ctx.netlist_mut(), self.limit);
+        let levels = ctx.levels();
+        let fanout = ctx.fanout_edges();
+        let depth_before = ctx.depth();
+        let mut stats = restrict_fanout_prepared(
+            ctx.netlist_mut(),
+            self.limit,
+            &levels,
+            &fanout,
+            depth_before,
+        );
+        stats.depth_after = ctx.depth();
+        ctx.fanout = Some(stats);
+        Ok(())
+    }
+}
+
+/// Cost-aware fan-out restriction: picks the limit `k` from a candidate
+/// set by the run's technology cost model instead of taking it as a
+/// constant.
+///
+/// For each candidate `k` the pass restricts a scratch copy of the
+/// netlist, projects the buffers Algorithm 1 will add on top
+/// ([`crate::LevelSchedule::buffer_cost`] is exact for ASAP levels) and
+/// prices the projected netlist with the model's FOG/BUF area costs;
+/// the cheapest candidate wins (first candidate on ties) and its
+/// restriction is committed. Under the paper's Table I this selects the
+/// largest physically-allowed `k` — FOG chains and the buffers they
+/// force always cost more than they save — so the pass's value is in
+/// *constrained* candidate sets (a technology that only offers `k ∈
+/// {2, 3}`) and in custom cost models; the paper's reference flow keeps
+/// the fixed FO3 pass.
+///
+/// Fails with [`PassError::Custom`](crate::pipeline::PassError::Custom)
+/// when the run carries no cost model.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct CostAwareFanoutPass {
+    /// Candidate limits to price, tried in order (each must be ≥ 2).
+    pub candidates: Vec<u32>,
+}
+
+impl Default for CostAwareFanoutPass {
+    /// The paper's physically-plausible range, `k ∈ 2..=5`.
+    fn default() -> CostAwareFanoutPass {
+        CostAwareFanoutPass {
+            candidates: vec![2, 3, 4, 5],
+        }
+    }
+}
+
+impl crate::pipeline::Pass for CostAwareFanoutPass {
+    fn name(&self) -> String {
+        "fanout_restriction(cost-aware)".to_owned()
+    }
+
+    fn kind(&self) -> crate::pipeline::PassKind {
+        crate::pipeline::PassKind::FanoutRestriction
+    }
+
+    fn run(
+        &self,
+        ctx: &mut crate::pipeline::FlowContext<'_>,
+    ) -> Result<(), crate::pipeline::PassError> {
+        let table = ctx.cost_model().cloned().ok_or_else(|| {
+            crate::pipeline::PassError::Custom(
+                "cost-aware fan-out restriction needs a cost model \
+                 (FlowPipelineBuilder::with_cost_model or the grid driver)"
+                    .to_owned(),
+            )
+        })?;
+        if self.candidates.is_empty() {
+            return Err(crate::pipeline::PassError::Custom(
+                "cost-aware fan-out restriction needs at least one candidate limit".to_owned(),
+            ));
+        }
+        // Surface an infeasible candidate as this cell's error instead
+        // of letting restrict_fanout's assert panic — a panic inside a
+        // grid worker would abort the whole sweep.
+        if let Some(&bad) = self.candidates.iter().find(|&&k| k < 2) {
+            return Err(crate::pipeline::PassError::Custom(format!(
+                "cost-aware fan-out restriction: candidate limit {bad} is below the \
+                 physical minimum of 2"
+            )));
+        }
+
+        let mut best: Option<(f64, Netlist, FanoutRestriction)> = None;
+        for &k in &self.candidates {
+            let mut trial = ctx.netlist().clone();
+            let stats = restrict_fanout(&mut trial, k);
+            let projected_buffers =
+                crate::retiming::LevelSchedule::buffer_cost(&trial, &trial.levels());
+            let mut counts = trial.counts();
+            counts.buf += projected_buffers as usize;
+            let priced = table.price(&counts, trial.outputs().len(), stats.depth_after);
+            if best.as_ref().is_none_or(|(cost, _, _)| priced.area < *cost) {
+                best = Some((priced.area, trial, stats));
+            }
+        }
+
+        let (_, netlist, stats) = best.expect("at least one candidate was priced");
+        *ctx.netlist_mut() = netlist;
         ctx.fanout = Some(stats);
         Ok(())
     }

@@ -35,6 +35,25 @@
 //! a [`PipelineError`], and every run records a per-pass [`PassStats`]
 //! trace: wall time, component-count delta, depth change.
 //!
+//! ## The cost-model layer
+//!
+//! Technology pricing is a pipeline layer, not a post-processing step:
+//! a [`CostModel`] (see [`cost`]) prices every [`ComponentKind`], and a
+//! pipeline carrying one (via
+//! [`FlowPipelineBuilder::with_cost_model`], or per cell through the
+//! grid driver) records priced area / energy / cycle-time deltas in
+//! every [`PassStats`] and unlocks cost-aware pass variants:
+//! [`FlowPipelineBuilder::restrict_fanout_cost_aware`] picks the FOG
+//! limit by the model's prices, and [`BufferStrategy::CostAware`]
+//! balances with the phase-occupancy slack the model implies. Without a
+//! model everything runs cost-blind and bit-identical to the paper's
+//! reference flow.
+//!
+//! [`FlowPipeline::run_grid`] evaluates the full circuit × technology
+//! grid — every `(graph, cost model)` cell one task on the work-pulling
+//! parallel scheduler — and [`run_config_grid`] sweeps the other axis
+//! (pipeline configuration × circuit, Fig 8's ladder).
+//!
 //! ```
 //! use mig::Mig;
 //! use wavepipe::{BufferStrategy, FlowPipeline};
@@ -110,6 +129,7 @@
 mod balance;
 mod buffer_insertion;
 mod component;
+pub mod cost;
 mod fanout_restriction;
 mod flow;
 mod from_mig;
@@ -122,23 +142,30 @@ mod wavesim;
 mod weighted;
 
 pub use balance::{
-    verify_balance, BalanceError, BalanceReport, FanoutBoundPass, VerifyBalancePass,
+    verify_balance, verify_balance_prepared, BalanceError, BalanceReport, FanoutBoundPass,
+    VerifyBalancePass,
 };
 pub use buffer_insertion::{
-    insert_buffers, insert_buffers_with_levels, BufferInsertion, BufferInsertionPass,
+    insert_buffers, insert_buffers_prepared, insert_buffers_with_levels, BufferInsertion,
+    BufferInsertionPass,
 };
 pub use component::{CompId, Component, ComponentKind};
-pub use fanout_restriction::{restrict_fanout, FanoutRestriction, FanoutRestrictionPass};
+pub use cost::{CostModel, CostTable, PricedCost, PricedDelta};
+pub use fanout_restriction::{
+    restrict_fanout, restrict_fanout_prepared, CostAwareFanoutPass, FanoutRestriction,
+    FanoutRestrictionPass,
+};
 pub use flow::{run_flow, run_flow_batch, FlowConfig, FlowResult};
 pub use from_mig::{netlist_from_mig, netlist_from_mig_min_inv, MapPass};
-pub use netlist::{KindCounts, Netlist, Port};
+pub use netlist::{FanoutEdges, KindCounts, Netlist, Port, StructuralCaches};
 pub use pipeline::{
-    BufferStrategy, FlowContext, FlowPipeline, FlowPipelineBuilder, Pass, PassError, PassKind,
-    PassStats, PipelineError, PipelineRun,
+    run_config_grid, BufferStrategy, FlowContext, FlowPipeline, FlowPipelineBuilder, GridCell,
+    Pass, PassError, PassKind, PassStats, PipelineError, PipelineRun,
 };
 pub use retiming::{insert_buffers_retimed, schedule_levels, LevelSchedule, RetimedInsertionPass};
 pub use wavesim::{WaveRun, WaveSimulator};
 pub use weighted::{
-    insert_buffers_weighted, verify_weighted_balance, weighted_arrivals, DelayWeights,
-    VerifyWeightedPass, WeightedBalanceError, WeightedInsertion, WeightedInsertionPass,
+    insert_buffers_weighted, verify_weighted_balance, weighted_arrivals, CostAwareInsertionPass,
+    CostAwareVerifyPass, DelayWeights, VerifyWeightedPass, WeightedBalanceError, WeightedInsertion,
+    WeightedInsertionPass,
 };

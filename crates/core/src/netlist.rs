@@ -1,6 +1,7 @@
 //! The mapped wave-pipeline netlist.
 
 use std::fmt;
+use std::sync::Arc;
 
 use crate::component::{CompId, Component, ComponentKind};
 
@@ -180,8 +181,15 @@ impl Netlist {
     ///
     /// # Panics
     ///
-    /// Panics if `position >= self.outputs().len()`.
+    /// Panics if `position >= self.outputs().len()` or if `driver` is
+    /// not a component of this netlist (a dangling `CompId` would
+    /// silently corrupt every later analysis).
     pub fn set_output_driver(&mut self, position: usize, driver: CompId) {
+        assert!(
+            driver.index() < self.components.len(),
+            "output driver {driver} is not a component of this netlist (len {})",
+            self.components.len()
+        );
         self.outputs[position].driver = driver;
     }
 
@@ -297,8 +305,15 @@ impl Netlist {
     ///
     /// Indexed by `CompId::index()`.
     pub fn levels(&self) -> Vec<u32> {
+        self.levels_from_order(&self.topo_order())
+    }
+
+    /// [`Netlist::levels`] against an already-computed topological
+    /// order, so callers holding one (see [`StructuralCaches`]) skip
+    /// the traversal.
+    pub fn levels_from_order(&self, order: &[CompId]) -> Vec<u32> {
         let mut levels = vec![0u32; self.components.len()];
-        for id in self.topo_order() {
+        for &id in order {
             let comp = &self.components[id.index()];
             if comp.fanins().is_empty() {
                 continue;
@@ -316,7 +331,11 @@ impl Netlist {
 
     /// Netlist depth: maximum level over non-constant primary outputs.
     pub fn depth(&self) -> u32 {
-        let levels = self.levels();
+        self.depth_from_levels(&self.levels())
+    }
+
+    /// [`Netlist::depth`] against an already-computed level assignment.
+    pub fn depth_from_levels(&self, levels: &[u32]) -> u32 {
         self.outputs
             .iter()
             .filter(|p| self.components[p.driver.index()].kind() != ComponentKind::Const)
@@ -420,6 +439,82 @@ impl Netlist {
         out
     }
 
+    /// Checks the structural well-formedness invariants every analysis
+    /// in this crate assumes: all fan-ins and output drivers reference
+    /// existing components, the input list and `Component::Input`
+    /// positions agree, and the shared constant-cell registry matches
+    /// the arena.
+    ///
+    /// The transforms uphold these by construction; the pipeline's
+    /// verify pass runs this check anyway (it is O(components)), and a
+    /// `debug_assert!` after every pass catches a violating custom pass
+    /// at the pass boundary in debug builds.
+    ///
+    /// # Errors
+    ///
+    /// Returns a description of the first violation found.
+    pub fn validate(&self) -> Result<(), String> {
+        let n = self.components.len();
+        if self.inputs.len() != self.input_names.len() {
+            return Err(format!(
+                "{} inputs but {} input names",
+                self.inputs.len(),
+                self.input_names.len()
+            ));
+        }
+        for (i, c) in self.components.iter().enumerate() {
+            for &f in c.fanins() {
+                if f.index() >= n {
+                    return Err(format!("component c{i} reads missing fan-in {f} (len {n})"));
+                }
+            }
+            if let Component::Input { position } = c {
+                if self
+                    .inputs
+                    .get(*position as usize)
+                    .copied()
+                    .map(CompId::index)
+                    != Some(i)
+                {
+                    return Err(format!(
+                        "component c{i} claims input position {position}, which maps elsewhere"
+                    ));
+                }
+            }
+        }
+        for (pos, &id) in self.inputs.iter().enumerate() {
+            match self.components.get(id.index()) {
+                Some(Component::Input { position }) if *position as usize == pos => {}
+                _ => {
+                    return Err(format!(
+                        "input list position {pos} points at {id}, which is not that input"
+                    ))
+                }
+            }
+        }
+        for p in &self.outputs {
+            if p.driver.index() >= n {
+                return Err(format!(
+                    "output `{}` driven by missing component {} (len {n})",
+                    p.name, p.driver
+                ));
+            }
+        }
+        for (value, cell) in [(false, self.const_cells[0]), (true, self.const_cells[1])] {
+            if let Some(id) = cell {
+                match self.components.get(id.index()) {
+                    Some(Component::Const { value: v }) if *v == value => {}
+                    _ => {
+                        return Err(format!(
+                        "constant registry for {value} points at {id}, which is not that constant"
+                    ))
+                    }
+                }
+            }
+        }
+        Ok(())
+    }
+
     /// Evaluates the netlist combinationally on one input pattern.
     ///
     /// This is the golden reference the wave simulator is checked
@@ -452,6 +547,79 @@ impl Netlist {
             .iter()
             .map(|p| values[p.driver.index()])
             .collect()
+    }
+}
+
+/// Lazily-computed, shared structural views of one netlist: topological
+/// order, ASAP levels, fan-out edge lists and fan-out counts, plus the
+/// depth derived from them.
+///
+/// The flow's passes and the pipeline's instrumentation all need these
+/// views, and before this cache each consumer recomputed them from
+/// scratch (`depth()` alone walks the whole netlist twice). A
+/// [`FlowContext`](crate::FlowContext) carries one `StructuralCaches`
+/// and invalidates it whenever the working netlist is borrowed mutably;
+/// getters hand out cheap [`Arc`] clones so a pass can keep reading a
+/// snapshot while it mutates the netlist (the snapshot then describes
+/// the pre-mutation structure, which is exactly what the paper's two
+/// algorithms want).
+#[derive(Clone, Debug, Default)]
+pub struct StructuralCaches {
+    topo: Option<Arc<Vec<CompId>>>,
+    levels: Option<Arc<Vec<u32>>>,
+    fanout_edges: Option<Arc<FanoutEdges>>,
+    fanout_counts: Option<Arc<Vec<u32>>>,
+    depth: Option<u32>,
+}
+
+/// Per-component fan-out edge lists, as produced by
+/// [`Netlist::fanout_edges`]: for every component, the `(consumer,
+/// fanin_slot)` pairs reading it.
+pub type FanoutEdges = Vec<Vec<(CompId, usize)>>;
+
+impl StructuralCaches {
+    /// Drops every cached view (call after any netlist mutation).
+    pub fn invalidate(&mut self) {
+        *self = StructuralCaches::default();
+    }
+
+    /// Cached [`Netlist::topo_order`].
+    pub fn topo_order(&mut self, netlist: &Netlist) -> Arc<Vec<CompId>> {
+        self.topo
+            .get_or_insert_with(|| Arc::new(netlist.topo_order()))
+            .clone()
+    }
+
+    /// Cached [`Netlist::levels`] (reuses the cached topological order).
+    pub fn levels(&mut self, netlist: &Netlist) -> Arc<Vec<u32>> {
+        if self.levels.is_none() {
+            let order = self.topo_order(netlist);
+            self.levels = Some(Arc::new(netlist.levels_from_order(&order)));
+        }
+        self.levels.as_ref().expect("just filled").clone()
+    }
+
+    /// Cached [`Netlist::fanout_edges`].
+    pub fn fanout_edges(&mut self, netlist: &Netlist) -> Arc<FanoutEdges> {
+        self.fanout_edges
+            .get_or_insert_with(|| Arc::new(netlist.fanout_edges()))
+            .clone()
+    }
+
+    /// Cached [`Netlist::fanout_counts`].
+    pub fn fanout_counts(&mut self, netlist: &Netlist) -> Arc<Vec<u32>> {
+        self.fanout_counts
+            .get_or_insert_with(|| Arc::new(netlist.fanout_counts()))
+            .clone()
+    }
+
+    /// Cached [`Netlist::depth`] (reuses the cached levels).
+    pub fn depth(&mut self, netlist: &Netlist) -> u32 {
+        if self.depth.is_none() {
+            let levels = self.levels(netlist);
+            self.depth = Some(netlist.depth_from_levels(&levels));
+        }
+        self.depth.expect("just filled")
     }
 }
 
@@ -612,6 +780,47 @@ mod tests {
         let swept = n.sweep();
         assert_eq!(swept.counts(), n.counts());
         assert_eq!(swept.depth(), n.depth());
+    }
+
+    #[test]
+    fn validate_accepts_well_formed_netlists() {
+        let n = and_netlist();
+        assert_eq!(n.validate(), Ok(()));
+    }
+
+    #[test]
+    fn validate_reports_dangling_fanin() {
+        let mut n = and_netlist();
+        let g = n.outputs()[0].driver;
+        n.component_mut(g).fanins_mut()[0] = CompId::from_index(999);
+        let err = n.validate().unwrap_err();
+        assert!(err.contains("missing fan-in"), "{err}");
+    }
+
+    #[test]
+    #[should_panic(expected = "not a component")]
+    fn set_output_driver_rejects_dangling_ids() {
+        let mut n = and_netlist();
+        n.set_output_driver(0, CompId::from_index(999));
+    }
+
+    #[test]
+    fn structural_caches_match_fresh_computation_and_invalidate() {
+        let mut n = and_netlist();
+        let mut caches = StructuralCaches::default();
+        assert_eq!(*caches.topo_order(&n), n.topo_order());
+        assert_eq!(*caches.levels(&n), n.levels());
+        assert_eq!(*caches.fanout_edges(&n), n.fanout_edges());
+        assert_eq!(*caches.fanout_counts(&n), n.fanout_counts());
+        assert_eq!(caches.depth(&n), n.depth());
+
+        // Mutate, invalidate, and the views track the new structure.
+        let g = n.outputs()[0].driver;
+        let buf = n.add_buf(g);
+        n.set_output_driver(0, buf);
+        caches.invalidate();
+        assert_eq!(caches.depth(&n), 2);
+        assert_eq!(*caches.levels(&n), n.levels());
     }
 
     #[test]

@@ -28,11 +28,15 @@ use std::time::Instant;
 use mig::Mig;
 use rayon::prelude::*;
 
+use std::sync::Arc;
+
 use crate::balance::{BalanceError, BalanceReport};
 use crate::buffer_insertion::BufferInsertion;
+use crate::component::CompId;
+use crate::cost::{CostModel, CostTable, PricedDelta};
 use crate::fanout_restriction::FanoutRestriction;
 use crate::flow::FlowResult;
-use crate::netlist::{KindCounts, Netlist};
+use crate::netlist::{FanoutEdges, KindCounts, Netlist, StructuralCaches};
 use crate::weighted::{DelayWeights, WeightedBalanceError, WeightedInsertion};
 
 /// Why a pass (and therefore a pipeline run) failed.
@@ -96,6 +100,8 @@ pub struct FlowContext<'g> {
     graph: &'g Mig,
     netlist: Netlist,
     original: Option<Netlist>,
+    cost: Option<CostTable>,
+    caches: StructuralCaches,
     /// Fan-out restriction statistics (set by the fan-out pass).
     pub fanout: Option<FanoutRestriction>,
     /// Buffer insertion statistics (set by ASAP/retimed insertion).
@@ -107,11 +113,13 @@ pub struct FlowContext<'g> {
 }
 
 impl<'g> FlowContext<'g> {
-    fn new(graph: &'g Mig) -> FlowContext<'g> {
+    fn new(graph: &'g Mig, cost: Option<CostTable>) -> FlowContext<'g> {
         FlowContext {
             graph,
             netlist: Netlist::new("unmapped"),
             original: None,
+            cost,
+            caches: StructuralCaches::default(),
             fanout: None,
             buffers: None,
             weighted: None,
@@ -130,13 +138,51 @@ impl<'g> FlowContext<'g> {
     }
 
     /// Mutable access to the working netlist (transform passes).
+    ///
+    /// Invalidates the [`StructuralCaches`] — any structural view
+    /// obtained earlier keeps describing the pre-mutation netlist.
     pub fn netlist_mut(&mut self) -> &mut Netlist {
+        self.caches.invalidate();
         &mut self.netlist
+    }
+
+    /// The technology cost model this run prices against, if one was
+    /// configured ([`FlowPipelineBuilder::with_cost_model`] or the grid
+    /// driver). Cost-aware passes consult it; cost-blind passes ignore
+    /// it.
+    pub fn cost_model(&self) -> Option<&CostTable> {
+        self.cost.as_ref()
+    }
+
+    /// Cached topological order of the working netlist.
+    pub fn topo_order(&mut self) -> Arc<Vec<CompId>> {
+        self.caches.topo_order(&self.netlist)
+    }
+
+    /// Cached ASAP levels of the working netlist.
+    pub fn levels(&mut self) -> Arc<Vec<u32>> {
+        self.caches.levels(&self.netlist)
+    }
+
+    /// Cached fan-out edge lists of the working netlist.
+    pub fn fanout_edges(&mut self) -> Arc<FanoutEdges> {
+        self.caches.fanout_edges(&self.netlist)
+    }
+
+    /// Cached fan-out counts of the working netlist.
+    pub fn fanout_counts(&mut self) -> Arc<Vec<u32>> {
+        self.caches.fanout_counts(&self.netlist)
+    }
+
+    /// Cached depth of the working netlist.
+    pub fn depth(&mut self) -> u32 {
+        self.caches.depth(&self.netlist)
     }
 
     /// Installs the freshly mapped netlist and snapshots it as the
     /// pre-transformation original (mapping passes call this).
     pub fn set_mapped(&mut self, netlist: Netlist) {
+        self.caches.invalidate();
         self.original = Some(netlist.clone());
         self.netlist = netlist;
     }
@@ -167,7 +213,7 @@ pub trait Pass: Sync + Send {
 }
 
 /// Per-pass instrumentation record.
-#[derive(Clone, Debug, PartialEq, Eq)]
+#[derive(Clone, Debug, PartialEq)]
 #[cfg_attr(feature = "serde", derive(serde::Serialize))]
 pub struct PassStats {
     /// Pass name.
@@ -185,6 +231,9 @@ pub struct PassStats {
     pub depth_before: u32,
     /// Netlist depth after the pass.
     pub depth_after: u32,
+    /// Priced area / energy / cycle-time state around the pass, present
+    /// when the run carries a cost model.
+    pub priced: Option<PricedDelta>,
 }
 
 impl fmt::Display for PassStats {
@@ -208,6 +257,9 @@ impl fmt::Display for PassStats {
                 a.buf,
                 a.fog
             )?;
+        }
+        if let Some(priced) = &self.priced {
+            write!(f, "  [{priced}]")?;
         }
         Ok(())
     }
@@ -276,9 +328,11 @@ impl fmt::Display for PipelineError {
 
 impl std::error::Error for PipelineError {}
 
-/// An ordered, validated sequence of passes.
+/// An ordered, validated sequence of passes, optionally carrying a
+/// default technology cost model.
 pub struct FlowPipeline {
     passes: Vec<Box<dyn Pass>>,
+    cost: Option<CostTable>,
 }
 
 impl fmt::Debug for FlowPipeline {
@@ -288,6 +342,7 @@ impl fmt::Debug for FlowPipeline {
                 "passes",
                 &self.passes.iter().map(|p| p.name()).collect::<Vec<_>>(),
             )
+            .field("cost", &self.cost.as_ref().map(|t| t.name().to_owned()))
             .finish()
     }
 }
@@ -295,7 +350,7 @@ impl fmt::Debug for FlowPipeline {
 impl FlowPipeline {
     /// Starts an empty pipeline builder.
     pub fn builder() -> FlowPipelineBuilder {
-        FlowPipelineBuilder { passes: Vec::new() }
+        FlowPipelineBuilder::default()
     }
 
     /// Assembles the default pipeline for a [`crate::FlowConfig`] — the
@@ -332,15 +387,44 @@ impl FlowPipeline {
     /// with `kind() == PassKind::Map` must call
     /// [`FlowContext::set_mapped`]).
     pub fn run(&self, graph: &Mig) -> Result<PipelineRun, PassError> {
-        let mut ctx = FlowContext::new(graph);
+        self.run_with_model(graph, self.cost.as_ref())
+    }
+
+    /// [`FlowPipeline::run`] with an explicit cost model, overriding
+    /// the pipeline's default — the per-cell entry point of
+    /// [`FlowPipeline::run_grid`]. `None` runs cost-blind (no priced
+    /// trace entries).
+    ///
+    /// # Errors
+    ///
+    /// As [`FlowPipeline::run`].
+    pub fn run_with_model(
+        &self,
+        graph: &Mig,
+        model: Option<&CostTable>,
+    ) -> Result<PipelineRun, PassError> {
+        let mut ctx = FlowContext::new(graph, model.cloned());
         let mut trace = Vec::with_capacity(self.passes.len());
         for pass in &self.passes {
             let counts_before = ctx.netlist.counts();
-            let depth_before = ctx.netlist.depth();
+            let outputs_before = ctx.netlist.outputs().len();
+            let depth_before = ctx.depth();
             let started = Instant::now();
             pass.run(&mut ctx)?;
             let micros = started.elapsed().as_micros() as u64;
+            debug_assert!(
+                ctx.netlist.validate().is_ok(),
+                "pass `{}` left the netlist ill-formed: {}",
+                pass.name(),
+                ctx.netlist.validate().unwrap_err()
+            );
             let counts_after = ctx.netlist.counts();
+            let depth_after = ctx.depth();
+            let priced = ctx.cost.as_ref().map(|table| PricedDelta {
+                model: table.name().to_owned(),
+                before: table.price(&counts_before, outputs_before, depth_before),
+                after: table.price(&counts_after, ctx.netlist.outputs().len(), depth_after),
+            });
             trace.push(PassStats {
                 pass: pass.name(),
                 micros,
@@ -348,7 +432,8 @@ impl FlowPipeline {
                 counts_after,
                 added: counts_after.added_since(&counts_before),
                 depth_before,
-                depth_after: ctx.netlist.depth(),
+                depth_after,
+                priced,
             });
         }
 
@@ -378,6 +463,68 @@ impl FlowPipeline {
     pub fn run_batch(&self, graphs: &[&Mig]) -> Vec<Result<PipelineRun, PassError>> {
         graphs.par_iter().map(|graph| self.run(graph)).collect()
     }
+
+    /// Runs the full circuit × technology grid: every `(graph, model)`
+    /// cell is one task on the work-pulling parallel scheduler, so a
+    /// whole multi-technology sweep costs one driver call instead of a
+    /// hand-rolled per-technology loop.
+    ///
+    /// Every cell carries its model into the run, so priced trace
+    /// entries come back per (circuit, technology, pass) and cost-aware
+    /// passes may legitimately produce *different* netlists per
+    /// technology; with a cost-blind pipeline every cell of one circuit
+    /// row is structurally identical and only the pricing differs.
+    ///
+    /// Cells are returned circuit-major (`circuit * models.len() +
+    /// model`), matching the input orders. An empty `models` slice
+    /// yields an empty grid.
+    pub fn run_grid(&self, graphs: &[&Mig], models: &[CostTable]) -> Vec<GridCell> {
+        let cells: Vec<(usize, usize)> = (0..graphs.len())
+            .flat_map(|circuit| (0..models.len()).map(move |model| (circuit, model)))
+            .collect();
+        cells
+            .par_iter()
+            .map(|&(circuit, model)| GridCell {
+                circuit,
+                model,
+                outcome: self.run_with_model(graphs[circuit], Some(&models[model])),
+            })
+            .collect()
+    }
+}
+
+/// One cell of a [`FlowPipeline::run_grid`] sweep.
+#[derive(Clone, Debug)]
+pub struct GridCell {
+    /// Index into the `graphs` argument.
+    pub circuit: usize,
+    /// Index into the `models` argument.
+    pub model: usize,
+    /// The cell's pipeline run (or the first pass failure).
+    pub outcome: Result<PipelineRun, PassError>,
+}
+
+/// Runs a circuit grid over several *pipeline configurations* (the
+/// other sweep axis: Fig 8's BUF / FO2..5+BUF ladder). Every
+/// `(pipeline, graph)` cell is one task on the same work-pulling
+/// scheduler as [`FlowPipeline::run_grid`]; results come back
+/// pipeline-major (`result[p][g]`).
+pub fn run_config_grid(
+    pipelines: &[&FlowPipeline],
+    graphs: &[&Mig],
+) -> Vec<Vec<Result<PipelineRun, PassError>>> {
+    let cells: Vec<(usize, usize)> = (0..pipelines.len())
+        .flat_map(|p| (0..graphs.len()).map(move |g| (p, g)))
+        .collect();
+    let flat: Vec<Result<PipelineRun, PassError>> = cells
+        .par_iter()
+        .map(|&(p, g)| pipelines[p].run(graphs[g]))
+        .collect();
+    let mut flat = flat.into_iter();
+    pipelines
+        .iter()
+        .map(|_| flat.by_ref().take(graphs.len()).collect())
+        .collect()
 }
 
 /// Buffer-insertion strategy selector for [`FlowPipelineBuilder`].
@@ -391,6 +538,11 @@ pub enum BufferStrategy {
     /// Weighted-delay balancing with per-kind delays (§III's
     /// technology-tailored mode).
     Weighted(DelayWeights),
+    /// Phase-weight-aware balancing: delay weights derived from the
+    /// run's cost model ([`CostTable::phase_occupancy`]); degenerates
+    /// to [`BufferStrategy::Asap`] when every component fits in one
+    /// phase (SWD, NML). Requires a cost model on the run.
+    CostAware,
 }
 
 /// Incremental pipeline assembly with ordering validation at
@@ -423,6 +575,7 @@ pub enum BufferStrategy {
 #[derive(Default)]
 pub struct FlowPipelineBuilder {
     passes: Vec<Box<dyn Pass>>,
+    cost: Option<CostTable>,
 }
 
 impl fmt::Debug for FlowPipelineBuilder {
@@ -432,11 +585,22 @@ impl fmt::Debug for FlowPipelineBuilder {
                 "passes",
                 &self.passes.iter().map(|p| p.name()).collect::<Vec<_>>(),
             )
+            .field("cost", &self.cost.as_ref().map(|t| t.name().to_owned()))
             .finish()
     }
 }
 
 impl FlowPipelineBuilder {
+    /// Attaches a technology cost model to the pipeline: every run
+    /// prices its per-pass trace against it, and cost-aware passes
+    /// ([`FlowPipelineBuilder::restrict_fanout_cost_aware`],
+    /// [`BufferStrategy::CostAware`]) consult it. Overridable per run
+    /// via [`FlowPipeline::run_with_model`] / the grid driver.
+    pub fn with_cost_model(mut self, model: &dyn CostModel) -> FlowPipelineBuilder {
+        self.cost = Some(CostTable::from_model(model));
+        self
+    }
+
     /// Adds the MIG→netlist mapping pass; `minimize_inverters` selects
     /// the polarity-local-search mapping.
     pub fn map(self, minimize_inverters: bool) -> FlowPipelineBuilder {
@@ -450,6 +614,16 @@ impl FlowPipelineBuilder {
         }))
     }
 
+    /// Adds a cost-aware fan-out restriction pass that picks the limit
+    /// `k ∈ 2..=5` minimizing the projected priced area under the run's
+    /// cost model (see
+    /// [`CostAwareFanoutPass`](crate::fanout_restriction::CostAwareFanoutPass)).
+    pub fn restrict_fanout_cost_aware(self) -> FlowPipelineBuilder {
+        self.pass(Box::new(
+            crate::fanout_restriction::CostAwareFanoutPass::default(),
+        ))
+    }
+
     /// Adds a buffer-insertion pass with the chosen strategy.
     pub fn insert_buffers(self, strategy: BufferStrategy) -> FlowPipelineBuilder {
         match strategy {
@@ -459,6 +633,9 @@ impl FlowPipelineBuilder {
             BufferStrategy::Retimed => self.pass(Box::new(crate::retiming::RetimedInsertionPass)),
             BufferStrategy::Weighted(weights) => {
                 self.pass(Box::new(crate::weighted::WeightedInsertionPass { weights }))
+            }
+            BufferStrategy::CostAware => {
+                self.pass(Box::new(crate::weighted::CostAwareInsertionPass))
             }
         }
     }
@@ -472,6 +649,16 @@ impl FlowPipelineBuilder {
     /// Adds weighted-delay balance verification.
     pub fn verify_weighted(self, weights: DelayWeights) -> FlowPipelineBuilder {
         self.pass(Box::new(crate::weighted::VerifyWeightedPass { weights }))
+    }
+
+    /// Adds cost-aware balance verification: checks against the phase
+    /// weights the run's cost model implies (the verifier matching
+    /// [`BufferStrategy::CostAware`]). `fanout_limit` additionally
+    /// enforces the §IV bound.
+    pub fn verify_cost_aware(self, fanout_limit: Option<u32>) -> FlowPipelineBuilder {
+        self.pass(Box::new(crate::weighted::CostAwareVerifyPass {
+            fanout_limit,
+        }))
     }
 
     /// Adds a fan-out bound check without full balance verification
@@ -498,6 +685,7 @@ impl FlowPipelineBuilder {
         validate_order(&kinds)?;
         Ok(FlowPipeline {
             passes: self.passes,
+            cost: self.cost,
         })
     }
 }
@@ -719,6 +907,184 @@ mod tests {
             .run(&g)
             .unwrap_err();
         assert!(matches!(err, PassError::Custom(_)), "{err}");
+    }
+
+    /// Flat unit-cost model: every priced kind costs 1 on every axis.
+    struct FlatModel;
+
+    impl crate::cost::CostModel for FlatModel {
+        fn cost_name(&self) -> &str {
+            "FLAT"
+        }
+        fn area_of(&self, kind: crate::ComponentKind) -> f64 {
+            if kind.is_priced() {
+                1.0
+            } else {
+                0.0
+            }
+        }
+        fn delay_of(&self, kind: crate::ComponentKind) -> f64 {
+            self.area_of(kind)
+        }
+        fn energy_of(&self, kind: crate::ComponentKind) -> f64 {
+            self.area_of(kind)
+        }
+        fn phase_delay(&self) -> f64 {
+            1.0
+        }
+        fn output_sense_energy(&self) -> f64 {
+            0.0
+        }
+    }
+
+    #[test]
+    fn cost_model_prices_every_pass() {
+        let g = sample_mig(7);
+        let run = FlowPipeline::builder()
+            .map(false)
+            .restrict_fanout(3)
+            .insert_buffers(BufferStrategy::Asap)
+            .verify(Some(3))
+            .with_cost_model(&FlatModel)
+            .build()
+            .unwrap()
+            .run(&g)
+            .unwrap();
+        for stats in &run.trace {
+            let priced = stats.priced.as_ref().expect("cost model configured");
+            assert_eq!(priced.model, "FLAT");
+            assert!(priced.after.area >= priced.before.area, "flow only adds");
+        }
+        // Under the flat model, area == priced component count, and the
+        // final cycle time is the final depth (phase = 1 ns).
+        let last = run.trace.last().unwrap().priced.as_ref().unwrap();
+        assert_eq!(
+            last.after.area,
+            run.result.pipelined.counts().priced_total() as f64
+        );
+        assert_eq!(last.after.latency, f64::from(run.result.pipelined.depth()));
+        // Verification transforms nothing, so it prices to a zero delta.
+        assert_eq!(run.trace[3].priced.as_ref().unwrap().area_delta(), 0.0);
+        // Without a model the same pipeline records no priced entries.
+        let blind = FlowPipeline::for_config(FlowConfig::default())
+            .run(&g)
+            .unwrap();
+        assert!(blind.trace.iter().all(|s| s.priced.is_none()));
+    }
+
+    #[test]
+    fn grid_covers_every_cell_circuit_major_and_matches_single_runs() {
+        let graphs: Vec<Mig> = (30..33).map(sample_mig).collect();
+        let refs: Vec<&Mig> = graphs.iter().collect();
+        let table = crate::cost::CostTable::from_model(&FlatModel);
+        let models = vec![table.clone(), table];
+        let pipeline = FlowPipeline::for_config(FlowConfig::default());
+        let cells = pipeline.run_grid(&refs, &models);
+        assert_eq!(cells.len(), graphs.len() * models.len());
+        for (i, cell) in cells.iter().enumerate() {
+            assert_eq!(cell.circuit, i / models.len());
+            assert_eq!(cell.model, i % models.len());
+            let run = cell.outcome.as_ref().expect("grid cell verifies");
+            let single = pipeline.run(&graphs[cell.circuit]).unwrap();
+            assert_eq!(
+                run.result.pipelined_counts(),
+                single.result.pipelined_counts()
+            );
+            assert!(run.trace.iter().all(|s| s.priced.is_some()));
+        }
+        assert!(pipeline.run_grid(&refs, &[]).is_empty());
+    }
+
+    #[test]
+    fn config_grid_is_pipeline_major() {
+        let graphs: Vec<Mig> = (40..42).map(sample_mig).collect();
+        let refs: Vec<&Mig> = graphs.iter().collect();
+        let fo3 = FlowPipeline::for_config(FlowConfig::default());
+        let buf_only = FlowPipeline::builder()
+            .map(false)
+            .insert_buffers(BufferStrategy::Asap)
+            .build()
+            .unwrap();
+        let grid = run_config_grid(&[&fo3, &buf_only], &refs);
+        assert_eq!(grid.len(), 2);
+        for (pipeline, row) in [&fo3, &buf_only].iter().zip(&grid) {
+            assert_eq!(row.len(), graphs.len());
+            for (g, outcome) in refs.iter().zip(row) {
+                let single = pipeline.run(g).unwrap();
+                let gridded = outcome.as_ref().unwrap();
+                assert_eq!(
+                    single.result.pipelined_counts(),
+                    gridded.result.pipelined_counts()
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn cost_aware_passes_require_a_model() {
+        let g = sample_mig(8);
+        let err = FlowPipeline::builder()
+            .map(false)
+            .restrict_fanout_cost_aware()
+            .insert_buffers(BufferStrategy::Asap)
+            .verify(None)
+            .build()
+            .unwrap()
+            .run(&g)
+            .unwrap_err();
+        assert!(matches!(err, PassError::Custom(_)), "{err}");
+        let err = FlowPipeline::builder()
+            .map(false)
+            .restrict_fanout(3)
+            .insert_buffers(BufferStrategy::CostAware)
+            .build()
+            .unwrap()
+            .run(&g)
+            .unwrap_err();
+        assert!(matches!(err, PassError::Custom(_)), "{err}");
+    }
+
+    #[test]
+    fn cost_aware_fanout_rejects_infeasible_candidates_without_panicking() {
+        // A candidate below the physical minimum must fail the cell,
+        // not panic — a panic inside a grid worker aborts the sweep.
+        let g = sample_mig(8);
+        let err = FlowPipeline::builder()
+            .map(false)
+            .pass(Box::new(crate::fanout_restriction::CostAwareFanoutPass {
+                candidates: vec![1, 3],
+            }))
+            .with_cost_model(&FlatModel)
+            .build()
+            .unwrap()
+            .run(&g)
+            .unwrap_err();
+        assert!(
+            matches!(&err, PassError::Custom(m) if m.contains("below the physical minimum")),
+            "{err}"
+        );
+    }
+
+    #[test]
+    fn cost_aware_flow_verifies_under_a_unit_model() {
+        // Unit phase occupancy → the cost-aware strategy IS Algorithm 1;
+        // the cost-aware verifier records a plain balance report.
+        let g = sample_mig(9);
+        let run = FlowPipeline::builder()
+            .map(false)
+            .restrict_fanout_cost_aware()
+            .insert_buffers(BufferStrategy::CostAware)
+            .verify_cost_aware(None)
+            .with_cost_model(&FlatModel)
+            .build()
+            .unwrap()
+            .run(&g)
+            .unwrap();
+        let fanout = run.result.fanout.expect("restriction ran");
+        assert!((2..=5).contains(&fanout.limit));
+        assert!(run.result.pipelined.max_fanout() <= fanout.limit);
+        assert!(run.result.buffers.is_some(), "unit weights → plain stats");
+        assert!(run.result.report.is_some());
     }
 
     #[test]

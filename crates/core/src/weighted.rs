@@ -64,6 +64,22 @@ impl DelayWeights {
     /// The SWD relative delays of Table I (all unit).
     pub const SWD: DelayWeights = DelayWeights::UNIT;
 
+    /// Derives weights from a technology cost model: each kind weighs
+    /// the number of clock phases it occupies
+    /// ([`crate::cost::CostTable::phase_occupancy`]). Under the paper's
+    /// Table I this is unit for SWD and NML and `{INV 3, MAJ 1, BUF 1,
+    /// FOG 1}` for QCA (its inverter spans 7 cell delays against a
+    /// 10/3-cell phase) — the phase-weight-aware slack the cost-aware
+    /// insertion strategy balances with.
+    pub fn for_cost_model(table: &crate::cost::CostTable) -> DelayWeights {
+        DelayWeights {
+            inv: table.phase_occupancy(ComponentKind::Inv),
+            maj: table.phase_occupancy(ComponentKind::Maj),
+            buf: table.phase_occupancy(ComponentKind::Buf),
+            fog: table.phase_occupancy(ComponentKind::Fog),
+        }
+    }
+
     /// Weight of one component kind (inputs and constants are 0).
     pub fn of(&self, kind: ComponentKind) -> u32 {
         match kind {
@@ -339,6 +355,115 @@ impl crate::pipeline::Pass for WeightedInsertionPass {
     ) -> Result<(), crate::pipeline::PassError> {
         let stats = insert_buffers_weighted(ctx.netlist_mut(), &self.weights)?;
         ctx.weighted = Some(stats);
+        Ok(())
+    }
+}
+
+/// Cost-aware buffer insertion: balances against the phase-occupancy
+/// weights the run's cost model implies
+/// ([`DelayWeights::for_cost_model`]).
+///
+/// When every component fits in one phase (unit weights — SWD, NML)
+/// this *is* Algorithm 1 against ASAP levels and deposits the ordinary
+/// [`BufferInsertion`](crate::BufferInsertion) statistics; otherwise it
+/// runs weighted balancing and deposits [`WeightedInsertion`]
+/// statistics. Fails with
+/// [`PassError::Custom`](crate::pipeline::PassError::Custom) when the
+/// run carries no cost model.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct CostAwareInsertionPass;
+
+impl crate::pipeline::Pass for CostAwareInsertionPass {
+    fn name(&self) -> String {
+        "insert_buffers(cost-aware)".to_owned()
+    }
+
+    fn kind(&self) -> crate::pipeline::PassKind {
+        crate::pipeline::PassKind::BufferInsertion
+    }
+
+    fn run(
+        &self,
+        ctx: &mut crate::pipeline::FlowContext<'_>,
+    ) -> Result<(), crate::pipeline::PassError> {
+        let table = ctx.cost_model().ok_or_else(|| {
+            crate::pipeline::PassError::Custom(
+                "cost-aware buffer insertion needs a cost model \
+                 (FlowPipelineBuilder::with_cost_model or the grid driver)"
+                    .to_owned(),
+            )
+        })?;
+        let weights = DelayWeights::for_cost_model(table);
+        if weights == DelayWeights::UNIT {
+            let levels = ctx.levels();
+            let fanout = ctx.fanout_edges();
+            let stats = crate::buffer_insertion::insert_buffers_prepared(
+                ctx.netlist_mut(),
+                &levels,
+                &fanout,
+            );
+            ctx.buffers = Some(stats);
+        } else {
+            let stats = insert_buffers_weighted(ctx.netlist_mut(), &weights)?;
+            ctx.weighted = Some(stats);
+        }
+        Ok(())
+    }
+}
+
+/// Cost-aware balance verification: the verifier matching
+/// [`CostAwareInsertionPass`]. Unit weights verify the plain invariants
+/// (and record the [`crate::BalanceReport`]); non-unit weights verify
+/// weighted balance. `fanout_limit` additionally enforces the §IV
+/// bound in both modes.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct CostAwareVerifyPass {
+    /// Additionally enforce the §IV fan-out bound when given.
+    pub fanout_limit: Option<u32>,
+}
+
+impl crate::pipeline::Pass for CostAwareVerifyPass {
+    fn name(&self) -> String {
+        "verify(cost-aware)".to_owned()
+    }
+
+    fn kind(&self) -> crate::pipeline::PassKind {
+        crate::pipeline::PassKind::Verify
+    }
+
+    fn run(
+        &self,
+        ctx: &mut crate::pipeline::FlowContext<'_>,
+    ) -> Result<(), crate::pipeline::PassError> {
+        let table = ctx.cost_model().ok_or_else(|| {
+            crate::pipeline::PassError::Custom(
+                "cost-aware verification needs a cost model \
+                 (FlowPipelineBuilder::with_cost_model or the grid driver)"
+                    .to_owned(),
+            )
+        })?;
+        ctx.netlist()
+            .validate()
+            .map_err(crate::pipeline::PassError::Custom)?;
+        let weights = DelayWeights::for_cost_model(table);
+        if weights == DelayWeights::UNIT {
+            let levels = ctx.levels();
+            let fanout_counts = ctx.fanout_counts();
+            let report = crate::balance::verify_balance_prepared(
+                ctx.netlist(),
+                self.fanout_limit,
+                &levels,
+                &fanout_counts,
+            )?;
+            ctx.report = Some(report);
+        } else {
+            verify_weighted_balance(ctx.netlist(), &weights)
+                .map_err(crate::pipeline::PassError::Custom)?;
+            if let Some(limit) = self.fanout_limit {
+                let counts = ctx.fanout_counts();
+                crate::balance::check_fanout_bound(ctx.netlist(), &counts, limit)?;
+            }
+        }
         Ok(())
     }
 }

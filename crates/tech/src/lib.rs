@@ -40,7 +40,14 @@ pub mod report;
 mod technology;
 pub mod units;
 
-pub use metrics::{compare, evaluate, Comparison, Evaluation, OperatingMode};
+pub use metrics::{
+    compare, compare_with_table, evaluate, evaluate_with_table, Comparison, Evaluation,
+    OperatingMode,
+};
 pub use report::{geometric_mean, mean, BenchmarkRow};
 pub use technology::{RelativeCost, Technology};
 pub use units::{Area, Delay, Energy, Power, Throughput};
+// The cost-model layer lives in `wavepipe` so the pass pipeline can
+// consume it; `Technology` is its canonical implementation, so the
+// types are re-exported here where users expect them.
+pub use wavepipe::{CostModel, CostTable, PricedCost, PricedDelta};

@@ -13,7 +13,7 @@
 //! * **T/A, T/P gains** — wave-pipelined ratio over original ratio,
 //!   the two bar charts of Fig 9.
 
-use wavepipe::{FlowResult, Netlist};
+use wavepipe::{CostTable, FlowResult, Netlist};
 
 use crate::technology::Technology;
 use crate::units::{Area, Delay, Energy, Power, Throughput};
@@ -80,27 +80,29 @@ impl Evaluation {
 /// assert_eq!(e.latency.value(), 20.0); // depth 1 × 20 ns phase
 /// ```
 pub fn evaluate(netlist: &Netlist, technology: &Technology, mode: OperatingMode) -> Evaluation {
+    evaluate_with_table(netlist, &technology.cost_table(), mode)
+}
+
+/// [`evaluate`] against a precomputed [`CostTable`] — the same pricing
+/// the pass pipeline records in its per-pass traces, so grid-driver
+/// results and post-hoc evaluations are bit-identical (the golden
+/// property `tests/grid_pricing.rs` pins). Callers evaluating many
+/// netlists on one technology should precompute the table once.
+pub fn evaluate_with_table(
+    netlist: &Netlist,
+    table: &CostTable,
+    mode: OperatingMode,
+) -> Evaluation {
     let counts = netlist.counts();
-    let per_kind = [
-        (counts.maj, technology.maj),
-        (counts.inv, technology.inv),
-        (counts.buf, technology.buf),
-        (counts.fog, technology.fog),
-    ];
-
-    let mut area = Area::ZERO;
-    let mut energy = Energy::ZERO;
-    for (count, cost) in per_kind {
-        area += technology.cell_area * (cost.area * count as f64);
-        energy += technology.cell_energy * (cost.energy * count as f64);
-    }
-    energy += technology.output_sense_energy * netlist.outputs().len() as f64;
-
     let depth = netlist.depth();
-    let latency = technology.phase_delay() * depth as f64;
+    let priced = table.price(&counts, netlist.outputs().len(), depth);
+    let area = Area(priced.area);
+    let energy = Energy(priced.energy);
+    let latency = Delay(priced.latency);
+    let phase = Delay(wavepipe::CostModel::phase_delay(table));
     let throughput = match mode {
         OperatingMode::Combinational => latency.to_throughput(),
-        OperatingMode::WavePipelined => (technology.phase_delay() * 3.0).to_throughput(),
+        OperatingMode::WavePipelined => (phase * 3.0).to_throughput(),
     };
     // Depth-0 netlists (constant outputs only) have no meaningful
     // latency; report zero power rather than dividing by zero.
@@ -153,10 +155,17 @@ impl Comparison {
 
 /// Evaluates a completed flow result on one technology.
 pub fn compare(result: &FlowResult, technology: &Technology) -> Comparison {
+    compare_with_table(result, &technology.cost_table())
+}
+
+/// [`compare`] against a precomputed [`CostTable`] — use this when
+/// comparing many flow results on the same technology (the grid harness
+/// computes each technology's table once for the whole sweep).
+pub fn compare_with_table(result: &FlowResult, table: &CostTable) -> Comparison {
     Comparison {
-        technology: technology.name.clone(),
-        original: evaluate(&result.original, technology, OperatingMode::Combinational),
-        pipelined: evaluate(&result.pipelined, technology, OperatingMode::WavePipelined),
+        technology: table.name().to_owned(),
+        original: evaluate_with_table(&result.original, table, OperatingMode::Combinational),
+        pipelined: evaluate_with_table(&result.pipelined, table, OperatingMode::WavePipelined),
     }
 }
 

@@ -1,7 +1,12 @@
 //! Technology description: per-cell constants and per-component relative
 //! costs, mirroring Table I of the paper.
+//!
+//! [`Technology`] is the canonical implementation of the flow's
+//! [`CostModel`] trait — [`Technology::cost_table`] precomputes it into
+//! the flat [`wavepipe::CostTable`] the pass pipeline threads through
+//! its context and `run_grid` fans out over.
 
-use wavepipe::ComponentKind;
+use wavepipe::{ComponentKind, CostModel, CostTable};
 
 use crate::units::{Area, Delay, Energy};
 
@@ -184,6 +189,52 @@ impl Technology {
     pub fn all() -> Vec<Technology> {
         vec![Technology::swd(), Technology::qca(), Technology::nml()]
     }
+
+    /// Precomputes this technology into the flat [`CostTable`] the pass
+    /// pipeline and grid driver consume.
+    pub fn cost_table(&self) -> CostTable {
+        CostTable::from_model(self)
+    }
+}
+
+/// The canonical [`CostModel`]: absolute pricing is the Table I base
+/// cell constant times the component's relative multiplier.
+impl CostModel for Technology {
+    fn cost_name(&self) -> &str {
+        &self.name
+    }
+
+    fn area_of(&self, kind: ComponentKind) -> f64 {
+        if kind.is_priced() {
+            self.cell_area.value() * self.cost(kind).area
+        } else {
+            0.0
+        }
+    }
+
+    fn delay_of(&self, kind: ComponentKind) -> f64 {
+        if kind.is_priced() {
+            self.cell_delay.value() * self.cost(kind).delay
+        } else {
+            0.0
+        }
+    }
+
+    fn energy_of(&self, kind: ComponentKind) -> f64 {
+        if kind.is_priced() {
+            self.cell_energy.value() * self.cost(kind).energy
+        } else {
+            0.0
+        }
+    }
+
+    fn phase_delay(&self) -> f64 {
+        self.cell_delay.value() * self.phase_weight
+    }
+
+    fn output_sense_energy(&self) -> f64 {
+        self.output_sense_energy.value()
+    }
 }
 
 #[cfg(test)]
@@ -232,5 +283,41 @@ mod tests {
     fn all_returns_three() {
         let names: Vec<String> = Technology::all().into_iter().map(|t| t.name).collect();
         assert_eq!(names, ["SWD", "QCA", "NML"]);
+    }
+
+    #[test]
+    fn cost_model_prices_cell_times_relative() {
+        let qca = Technology::qca();
+        let table = qca.cost_table();
+        assert_eq!(table.name(), "QCA");
+        // INV: 10× area, 7× delay, 10× energy over the QCA cell.
+        assert_eq!(table.area_of(ComponentKind::Inv), 0.0004 * 10.0);
+        assert_eq!(table.delay_of(ComponentKind::Inv), 0.0012 * 7.0);
+        assert_eq!(table.energy_of(ComponentKind::Inv), 9.80e-7 * 10.0);
+        assert_eq!(table.area_of(ComponentKind::Input), 0.0);
+        assert!((CostModel::phase_delay(&table) - 0.004).abs() < 1e-12);
+
+        let swd = Technology::swd().cost_table();
+        assert_eq!(swd.output_sense_energy(), 2.0);
+    }
+
+    #[test]
+    fn qca_inverter_occupies_three_phases() {
+        // 7 cell delays against a 10/3-cell phase → 3 phases; everything
+        // else (and every SWD/NML component) fits in one.
+        let qca = Technology::qca().cost_table();
+        assert_eq!(qca.phase_occupancy(ComponentKind::Inv), 3);
+        assert_eq!(qca.phase_occupancy(ComponentKind::Maj), 1);
+        for t in [Technology::swd(), Technology::nml()] {
+            let table = t.cost_table();
+            for kind in [
+                ComponentKind::Inv,
+                ComponentKind::Maj,
+                ComponentKind::Buf,
+                ComponentKind::Fog,
+            ] {
+                assert_eq!(table.phase_occupancy(kind), 1, "{} {kind}", t.name);
+            }
+        }
     }
 }

@@ -7,7 +7,7 @@
 //! ```
 
 use wave_pipelining::prelude::*;
-use wavepipe::{BufferStrategy, DelayWeights, FlowPipeline};
+use wavepipe::{BufferStrategy, CostTable, DelayWeights, FlowPipeline};
 
 fn main() {
     let g = find_benchmark("HAMMING").expect("suite benchmark").build();
@@ -92,5 +92,49 @@ fn main() {
             .collect();
         let mean = ratios.iter().sum::<f64>() / ratios.len() as f64;
         println!("  k={k}: mean size ratio {mean:.2}×");
+    }
+
+    // 6. The cost-model layer: attach a technology and every pass is
+    //    priced (area / energy / cycle-time deltas in the trace).
+    let priced = FlowPipeline::builder()
+        .map(false)
+        .restrict_fanout(3)
+        .insert_buffers(BufferStrategy::Asap)
+        .verify(Some(3))
+        .with_cost_model(&Technology::qca())
+        .build()
+        .expect("well-ordered")
+        .run(&g)
+        .expect("flow verifies");
+    println!("\npriced trace (QCA) on HAMMING:");
+    print!("{}", priced.trace_table());
+
+    // 7. The circuit × technology grid: every (circuit, technology)
+    //    cell is one task on the work-pulling scheduler — a whole
+    //    multi-technology sweep in one driver call.
+    let models: Vec<CostTable> = Technology::all()
+        .iter()
+        .map(Technology::cost_table)
+        .collect();
+    let pipeline = FlowPipeline::for_config(FlowConfig::default());
+    let names = ["SASC", "ADD32R", "ALU16", "CMP32"];
+    println!(
+        "\ncircuit × technology grid ({} cells):",
+        refs.len() * models.len()
+    );
+    for cell in pipeline.run_grid(&refs, &models) {
+        let run = cell.outcome.expect("grid cell verifies");
+        let final_price = run
+            .trace
+            .last()
+            .and_then(|p| p.priced.as_ref())
+            .expect("grid runs are priced");
+        println!(
+            "  {:<8} @ {:<4} area {:>12.2} µm², energy {:>12.2} fJ",
+            names[cell.circuit],
+            models[cell.model].name(),
+            final_price.after.area,
+            final_price.after.energy,
+        );
     }
 }

@@ -53,7 +53,7 @@ pub use wavepipe;
 pub mod prelude {
     pub use benchsuite::{find as find_benchmark, SUITE};
     pub use mig::{check_equivalence, optimize_depth, optimize_size, Mig, Signal};
-    pub use tech::{compare, evaluate, OperatingMode, Technology};
+    pub use tech::{compare, evaluate, CostModel, OperatingMode, Technology};
     pub use wavepipe::{
         insert_buffers, netlist_from_mig, restrict_fanout, run_flow, verify_balance, FlowConfig,
         Netlist, WaveSimulator,
