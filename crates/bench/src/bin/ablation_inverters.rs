@@ -4,10 +4,11 @@
 //!
 //! Pass `--quick` to run on the 8-benchmark subset instead of all 37.
 
-use wavepipe_bench::harness::{build_suite, inverter_ablation, QUICK_SUBSET};
+use wavepipe_bench::harness::{build_suite, engine, inverter_ablation, QUICK_SUBSET};
 
 fn main() {
     let quick = std::env::args().any(|a| a == "--quick");
+    let engine = engine();
     let suite = build_suite(quick.then_some(&QUICK_SUBSET[..]));
 
     println!("Inversion-minimization ablation (QCA pricing, FO3+BUF)\n");
@@ -15,7 +16,7 @@ fn main() {
         "{:<12} {:>10} {:>10} {:>9} {:>14} {:>14}",
         "benchmark", "INV plain", "INV min", "saving", "QCA area (µm²)", "min area (µm²)"
     );
-    let rows = inverter_ablation(&suite);
+    let rows = inverter_ablation(&engine, &suite);
     let mut savings = Vec::new();
     for r in &rows {
         println!(

@@ -3,10 +3,11 @@
 //!
 //! Pass `--quick` to run on the 8-benchmark subset instead of all 37.
 
-use wavepipe_bench::harness::{build_suite, retiming_ablation, QUICK_SUBSET};
+use wavepipe_bench::harness::{build_suite, engine, retiming_ablation, QUICK_SUBSET};
 
 fn main() {
     let quick = std::env::args().any(|a| a == "--quick");
+    let engine = engine();
     let suite = build_suite(quick.then_some(&QUICK_SUBSET[..]));
 
     println!("Retiming ablation — buffers inserted (FO3 first, then balancing)\n");
@@ -14,7 +15,7 @@ fn main() {
         "{:<12} {:>12} {:>12} {:>9}",
         "benchmark", "ASAP", "retimed", "saving"
     );
-    let rows = retiming_ablation(&suite);
+    let rows = retiming_ablation(&engine, &suite);
     let mut savings = Vec::new();
     for r in &rows {
         println!(

@@ -3,15 +3,16 @@
 //!
 //! Pass `--quick` to run on the 8-benchmark subset instead of all 37.
 
-use wavepipe_bench::harness::{build_suite, fig5_fit, fig5_points, QUICK_SUBSET};
+use wavepipe_bench::harness::{build_suite, engine, fig5_fit, fig5_points, QUICK_SUBSET};
 
 fn main() {
     let quick = std::env::args().any(|a| a == "--quick");
+    let engine = engine();
     let suite = build_suite(quick.then_some(&QUICK_SUBSET[..]));
 
     println!("Fig 5 — balancing buffers added vs original netlist size");
     println!("{:<12} {:>10} {:>12}", "benchmark", "size", "buffers");
-    let mut points = fig5_points(&suite);
+    let mut points = fig5_points(&engine, &suite);
     points.sort_by_key(|p| p.size);
     for p in &points {
         println!("{:<12} {:>10} {:>12}", p.name, p.size, p.buffers);

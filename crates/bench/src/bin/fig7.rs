@@ -3,10 +3,11 @@
 //!
 //! Pass `--quick` to run on the 8-benchmark subset instead of all 37.
 
-use wavepipe_bench::harness::{build_suite, fig7_rows, QUICK_SUBSET};
+use wavepipe_bench::harness::{build_suite, engine, fig7_rows, QUICK_SUBSET};
 
 fn main() {
     let quick = std::env::args().any(|a| a == "--quick");
+    let engine = engine();
     let suite = build_suite(quick.then_some(&QUICK_SUBSET[..]));
 
     println!("Fig 7 — critical-path increase after fan-out restriction");
@@ -14,7 +15,7 @@ fn main() {
         "{:<12} {:>10} {:>8} {:>8} {:>8} {:>8}",
         "benchmark", "orig CP", "k=2", "k=3", "k=4", "k=5"
     );
-    let mut rows = fig7_rows(&suite);
+    let mut rows = fig7_rows(&engine, &suite);
     rows.sort_by_key(|r| r.original_depth);
     let mut per_k = vec![Vec::new(); 4];
     for r in &rows {

@@ -3,17 +3,20 @@
 //! 2.48/1.61/1.35/1.25× with FOG shares .55/.26/.17/.13;
 //! FOx+BUF 9.74/6.21/5.30/4.91×).
 //!
-//! The five flow configurations sweep as one pipeline × circuit grid
-//! on the work-pulling scheduler (`wavepipe::run_config_grid`).
+//! The five flow configurations are five declarative pipeline specs
+//! swept through the shared cached engine (each sweep parallel on the
+//! work-pulling scheduler; the BUF-only column re-serves Fig 5's cells
+//! when run after it, e.g. in `repro_all`).
 //!
 //! Pass `--quick` to run on the 8-benchmark subset instead of all 37.
 
-use wavepipe_bench::harness::{build_suite, fig8_data, QUICK_SUBSET};
+use wavepipe_bench::harness::{build_suite, engine, fig8_data, QUICK_SUBSET};
 
 fn main() {
     let quick = std::env::args().any(|a| a == "--quick");
+    let engine = engine();
     let suite = build_suite(quick.then_some(&QUICK_SUBSET[..]));
-    let d = fig8_data(&suite);
+    let d = fig8_data(&engine, &suite);
 
     println!(
         "Fig 8 — normalized component counts (averaged over {} benchmarks)\n",

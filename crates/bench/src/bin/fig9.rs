@@ -4,12 +4,13 @@
 //!
 //! Pass `--quick` to run on the 8-benchmark subset instead of all 37.
 
-use wavepipe_bench::harness::{build_suite, evaluate_suite, fig9_data, QUICK_SUBSET};
+use wavepipe_bench::harness::{build_suite, engine, evaluate_suite, fig9_data, QUICK_SUBSET};
 
 fn main() {
     let quick = std::env::args().any(|a| a == "--quick");
+    let engine = engine();
     let suite = build_suite(quick.then_some(&QUICK_SUBSET[..]));
-    let evaluated = evaluate_suite(&suite);
+    let evaluated = evaluate_suite(&engine, &suite);
 
     println!(
         "Fig 9 — normalized T/A and T/P gains (FO3+BUF, averaged over {} benchmarks)\n",

@@ -5,11 +5,16 @@
 //! cargo run --release -p wavepipe-bench --bin repro_all
 //! ```
 //!
-//! The multi-technology experiments (Fig 9, Table II) come from **one**
-//! circuit × technology grid sweep (`FlowPipeline::run_grid`); its
-//! priced per-(circuit, tech, pass) traces land in
-//! `results/flow_trace.{txt,json}` and the aggregate wall-time /
-//! priced-delta record in `results/BENCH_pr2.json`.
+//! Every experiment drives the **same long-lived [`wavepipe::Engine`]**
+//! (suite-registry resolver, content-hash keyed result cache), so
+//! overlapping sweeps share work: Fig 8's BUF-only column is served
+//! from Fig 5's cells, the retiming ablation's ASAP arm from the
+//! inverter ablation's reference arm. The multi-technology experiments
+//! (Fig 9, Table II) come from **one** circuit × technology grid sweep;
+//! its priced per-(circuit, tech, pass) traces land in
+//! `results/flow_trace.{txt,json}` and the aggregate record — wall time
+//! **and engine cache hit/miss/pass counters per sweep** — in
+//! `results/BENCH_pr3.json`.
 
 use std::collections::BTreeMap;
 use std::fs;
@@ -17,9 +22,10 @@ use std::path::Path;
 use std::time::Instant;
 
 use tech::BenchmarkRow;
+use wavepipe::{Engine, EngineStats};
 use wavepipe_bench::harness::{
-    build_suite, evaluate_suite_grid, fig5_fit, fig5_points, fig7_rows, fig8_data, fig9_data,
-    inverter_ablation, retiming_ablation, table2_from_grid,
+    build_suite, engine, evaluate_suite_grid, fig5_fit, fig5_points, fig7_rows, fig8_data,
+    fig9_data, inverter_ablation, retiming_ablation, table2_from_grid,
 };
 
 /// Aggregate of one pass across every circuit of the suite, per
@@ -34,32 +40,61 @@ struct PassSummary {
     cycle_time_delta: f64,
 }
 
+/// One experiment stage: wall time plus the engine counters it moved.
+#[derive(serde::Serialize)]
+struct StageRecord {
+    /// Wall time of the stage, milliseconds.
+    wall_ms: f64,
+    /// Engine cache/execution counters for this stage alone.
+    engine: EngineStats,
+}
+
 #[derive(serde::Serialize)]
 struct BenchRecord {
-    /// Wall time of each experiment stage, milliseconds.
-    wall_ms: BTreeMap<String, f64>,
+    /// Per-stage wall time and engine cache hit/miss/pass counters.
+    stages: BTreeMap<String, StageRecord>,
+    /// Cumulative engine counters over the whole reproduction run.
+    engine_totals: EngineStats,
+    /// Cells resident in the engine cache at the end of the run.
+    cached_cells: usize,
     /// Per-(technology, pass) priced deltas summed over the suite.
     passes: Vec<PassSummary>,
+}
+
+/// Times one stage and captures the engine-counter delta it caused.
+fn staged<T>(
+    stages: &mut BTreeMap<String, StageRecord>,
+    engine: &Engine,
+    name: &str,
+    run: impl FnOnce() -> T,
+) -> T {
+    let before = engine.stats();
+    let started = Instant::now();
+    let out = run();
+    stages.insert(
+        name.to_owned(),
+        StageRecord {
+            wall_ms: started.elapsed().as_secs_f64() * 1000.0,
+            engine: engine.stats().since(&before),
+        },
+    );
+    out
 }
 
 fn main() {
     let out_dir = Path::new("results");
     fs::create_dir_all(out_dir).expect("create results/");
-    let mut wall_ms: BTreeMap<String, f64> = BTreeMap::new();
-    let mut timed = |name: &str, started: Instant| {
-        wall_ms.insert(name.to_owned(), started.elapsed().as_secs_f64() * 1000.0);
-    };
+    let engine = engine();
+    let mut stages: BTreeMap<String, StageRecord> = BTreeMap::new();
 
-    let started = Instant::now();
-    let suite = build_suite(None);
-    timed("build_suite", started);
+    let suite = staged(&mut stages, &engine, "build_suite", || build_suite(None));
     println!("built {} benchmarks", suite.len());
 
-    // The circuit × technology grid: one parallel sweep feeds the
+    // The circuit × technology grid: one cached engine sweep feeds the
     // priced traces, Fig 9 and Table II.
-    let started = Instant::now();
-    let grid = evaluate_suite_grid(&suite);
-    timed("grid_sweep", started);
+    let grid = staged(&mut stages, &engine, "grid_sweep", || {
+        evaluate_suite_grid(&engine, &suite)
+    });
 
     let mut trace_txt = String::new();
     let mut pass_totals: BTreeMap<(String, String), PassSummary> = BTreeMap::new();
@@ -104,10 +139,11 @@ fn main() {
     }
 
     // Fig 5.
-    let started = Instant::now();
-    let points = fig5_points(&suite);
-    let fit = fig5_fit(&points);
-    timed("fig5", started);
+    let (points, fit) = staged(&mut stages, &engine, "fig5", || {
+        let points = fig5_points(&engine, &suite);
+        let fit = fig5_fit(&points);
+        (points, fit)
+    });
     let mut fig5_txt = String::from("benchmark,size,buffers\n");
     for p in &points {
         fig5_txt.push_str(&format!("{},{},{}\n", p.name, p.size, p.buffers));
@@ -128,9 +164,7 @@ fn main() {
     );
 
     // Fig 7.
-    let started = Instant::now();
-    let rows = fig7_rows(&suite);
-    timed("fig7", started);
+    let rows = staged(&mut stages, &engine, "fig7", || fig7_rows(&engine, &suite));
     let mut fig7_txt = String::from("benchmark,orig_cp,k2,k3,k4,k5\n");
     for r in &rows {
         fig7_txt.push_str(&format!(
@@ -154,10 +188,9 @@ fn main() {
         avgs[3] * 100.0
     );
 
-    // Fig 8 (configuration × circuit grid).
-    let started = Instant::now();
-    let f8 = fig8_data(&suite);
-    timed("fig8", started);
+    // Fig 8 (five declarative configs; BUF-only re-served from fig5's
+    // cache cells).
+    let f8 = staged(&mut stages, &engine, "fig8", || fig8_data(&engine, &suite));
     fs::write(
         out_dir.join("fig8.json"),
         serde_json::to_string_pretty(&f8).expect("serialize"),
@@ -216,10 +249,11 @@ fn main() {
     fs::write(out_dir.join("table2.txt"), &table2_txt).expect("write table2");
     println!("table2: written to results/table2.txt");
 
-    // Ablation.
-    let started = Instant::now();
-    let ablation = retiming_ablation(&suite);
-    timed("ablation_retiming", started);
+    // Ablations (the retiming ASAP arm hits the inverter ablation's
+    // reference cells).
+    let ablation = staged(&mut stages, &engine, "ablation_retiming", || {
+        retiming_ablation(&engine, &suite)
+    });
     fs::write(
         out_dir.join("ablation_retiming.json"),
         serde_json::to_string_pretty(&ablation).expect("serialize"),
@@ -228,9 +262,9 @@ fn main() {
     let avg_saving = tech::mean(&ablation.iter().map(|r| r.saving()).collect::<Vec<_>>()) * 100.0;
     println!("ablation: retiming saves {avg_saving:.1}% buffers on average");
 
-    let started = Instant::now();
-    let inv = inverter_ablation(&suite);
-    timed("ablation_inverters", started);
+    let inv = staged(&mut stages, &engine, "ablation_inverters", || {
+        inverter_ablation(&engine, &suite)
+    });
     fs::write(
         out_dir.join("ablation_inverters.json"),
         serde_json::to_string_pretty(&inv).expect("serialize"),
@@ -240,16 +274,22 @@ fn main() {
     println!("ablation: polarity search removes {avg_inv:.1}% of inverters on average");
 
     // Machine-readable perf-trajectory record.
+    let totals = engine.stats();
     let record = BenchRecord {
-        wall_ms,
+        stages,
+        engine_totals: totals,
+        cached_cells: engine.cached_cells(),
         passes: pass_totals.into_values().collect(),
     };
     fs::write(
-        out_dir.join("BENCH_pr2.json"),
+        out_dir.join("BENCH_pr3.json"),
         serde_json::to_string_pretty(&record).expect("serialize"),
     )
-    .expect("write BENCH_pr2.json");
-    println!("perf record: written to results/BENCH_pr2.json");
+    .expect("write BENCH_pr3.json");
+    println!(
+        "perf record: results/BENCH_pr3.json (engine: {} hits / {} misses / {} passes, {} cells cached)",
+        totals.cache_hits, totals.cache_misses, totals.passes_executed, engine.cached_cells()
+    );
 
     println!("\nall results written to {}", out_dir.display());
 }

@@ -35,6 +35,10 @@ fn main() {
             t.phase_weight,
             t.output_sense_energy.value()
         );
+        println!(
+            "  engine cache identity: {:#018x} (content hash of the cost table)",
+            t.content_hash()
+        );
 
         // The absolute pricing the flow's cost-model layer sees.
         let table = t.cost_table();

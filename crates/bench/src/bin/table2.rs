@@ -5,7 +5,7 @@
 //! and run once per technology).
 
 use tech::BenchmarkRow;
-use wavepipe_bench::harness::{build_suite, evaluate_suite_grid, table2_from_grid};
+use wavepipe_bench::harness::{build_suite, engine, evaluate_suite_grid, table2_from_grid};
 
 /// The paper's published rows for reference: (name, depth orig, depth
 /// wp, size orig, size wp) — identical across technologies.
@@ -21,8 +21,9 @@ const PAPER_STRUCTURE: [(&str, u32, u32, usize, usize); 7] = [
 
 fn main() {
     println!("Table II — summary of benchmarking results (FO3 + BUF)\n");
+    let engine = engine();
     let suite = build_suite(Some(&benchsuite::TABLE2_SELECTION));
-    let grid = evaluate_suite_grid(&suite);
+    let grid = evaluate_suite_grid(&engine, &suite);
     for (technology, rows) in table2_from_grid(&grid) {
         println!("--- {technology} ---");
         println!("{}", BenchmarkRow::table_header());

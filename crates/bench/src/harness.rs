@@ -1,27 +1,41 @@
 //! Suite-level experiment drivers: one function per paper table/figure,
 //! shared by the regenerator binaries and the integration tests.
 //!
-//! Since the pass-pipeline refactor every driver expresses its flow
-//! configuration as a [`wavepipe::FlowPipeline`] and evaluates the
-//! suite **concurrently**, scheduled across all cores by the pipeline's
-//! work-pulling parallel drivers. The multi-technology experiments
-//! (Fig 9, Table II) run the full circuit × technology grid through
-//! [`FlowPipeline::run_grid`] — one cell per (circuit, technology) —
-//! and [`evaluate_suite_grid`] surfaces both the Table II comparisons
-//! and the per-(circuit, technology, pass) **priced** instrumentation
-//! traces (wall time, component delta, depth change, area/energy/
-//! cycle-time deltas under that technology's [`tech::CostModel`]).
+//! Since the engine-facade redesign every driver expresses its flow
+//! configuration as a declarative [`wavepipe::PipelineSpec`] and runs
+//! it through a shared, long-lived [`Engine`] ([`engine`] wires the
+//! `benchsuite` registry in as the circuit resolver). The engine sweeps
+//! each circuit × technology grid on the work-pulling parallel
+//! scheduler and keeps a content-hash keyed result cache, so the
+//! experiments of one reproduction run *share work*: Fig 8's BUF-only
+//! column is Fig 5's sweep re-served from cache, the retiming
+//! ablation's ASAP arm is the inverter ablation's reference arm, and a
+//! re-run of any driver on the same engine recomputes nothing
+//! ([`Engine::stats`] exposes the hit/miss/pass counters `repro_all`
+//! records in `BENCH_pr3.json`).
+//!
+//! The multi-technology experiments (Fig 9, Table II) still come back
+//! as Table II comparisons plus per-(circuit, technology, pass)
+//! **priced** instrumentation traces (wall time, component delta, depth
+//! change, area/energy/cycle-time deltas under that technology's
+//! [`tech::CostModel`]).
+
+use std::sync::Arc;
 
 use benchsuite::BenchmarkSpec;
 use mig::Mig;
 use rayon::prelude::*;
 use tech::{BenchmarkRow, CostTable, Technology};
-use wavepipe::{
-    run_config_grid, run_flow_batch, BufferStrategy, FlowConfig, FlowPipeline, PassStats,
-    PipelineRun,
-};
+use wavepipe::{BufferStrategy, Engine, FlowConfig, PassStats, PipelineRun, PipelineSpec};
 
 use crate::fit::{fit_power_law, PowerLaw};
+
+/// The engine every harness driver shares: the `benchsuite` registry as
+/// circuit resolver, unbounded result cache. Keep one alive across
+/// experiments — overlapping sweeps then only recompute changed cells.
+pub fn engine() -> Engine {
+    Engine::new().with_resolver(benchsuite::build_mig)
+}
 
 /// Builds the whole suite (or the named subset) once, generating the
 /// circuits in parallel.
@@ -39,20 +53,23 @@ pub const QUICK_SUBSET: [&str; 8] = [
     "SASC", "ADD32R", "MUL16", "HAMMING", "CRC8x64", "ALU16", "CMP32", "DES_AREA",
 ];
 
-/// Runs `pipeline` over every circuit of `suite` in parallel, panicking
-/// with the benchmark name if any run fails (suite circuits are known
-/// to verify).
-fn run_pipeline_over(
-    pipeline: &FlowPipeline,
+/// Runs one declarative pipeline spec over every circuit of `suite`
+/// (cost-blind, cached), panicking with the benchmark name if any run
+/// fails (suite circuits are known to verify).
+fn run_spec_over(
+    engine: &Engine,
+    pipeline: &PipelineSpec,
     suite: &[(&'static BenchmarkSpec, Mig)],
-) -> Vec<PipelineRun> {
+) -> Vec<Arc<PipelineRun>> {
     let graphs: Vec<&Mig> = suite.iter().map(|(_, g)| g).collect();
-    pipeline
-        .run_batch(&graphs)
+    engine
+        .run_pipeline_grid(pipeline, &graphs, &[])
+        .unwrap_or_else(|e| panic!("harness pipeline spec rejected: {e}"))
         .into_iter()
         .zip(suite)
-        .map(|(outcome, (spec, _))| {
-            outcome.unwrap_or_else(|e| panic!("{}: flow failed: {e}", spec.name))
+        .map(|(cell, (spec, _))| {
+            cell.outcome
+                .unwrap_or_else(|e| panic!("{}: flow failed: {e}", spec.name))
         })
         .collect()
 }
@@ -82,26 +99,30 @@ pub struct GridEvaluation {
 }
 
 /// Runs the paper's default flow (FO3 + BUF) over the full circuit ×
-/// technology grid in one parallel sweep ([`FlowPipeline::run_grid`]):
-/// every (circuit, technology) cell is one task on the work-pulling
-/// scheduler, carries that technology's cost model through the
-/// pipeline, and comes back as a Table II comparison plus a priced
-/// per-pass trace. Panics with the cell coordinates if any run fails
-/// (suite circuits are known to verify).
+/// technology grid in one cached engine sweep: every (circuit,
+/// technology) cell is one task on the work-pulling scheduler, carries
+/// that technology's cost model through the pipeline, and comes back as
+/// a Table II comparison plus a priced per-pass trace. Panics with the
+/// cell coordinates if any run fails (suite circuits are known to
+/// verify).
 ///
 /// Note the deliberate tradeoff: the default pipeline is cost-blind, so
-/// each circuit's three cells recompute the same transformation and
-/// only the pricing differs — the grid pays ~3× the flow CPU of the old
-/// one-run-then-price-post-hoc path (sub-second for the full suite in
-/// release, absorbed by the scheduler) in exchange for per-cell cost
-/// threading, which is what lets cost-aware pipelines legitimately
+/// each circuit's three cells recompute the same transformation on a
+/// cold cache and only the pricing differs — in exchange for per-cell
+/// cost threading, which is what lets cost-aware pipelines legitimately
 /// produce *different* netlists per technology through the same driver.
-pub fn evaluate_suite_grid(suite: &[(&'static BenchmarkSpec, Mig)]) -> GridEvaluation {
+/// On a warm engine the whole sweep is pure cache hits.
+pub fn evaluate_suite_grid(
+    engine: &Engine,
+    suite: &[(&'static BenchmarkSpec, Mig)],
+) -> GridEvaluation {
     let technologies = Technology::all();
     let tables: Vec<CostTable> = technologies.iter().map(Technology::cost_table).collect();
-    let pipeline = FlowPipeline::for_config(FlowConfig::default());
+    let pipeline = PipelineSpec::for_config(FlowConfig::default());
     let graphs: Vec<&Mig> = suite.iter().map(|(_, g)| g).collect();
-    let cells = pipeline.run_grid(&graphs, &tables);
+    let cells = engine
+        .run_pipeline_grid(&pipeline, &graphs, &tables)
+        .unwrap_or_else(|e| panic!("grid pipeline spec rejected: {e}"));
 
     let mut evaluated: Vec<(String, Vec<tech::Comparison>)> = suite
         .iter()
@@ -110,17 +131,18 @@ pub fn evaluate_suite_grid(suite: &[(&'static BenchmarkSpec, Mig)]) -> GridEvalu
     let mut traces = Vec::with_capacity(cells.len());
     for cell in cells {
         let spec = suite[cell.circuit].0;
-        let technology = &technologies[cell.model];
+        let ti = cell.technology.expect("priced grid cells carry a model");
+        let technology = &technologies[ti];
         let run = cell
             .outcome
             .unwrap_or_else(|e| panic!("{} @ {}: flow failed: {e}", spec.name, technology.name));
         evaluated[cell.circuit]
             .1
-            .push(tech::compare_with_table(&run.result, &tables[cell.model]));
+            .push(tech::compare_with_table(&run.result, &tables[ti]));
         traces.push(PricedTrace {
             circuit: spec.name.to_owned(),
             technology: technology.name.clone(),
-            trace: run.trace,
+            trace: run.trace.clone(),
         });
     }
     GridEvaluation {
@@ -142,14 +164,10 @@ pub struct Fig5Point {
 }
 
 /// Runs buffer insertion alone over the given circuits (Fig 5) — the
-/// BUF-only pipeline, in parallel.
-pub fn fig5_points(suite: &[(&'static BenchmarkSpec, Mig)]) -> Vec<Fig5Point> {
-    let pipeline = FlowPipeline::builder()
-        .map(false)
-        .insert_buffers(BufferStrategy::Asap)
-        .build()
-        .expect("BUF-only pipeline is well-ordered");
-    run_pipeline_over(&pipeline, suite)
+/// BUF-only spec through the cached engine.
+pub fn fig5_points(engine: &Engine, suite: &[(&'static BenchmarkSpec, Mig)]) -> Vec<Fig5Point> {
+    let pipeline = PipelineSpec::map(false).insert_buffers(BufferStrategy::Asap);
+    run_spec_over(engine, &pipeline, suite)
         .into_iter()
         .zip(suite)
         .map(|(run, (spec, _))| Fig5Point {
@@ -182,18 +200,14 @@ pub struct Fig7Row {
 }
 
 /// Runs fan-out restriction alone for k ∈ {2,3,4,5} (Fig 7): four
-/// FOk-only pipelines, each over the whole suite in parallel.
-pub fn fig7_rows(suite: &[(&'static BenchmarkSpec, Mig)]) -> Vec<Fig7Row> {
+/// FOk-only specs, each over the whole suite through the engine.
+pub fn fig7_rows(engine: &Engine, suite: &[(&'static BenchmarkSpec, Mig)]) -> Vec<Fig7Row> {
     // Keep only the small Copy stats per run — the netlists of one
-    // sweep are dropped before the next sweep starts.
+    // sweep are dropped (or cached) before the next sweep starts.
     let sweeps: Vec<Vec<wavepipe::FanoutRestriction>> = (2..=5u32)
         .map(|k| {
-            let pipeline = FlowPipeline::builder()
-                .map(false)
-                .restrict_fanout(k)
-                .build()
-                .expect("FOk-only pipeline is well-ordered");
-            run_pipeline_over(&pipeline, suite)
+            let pipeline = PipelineSpec::map(false).restrict_fanout(k);
+            run_spec_over(engine, &pipeline, suite)
                 .into_iter()
                 .map(|run| run.result.fanout.expect("restriction pass ran"))
                 .collect()
@@ -227,7 +241,7 @@ pub struct Fig8Data {
     pub combined_fog_share: [f64; 4],
 }
 
-/// Per-circuit Fig 8 sample, computed in one parallel task.
+/// Per-circuit Fig 8 sample.
 struct Fig8Sample {
     buf_ratio: f64,
     fo_ratio: [f64; 4],
@@ -237,44 +251,31 @@ struct Fig8Sample {
 }
 
 /// Runs BUF and FOk+BUF over the suite and averages normalized sizes
-/// (Fig 8). The five flow configurations span the other grid axis —
-/// pipeline *configuration* × circuit — so the sweep goes through
-/// [`run_config_grid`] on the same work-pulling scheduler as the
-/// technology grid (finer-grained than the old one-task-per-circuit
-/// scheme: each of the 5 × N cells schedules independently). The
-/// FOk-*only* numbers are not re-run — they are read off the combined
-/// run's per-pass trace, whose `counts_after` for the restriction pass
-/// is exactly the FOk-only netlist.
-pub fn fig8_data(suite: &[(&'static BenchmarkSpec, Mig)]) -> Fig8Data {
-    let buf_only = FlowPipeline::builder()
-        .map(false)
-        .insert_buffers(BufferStrategy::Asap)
-        .build()
-        .expect("well-ordered");
-    let per_k: Vec<FlowPipeline> = (2..=5u32)
+/// (Fig 8). The five flow configurations are five declarative specs
+/// swept through the engine; the BUF-only spec is the same cells Fig 5
+/// runs, so on a shared engine one of the two is free. The FOk-*only*
+/// numbers are not re-run — they are read off the combined run's
+/// per-pass trace, whose `counts_after` for the restriction pass is
+/// exactly the FOk-only netlist.
+pub fn fig8_data(engine: &Engine, suite: &[(&'static BenchmarkSpec, Mig)]) -> Fig8Data {
+    let buf_only = PipelineSpec::map(false).insert_buffers(BufferStrategy::Asap);
+    let per_k: Vec<PipelineSpec> = (2..=5u32)
         .map(|k| {
-            FlowPipeline::builder()
-                .map(false)
+            PipelineSpec::map(false)
                 .restrict_fanout(k)
                 .insert_buffers(BufferStrategy::Asap)
-                .build()
-                .expect("well-ordered")
         })
         .collect();
-    let pipelines: Vec<&FlowPipeline> = std::iter::once(&buf_only).chain(per_k.iter()).collect();
-    let graphs: Vec<&Mig> = suite.iter().map(|(_, g)| g).collect();
-    let grid = run_config_grid(&pipelines, &graphs);
+    let runs: Vec<Vec<Arc<PipelineRun>>> = std::iter::once(&buf_only)
+        .chain(per_k.iter())
+        .map(|pipeline| run_spec_over(engine, pipeline, suite))
+        .collect();
 
     let samples: Vec<Fig8Sample> = suite
         .iter()
         .enumerate()
-        .map(|(ci, (spec, _))| {
-            let cell = |pi: usize| -> &PipelineRun {
-                grid[pi][ci]
-                    .as_ref()
-                    .unwrap_or_else(|e| panic!("{}: flow failed: {e}", spec.name))
-            };
-            let buf = cell(0);
+        .map(|(ci, _)| {
+            let buf = &runs[0][ci];
             let orig = buf.result.original_counts().priced_total() as f64;
             let mut sample = Fig8Sample {
                 buf_ratio: buf.result.pipelined_counts().priced_total() as f64 / orig,
@@ -284,7 +285,7 @@ pub fn fig8_data(suite: &[(&'static BenchmarkSpec, Mig)]) -> Fig8Data {
                 combined_fog: [0.0; 4],
             };
             for i in 0..per_k.len() {
-                let full = cell(1 + i);
+                let full = &runs[1 + i][ci];
                 // The netlist right after the restriction pass *is* the
                 // FOk-only result; its counts are in the trace.
                 let c = full
@@ -339,9 +340,10 @@ pub struct Fig9Data {
 /// [`evaluate_suite_grid`] for callers that don't need the priced
 /// traces.
 pub fn evaluate_suite(
+    engine: &Engine,
     suite: &[(&'static BenchmarkSpec, Mig)],
 ) -> Vec<(String, Vec<tech::Comparison>)> {
-    evaluate_suite_grid(suite).evaluated
+    evaluate_suite_grid(engine, suite).evaluated
 }
 
 /// Aggregates [`evaluate_suite`] output into Fig 9 bars.
@@ -365,10 +367,9 @@ pub fn fig9_data(evaluated: &[(String, Vec<tech::Comparison>)]) -> Vec<Fig9Data>
 }
 
 /// Table II rows for every technology, read off an already-computed
-/// grid sweep (the hand-rolled per-technology loop this replaces built
-/// and ran the suite once *per technology*). The grid must cover the
-/// paper's seven selected benchmarks — `repro_all` hands in the
-/// full-suite grid, the `table2` binary a grid over just the selection.
+/// grid sweep. The grid must cover the paper's seven selected
+/// benchmarks — `repro_all` hands in the full-suite grid, the `table2`
+/// binary a grid over just the selection.
 ///
 /// # Panics
 ///
@@ -432,22 +433,25 @@ impl RetimingAblation {
     }
 }
 
-/// Runs the retiming ablation: the same FO3 pipeline with the two
-/// insertion strategies swapped — a one-line pipeline edit.
-pub fn retiming_ablation(suite: &[(&'static BenchmarkSpec, Mig)]) -> Vec<RetimingAblation> {
-    let strategy_pipeline = |strategy| {
-        FlowPipeline::builder()
-            .map(false)
+/// Runs the retiming ablation: the same FO3 spec with the two insertion
+/// strategies swapped — a one-line spec edit. The ASAP arm is the
+/// paper's default pipeline, so on a shared engine it is served from
+/// the cache of whichever driver ran it first.
+pub fn retiming_ablation(
+    engine: &Engine,
+    suite: &[(&'static BenchmarkSpec, Mig)],
+) -> Vec<RetimingAblation> {
+    let strategy_spec = |strategy| {
+        PipelineSpec::map(false)
             .restrict_fanout(3)
             .insert_buffers(strategy)
             .verify(Some(3))
-            .build()
-            .expect("well-ordered")
     };
     // Reduce each suite run to its buffer totals immediately so two
-    // suites' worth of netlists are never alive at once.
+    // suites' worth of netlists are never alive at once (beyond what
+    // the engine cache retains).
     let buffer_totals = |strategy| -> Vec<usize> {
-        run_pipeline_over(&strategy_pipeline(strategy), suite)
+        run_spec_over(engine, &strategy_spec(strategy), suite)
             .into_iter()
             .map(|run| run.result.buffers.expect("insertion ran").total())
             .collect()
@@ -495,43 +499,47 @@ impl InverterAblation {
 }
 
 /// Runs the inversion-minimization ablation over the given circuits:
-/// the default flow with the mapping pass swapped.
-pub fn inverter_ablation(suite: &[(&'static BenchmarkSpec, Mig)]) -> Vec<InverterAblation> {
+/// the default flow with the mapping pass swapped (a `minimize_inverters`
+/// toggle on the spec).
+pub fn inverter_ablation(
+    engine: &Engine,
+    suite: &[(&'static BenchmarkSpec, Mig)],
+) -> Vec<InverterAblation> {
     let qca = Technology::qca();
-    let graphs: Vec<&Mig> = suite.iter().map(|(_, g)| g).collect();
-    let plain_runs = run_flow_batch(&graphs, FlowConfig::default());
-    let min_runs = run_flow_batch(
-        &graphs,
-        FlowConfig {
+    let plain_runs = run_spec_over(
+        engine,
+        &PipelineSpec::for_config(FlowConfig::default()),
+        suite,
+    );
+    let min_runs = run_spec_over(
+        engine,
+        &PipelineSpec::for_config(FlowConfig {
             minimize_inverters: true,
             ..FlowConfig::default()
-        },
+        }),
+        suite,
     );
     suite
         .iter()
         .zip(plain_runs.into_iter().zip(min_runs))
-        .map(|((spec, _), (plain, min))| {
-            let plain = plain.unwrap_or_else(|e| panic!("{}: flow failed: {e}", spec.name));
-            let min = min.unwrap_or_else(|e| panic!("{}: flow failed: {e}", spec.name));
-            InverterAblation {
-                name: spec.name.to_owned(),
-                plain_inv: plain.original.counts().inv,
-                min_inv: min.original.counts().inv,
-                plain_qca_area: tech::evaluate(
-                    &plain.pipelined,
-                    &qca,
-                    tech::OperatingMode::WavePipelined,
-                )
-                .area
-                .value(),
-                min_qca_area: tech::evaluate(
-                    &min.pipelined,
-                    &qca,
-                    tech::OperatingMode::WavePipelined,
-                )
-                .area
-                .value(),
-            }
+        .map(|((spec, _), (plain, min))| InverterAblation {
+            name: spec.name.to_owned(),
+            plain_inv: plain.result.original.counts().inv,
+            min_inv: min.result.original.counts().inv,
+            plain_qca_area: tech::evaluate(
+                &plain.result.pipelined,
+                &qca,
+                tech::OperatingMode::WavePipelined,
+            )
+            .area
+            .value(),
+            min_qca_area: tech::evaluate(
+                &min.result.pipelined,
+                &qca,
+                tech::OperatingMode::WavePipelined,
+            )
+            .area
+            .value(),
         })
         .collect()
 }
@@ -547,8 +555,9 @@ mod tests {
 
     #[test]
     fn fig5_buffers_grow_with_size() {
+        let engine = engine();
         let suite = quick_suite();
-        let points = fig5_points(&suite);
+        let points = fig5_points(&engine, &suite);
         assert_eq!(points.len(), QUICK_SUBSET.len());
         let fit = fig5_fit(&points);
         assert!(fit.exponent > 0.0, "buffers must grow with size");
@@ -556,8 +565,9 @@ mod tests {
 
     #[test]
     fn fig7_k2_dominates_k5() {
+        let engine = engine();
         let suite = quick_suite();
-        for row in fig7_rows(&suite) {
+        for row in fig7_rows(&engine, &suite) {
             assert!(
                 row.increase[0] >= row.increase[3],
                 "{}: k=2 increase {} < k=5 increase {}",
@@ -570,8 +580,9 @@ mod tests {
 
     #[test]
     fn fig8_orderings_match_the_paper() {
+        let engine = engine();
         let suite = quick_suite();
-        let d = fig8_data(&suite);
+        let d = fig8_data(&engine, &suite);
         assert!(d.buf_only > 1.0);
         // FO ratios fall as the limit loosens.
         assert!(d.fo_only[0] > d.fo_only[1]);
@@ -587,8 +598,9 @@ mod tests {
 
     #[test]
     fn fig9_gains_exceed_one_on_deep_suites() {
+        let engine = engine();
         let suite = build_suite(Some(&["MUL16", "HAMMING", "CRC8x64"]));
-        let evaluated = evaluate_suite(&suite);
+        let evaluated = evaluate_suite(&engine, &suite);
         for f in fig9_data(&evaluated) {
             assert!(f.ta_mean > 1.0, "{}: T/A {}", f.technology, f.ta_mean);
             assert!(f.tp_mean > 1.0, "{}: T/P {}", f.technology, f.tp_mean);
@@ -597,8 +609,9 @@ mod tests {
 
     #[test]
     fn inverter_ablation_never_loses() {
+        let engine = engine();
         let suite = quick_suite();
-        for row in inverter_ablation(&suite) {
+        for row in inverter_ablation(&engine, &suite) {
             assert!(
                 row.min_inv <= row.plain_inv,
                 "{}: min-inv {} > plain {}",
@@ -611,8 +624,9 @@ mod tests {
 
     #[test]
     fn retiming_never_loses() {
+        let engine = engine();
         let suite = quick_suite();
-        for row in retiming_ablation(&suite) {
+        for row in retiming_ablation(&engine, &suite) {
             assert!(
                 row.retimed_buffers <= row.asap_buffers,
                 "{}: retimed {} > asap {}",
@@ -625,9 +639,43 @@ mod tests {
     }
 
     #[test]
+    fn drivers_share_the_engine_cache() {
+        // Fig 8's BUF-only column is exactly Fig 5's sweep, and the
+        // retiming ablation's ASAP arm is the inverter ablation's
+        // reference arm — on one engine the overlap is free.
+        let engine = engine();
+        let suite = build_suite(Some(&["SASC", "ALU16"]));
+        fig5_points(&engine, &suite);
+        let after_fig5 = engine.stats();
+        fig8_data(&engine, &suite);
+        let after_fig8 = engine.stats();
+        assert!(
+            after_fig8.cache_hits >= after_fig5.cache_hits + suite.len() as u64,
+            "fig8 must re-serve fig5's BUF-only cells: {after_fig8:?}"
+        );
+
+        inverter_ablation(&engine, &suite);
+        let before = engine.stats();
+        retiming_ablation(&engine, &suite);
+        let after = engine.stats();
+        assert!(
+            after.cache_hits >= before.cache_hits + suite.len() as u64,
+            "retiming's ASAP arm must be cached: {before:?} -> {after:?}"
+        );
+
+        // And a verbatim re-run of a whole driver executes nothing.
+        let before = engine.stats();
+        fig5_points(&engine, &suite);
+        let after = engine.stats();
+        assert_eq!(after.passes_executed, before.passes_executed);
+        assert_eq!(after.cache_misses, before.cache_misses);
+    }
+
+    #[test]
     fn grid_traces_cover_every_cell_of_every_benchmark() {
+        let engine = engine();
         let suite = build_suite(Some(&["SASC", "HAMMING"]));
-        let grid = evaluate_suite_grid(&suite);
+        let grid = evaluate_suite_grid(&engine, &suite);
         // One priced trace per (circuit, technology) cell.
         assert_eq!(grid.traces.len(), 2 * grid.technologies.len());
         for t in &grid.traces {
@@ -645,9 +693,10 @@ mod tests {
 
     #[test]
     fn benchmark_rows_read_off_the_grid() {
+        let engine = engine();
         let selection = ["HAMMING", "SASC"];
         let suite = build_suite(Some(&["SASC", "HAMMING"]));
-        let grid = evaluate_suite_grid(&suite);
+        let grid = evaluate_suite_grid(&engine, &suite);
         let tables = rows_from_grid(&grid, &selection);
         assert_eq!(tables.len(), 3);
         for (technology, rows) in &tables {
@@ -662,10 +711,11 @@ mod tests {
 
     #[test]
     fn parallel_suite_evaluation_matches_serial_flow() {
-        // The batch driver must be a pure parallelization: identical
-        // results to one-at-a-time `run_flow`.
+        // The cached grid driver must be a pure parallelization:
+        // identical results to one-at-a-time `run_flow`.
+        let engine = engine();
         let suite = build_suite(Some(&["SASC", "ALU16"]));
-        let evaluated = evaluate_suite(&suite);
+        let evaluated = evaluate_suite(&engine, &suite);
         for ((spec, g), (name, comparisons)) in suite.iter().zip(&evaluated) {
             assert_eq!(spec.name, name);
             let serial = wavepipe::run_flow(g, FlowConfig::default()).unwrap();

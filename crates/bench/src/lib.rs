@@ -14,16 +14,17 @@
 //! | Retiming ablation (beyond paper) | `ablation_retiming` | [`harness::retiming_ablation`] |
 //! | Everything, to `results/` | `repro_all` | all of the above |
 //!
-//! Every driver runs its suite through the pass pipeline's work-pulling
-//! **parallel drivers**: single-configuration experiments through the
-//! batch driver, the multi-technology experiments through the circuit ×
-//! technology **grid driver** ([`harness::evaluate_suite_grid`] over
-//! `FlowPipeline::run_grid`), and the Fig 8 configuration ladder
-//! through the pipeline × circuit config grid. `repro_all` additionally
-//! writes the per-(circuit, technology, pass) **priced** traces (wall
-//! time, component delta, depth change, area/energy/cycle-time deltas)
-//! to `results/flow_trace.{txt,json}`, and a machine-readable
-//! `results/BENCH_pr2.json` (wall time per experiment, per-pass priced
+//! Every driver expresses its flow configuration as a declarative
+//! [`wavepipe::PipelineSpec`] and runs it through a **shared, cached
+//! [`wavepipe::Engine`]** ([`harness::engine`]: `benchsuite` registry
+//! resolver + content-hash keyed result cache). Grid sweeps run on the
+//! work-pulling parallel scheduler, and overlapping experiments share
+//! cells — Fig 8's BUF-only column is Fig 5's sweep re-served from
+//! cache. `repro_all` additionally writes the per-(circuit, technology,
+//! pass) **priced** traces (wall time, component delta, depth change,
+//! area/energy/cycle-time deltas) to `results/flow_trace.{txt,json}`,
+//! and a machine-readable `results/BENCH_pr3.json` (wall time **and
+//! engine cache hit/miss/pass counters** per sweep, per-pass priced
 //! deltas per technology) so the performance trajectory is tracked
 //! across PRs.
 //!

@@ -23,4 +23,4 @@ pub mod gen;
 mod registry;
 pub mod words;
 
-pub use registry::{find, BenchmarkSpec, Category, SUITE, TABLE2_SELECTION};
+pub use registry::{build_mig, find, BenchmarkSpec, Category, SUITE, TABLE2_SELECTION};

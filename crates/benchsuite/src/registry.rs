@@ -257,6 +257,14 @@ pub fn find(name: &str) -> Option<&'static BenchmarkSpec> {
     SUITE.iter().find(|s| s.name == name)
 }
 
+/// Builds the named benchmark circuit, or `None` if the name is not in
+/// the suite — the registry lookup a `wavepipe` engine plugs in as its
+/// circuit resolver, so flow specs can select circuits by name:
+/// `Engine::new().with_resolver(benchsuite::build_mig)`.
+pub fn build_mig(name: &str) -> Option<Mig> {
+    find(name).map(BenchmarkSpec::build)
+}
+
 /// The seven benchmarks the paper's Table II prints, in its row order.
 pub const TABLE2_SELECTION: [&str; 7] = [
     "SASC", "DES_AREA", "MUL32", "HAMMING", "MUL64", "REVX", "DIFFEQ1",
@@ -301,6 +309,13 @@ mod tests {
         let a = find("SASC").unwrap().build();
         let b = find("SASC").unwrap().build();
         assert_eq!(mig::write_mig(&a), mig::write_mig(&b));
+    }
+
+    #[test]
+    fn build_mig_resolves_names_like_a_spec_resolver() {
+        let g = build_mig("SASC").expect("in the suite");
+        assert_eq!(g.name(), "SASC");
+        assert!(build_mig("NOPE").is_none());
     }
 
     #[test]

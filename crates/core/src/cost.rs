@@ -99,8 +99,12 @@ pub trait CostModel: Sync + Send {
 ///
 /// Cheap to clone (one `String` plus a few `f64`s) and `Send + Sync`,
 /// so one table can be shared across the parallel batch/grid drivers.
+///
+/// Serializes unconditionally (hand-rolled, not feature-gated): a table
+/// is the technology component of a [`crate::FlowSpec`], which must
+/// round-trip through JSON, and [`CostTable::content_hash`] gives the
+/// stable technology identity the [`crate::Engine`] cache keys on.
 #[derive(Clone, Debug, PartialEq)]
-#[cfg_attr(feature = "serde", derive(serde::Serialize))]
 pub struct CostTable {
     name: String,
     area: [f64; 4],
@@ -173,6 +177,59 @@ impl CostTable {
         }
         // Tolerate float noise so a delay of exactly N phases counts N.
         ((self.delay[i] / self.phase_delay) - 1e-9).ceil().max(1.0) as u32
+    }
+
+    /// Stable content hash of this table — the technology axis of the
+    /// [`crate::Engine`] cache key. Two tables hash equal iff their
+    /// names and every pricing constant (by f64 bit pattern) agree, so
+    /// editing any Table I number invalidates exactly the cells priced
+    /// under it.
+    pub fn content_hash(&self) -> u64 {
+        let mut h = crate::fnv::Fnv::new();
+        h.write(self.name.as_bytes());
+        for axis in [&self.area, &self.delay, &self.energy] {
+            for &v in axis.iter() {
+                h.write_f64(v);
+            }
+        }
+        h.write_f64(self.phase_delay);
+        h.write_f64(self.output_sense_energy);
+        h.finish()
+    }
+}
+
+impl serde::Serialize for CostTable {
+    fn to_value(&self) -> serde::Value {
+        serde::Value::Object(vec![
+            ("name".to_owned(), self.name.to_value()),
+            ("area".to_owned(), self.area.to_value()),
+            ("delay".to_owned(), self.delay.to_value()),
+            ("energy".to_owned(), self.energy.to_value()),
+            ("phase_delay".to_owned(), self.phase_delay.to_value()),
+            (
+                "output_sense_energy".to_owned(),
+                self.output_sense_energy.to_value(),
+            ),
+        ])
+    }
+}
+
+impl serde::Deserialize for CostTable {
+    fn from_value(value: &serde::Value) -> Result<CostTable, serde::DeError> {
+        let entries = value
+            .as_object()
+            .ok_or_else(|| serde::DeError::expected("object for CostTable"))?;
+        Ok(CostTable {
+            name: serde::Deserialize::from_value(serde::field(entries, "name")?)?,
+            area: serde::Deserialize::from_value(serde::field(entries, "area")?)?,
+            delay: serde::Deserialize::from_value(serde::field(entries, "delay")?)?,
+            energy: serde::Deserialize::from_value(serde::field(entries, "energy")?)?,
+            phase_delay: serde::Deserialize::from_value(serde::field(entries, "phase_delay")?)?,
+            output_sense_energy: serde::Deserialize::from_value(serde::field(
+                entries,
+                "output_sense_energy",
+            )?)?,
+        })
     }
 }
 

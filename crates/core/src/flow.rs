@@ -20,7 +20,7 @@ use crate::balance::{BalanceError, BalanceReport};
 use crate::buffer_insertion::BufferInsertion;
 use crate::fanout_restriction::FanoutRestriction;
 use crate::netlist::{KindCounts, Netlist};
-use crate::pipeline::{FlowPipeline, PassError, PipelineRun};
+use crate::pipeline::{PassError, PipelineRun};
 
 /// Configuration of the enablement flow.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
@@ -116,7 +116,22 @@ impl FlowResult {
 /// # }
 /// ```
 pub fn run_flow(graph: &Mig, config: FlowConfig) -> Result<FlowResult, BalanceError> {
-    into_legacy(FlowPipeline::for_config(config).run(graph))
+    // Deprecated-style thin wrapper: one uncached engine cell. Kept
+    // bit-identical to the pipeline path (the golden tests pin it);
+    // prefer [`crate::Engine::run`] with a [`crate::FlowSpec`] to get
+    // caching and the full error surface.
+    let engine = crate::engine::Engine::uncached();
+    let outcome = engine
+        .run_graph(graph, &crate::spec::PipelineSpec::for_config(config), None)
+        .map(|run| {
+            drop(engine); // release the engine's interest so the Arc unwraps
+            std::sync::Arc::try_unwrap(run).unwrap_or_else(|shared| (*shared).clone())
+        })
+        .map_err(|e| match e {
+            crate::error::FlowError::Pass(e) => e,
+            other => unreachable!("config specs always validate: {other}"),
+        });
+    into_legacy(outcome)
 }
 
 /// Runs the configured flow over many graphs concurrently (one task per
@@ -152,10 +167,21 @@ pub fn run_flow_batch(
     graphs: &[&Mig],
     config: FlowConfig,
 ) -> Vec<Result<FlowResult, BalanceError>> {
-    FlowPipeline::for_config(config)
-        .run_batch(graphs)
+    // Thin wrapper over an uncached engine's cost-blind grid (one cell
+    // per graph on the work-pulling scheduler), bit-identical to the
+    // old per-graph batch driver.
+    let engine = crate::engine::Engine::uncached();
+    let cells = engine
+        .run_pipeline_grid(&crate::spec::PipelineSpec::for_config(config), graphs, &[])
+        .unwrap_or_else(|e| unreachable!("config specs always validate: {e}"));
+    drop(engine);
+    cells
         .into_iter()
-        .map(into_legacy)
+        .map(|cell| {
+            into_legacy(cell.outcome.map(|run| {
+                std::sync::Arc::try_unwrap(run).unwrap_or_else(|shared| (*shared).clone())
+            }))
+        })
         .collect()
 }
 

@@ -130,13 +130,17 @@ mod balance;
 mod buffer_insertion;
 mod component;
 pub mod cost;
+pub mod engine;
+mod error;
 mod fanout_restriction;
 mod flow;
+mod fnv;
 mod from_mig;
 pub mod io;
 mod netlist;
 mod pipeline;
 mod retiming;
+pub mod spec;
 pub mod stats;
 mod wavesim;
 mod weighted;
@@ -151,18 +155,21 @@ pub use buffer_insertion::{
 };
 pub use component::{CompId, Component, ComponentKind};
 pub use cost::{CostModel, CostTable, PricedCost, PricedDelta};
+pub use engine::{CircuitResolver, Engine, EngineCell, EngineRun, EngineStats};
+pub use error::FlowError;
 pub use fanout_restriction::{
     restrict_fanout, restrict_fanout_prepared, CostAwareFanoutPass, FanoutRestriction,
     FanoutRestrictionPass,
 };
 pub use flow::{run_flow, run_flow_batch, FlowConfig, FlowResult};
 pub use from_mig::{netlist_from_mig, netlist_from_mig_min_inv, MapPass};
-pub use netlist::{FanoutEdges, KindCounts, Netlist, Port, StructuralCaches};
+pub use netlist::{FanoutEdges, KindCounts, Netlist, NetlistError, Port, StructuralCaches};
 pub use pipeline::{
     run_config_grid, BufferStrategy, FlowContext, FlowPipeline, FlowPipelineBuilder, GridCell,
     Pass, PassError, PassKind, PassStats, PipelineError, PipelineRun,
 };
 pub use retiming::{insert_buffers_retimed, schedule_levels, LevelSchedule, RetimedInsertionPass};
+pub use spec::{CircuitSpec, FlowSpec, PassSpec, PipelineSpec, SpecError};
 pub use wavesim::{WaveRun, WaveSimulator};
 pub use weighted::{
     insert_buffers_weighted, verify_weighted_balance, weighted_arrivals, CostAwareInsertionPass,

@@ -5,6 +5,65 @@ use std::sync::Arc;
 
 use crate::component::{CompId, Component, ComponentKind};
 
+/// A structural failure surfaced by the fallible [`Netlist`] accessors
+/// (the panicking variants document their panics and delegate here).
+///
+/// Folded into [`crate::FlowError`] via [`crate::PassError::Netlist`],
+/// so user-driven [`crate::Engine`] runs surface malformed structures
+/// as errors instead of panicking.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum NetlistError {
+    /// The netlist contains a combinational cycle through the given
+    /// component — no topological order (and hence no level assignment,
+    /// depth or evaluation) exists.
+    CombinationalCycle(CompId),
+    /// An evaluation pattern's width does not match the input count.
+    WidthMismatch {
+        /// Number of primary inputs the netlist declares.
+        inputs: usize,
+        /// Width of the pattern that was supplied.
+        pattern: usize,
+    },
+    /// An output rebind addressed a position past the output list.
+    NoSuchOutput {
+        /// The requested output position.
+        position: usize,
+        /// Number of primary outputs the netlist declares.
+        outputs: usize,
+    },
+    /// An output rebind pointed at a component id outside the arena.
+    DanglingDriver {
+        /// The dangling component id.
+        driver: CompId,
+        /// Number of components in the arena.
+        len: usize,
+    },
+}
+
+impl fmt::Display for NetlistError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            NetlistError::CombinationalCycle(id) => {
+                write!(f, "combinational cycle through {id}")
+            }
+            NetlistError::WidthMismatch { inputs, pattern } => write!(
+                f,
+                "pattern width {pattern} does not match the {inputs} primary inputs"
+            ),
+            NetlistError::NoSuchOutput { position, outputs } => write!(
+                f,
+                "output position {position} is out of range (netlist has {outputs} outputs)"
+            ),
+            NetlistError::DanglingDriver { driver, len } => write!(
+                f,
+                "output driver {driver} is not a component of this netlist (len {len})"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for NetlistError {}
+
 /// A primary output binding.
 #[derive(Clone, Debug, PartialEq, Eq)]
 pub struct Port {
@@ -193,6 +252,34 @@ impl Netlist {
         self.outputs[position].driver = driver;
     }
 
+    /// Fallible [`Netlist::set_output_driver`]: rejects out-of-range
+    /// positions and dangling drivers with a [`NetlistError`] instead of
+    /// panicking.
+    ///
+    /// # Errors
+    ///
+    /// [`NetlistError::NoSuchOutput`] or [`NetlistError::DanglingDriver`].
+    pub fn try_set_output_driver(
+        &mut self,
+        position: usize,
+        driver: CompId,
+    ) -> Result<(), NetlistError> {
+        if driver.index() >= self.components.len() {
+            return Err(NetlistError::DanglingDriver {
+                driver,
+                len: self.components.len(),
+            });
+        }
+        let outputs = self.outputs.len();
+        match self.outputs.get_mut(position) {
+            Some(port) => {
+                port.driver = driver;
+                Ok(())
+            }
+            None => Err(NetlistError::NoSuchOutput { position, outputs }),
+        }
+    }
+
     /// The component at `id`.
     ///
     /// # Panics
@@ -263,8 +350,23 @@ impl Netlist {
     /// # Panics
     ///
     /// Panics if the netlist contains a combinational cycle (transforms
-    /// in this crate never create one).
+    /// in this crate never create one; to analyze untrusted structures
+    /// use [`Netlist::try_topo_order`]).
     pub fn topo_order(&self) -> Vec<CompId> {
+        self.try_topo_order()
+            .unwrap_or_else(|e| panic!("combinational cycle: {e}"))
+    }
+
+    /// Fallible [`Netlist::topo_order`]: a combinational cycle comes
+    /// back as a [`NetlistError`] instead of a panic. The pass pipeline
+    /// calls this at every pass boundary, so a custom pass that wires a
+    /// cycle fails its run instead of aborting the process.
+    ///
+    /// # Errors
+    ///
+    /// [`NetlistError::CombinationalCycle`] naming a component on the
+    /// cycle.
+    pub fn try_topo_order(&self) -> Result<Vec<CompId>, NetlistError> {
         let n = self.components.len();
         let mut state = vec![0u8; n]; // 0 new, 1 on stack, 2 done
         let mut order = Vec::with_capacity(n);
@@ -285,7 +387,7 @@ impl Netlist {
                             state[f.index()] = 1;
                             stack.push((f, 0));
                         }
-                        1 => panic!("combinational cycle through {f:?}"),
+                        1 => return Err(NetlistError::CombinationalCycle(f)),
                         _ => {}
                     }
                 } else {
@@ -295,7 +397,7 @@ impl Netlist {
                 }
             }
         }
-        order
+        Ok(order)
     }
 
     /// Per-component levels: inputs and constants are level 0; every
@@ -522,15 +624,29 @@ impl Netlist {
     ///
     /// # Panics
     ///
-    /// Panics if `pattern.len()` differs from the input count.
+    /// Panics if `pattern.len()` differs from the input count; use
+    /// [`Netlist::try_eval`] for untrusted patterns.
     pub fn eval(&self, pattern: &[bool]) -> Vec<bool> {
-        assert_eq!(
-            pattern.len(),
-            self.inputs.len(),
-            "pattern width must match input count"
-        );
+        self.try_eval(pattern)
+            .unwrap_or_else(|e| panic!("eval failed: {e}"))
+    }
+
+    /// Fallible [`Netlist::eval`]: width mismatches and combinational
+    /// cycles come back as [`NetlistError`]s instead of panics.
+    ///
+    /// # Errors
+    ///
+    /// [`NetlistError::WidthMismatch`] or
+    /// [`NetlistError::CombinationalCycle`].
+    pub fn try_eval(&self, pattern: &[bool]) -> Result<Vec<bool>, NetlistError> {
+        if pattern.len() != self.inputs.len() {
+            return Err(NetlistError::WidthMismatch {
+                inputs: self.inputs.len(),
+                pattern: pattern.len(),
+            });
+        }
         let mut values = vec![false; self.components.len()];
-        for id in self.topo_order() {
+        for id in self.try_topo_order()? {
             let v = match &self.components[id.index()] {
                 Component::Input { position } => pattern[*position as usize],
                 Component::Const { value } => *value,
@@ -543,10 +659,11 @@ impl Netlist {
             };
             values[id.index()] = v;
         }
-        self.outputs
+        Ok(self
+            .outputs
             .iter()
             .map(|p| values[p.driver.index()])
-            .collect()
+            .collect())
     }
 }
 
@@ -585,18 +702,41 @@ impl StructuralCaches {
 
     /// Cached [`Netlist::topo_order`].
     pub fn topo_order(&mut self, netlist: &Netlist) -> Arc<Vec<CompId>> {
-        self.topo
-            .get_or_insert_with(|| Arc::new(netlist.topo_order()))
-            .clone()
+        self.try_topo_order(netlist)
+            .unwrap_or_else(|e| panic!("combinational cycle: {e}"))
+    }
+
+    /// Cached [`Netlist::try_topo_order`] — the fallible variant the
+    /// pipeline's pass-boundary instrumentation uses, so a custom pass
+    /// that wires a cycle surfaces an error instead of a panic.
+    ///
+    /// # Errors
+    ///
+    /// [`NetlistError::CombinationalCycle`].
+    pub fn try_topo_order(&mut self, netlist: &Netlist) -> Result<Arc<Vec<CompId>>, NetlistError> {
+        if self.topo.is_none() {
+            self.topo = Some(Arc::new(netlist.try_topo_order()?));
+        }
+        Ok(self.topo.as_ref().expect("just filled").clone())
     }
 
     /// Cached [`Netlist::levels`] (reuses the cached topological order).
     pub fn levels(&mut self, netlist: &Netlist) -> Arc<Vec<u32>> {
+        self.try_levels(netlist)
+            .unwrap_or_else(|e| panic!("combinational cycle: {e}"))
+    }
+
+    /// Cached fallible [`Netlist::levels`].
+    ///
+    /// # Errors
+    ///
+    /// [`NetlistError::CombinationalCycle`].
+    pub fn try_levels(&mut self, netlist: &Netlist) -> Result<Arc<Vec<u32>>, NetlistError> {
         if self.levels.is_none() {
-            let order = self.topo_order(netlist);
+            let order = self.try_topo_order(netlist)?;
             self.levels = Some(Arc::new(netlist.levels_from_order(&order)));
         }
-        self.levels.as_ref().expect("just filled").clone()
+        Ok(self.levels.as_ref().expect("just filled").clone())
     }
 
     /// Cached [`Netlist::fanout_edges`].
@@ -615,11 +755,21 @@ impl StructuralCaches {
 
     /// Cached [`Netlist::depth`] (reuses the cached levels).
     pub fn depth(&mut self, netlist: &Netlist) -> u32 {
+        self.try_depth(netlist)
+            .unwrap_or_else(|e| panic!("combinational cycle: {e}"))
+    }
+
+    /// Cached fallible [`Netlist::depth`].
+    ///
+    /// # Errors
+    ///
+    /// [`NetlistError::CombinationalCycle`].
+    pub fn try_depth(&mut self, netlist: &Netlist) -> Result<u32, NetlistError> {
         if self.depth.is_none() {
-            let levels = self.levels(netlist);
+            let levels = self.try_levels(netlist)?;
             self.depth = Some(netlist.depth_from_levels(&levels));
         }
-        self.depth.expect("just filled")
+        Ok(self.depth.expect("just filled"))
     }
 }
 
@@ -821,6 +971,59 @@ mod tests {
         caches.invalidate();
         assert_eq!(caches.depth(&n), 2);
         assert_eq!(*caches.levels(&n), n.levels());
+    }
+
+    #[test]
+    fn fallible_accessors_report_instead_of_panicking() {
+        let mut n = and_netlist();
+        assert_eq!(
+            n.try_eval(&[true]),
+            Err(NetlistError::WidthMismatch {
+                inputs: 2,
+                pattern: 1
+            })
+        );
+        assert_eq!(n.try_eval(&[true, true]), Ok(vec![true]));
+        assert_eq!(
+            n.try_set_output_driver(0, CompId::from_index(999)),
+            Err(NetlistError::DanglingDriver {
+                driver: CompId::from_index(999),
+                len: n.len()
+            })
+        );
+        let g = n.outputs()[0].driver;
+        assert_eq!(
+            n.try_set_output_driver(5, g),
+            Err(NetlistError::NoSuchOutput {
+                position: 5,
+                outputs: 1
+            })
+        );
+        assert_eq!(n.try_set_output_driver(0, g), Ok(()));
+
+        // A cycle surfaces through the whole fallible stack.
+        let mut cyc = Netlist::new("cyc");
+        let a = cyc.add_input("a");
+        let b1 = cyc.add_buf(a);
+        let b2 = cyc.add_buf(b1);
+        cyc.component_mut(b1).fanins_mut()[0] = b2;
+        cyc.add_output("f", b2);
+        assert!(matches!(
+            cyc.try_topo_order(),
+            Err(NetlistError::CombinationalCycle(_))
+        ));
+        assert!(matches!(
+            cyc.try_eval(&[true]),
+            Err(NetlistError::CombinationalCycle(_))
+        ));
+        let mut caches = StructuralCaches::default();
+        assert!(caches.try_depth(&cyc).is_err());
+        assert!(caches.try_levels(&cyc).is_err());
+        assert!(cyc
+            .try_topo_order()
+            .unwrap_err()
+            .to_string()
+            .contains("cycle"));
     }
 
     #[test]

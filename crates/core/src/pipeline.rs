@@ -46,6 +46,9 @@ pub enum PassError {
     Balance(BalanceError),
     /// Weighted-delay balancing or verification failed.
     Weighted(WeightedBalanceError),
+    /// A pass left the netlist structurally broken (e.g. a custom pass
+    /// wired a combinational cycle) — caught at the pass boundary.
+    Netlist(crate::netlist::NetlistError),
     /// A custom pass failed with a free-form message.
     Custom(String),
 }
@@ -55,12 +58,22 @@ impl fmt::Display for PassError {
         match self {
             PassError::Balance(e) => write!(f, "{e}"),
             PassError::Weighted(e) => write!(f, "{e}"),
+            PassError::Netlist(e) => write!(f, "{e}"),
             PassError::Custom(message) => write!(f, "{message}"),
         }
     }
 }
 
-impl std::error::Error for PassError {}
+impl std::error::Error for PassError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            PassError::Balance(e) => Some(e),
+            PassError::Weighted(e) => Some(e),
+            PassError::Netlist(e) => Some(e),
+            PassError::Custom(_) => None,
+        }
+    }
+}
 
 impl From<BalanceError> for PassError {
     fn from(e: BalanceError) -> PassError {
@@ -71,6 +84,12 @@ impl From<BalanceError> for PassError {
 impl From<WeightedBalanceError> for PassError {
     fn from(e: WeightedBalanceError) -> PassError {
         PassError::Weighted(e)
+    }
+}
+
+impl From<crate::netlist::NetlistError> for PassError {
+    fn from(e: crate::netlist::NetlistError) -> PassError {
+        PassError::Netlist(e)
     }
 }
 
@@ -177,6 +196,17 @@ impl<'g> FlowContext<'g> {
     /// Cached depth of the working netlist.
     pub fn depth(&mut self) -> u32 {
         self.caches.depth(&self.netlist)
+    }
+
+    /// Fallible [`FlowContext::depth`] — the variant the pipeline's
+    /// pass-boundary instrumentation uses, so a custom pass that wires
+    /// a combinational cycle fails its run instead of panicking.
+    ///
+    /// # Errors
+    ///
+    /// [`crate::NetlistError::CombinationalCycle`].
+    pub fn try_depth(&mut self) -> Result<u32, crate::netlist::NetlistError> {
+        self.caches.try_depth(&self.netlist)
     }
 
     /// Installs the freshly mapped netlist and snapshots it as the
@@ -354,20 +384,11 @@ impl FlowPipeline {
     }
 
     /// Assembles the default pipeline for a [`crate::FlowConfig`] — the
-    /// exact pass sequence the legacy `run_flow` hardcoded.
+    /// exact pass sequence the legacy `run_flow` hardcoded, compiled
+    /// from its declarative form
+    /// ([`crate::PipelineSpec::for_config`]).
     pub fn for_config(config: crate::FlowConfig) -> FlowPipeline {
-        let mut builder = FlowPipeline::builder().map(config.minimize_inverters);
-        if let Some(limit) = config.fanout_limit {
-            builder = builder.restrict_fanout(limit);
-        }
-        if config.insert_buffers {
-            builder = builder
-                .insert_buffers(BufferStrategy::Asap)
-                .verify(config.fanout_limit);
-        } else if let Some(limit) = config.fanout_limit {
-            builder = builder.check_fanout_bound(limit);
-        }
-        builder
+        crate::spec::PipelineSpec::for_config(config)
             .build()
             .expect("the default pipeline is always well-ordered")
     }
@@ -408,7 +429,7 @@ impl FlowPipeline {
         for pass in &self.passes {
             let counts_before = ctx.netlist.counts();
             let outputs_before = ctx.netlist.outputs().len();
-            let depth_before = ctx.depth();
+            let depth_before = ctx.try_depth()?;
             let started = Instant::now();
             pass.run(&mut ctx)?;
             let micros = started.elapsed().as_micros() as u64;
@@ -419,7 +440,10 @@ impl FlowPipeline {
                 ctx.netlist.validate().unwrap_err()
             );
             let counts_after = ctx.netlist.counts();
-            let depth_after = ctx.depth();
+            // Fallible on purpose: a custom pass that wired a cycle is
+            // caught here and fails the run instead of panicking deep
+            // inside a level computation.
+            let depth_after = ctx.try_depth()?;
             let priced = ctx.cost.as_ref().map(|table| PricedDelta {
                 model: table.name().to_owned(),
                 before: table.price(&counts_before, outputs_before, depth_before),
@@ -478,16 +502,25 @@ impl FlowPipeline {
     /// Cells are returned circuit-major (`circuit * models.len() +
     /// model`), matching the input orders. An empty `models` slice
     /// yields an empty grid.
+    ///
+    /// Since the engine-facade redesign this is a thin wrapper over an
+    /// uncached [`crate::Engine`] — prefer a long-lived engine (and a
+    /// [`crate::FlowSpec`] or
+    /// [`crate::Engine::run_pipeline_grid`]) to get result caching
+    /// across overlapping sweeps; results are bit-identical either way.
     pub fn run_grid(&self, graphs: &[&Mig], models: &[CostTable]) -> Vec<GridCell> {
-        let cells: Vec<(usize, usize)> = (0..graphs.len())
-            .flat_map(|circuit| (0..models.len()).map(move |model| (circuit, model)))
-            .collect();
-        cells
-            .par_iter()
-            .map(|&(circuit, model)| GridCell {
-                circuit,
-                model,
-                outcome: self.run_with_model(graphs[circuit], Some(&models[model])),
+        if models.is_empty() {
+            return Vec::new();
+        }
+        crate::engine::Engine::uncached()
+            .grid_cells(self, None, graphs, models, &|_| {})
+            .into_iter()
+            .map(|cell| GridCell {
+                circuit: cell.circuit,
+                model: cell.technology.expect("non-empty models price every cell"),
+                outcome: cell
+                    .outcome
+                    .map(|run| Arc::try_unwrap(run).unwrap_or_else(|shared| (*shared).clone())),
             })
             .collect()
     }
@@ -509,6 +542,13 @@ pub struct GridCell {
 /// `(pipeline, graph)` cell is one task on the same work-pulling
 /// scheduler as [`FlowPipeline::run_grid`]; results come back
 /// pipeline-major (`result[p][g]`).
+///
+/// Legacy, engine-less driver: it accepts arbitrary (even custom-pass)
+/// pipelines, so it cannot be content-hash cached. Callers sweeping
+/// *declarative* configurations should run one
+/// [`crate::Engine::run_pipeline_grid`] per [`crate::PipelineSpec`]
+/// instead and get caching across overlapping sweeps (what the bench
+/// harness's Fig 8 driver does).
 pub fn run_config_grid(
     pipelines: &[&FlowPipeline],
     graphs: &[&Mig],
@@ -1085,6 +1125,41 @@ mod tests {
         assert!(run.result.pipelined.max_fanout() <= fanout.limit);
         assert!(run.result.buffers.is_some(), "unit weights → plain stats");
         assert!(run.result.report.is_some());
+    }
+
+    #[test]
+    fn custom_pass_wiring_a_cycle_is_an_error_not_a_panic() {
+        // A cycle breaks every downstream analysis; the pass boundary
+        // must surface it as a PassError so a grid sweep survives.
+        struct CyclePass;
+        impl Pass for CyclePass {
+            fn name(&self) -> String {
+                "cycle".to_owned()
+            }
+            fn run(&self, ctx: &mut FlowContext<'_>) -> Result<(), PassError> {
+                let netlist = ctx.netlist_mut();
+                let a = netlist.inputs()[0];
+                let b1 = netlist.add_buf(a);
+                let b2 = netlist.add_buf(b1);
+                netlist.component_mut(b1).fanins_mut()[0] = b2;
+                Ok(())
+            }
+        }
+        let g = sample_mig(11);
+        let err = FlowPipeline::builder()
+            .map(false)
+            .pass(Box::new(CyclePass))
+            .build()
+            .unwrap()
+            .run(&g)
+            .unwrap_err();
+        assert!(
+            matches!(
+                err,
+                PassError::Netlist(crate::netlist::NetlistError::CombinationalCycle(_))
+            ),
+            "{err}"
+        );
     }
 
     #[test]

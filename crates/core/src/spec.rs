@@ -1,0 +1,819 @@
+//! Declarative, serializable experiment descriptions.
+//!
+//! A [`FlowSpec`] is the engine-facade entry point of the whole flow:
+//! it *names* — as plain data that round-trips through JSON — the
+//! pipeline to run ([`PipelineSpec`]: pass list, [`BufferStrategy`],
+//! cost-aware toggles), the technologies to price under (as
+//! [`CostTable`]s), and the circuits to run on ([`CircuitSpec`]: a
+//! `benchsuite` registry name resolved by the engine's resolver, or an
+//! inline netlist in the `mig` text format). [`crate::Engine::run`]
+//! validates a spec, compiles it into a [`FlowPipeline`] and sweeps the
+//! circuit × technology grid with content-hash keyed caching.
+//!
+//! Because a spec is data, an experiment is a checked-in JSON file
+//! instead of a hand-assembled builder chain:
+//!
+//! ```
+//! use wavepipe::{FlowConfig, FlowSpec, PipelineSpec};
+//!
+//! let spec = FlowSpec::new("fo3-buf")
+//!     .with_pipeline(PipelineSpec::for_config(FlowConfig::default()))
+//!     .circuit("SASC")
+//!     .circuit("HAMMING");
+//! let json = spec.to_json();
+//! let back = FlowSpec::from_json(&json).expect("round-trips");
+//! assert_eq!(spec, back);
+//! assert_eq!(spec.content_hash(), back.content_hash());
+//! ```
+
+use std::fmt;
+
+use serde::{DeError, Deserialize, Serialize, Value};
+
+use crate::cost::CostTable;
+use crate::flow::FlowConfig;
+use crate::fnv::Fnv;
+use crate::pipeline::{BufferStrategy, FlowPipeline, PipelineError};
+use crate::weighted::DelayWeights;
+
+/// Why a [`FlowSpec`] was rejected before (or while) resolving.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum SpecError {
+    /// The spec selects no circuits — the grid would be empty.
+    EmptyCircuits,
+    /// Two circuit entries share a name; results are keyed by name, so
+    /// the duplicate would be unaddressable.
+    DuplicateCircuit(String),
+    /// A named circuit is not in the engine's registry.
+    UnknownCircuit(String),
+    /// The spec names registry circuits but the engine has no resolver.
+    NoResolver(String),
+    /// An inline circuit failed to parse as `mig` text.
+    InlineCircuit {
+        /// The circuit entry's name.
+        name: String,
+        /// The parse failure.
+        error: String,
+    },
+    /// A fan-out restriction limit is outside the paper's §IV range.
+    FanoutLimitOutOfRange(u32),
+    /// The pipeline uses a cost-aware pass but the spec targets no
+    /// technology, so there is no cost model to consult.
+    CostAwareWithoutTechnology,
+    /// The JSON text could not be parsed into a spec.
+    Json(String),
+}
+
+impl fmt::Display for SpecError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SpecError::EmptyCircuits => write!(f, "spec selects no circuits"),
+            SpecError::DuplicateCircuit(name) => {
+                write!(f, "circuit `{name}` is selected more than once")
+            }
+            SpecError::UnknownCircuit(name) => {
+                write!(f, "circuit `{name}` is not in the engine's registry")
+            }
+            SpecError::NoResolver(name) => write!(
+                f,
+                "circuit `{name}` is a registry name but the engine has no resolver"
+            ),
+            SpecError::InlineCircuit { name, error } => {
+                write!(f, "inline circuit `{name}` does not parse: {error}")
+            }
+            SpecError::FanoutLimitOutOfRange(limit) => write!(
+                f,
+                "fan-out limit {limit} is outside the feasible range 2..=5 (§IV)"
+            ),
+            SpecError::CostAwareWithoutTechnology => write!(
+                f,
+                "pipeline uses a cost-aware pass but the spec targets no technology"
+            ),
+            SpecError::Json(e) => write!(f, "spec JSON does not parse: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for SpecError {}
+
+/// One declaratively-named pass of a [`PipelineSpec`] — the data form
+/// of the [`crate::FlowPipelineBuilder`] methods (the mapping pass is
+/// implicit: every pipeline starts with it, which is also why the
+/// spec layer cannot express the builder's `MapNotFirst` /
+/// `DuplicateMap` mistakes).
+#[derive(Clone, Debug, PartialEq)]
+pub enum PassSpec {
+    /// Fan-out restriction with the §IV limit `k ∈ 2..=5`.
+    RestrictFanout {
+        /// The fan-out limit.
+        limit: u32,
+    },
+    /// Cost-aware fan-out restriction: picks `k` by projected priced
+    /// area under the run's cost model.
+    RestrictFanoutCostAware,
+    /// Buffer insertion with the chosen strategy.
+    InsertBuffers(BufferStrategy),
+    /// Unit-delay balance verification (plus the fan-out bound when
+    /// given).
+    Verify {
+        /// Fan-out bound to enforce alongside balance, if any.
+        fanout_limit: Option<u32>,
+    },
+    /// Weighted-delay balance verification.
+    VerifyWeighted(DelayWeights),
+    /// Cost-aware balance verification against the run's cost model.
+    VerifyCostAware {
+        /// Fan-out bound to enforce alongside balance, if any.
+        fanout_limit: Option<u32>,
+    },
+    /// Fan-out bound check without balance verification.
+    CheckFanoutBound {
+        /// The fan-out limit.
+        limit: u32,
+    },
+}
+
+impl PassSpec {
+    /// `true` for passes that consult the run's cost model.
+    fn is_cost_aware(&self) -> bool {
+        matches!(
+            self,
+            PassSpec::RestrictFanoutCostAware
+                | PassSpec::InsertBuffers(BufferStrategy::CostAware)
+                | PassSpec::VerifyCostAware { .. }
+        )
+    }
+}
+
+/// The declarative pipeline of a [`FlowSpec`]: the implicit mapping
+/// pass (flavored by `minimize_inverters`) followed by a pass list.
+///
+/// Compiles into an ordering-validated [`FlowPipeline`] via
+/// [`PipelineSpec::build`]; two specs that compile to the same passes
+/// share a [`PipelineSpec::content_hash`], which is the pipeline axis
+/// of the engine's cache key.
+#[derive(Clone, Debug, PartialEq)]
+pub struct PipelineSpec {
+    /// Map with inversion-count minimization instead of the reference
+    /// mapping.
+    pub minimize_inverters: bool,
+    /// The passes after mapping, in execution order.
+    pub passes: Vec<PassSpec>,
+}
+
+impl Default for PipelineSpec {
+    /// The paper's default flow: FO3 + BUF + verify.
+    fn default() -> PipelineSpec {
+        PipelineSpec::for_config(FlowConfig::default())
+    }
+}
+
+impl PipelineSpec {
+    /// Starts an empty pipeline (just the mapping pass).
+    pub fn map(minimize_inverters: bool) -> PipelineSpec {
+        PipelineSpec {
+            minimize_inverters,
+            passes: Vec::new(),
+        }
+    }
+
+    /// The declarative form of the default pipeline for a
+    /// [`FlowConfig`] — the exact pass sequence the legacy `run_flow`
+    /// hardcoded.
+    pub fn for_config(config: FlowConfig) -> PipelineSpec {
+        let mut spec = PipelineSpec::map(config.minimize_inverters);
+        if let Some(limit) = config.fanout_limit {
+            spec = spec.restrict_fanout(limit);
+        }
+        if config.insert_buffers {
+            spec = spec
+                .insert_buffers(BufferStrategy::Asap)
+                .verify(config.fanout_limit);
+        } else if let Some(limit) = config.fanout_limit {
+            spec = spec.check_fanout_bound(limit);
+        }
+        spec
+    }
+
+    /// Appends a fan-out restriction pass.
+    pub fn restrict_fanout(mut self, limit: u32) -> PipelineSpec {
+        self.passes.push(PassSpec::RestrictFanout { limit });
+        self
+    }
+
+    /// Appends a cost-aware fan-out restriction pass.
+    pub fn restrict_fanout_cost_aware(mut self) -> PipelineSpec {
+        self.passes.push(PassSpec::RestrictFanoutCostAware);
+        self
+    }
+
+    /// Appends a buffer-insertion pass.
+    pub fn insert_buffers(mut self, strategy: BufferStrategy) -> PipelineSpec {
+        self.passes.push(PassSpec::InsertBuffers(strategy));
+        self
+    }
+
+    /// Appends unit-delay balance verification.
+    pub fn verify(mut self, fanout_limit: Option<u32>) -> PipelineSpec {
+        self.passes.push(PassSpec::Verify { fanout_limit });
+        self
+    }
+
+    /// Appends weighted-delay balance verification.
+    pub fn verify_weighted(mut self, weights: DelayWeights) -> PipelineSpec {
+        self.passes.push(PassSpec::VerifyWeighted(weights));
+        self
+    }
+
+    /// Appends cost-aware balance verification.
+    pub fn verify_cost_aware(mut self, fanout_limit: Option<u32>) -> PipelineSpec {
+        self.passes.push(PassSpec::VerifyCostAware { fanout_limit });
+        self
+    }
+
+    /// Appends a fan-out bound check.
+    pub fn check_fanout_bound(mut self, limit: u32) -> PipelineSpec {
+        self.passes.push(PassSpec::CheckFanoutBound { limit });
+        self
+    }
+
+    /// `true` if any pass consults the run's cost model.
+    pub fn uses_cost_aware_passes(&self) -> bool {
+        self.passes.iter().any(PassSpec::is_cost_aware)
+    }
+
+    /// Spec-level validation: restriction limits must be in the
+    /// feasible §IV range (the builder cannot know this — it never sees
+    /// the limit semantics).
+    ///
+    /// # Errors
+    ///
+    /// [`SpecError::FanoutLimitOutOfRange`].
+    pub fn validate(&self) -> Result<(), SpecError> {
+        for pass in &self.passes {
+            if let PassSpec::RestrictFanout { limit } | PassSpec::CheckFanoutBound { limit } = pass
+            {
+                if !(2..=5).contains(limit) {
+                    return Err(SpecError::FanoutLimitOutOfRange(*limit));
+                }
+            }
+        }
+        Ok(())
+    }
+
+    /// Compiles the spec into an ordering-validated [`FlowPipeline`].
+    ///
+    /// # Errors
+    ///
+    /// The builder's [`PipelineError`] when the pass list is
+    /// ill-ordered (e.g. fan-out restriction after buffer insertion).
+    pub fn build(&self) -> Result<FlowPipeline, PipelineError> {
+        let mut builder = FlowPipeline::builder().map(self.minimize_inverters);
+        for pass in &self.passes {
+            builder = match pass {
+                PassSpec::RestrictFanout { limit } => builder.restrict_fanout(*limit),
+                PassSpec::RestrictFanoutCostAware => builder.restrict_fanout_cost_aware(),
+                PassSpec::InsertBuffers(strategy) => builder.insert_buffers(*strategy),
+                PassSpec::Verify { fanout_limit } => builder.verify(*fanout_limit),
+                PassSpec::VerifyWeighted(weights) => builder.verify_weighted(*weights),
+                PassSpec::VerifyCostAware { fanout_limit } => {
+                    builder.verify_cost_aware(*fanout_limit)
+                }
+                PassSpec::CheckFanoutBound { limit } => builder.check_fanout_bound(*limit),
+            };
+        }
+        builder.build()
+    }
+
+    /// Stable content hash — the pipeline axis of the engine cache key.
+    pub fn content_hash(&self) -> u64 {
+        let mut h = Fnv::new();
+        h.write(b"pipeline");
+        hash_value(&self.to_value(), &mut h);
+        h.finish()
+    }
+}
+
+/// One circuit selection of a [`FlowSpec`].
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum CircuitSpec {
+    /// A name the engine's resolver looks up (the `benchsuite`
+    /// registry, for the stock resolver).
+    Named(String),
+    /// An inline netlist in the `mig` text format
+    /// ([`mig::write_mig`] / [`mig::parse_mig`]).
+    Inline {
+        /// Display name of the circuit.
+        name: String,
+        /// The `mig` text of the graph.
+        mig: String,
+    },
+}
+
+impl CircuitSpec {
+    /// Captures an existing graph as an inline circuit.
+    pub fn inline(name: impl Into<String>, graph: &mig::Mig) -> CircuitSpec {
+        CircuitSpec::Inline {
+            name: name.into(),
+            mig: mig::write_mig(graph),
+        }
+    }
+
+    /// The circuit's display name.
+    pub fn name(&self) -> &str {
+        match self {
+            CircuitSpec::Named(name) | CircuitSpec::Inline { name, .. } => name,
+        }
+    }
+}
+
+/// A complete, serializable experiment description: pipeline ×
+/// technologies × circuits. See the [module docs](self) for the
+/// round-trip guarantee and [`crate::Engine::run`] for execution.
+#[derive(Clone, Debug, PartialEq)]
+pub struct FlowSpec {
+    /// Experiment name (shows up in results and traces).
+    pub name: String,
+    /// The pipeline to run.
+    pub pipeline: PipelineSpec,
+    /// The technologies to price under; empty runs cost-blind (one
+    /// unpriced cell per circuit).
+    pub technologies: Vec<CostTable>,
+    /// The circuits to run on.
+    pub circuits: Vec<CircuitSpec>,
+}
+
+impl FlowSpec {
+    /// Starts a spec with the paper's default pipeline, no technologies
+    /// and no circuits.
+    pub fn new(name: impl Into<String>) -> FlowSpec {
+        FlowSpec {
+            name: name.into(),
+            pipeline: PipelineSpec::default(),
+            technologies: Vec::new(),
+            circuits: Vec::new(),
+        }
+    }
+
+    /// Replaces the pipeline.
+    pub fn with_pipeline(mut self, pipeline: PipelineSpec) -> FlowSpec {
+        self.pipeline = pipeline;
+        self
+    }
+
+    /// Adds a target technology.
+    pub fn technology(mut self, table: CostTable) -> FlowSpec {
+        self.technologies.push(table);
+        self
+    }
+
+    /// Adds a registry-named circuit.
+    pub fn circuit(mut self, name: impl Into<String>) -> FlowSpec {
+        self.circuits.push(CircuitSpec::Named(name.into()));
+        self
+    }
+
+    /// Adds an inline circuit captured from an existing graph.
+    pub fn inline_circuit(mut self, name: impl Into<String>, graph: &mig::Mig) -> FlowSpec {
+        self.circuits.push(CircuitSpec::inline(name, graph));
+        self
+    }
+
+    /// Structural validation, before any circuit is resolved or any
+    /// pass runs. The engine calls this first on every run.
+    ///
+    /// # Errors
+    ///
+    /// [`SpecError::EmptyCircuits`], [`SpecError::DuplicateCircuit`],
+    /// [`SpecError::FanoutLimitOutOfRange`] or
+    /// [`SpecError::CostAwareWithoutTechnology`].
+    pub fn validate(&self) -> Result<(), SpecError> {
+        if self.circuits.is_empty() {
+            return Err(SpecError::EmptyCircuits);
+        }
+        for (i, circuit) in self.circuits.iter().enumerate() {
+            if self.circuits[..i]
+                .iter()
+                .any(|c| c.name() == circuit.name())
+            {
+                return Err(SpecError::DuplicateCircuit(circuit.name().to_owned()));
+            }
+        }
+        self.pipeline.validate()?;
+        if self.pipeline.uses_cost_aware_passes() && self.technologies.is_empty() {
+            return Err(SpecError::CostAwareWithoutTechnology);
+        }
+        Ok(())
+    }
+
+    /// Serializes the spec to human-indented JSON.
+    pub fn to_json(&self) -> String {
+        serde_json::to_string_pretty(self).expect("spec values always serialize")
+    }
+
+    /// Parses a spec back from JSON text.
+    ///
+    /// # Errors
+    ///
+    /// [`SpecError::Json`] on malformed JSON or a shape mismatch.
+    pub fn from_json(text: &str) -> Result<FlowSpec, SpecError> {
+        serde_json::from_str(text).map_err(|e| SpecError::Json(e.to_string()))
+    }
+
+    /// Stable content hash of the whole spec (pipeline, technologies
+    /// and circuit selection).
+    pub fn content_hash(&self) -> u64 {
+        let mut h = Fnv::new();
+        h.write(b"flowspec");
+        hash_value(&self.to_value(), &mut h);
+        h.finish()
+    }
+}
+
+/// Feeds a serialized value tree into a hasher, with discriminant tags
+/// so differently-shaped values never collide structurally.
+fn hash_value(value: &Value, h: &mut Fnv) {
+    match value {
+        Value::Null => h.write(b"n"),
+        Value::Bool(b) => {
+            h.write(b"b");
+            h.write(&[u8::from(*b)]);
+        }
+        Value::UInt(u) => {
+            h.write(b"u");
+            h.write_u64(*u);
+        }
+        Value::Int(i) => {
+            h.write(b"i");
+            h.write_u64(*i as u64);
+        }
+        Value::Float(f) => {
+            h.write(b"f");
+            h.write_f64(*f);
+        }
+        Value::Str(s) => {
+            h.write(b"s");
+            h.write_u64(s.len() as u64);
+            h.write(s.as_bytes());
+        }
+        Value::Array(items) => {
+            h.write(b"a");
+            h.write_u64(items.len() as u64);
+            for item in items {
+                hash_value(item, h);
+            }
+        }
+        Value::Object(entries) => {
+            h.write(b"o");
+            h.write_u64(entries.len() as u64);
+            for (key, item) in entries {
+                h.write_u64(key.len() as u64);
+                h.write(key.as_bytes());
+                hash_value(item, h);
+            }
+        }
+    }
+}
+
+// --- serde: hand-rolled because the vendored mini-serde derive cannot
+// --- express data-carrying enums (see vendor/serde_derive).
+
+fn object(entries: Vec<(&str, Value)>) -> Value {
+    Value::Object(
+        entries
+            .into_iter()
+            .map(|(k, v)| (k.to_owned(), v))
+            .collect(),
+    )
+}
+
+impl Serialize for BufferStrategy {
+    fn to_value(&self) -> Value {
+        match self {
+            BufferStrategy::Asap => Value::Str("asap".to_owned()),
+            BufferStrategy::Retimed => Value::Str("retimed".to_owned()),
+            BufferStrategy::CostAware => Value::Str("cost_aware".to_owned()),
+            BufferStrategy::Weighted(weights) => object(vec![("weighted", weights.to_value())]),
+        }
+    }
+}
+
+impl Deserialize for BufferStrategy {
+    fn from_value(value: &Value) -> Result<BufferStrategy, DeError> {
+        match value {
+            Value::Str(s) => match s.as_str() {
+                "asap" => Ok(BufferStrategy::Asap),
+                "retimed" => Ok(BufferStrategy::Retimed),
+                "cost_aware" => Ok(BufferStrategy::CostAware),
+                other => Err(DeError(format!("unknown buffer strategy `{other}`"))),
+            },
+            Value::Object(entries) => {
+                let weights = serde::field(entries, "weighted")?;
+                Ok(BufferStrategy::Weighted(Deserialize::from_value(weights)?))
+            }
+            _ => Err(DeError::expected("buffer strategy")),
+        }
+    }
+}
+
+impl Serialize for PassSpec {
+    fn to_value(&self) -> Value {
+        match self {
+            PassSpec::RestrictFanout { limit } => object(vec![
+                ("pass", Value::Str("restrict_fanout".to_owned())),
+                ("limit", limit.to_value()),
+            ]),
+            PassSpec::RestrictFanoutCostAware => object(vec![(
+                "pass",
+                Value::Str("restrict_fanout_cost_aware".to_owned()),
+            )]),
+            PassSpec::InsertBuffers(strategy) => object(vec![
+                ("pass", Value::Str("insert_buffers".to_owned())),
+                ("strategy", strategy.to_value()),
+            ]),
+            PassSpec::Verify { fanout_limit } => object(vec![
+                ("pass", Value::Str("verify".to_owned())),
+                ("fanout_limit", fanout_limit.to_value()),
+            ]),
+            PassSpec::VerifyWeighted(weights) => object(vec![
+                ("pass", Value::Str("verify_weighted".to_owned())),
+                ("weights", weights.to_value()),
+            ]),
+            PassSpec::VerifyCostAware { fanout_limit } => object(vec![
+                ("pass", Value::Str("verify_cost_aware".to_owned())),
+                ("fanout_limit", fanout_limit.to_value()),
+            ]),
+            PassSpec::CheckFanoutBound { limit } => object(vec![
+                ("pass", Value::Str("check_fanout_bound".to_owned())),
+                ("limit", limit.to_value()),
+            ]),
+        }
+    }
+}
+
+impl Deserialize for PassSpec {
+    fn from_value(value: &Value) -> Result<PassSpec, DeError> {
+        let entries = value
+            .as_object()
+            .ok_or_else(|| DeError::expected("object for PassSpec"))?;
+        let tag: String = Deserialize::from_value(serde::field(entries, "pass")?)?;
+        match tag.as_str() {
+            "restrict_fanout" => Ok(PassSpec::RestrictFanout {
+                limit: Deserialize::from_value(serde::field(entries, "limit")?)?,
+            }),
+            "restrict_fanout_cost_aware" => Ok(PassSpec::RestrictFanoutCostAware),
+            "insert_buffers" => Ok(PassSpec::InsertBuffers(Deserialize::from_value(
+                serde::field(entries, "strategy")?,
+            )?)),
+            "verify" => Ok(PassSpec::Verify {
+                fanout_limit: Deserialize::from_value(serde::field(entries, "fanout_limit")?)?,
+            }),
+            "verify_weighted" => Ok(PassSpec::VerifyWeighted(Deserialize::from_value(
+                serde::field(entries, "weights")?,
+            )?)),
+            "verify_cost_aware" => Ok(PassSpec::VerifyCostAware {
+                fanout_limit: Deserialize::from_value(serde::field(entries, "fanout_limit")?)?,
+            }),
+            "check_fanout_bound" => Ok(PassSpec::CheckFanoutBound {
+                limit: Deserialize::from_value(serde::field(entries, "limit")?)?,
+            }),
+            other => Err(DeError(format!("unknown pass `{other}`"))),
+        }
+    }
+}
+
+impl Serialize for PipelineSpec {
+    fn to_value(&self) -> Value {
+        object(vec![
+            ("minimize_inverters", self.minimize_inverters.to_value()),
+            ("passes", self.passes.to_value()),
+        ])
+    }
+}
+
+impl Deserialize for PipelineSpec {
+    fn from_value(value: &Value) -> Result<PipelineSpec, DeError> {
+        let entries = value
+            .as_object()
+            .ok_or_else(|| DeError::expected("object for PipelineSpec"))?;
+        Ok(PipelineSpec {
+            minimize_inverters: Deserialize::from_value(serde::field(
+                entries,
+                "minimize_inverters",
+            )?)?,
+            passes: Deserialize::from_value(serde::field(entries, "passes")?)?,
+        })
+    }
+}
+
+impl Serialize for CircuitSpec {
+    fn to_value(&self) -> Value {
+        match self {
+            CircuitSpec::Named(name) => name.to_value(),
+            CircuitSpec::Inline { name, mig } => {
+                object(vec![("name", name.to_value()), ("mig", mig.to_value())])
+            }
+        }
+    }
+}
+
+impl Deserialize for CircuitSpec {
+    fn from_value(value: &Value) -> Result<CircuitSpec, DeError> {
+        match value {
+            Value::Str(name) => Ok(CircuitSpec::Named(name.clone())),
+            Value::Object(entries) => Ok(CircuitSpec::Inline {
+                name: Deserialize::from_value(serde::field(entries, "name")?)?,
+                mig: Deserialize::from_value(serde::field(entries, "mig")?)?,
+            }),
+            _ => Err(DeError::expected("circuit name or inline object")),
+        }
+    }
+}
+
+impl Serialize for FlowSpec {
+    fn to_value(&self) -> Value {
+        object(vec![
+            ("name", self.name.to_value()),
+            ("pipeline", self.pipeline.to_value()),
+            ("technologies", self.technologies.to_value()),
+            ("circuits", self.circuits.to_value()),
+        ])
+    }
+}
+
+impl Deserialize for FlowSpec {
+    fn from_value(value: &Value) -> Result<FlowSpec, DeError> {
+        let entries = value
+            .as_object()
+            .ok_or_else(|| DeError::expected("object for FlowSpec"))?;
+        Ok(FlowSpec {
+            name: Deserialize::from_value(serde::field(entries, "name")?)?,
+            pipeline: Deserialize::from_value(serde::field(entries, "pipeline")?)?,
+            technologies: Deserialize::from_value(serde::field(entries, "technologies")?)?,
+            circuits: Deserialize::from_value(serde::field(entries, "circuits")?)?,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn full_spec() -> FlowSpec {
+        let mut g = mig::Mig::new();
+        let a = g.add_input("a");
+        let b = g.add_input("b");
+        let cin = g.add_input("cin");
+        let (s, c) = g.add_full_adder(a, b, cin);
+        g.add_output("s", s);
+        g.add_output("c", c);
+        FlowSpec::new("everything")
+            .with_pipeline(
+                PipelineSpec::map(true)
+                    .restrict_fanout(3)
+                    .insert_buffers(BufferStrategy::Weighted(DelayWeights::QCA))
+                    .verify_weighted(DelayWeights::QCA),
+            )
+            .technology(crate::cost::CostTable::from_model(&Flat))
+            .circuit("SASC")
+            .inline_circuit("adder", &g)
+    }
+
+    /// Flat unit-cost model for spec tests.
+    struct Flat;
+    impl crate::cost::CostModel for Flat {
+        fn cost_name(&self) -> &str {
+            "FLAT"
+        }
+        fn area_of(&self, kind: crate::ComponentKind) -> f64 {
+            if kind.is_priced() {
+                1.0
+            } else {
+                0.0
+            }
+        }
+        fn delay_of(&self, kind: crate::ComponentKind) -> f64 {
+            self.area_of(kind)
+        }
+        fn energy_of(&self, kind: crate::ComponentKind) -> f64 {
+            self.area_of(kind)
+        }
+        fn phase_delay(&self) -> f64 {
+            1.0
+        }
+        fn output_sense_energy(&self) -> f64 {
+            0.25
+        }
+    }
+
+    #[test]
+    fn every_pass_shape_round_trips_through_json() {
+        let spec = FlowSpec::new("all-passes")
+            .with_pipeline(
+                PipelineSpec::map(false)
+                    .restrict_fanout(4)
+                    .restrict_fanout_cost_aware()
+                    .insert_buffers(BufferStrategy::Retimed)
+                    .insert_buffers(BufferStrategy::CostAware)
+                    .verify(Some(4))
+                    .verify_cost_aware(None)
+                    .check_fanout_bound(4),
+            )
+            .technology(crate::cost::CostTable::from_model(&Flat))
+            .circuit("X");
+        let back = FlowSpec::from_json(&spec.to_json()).unwrap();
+        assert_eq!(spec, back);
+        assert_eq!(spec.content_hash(), back.content_hash());
+    }
+
+    #[test]
+    fn full_spec_round_trips_including_inline_circuits_and_tables() {
+        let spec = full_spec();
+        let back = FlowSpec::from_json(&spec.to_json()).unwrap();
+        assert_eq!(spec, back);
+        assert_eq!(spec.content_hash(), back.content_hash());
+    }
+
+    #[test]
+    fn content_hash_tracks_every_axis() {
+        let spec = full_spec();
+        let mut other = spec.clone();
+        other.pipeline = other.pipeline.check_fanout_bound(3);
+        assert_ne!(spec.content_hash(), other.content_hash());
+        assert_ne!(spec.pipeline.content_hash(), other.pipeline.content_hash());
+
+        let mut other = spec.clone();
+        other.technologies.clear();
+        assert_ne!(spec.content_hash(), other.content_hash());
+
+        let mut other = spec.clone();
+        other.circuits.pop();
+        assert_ne!(spec.content_hash(), other.content_hash());
+    }
+
+    #[test]
+    fn validation_rejects_structural_mistakes() {
+        assert_eq!(
+            FlowSpec::new("empty").validate(),
+            Err(SpecError::EmptyCircuits)
+        );
+        assert_eq!(
+            FlowSpec::new("dup").circuit("A").circuit("A").validate(),
+            Err(SpecError::DuplicateCircuit("A".to_owned()))
+        );
+        assert_eq!(
+            FlowSpec::new("k")
+                .with_pipeline(PipelineSpec::map(false).restrict_fanout(1))
+                .circuit("A")
+                .validate(),
+            Err(SpecError::FanoutLimitOutOfRange(1))
+        );
+        assert_eq!(
+            FlowSpec::new("blind")
+                .with_pipeline(PipelineSpec::map(false).restrict_fanout_cost_aware())
+                .circuit("A")
+                .validate(),
+            Err(SpecError::CostAwareWithoutTechnology)
+        );
+        assert_eq!(full_spec().validate(), Ok(()));
+    }
+
+    #[test]
+    fn bad_json_is_an_error_not_a_panic() {
+        assert!(matches!(FlowSpec::from_json("{"), Err(SpecError::Json(_))));
+        assert!(matches!(
+            FlowSpec::from_json(r#"{"name":"x"}"#),
+            Err(SpecError::Json(_))
+        ));
+        assert!(FlowSpec::from_json(
+            r#"{"name":"x","pipeline":{"minimize_inverters":false,
+                "passes":[{"pass":"frobnicate"}]},"technologies":[],"circuits":["A"]}"#
+        )
+        .is_err());
+    }
+
+    #[test]
+    fn for_config_matches_the_builder_wiring() {
+        let spec = PipelineSpec::for_config(FlowConfig::default());
+        let pipeline = spec.build().unwrap();
+        assert_eq!(
+            pipeline.pass_names(),
+            FlowPipeline::for_config(FlowConfig::default()).pass_names()
+        );
+
+        let fo_only = PipelineSpec::for_config(FlowConfig {
+            fanout_limit: Some(4),
+            insert_buffers: false,
+            minimize_inverters: false,
+        });
+        assert_eq!(fo_only.passes.len(), 2, "restrict + bound check");
+    }
+
+    #[test]
+    fn ill_ordered_specs_fail_at_build_with_the_builder_error() {
+        let spec = PipelineSpec::map(false)
+            .insert_buffers(BufferStrategy::Asap)
+            .restrict_fanout(3);
+        assert_eq!(spec.build().unwrap_err(), PipelineError::FanoutAfterBuffers);
+    }
+}

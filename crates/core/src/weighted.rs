@@ -23,8 +23,12 @@ use crate::component::{CompId, ComponentKind};
 use crate::netlist::Netlist;
 
 /// Integer delay weights per component kind, in clock phases.
-#[derive(Clone, Copy, Debug, PartialEq, Eq)]
-#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
+///
+/// Serializes unconditionally: weights are part of a
+/// [`crate::FlowSpec`]'s pipeline description
+/// ([`crate::PassSpec::VerifyWeighted`] and the weighted
+/// [`crate::BufferStrategy`]), which must round-trip through JSON.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, serde::Serialize, serde::Deserialize)]
 pub struct DelayWeights {
     /// Inverter delay.
     pub inv: u32,

@@ -195,6 +195,17 @@ impl Technology {
     pub fn cost_table(&self) -> CostTable {
         CostTable::from_model(self)
     }
+
+    /// Stable content-hash identity of this technology — the same hash
+    /// its [`CostTable`] carries, so a technology edited in any Table I
+    /// constant (or renamed) invalidates exactly the engine-cache cells
+    /// priced under it and nothing else. Two `Technology` values with
+    /// the same absolute pricing share an identity even if their
+    /// relative-cost factorizations differ, because the flow only ever
+    /// sees the absolute table.
+    pub fn content_hash(&self) -> u64 {
+        self.cost_table().content_hash()
+    }
 }
 
 /// The canonical [`CostModel`]: absolute pricing is the Table I base
@@ -299,6 +310,26 @@ mod tests {
 
         let swd = Technology::swd().cost_table();
         assert_eq!(swd.output_sense_energy(), 2.0);
+    }
+
+    #[test]
+    fn content_hash_is_stable_and_tracks_every_constant() {
+        let a = Technology::qca();
+        assert_eq!(a.content_hash(), Technology::qca().content_hash());
+        assert_eq!(a.content_hash(), a.cost_table().content_hash());
+
+        let names: std::collections::HashSet<u64> = Technology::all()
+            .iter()
+            .map(Technology::content_hash)
+            .collect();
+        assert_eq!(names.len(), 3, "three distinct identities");
+
+        let mut edited = Technology::qca();
+        edited.inv.delay = 8.0;
+        assert_ne!(a.content_hash(), edited.content_hash());
+        let mut renamed = Technology::qca();
+        renamed.name = "QCA2".to_owned();
+        assert_ne!(a.content_hash(), renamed.content_hash());
     }
 
     #[test]

@@ -33,10 +33,18 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         "{:<12} {:>8} {:>6} {:>8} {:>6} {:>7} {:>7} {:>9} {:>9}",
         "benchmark", "size", "depth", "size'", "depth'", "+BUF", "+FOG", "SWD T/A", "SWD T/P"
     );
-    for (name, g) in &built {
-        let result = run_flow(g, FlowConfig::default())?;
+    // One declarative pipeline spec, swept over the whole batch by the
+    // engine on the work-pulling scheduler (cost-blind: one cell per
+    // circuit; pricing happens post-hoc against SWD below).
+    let engine = Engine::new();
+    let pipeline = PipelineSpec::for_config(FlowConfig::default());
+    let graphs: Vec<&Mig> = built.iter().map(|(_, g)| g).collect();
+    let cells = engine.run_pipeline_grid(&pipeline, &graphs, &[])?;
+    for ((name, _), cell) in built.iter().zip(cells) {
+        let run = cell.outcome?;
+        let result = &run.result;
         let (o, p) = (result.original.counts(), result.pipelined.counts());
-        let row = compare(&result, &swd);
+        let row = compare(result, &swd);
         println!(
             "{:<12} {:>8} {:>6} {:>8} {:>6} {:>7} {:>7} {:>8.2}x {:>8.2}x",
             name,

@@ -7,7 +7,7 @@
 //! ```
 
 use wave_pipelining::prelude::*;
-use wavepipe::{BufferStrategy, CostTable, DelayWeights, FlowPipeline};
+use wavepipe::{BufferStrategy, DelayWeights, FlowPipeline};
 
 fn main() {
     let g = find_benchmark("HAMMING").expect("suite benchmark").build();
@@ -109,21 +109,24 @@ fn main() {
     println!("\npriced trace (QCA) on HAMMING:");
     print!("{}", priced.trace_table());
 
-    // 7. The circuit × technology grid: every (circuit, technology)
-    //    cell is one task on the work-pulling scheduler — a whole
-    //    multi-technology sweep in one driver call.
-    let models: Vec<CostTable> = Technology::all()
-        .iter()
-        .map(Technology::cost_table)
-        .collect();
-    let pipeline = FlowPipeline::for_config(FlowConfig::default());
-    let names = ["SASC", "ADD32R", "ALU16", "CMP32"];
-    println!(
-        "\ncircuit × technology grid ({} cells):",
-        refs.len() * models.len()
-    );
-    for cell in pipeline.run_grid(&refs, &models) {
-        let run = cell.outcome.expect("grid cell verifies");
+    // 7. The circuit × technology grid, through the engine facade: the
+    //    experiment is a declarative FlowSpec (pipeline + technologies
+    //    + circuit names), every (circuit, technology) cell is one task
+    //    on the work-pulling scheduler, and the engine's content-hash
+    //    keyed cache makes repeated or overlapping sweeps incremental
+    //    (see examples/engine_spec.rs for the cache at work).
+    let engine = Engine::new().with_resolver(benchsuite::build_mig);
+    let mut spec = FlowSpec::new("pass-pipeline-grid");
+    for name in ["SASC", "ADD32R", "ALU16", "CMP32"] {
+        spec = spec.circuit(name);
+    }
+    for technology in Technology::all() {
+        spec = spec.technology(technology.cost_table());
+    }
+    let grid = engine.run(&spec).expect("spec validates");
+    println!("\ncircuit × technology grid ({} cells):", grid.cells.len());
+    for cell in &grid {
+        let run = cell.outcome.as_ref().expect("grid cell verifies");
         let final_price = run
             .trace
             .last()
@@ -131,8 +134,8 @@ fn main() {
             .expect("grid runs are priced");
         println!(
             "  {:<8} @ {:<4} area {:>12.2} µm², energy {:>12.2} fJ",
-            names[cell.circuit],
-            models[cell.model].name(),
+            grid.circuits[cell.circuit],
+            cell.technology.map_or("—", |t| &grid.technologies[t]),
             final_price.after.area,
             final_price.after.energy,
         );

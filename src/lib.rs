@@ -9,7 +9,9 @@
 //!   optimization, simulation, I/O).
 //! * [`wavepipe`] — the paper's contribution: buffer insertion
 //!   (Algorithm 1), fan-out restriction (§IV), balance verification and
-//!   the three-phase wave simulator.
+//!   the three-phase wave simulator — fronted by the [`wavepipe::Engine`]
+//!   facade, which runs declarative [`wavepipe::FlowSpec`]s with a
+//!   content-hash keyed result cache.
 //! * [`tech`] — SWD/QCA/NML technology models (Table I) and the
 //!   area/power/throughput metrics engine (Table II, Fig 9).
 //! * [`benchsuite`] — the reconstructed 37-circuit benchmark suite.
@@ -55,7 +57,7 @@ pub mod prelude {
     pub use mig::{check_equivalence, optimize_depth, optimize_size, Mig, Signal};
     pub use tech::{compare, evaluate, CostModel, OperatingMode, Technology};
     pub use wavepipe::{
-        insert_buffers, netlist_from_mig, restrict_fanout, run_flow, verify_balance, FlowConfig,
-        Netlist, WaveSimulator,
+        insert_buffers, netlist_from_mig, restrict_fanout, run_flow, verify_balance, Engine,
+        FlowConfig, FlowError, FlowSpec, Netlist, PipelineSpec, WaveSimulator,
     };
 }

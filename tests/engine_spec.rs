@@ -1,0 +1,250 @@
+//! Acceptance tests for the engine-facade redesign: `FlowSpec` JSON
+//! round-trips, spec validation rejects malformed experiments, and
+//! `Engine`-driven runs are bit-identical to the legacy
+//! `run_flow`/`run_grid` paths — with a warm-cache re-run performing
+//! **zero pass executions** (pinned via the engine's `PassStats`-derived
+//! counters) while returning identical results.
+
+use tech::Technology;
+use wave_pipelining::prelude::*;
+use wavepipe::{BufferStrategy, CostTable, FlowPipeline, PipelineError, SpecError};
+use wavepipe_bench::harness::{build_suite, QUICK_SUBSET};
+
+fn suite_engine() -> Engine {
+    Engine::new().with_resolver(benchsuite::build_mig)
+}
+
+fn tables() -> Vec<CostTable> {
+    Technology::all()
+        .iter()
+        .map(Technology::cost_table)
+        .collect()
+}
+
+fn quick_spec(name: &str) -> FlowSpec {
+    let mut spec = FlowSpec::new(name);
+    for bench in QUICK_SUBSET {
+        spec = spec.circuit(bench);
+    }
+    for table in tables() {
+        spec = spec.technology(table);
+    }
+    spec
+}
+
+#[test]
+fn spec_with_real_technologies_round_trips_through_json() {
+    let spec = quick_spec("round-trip");
+    let back = FlowSpec::from_json(&spec.to_json()).expect("round-trips");
+    assert_eq!(spec, back);
+    assert_eq!(spec.content_hash(), back.content_hash());
+    // The Table I constants survive exactly (shortest-round-trip float
+    // formatting), so the cache identity is preserved across the trip.
+    for (a, b) in spec.technologies.iter().zip(&back.technologies) {
+        assert_eq!(a.content_hash(), b.content_hash());
+    }
+}
+
+#[test]
+fn checked_in_example_spec_parses_and_validates() {
+    let text =
+        std::fs::read_to_string("examples/engine_spec.json").expect("checked-in spec exists");
+    let spec = FlowSpec::from_json(&text).expect("parses");
+    spec.validate().expect("validates");
+    assert_eq!(spec.technologies.len(), 3);
+    // And its technologies are literally the Table I models.
+    for (table, technology) in spec.technologies.iter().zip(Technology::all()) {
+        assert_eq!(table.content_hash(), technology.content_hash());
+    }
+}
+
+#[test]
+fn spec_validation_rejects_bad_experiments() {
+    let engine = suite_engine();
+    assert_eq!(
+        FlowSpec::new("empty").validate(),
+        Err(SpecError::EmptyCircuits)
+    );
+    assert!(matches!(
+        engine.run(&FlowSpec::new("dup").circuit("SASC").circuit("SASC")),
+        Err(FlowError::Spec(SpecError::DuplicateCircuit(_)))
+    ));
+    assert!(matches!(
+        engine.run(&FlowSpec::new("unknown").circuit("NOT_A_BENCHMARK")),
+        Err(FlowError::Spec(SpecError::UnknownCircuit(_)))
+    ));
+    assert!(matches!(
+        engine.run(
+            &FlowSpec::new("k6")
+                .with_pipeline(PipelineSpec::map(false).restrict_fanout(6))
+                .circuit("SASC")
+        ),
+        Err(FlowError::Spec(SpecError::FanoutLimitOutOfRange(6)))
+    ));
+    assert!(matches!(
+        engine.run(
+            &FlowSpec::new("ill")
+                .with_pipeline(
+                    PipelineSpec::map(false)
+                        .insert_buffers(BufferStrategy::Asap)
+                        .restrict_fanout(3)
+                )
+                .circuit("SASC")
+        ),
+        Err(FlowError::Pipeline(PipelineError::FanoutAfterBuffers))
+    ));
+}
+
+#[test]
+fn engine_runs_are_bit_identical_to_run_flow_on_the_suite() {
+    // The legacy wrapper and the spec-driven engine must agree exactly,
+    // circuit by circuit.
+    let engine = suite_engine();
+    let suite = build_suite(Some(&QUICK_SUBSET));
+    let spec = {
+        let mut spec = FlowSpec::new("golden");
+        for (bench, _) in &suite {
+            spec = spec.circuit(bench.name); // suite order
+        }
+        spec // cost-blind: run_flow is cost-blind too
+    };
+    let run = engine.run(&spec).expect("suite verifies");
+    assert_eq!(run.circuits.len(), suite.len());
+    for cell in &run {
+        let (bench, g) = &suite[cell.circuit];
+        assert_eq!(bench.name, run.circuits[cell.circuit]);
+        let engine_result = &cell.outcome.as_ref().expect("verifies").result;
+        let legacy = run_flow(g, FlowConfig::default()).expect("legacy verifies");
+        assert_eq!(
+            engine_result.original.counts(),
+            legacy.original.counts(),
+            "{}",
+            bench.name
+        );
+        assert_eq!(
+            engine_result.pipelined.counts(),
+            legacy.pipelined.counts(),
+            "{}",
+            bench.name
+        );
+        assert_eq!(
+            engine_result.pipelined.depth(),
+            legacy.pipelined.depth(),
+            "{}",
+            bench.name
+        );
+        assert_eq!(engine_result.report, legacy.report, "{}", bench.name);
+        assert_eq!(engine_result.fanout, legacy.fanout, "{}", bench.name);
+        assert_eq!(engine_result.buffers, legacy.buffers, "{}", bench.name);
+    }
+}
+
+#[test]
+fn engine_grid_is_bit_identical_to_run_grid_on_the_suite() {
+    // The legacy grid driver (itself a thin uncached-engine wrapper)
+    // and a cached spec-driven sweep must price every cell identically.
+    let engine = suite_engine();
+    let suite = build_suite(Some(&QUICK_SUBSET));
+    let graphs: Vec<&Mig> = suite.iter().map(|(_, g)| g).collect();
+    let models = tables();
+
+    let legacy = FlowPipeline::for_config(FlowConfig::default()).run_grid(&graphs, &models);
+    let spec = {
+        let mut spec = FlowSpec::new("grid-golden");
+        for (bench, _) in &suite {
+            spec = spec.circuit(bench.name); // suite order
+        }
+        for table in models.clone() {
+            spec = spec.technology(table);
+        }
+        spec
+    };
+    let run = engine.run(&spec).expect("suite verifies");
+
+    assert_eq!(legacy.len(), run.cells.len());
+    for (old, new) in legacy.iter().zip(&run) {
+        assert_eq!(old.circuit, new.circuit);
+        assert_eq!(Some(old.model), new.technology);
+        let old_run = old.outcome.as_ref().expect("legacy verifies");
+        let new_run = new.outcome.as_ref().expect("engine verifies");
+        let label = format!(
+            "{} @ {}",
+            run.circuits[new.circuit],
+            models[old.model].name()
+        );
+        assert_eq!(
+            old_run.result.pipelined.counts(),
+            new_run.result.pipelined.counts(),
+            "{label}"
+        );
+        assert_eq!(old_run.result.report, new_run.result.report, "{label}");
+        // Priced trace states are bit-identical floats.
+        for (a, b) in old_run.trace.iter().zip(&new_run.trace) {
+            assert_eq!(a.priced, b.priced, "{label}: {}", a.pass);
+        }
+    }
+}
+
+#[test]
+fn warm_cache_grid_rerun_executes_zero_passes_and_matches_exactly() {
+    // The acceptance criterion: a warm-cache re-run of the same grid
+    // performs zero pass executions (PassStats-derived counter) while
+    // returning identical results.
+    let engine = suite_engine();
+    let spec = quick_spec("warm-grid");
+    let cold = engine.run(&spec).expect("suite verifies");
+    assert_eq!(
+        cold.stats.cache_misses as usize,
+        cold.cells.len(),
+        "cold run computes every cell"
+    );
+    assert!(cold.stats.passes_executed > 0);
+
+    let warm = engine.run(&spec).expect("suite verifies");
+    assert_eq!(warm.stats.passes_executed, 0, "zero pass executions");
+    assert_eq!(warm.stats.cache_hits as usize, warm.cells.len());
+    assert_eq!(warm.stats.cache_misses, 0);
+    for (a, b) in cold.iter().zip(&warm) {
+        assert!(b.cached);
+        let (a, b) = (
+            a.outcome.as_ref().expect("verifies"),
+            b.outcome.as_ref().expect("verifies"),
+        );
+        // Identical results down to the instrumentation (shared cells).
+        assert_eq!(a.trace, b.trace);
+        assert_eq!(a.result.report, b.result.report);
+        assert_eq!(a.result.pipelined.counts(), b.result.pipelined.counts());
+    }
+
+    // Editing one technology invalidates exactly one grid column.
+    let mut edited = spec.clone();
+    let mut qca = Technology::qca();
+    qca.cell_area.0 *= 2.0;
+    edited.technologies[1] = qca.cost_table();
+    let partial = engine.run(&edited).expect("suite verifies");
+    assert_eq!(
+        partial.stats.cache_misses as usize,
+        QUICK_SUBSET.len(),
+        "only the edited technology's column recomputes"
+    );
+    assert_eq!(
+        partial.stats.cache_hits as usize,
+        QUICK_SUBSET.len() * 2,
+        "the untouched columns are served from cache"
+    );
+}
+
+#[test]
+fn streaming_delivers_every_cell_of_a_suite_sweep() {
+    let engine = suite_engine();
+    let spec = quick_spec("streamed");
+    let seen = std::sync::Mutex::new(0usize);
+    let run = engine
+        .run_streaming(&spec, |cell| {
+            assert!(cell.outcome.is_ok());
+            *seen.lock().unwrap() += 1;
+        })
+        .expect("suite verifies");
+    assert_eq!(*seen.lock().unwrap(), run.cells.len());
+    assert_eq!(run.cells.len(), QUICK_SUBSET.len() * 3);
+}

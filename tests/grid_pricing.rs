@@ -8,7 +8,7 @@ use tech::{compare, evaluate, OperatingMode, Technology};
 use wavepipe::{
     run_flow, BufferStrategy, FlowConfig, FlowContext, FlowPipeline, Pass, PassError, PricedCost,
 };
-use wavepipe_bench::harness::{build_suite, evaluate_suite_grid, QUICK_SUBSET};
+use wavepipe_bench::harness::{build_suite, engine, evaluate_suite_grid, QUICK_SUBSET};
 
 #[test]
 fn grid_comparisons_match_post_hoc_compare_on_quick_suite() {
@@ -16,7 +16,7 @@ fn grid_comparisons_match_post_hoc_compare_on_quick_suite() {
     // reproduces the Table II / Fig 9 comparison numbers the post-hoc
     // per-technology loop produced, exactly.
     let suite = build_suite(Some(&QUICK_SUBSET));
-    let grid = evaluate_suite_grid(&suite);
+    let grid = evaluate_suite_grid(&engine(), &suite);
     let technologies = Technology::all();
     assert_eq!(grid.evaluated.len(), suite.len());
     for ((spec, g), (name, comparisons)) in suite.iter().zip(&grid.evaluated) {
@@ -37,7 +37,7 @@ fn grid_comparisons_match_post_hoc_compare_on_quick_suite() {
 #[test]
 fn grid_priced_traces_match_post_hoc_evaluation_exactly() {
     let suite = build_suite(Some(&["SASC", "ADD32R", "CMP32"]));
-    let grid = evaluate_suite_grid(&suite);
+    let grid = evaluate_suite_grid(&engine(), &suite);
     let technologies = Technology::all();
     for t in &grid.traces {
         let g = &suite

@@ -6,7 +6,7 @@
 
 use tech::Technology;
 use wavepipe_bench::harness::{
-    build_suite, evaluate_suite, fig5_fit, fig5_points, fig7_rows, fig8_data, fig9_data,
+    build_suite, engine, evaluate_suite, fig5_fit, fig5_points, fig7_rows, fig8_data, fig9_data,
     QUICK_SUBSET,
 };
 
@@ -16,7 +16,7 @@ fn quick() -> Vec<(&'static benchsuite::BenchmarkSpec, mig::Mig)> {
 
 #[test]
 fn claim_fig5_buffer_count_follows_a_power_law() {
-    let points = fig5_points(&quick());
+    let points = fig5_points(&engine(), &quick());
     let fit = fig5_fit(&points);
     // Paper: B(s) = 7.95·s^0.9. Claim: a power law with near-linear
     // exponent and a decent log–log fit.
@@ -37,7 +37,7 @@ fn claim_fig5_buffer_count_follows_a_power_law() {
 fn claim_fig5_buffers_are_a_multiple_of_size() {
     // Paper: "the number of buffers inserted ranged from 2× to 4× the
     // original netlist size" on average. Claim the same order.
-    let points = fig5_points(&quick());
+    let points = fig5_points(&engine(), &quick());
     let ratios: Vec<f64> = points
         .iter()
         .map(|p| p.buffers as f64 / p.size as f64)
@@ -52,7 +52,7 @@ fn claim_fig5_buffers_are_a_multiple_of_size() {
 #[test]
 fn claim_fig7_critical_path_increase_is_monotone_in_the_restriction() {
     // Paper: +140 %, +57 %, +36 %, +26 % for k = 2, 3, 4, 5.
-    let rows = fig7_rows(&quick());
+    let rows = fig7_rows(&engine(), &quick());
     let avg = |i: usize| tech::mean(&rows.iter().map(|r| r.increase[i]).collect::<Vec<_>>());
     let (k2, k3, k4, k5) = (avg(0), avg(1), avg(2), avg(3));
     assert!(k2 > k3 && k3 > k4 && k4 >= k5, "{k2} {k3} {k4} {k5}");
@@ -62,7 +62,7 @@ fn claim_fig7_critical_path_increase_is_monotone_in_the_restriction() {
 
 #[test]
 fn claim_fig8_combined_flow_dominates_individual_passes() {
-    let d = fig8_data(&quick());
+    let d = fig8_data(&engine(), &quick());
     // Observation (a): FOx+BUF inserts more than either alone.
     for i in 0..4 {
         assert!(d.combined[i] > d.buf_only);
@@ -76,7 +76,7 @@ fn claim_fig8_combined_flow_dominates_individual_passes() {
 #[test]
 fn claim_fig8_fog_count_is_independent_of_buffering() {
     // Observation (b), exact.
-    let d = fig8_data(&quick());
+    let d = fig8_data(&engine(), &quick());
     for i in 0..4 {
         assert!((d.fog_share[i] - d.combined_fog_share[i]).abs() < 1e-12);
     }
@@ -84,7 +84,7 @@ fn claim_fig8_fog_count_is_independent_of_buffering() {
 
 #[test]
 fn claim_fig9_gain_orderings() {
-    let evaluated = evaluate_suite(&quick());
+    let evaluated = evaluate_suite(&engine(), &quick());
     let f9 = fig9_data(&evaluated);
     let by_name = |n: &str| f9.iter().find(|f| f.technology == n).unwrap().clone();
     let (swd, qca, nml) = (by_name("SWD"), by_name("QCA"), by_name("NML"));
@@ -104,7 +104,7 @@ fn claim_wave_pipelined_throughput_is_constant_per_technology() {
     // Table II: the WP throughput column is a single number per
     // technology (793.65 / 83333.33 / 16.67 MOPS), independent of the
     // benchmark.
-    let evaluated = evaluate_suite(&build_suite(Some(&["SASC", "MUL8", "HAMMING"])));
+    let evaluated = evaluate_suite(&engine(), &build_suite(Some(&["SASC", "MUL8", "HAMMING"])));
     let expect = [793.65, 83333.33, 16.67];
     for (_, comparisons) in &evaluated {
         for (c, e) in comparisons.iter().zip(expect) {
@@ -123,7 +123,7 @@ fn claim_power_artifact_swd_drops_nml_rises() {
     // §V: "the calculated power metric for SWD and QCA technologies
     // tends to decrease for the wave pipelined benchmarks … an
     // increase of power in the case of NML".
-    let evaluated = evaluate_suite(&quick());
+    let evaluated = evaluate_suite(&engine(), &quick());
     let mut swd_strict_drops = 0;
     let mut nml_rises = 0;
     for (name, comparisons) in &evaluated {
@@ -157,7 +157,7 @@ fn claim_deeper_originals_gain_more() {
     // Table II trend: T/P gain grows with original depth (SASC 3.00 →
     // DIFFEQ1 94.00 for SWD).
     let suite = build_suite(Some(&["SASC", "HAMMING", "CRC8x64"]));
-    let evaluated = evaluate_suite(&suite);
+    let evaluated = evaluate_suite(&engine(), &suite);
     let swd = Technology::swd();
     let mut rows: Vec<(u32, f64)> = evaluated
         .iter()
