@@ -22,44 +22,12 @@ use std::path::Path;
 use std::time::Instant;
 
 use tech::BenchmarkRow;
-use wavepipe::{Engine, EngineStats};
+use wavepipe::Engine;
 use wavepipe_bench::harness::{
     build_suite, engine, evaluate_suite_grid, fig5_fit, fig5_points, fig7_rows, fig8_data,
     fig9_data, inverter_ablation, retiming_ablation, table2_from_grid,
 };
-
-/// Aggregate of one pass across every circuit of the suite, per
-/// technology — the machine-readable perf-trajectory record.
-#[derive(serde::Serialize)]
-struct PassSummary {
-    technology: String,
-    pass: String,
-    micros: u64,
-    area_delta: f64,
-    energy_delta: f64,
-    cycle_time_delta: f64,
-}
-
-/// One experiment stage: wall time plus the engine counters it moved.
-#[derive(serde::Serialize)]
-struct StageRecord {
-    /// Wall time of the stage, milliseconds.
-    wall_ms: f64,
-    /// Engine cache/execution counters for this stage alone.
-    engine: EngineStats,
-}
-
-#[derive(serde::Serialize)]
-struct BenchRecord {
-    /// Per-stage wall time and engine cache hit/miss/pass counters.
-    stages: BTreeMap<String, StageRecord>,
-    /// Cumulative engine counters over the whole reproduction run.
-    engine_totals: EngineStats,
-    /// Cells resident in the engine cache at the end of the run.
-    cached_cells: usize,
-    /// Per-(technology, pass) priced deltas summed over the suite.
-    passes: Vec<PassSummary>,
-}
+use wavepipe_bench::record::{BenchRecord, PassSummary, StageRecord};
 
 /// Times one stage and captures the engine-counter delta it caused.
 fn staged<T>(

@@ -1,0 +1,158 @@
+//! Scaling benchmark over the synthetic `dag` family: sweeps the
+//! node-count axis from 10² to 10⁵ through the paper's default flow
+//! (FO3 + BUF + verify) on a cached engine, and writes the
+//! node-count vs throughput and cache-hit curves to
+//! `results/BENCH_pr4.json` (shape: [`ScalingRecord`]).
+//!
+//! ```text
+//! cargo run --release -p wavepipe-bench --bin scaling [-- --max-nodes N]
+//! ```
+//!
+//! Every point is one `synth:dag:<seed>:depth=…,nodes=…` circuit built
+//! through the registry (the same canonical names a
+//! `CircuitSpec::Synthetic` spec resolves to), run **cold** (cache
+//! miss: generator + every pass executes) and then **warm** (pure
+//! cache hit: zero passes) on the same engine — the warm column is the
+//! cache-hit curve the engine's result cache buys at each scale.
+//! `--max-nodes` truncates the sweep (CI runs the smallest point to
+//! keep the record format alive without paying for 10⁵).
+
+use std::fs;
+use std::path::Path;
+use std::time::Instant;
+
+use wavepipe::{FlowConfig, FlowSpec, PipelineSpec, SynthSpec};
+use wavepipe_bench::harness::engine;
+use wavepipe_bench::record::{PassThroughput, ScalingPoint, ScalingRecord};
+
+/// The sweep axis: Fig 5's 10²..10⁵ node-count span, log-spaced, with
+/// depth growing like mapped-netlist depth does.
+const SWEEP: [(usize, u64); 7] = [
+    (100, 8),
+    (300, 10),
+    (1_000, 12),
+    (3_000, 14),
+    (10_000, 16),
+    (30_000, 20),
+    (100_000, 24),
+];
+
+fn main() {
+    let mut max_nodes = usize::MAX;
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--max-nodes" => {
+                max_nodes = args
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .expect("--max-nodes takes an integer");
+            }
+            other => panic!("unknown argument `{other}` (try --max-nodes N)"),
+        }
+    }
+
+    let out_dir = Path::new("results");
+    fs::create_dir_all(out_dir).expect("create results/");
+    let engine = engine();
+    let pipeline = PipelineSpec::for_config(FlowConfig::default());
+
+    let mut points = Vec::new();
+    println!(
+        "{:<44} {:>9} {:>9} {:>10} {:>10} {:>12}",
+        "circuit", "gates", "size'", "cold ms", "warm ms", "map nodes/s"
+    );
+    for (i, (nodes, depth)) in SWEEP.iter().enumerate() {
+        if *nodes > max_nodes {
+            continue;
+        }
+        let synth = SynthSpec::new("dag", 0x5CA1_E000 + i as u64)
+            .param("nodes", *nodes as u64)
+            .param("depth", *depth)
+            .param("inputs", (32 + nodes / 50) as u64)
+            .param("outputs", (16 + nodes / 100) as u64);
+        let name = synth.name();
+        let spec = FlowSpec::new("scaling").synthetic_circuit(synth);
+
+        let before = engine.stats();
+        let started = Instant::now();
+        let cold_run = engine.run(&spec).expect("scaling spec verifies");
+        let cold_wall_ms = started.elapsed().as_secs_f64() * 1000.0;
+        let cold = engine.stats().since(&before);
+
+        let before = engine.stats();
+        let started = Instant::now();
+        let warm_run = engine.run(&spec).expect("scaling spec verifies");
+        let warm_wall_ms = started.elapsed().as_secs_f64() * 1000.0;
+        let warm = engine.stats().since(&before);
+        assert_eq!(
+            warm.passes_executed, 0,
+            "{name}: warm re-run must be a pure cache hit"
+        );
+        drop(warm_run);
+
+        let run = cold_run.cells[0].run().expect("cell verified");
+        // One MAJ cell per MIG gate in the mapped netlist, so the gate
+        // count comes off the run instead of generating the graph a
+        // second time just to measure it.
+        let gates = run.result.original_counts().maj;
+        let passes: Vec<PassThroughput> = run
+            .trace
+            .iter()
+            .map(|p| PassThroughput {
+                pass: p.pass.clone(),
+                micros: p.micros,
+                nodes_per_sec: if p.micros == 0 {
+                    0.0
+                } else {
+                    p.counts_after.priced_total() as f64 * 1e6 / p.micros as f64
+                },
+            })
+            .collect();
+        let point = ScalingPoint {
+            name: name.clone(),
+            target_nodes: *nodes,
+            gates,
+            mapped_size: run.result.original_counts().priced_total(),
+            pipelined_size: run.result.pipelined_counts().priced_total(),
+            depth: run.result.pipelined.depth(),
+            cold_wall_ms,
+            warm_wall_ms,
+            cold,
+            warm,
+            passes,
+        };
+        println!(
+            "{:<44} {:>9} {:>9} {:>10.1} {:>10.3} {:>12.0}",
+            point.name,
+            point.gates,
+            point.pipelined_size,
+            point.cold_wall_ms,
+            point.warm_wall_ms,
+            point.passes.first().map_or(0.0, |p| p.nodes_per_sec)
+        );
+        points.push(point);
+    }
+    assert!(!points.is_empty(), "--max-nodes filtered out every point");
+
+    let record = ScalingRecord {
+        pipeline: pipeline
+            .build()
+            .expect("default pipeline is well-ordered")
+            .pass_names(),
+        points,
+        engine_totals: engine.stats(),
+        cached_cells: engine.cached_cells(),
+    };
+    fs::write(
+        out_dir.join("BENCH_pr4.json"),
+        serde_json::to_string_pretty(&record).expect("serialize"),
+    )
+    .expect("write BENCH_pr4.json");
+    println!(
+        "\nscaling record: results/BENCH_pr4.json ({} points, engine: {} hits / {} misses)",
+        record.points.len(),
+        record.engine_totals.cache_hits,
+        record.engine_totals.cache_misses
+    );
+}

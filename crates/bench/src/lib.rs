@@ -12,6 +12,7 @@
 //! | Fig 9 (T/A and T/P gains) | `fig9` | [`harness::fig9_data`] |
 //! | Table II (per-benchmark metrics) | `table2` | [`harness::table2_from_grid`] |
 //! | Retiming ablation (beyond paper) | `ablation_retiming` | [`harness::retiming_ablation`] |
+//! | Scaling sweep, 10²..10⁵ synthetic nodes (beyond paper) | `scaling` | [`record::ScalingRecord`] |
 //! | Everything, to `results/` | `repro_all` | all of the above |
 //!
 //! Every driver expresses its flow configuration as a declarative
@@ -26,7 +27,10 @@
 //! and a machine-readable `results/BENCH_pr3.json` (wall time **and
 //! engine cache hit/miss/pass counters** per sweep, per-pass priced
 //! deltas per technology) so the performance trajectory is tracked
-//! across PRs.
+//! across PRs. The `scaling` binary sweeps the synthetic `dag` family
+//! from 10² to 10⁵ nodes and records per-pass throughput plus cold/warm
+//! cache-hit curves in `results/BENCH_pr4.json`; both record schemas
+//! live in [`record`] and are pinned by the golden schema test.
 //!
 //! Criterion performance benches for the two algorithms live under
 //! `benches/`.
@@ -36,5 +40,6 @@
 
 pub mod fit;
 pub mod harness;
+pub mod record;
 
 pub use fit::{fit_power_law, PowerLaw};

@@ -1,0 +1,107 @@
+//! Machine-readable `BENCH_*.json` record shapes.
+//!
+//! Every reproduction run leaves a perf-trajectory record under
+//! `results/`: `repro_all` writes a [`BenchRecord`] (`BENCH_pr3.json`)
+//! and the `scaling` binary a [`ScalingRecord`] (`BENCH_pr4.json`).
+//! The structs live here — not inside the binaries — so the schema is
+//! a *library contract*: the golden test `tests/bench_schema.rs` pins
+//! the exact field names and shapes, and any repro-tooling-breaking
+//! rename fails CI instead of silently producing unreadable records.
+
+use std::collections::BTreeMap;
+
+use wavepipe::EngineStats;
+
+/// Aggregate of one pass across every circuit of the suite, per
+/// technology.
+#[derive(Clone, Debug, serde::Serialize)]
+pub struct PassSummary {
+    /// Technology name.
+    pub technology: String,
+    /// Pass name.
+    pub pass: String,
+    /// Summed wall time, microseconds.
+    pub micros: u64,
+    /// Summed priced area delta.
+    pub area_delta: f64,
+    /// Summed priced energy delta.
+    pub energy_delta: f64,
+    /// Summed priced cycle-time delta.
+    pub cycle_time_delta: f64,
+}
+
+/// One experiment stage: wall time plus the engine counters it moved.
+#[derive(Clone, Debug, serde::Serialize)]
+pub struct StageRecord {
+    /// Wall time of the stage, milliseconds.
+    pub wall_ms: f64,
+    /// Engine cache/execution counters for this stage alone.
+    pub engine: EngineStats,
+}
+
+/// The `BENCH_pr3.json` shape: the full-reproduction perf record.
+#[derive(Clone, Debug, serde::Serialize)]
+pub struct BenchRecord {
+    /// Per-stage wall time and engine cache hit/miss/pass counters.
+    pub stages: BTreeMap<String, StageRecord>,
+    /// Cumulative engine counters over the whole reproduction run.
+    pub engine_totals: EngineStats,
+    /// Cells resident in the engine cache at the end of the run.
+    pub cached_cells: usize,
+    /// Per-(technology, pass) priced deltas summed over the suite.
+    pub passes: Vec<PassSummary>,
+}
+
+/// Per-pass throughput at one scaling point.
+#[derive(Clone, Debug, serde::Serialize)]
+pub struct PassThroughput {
+    /// Pass name.
+    pub pass: String,
+    /// Wall time of the pass on this circuit, microseconds.
+    pub micros: u64,
+    /// Components the pass processed per second of its own wall time
+    /// (the pass's post-state size over its wall time).
+    pub nodes_per_sec: f64,
+}
+
+/// One point of the `scaling` sweep: a synthetic circuit at one target
+/// node count, run cold and then warm on the same engine.
+#[derive(Clone, Debug, serde::Serialize)]
+pub struct ScalingPoint {
+    /// Canonical `synth:*` circuit name.
+    pub name: String,
+    /// Target node count of the sweep axis.
+    pub target_nodes: usize,
+    /// Gates actually generated.
+    pub gates: usize,
+    /// Mapped-netlist priced size (what the passes consume).
+    pub mapped_size: usize,
+    /// Final wave-pipelined netlist size.
+    pub pipelined_size: usize,
+    /// Circuit depth after the flow.
+    pub depth: u32,
+    /// Wall time of the cold (cache-miss) run, milliseconds.
+    pub cold_wall_ms: f64,
+    /// Wall time of the warm (cache-hit) re-run, milliseconds.
+    pub warm_wall_ms: f64,
+    /// Engine counter deltas of the cold run.
+    pub cold: EngineStats,
+    /// Engine counter deltas of the warm run — the cache-hit curve.
+    pub warm: EngineStats,
+    /// Per-pass wall time and throughput (cold run).
+    pub passes: Vec<PassThroughput>,
+}
+
+/// The `BENCH_pr4.json` shape: node-count vs throughput and cache-hit
+/// curves over the synthetic `dag` family.
+#[derive(Clone, Debug, serde::Serialize)]
+pub struct ScalingRecord {
+    /// The pipeline swept (canonical pass names).
+    pub pipeline: Vec<String>,
+    /// One point per target node count, ascending.
+    pub points: Vec<ScalingPoint>,
+    /// Cumulative engine counters over the whole sweep.
+    pub engine_totals: EngineStats,
+    /// Cells resident in the engine cache at the end.
+    pub cached_cells: usize,
+}

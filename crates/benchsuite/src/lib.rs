@@ -21,6 +21,7 @@
 
 pub mod gen;
 mod registry;
+pub mod synth;
 pub mod words;
 
 pub use registry::{build_mig, find, BenchmarkSpec, Category, SUITE, TABLE2_SELECTION};

@@ -261,7 +261,16 @@ pub fn find(name: &str) -> Option<&'static BenchmarkSpec> {
 /// the suite — the registry lookup a `wavepipe` engine plugs in as its
 /// circuit resolver, so flow specs can select circuits by name:
 /// `Engine::new().with_resolver(benchsuite::build_mig)`.
+///
+/// Besides the 37 fixed suite names, every `synth:family:seed[:k=v,…]`
+/// name resolves to a seeded synthetic circuit (see [`crate::synth`]),
+/// so engine specs — including `CircuitSpec::Synthetic` entries, which
+/// arrive here under their canonical name — can sweep an unbounded,
+/// deterministic workload space through the same resolver.
 pub fn build_mig(name: &str) -> Option<Mig> {
+    if name.starts_with("synth:") {
+        return crate::synth::build(name);
+    }
     find(name).map(BenchmarkSpec::build)
 }
 

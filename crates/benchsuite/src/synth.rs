@@ -1,0 +1,754 @@
+//! Seeded synthetic-circuit generator: parameterized MIG families.
+//!
+//! The fixed 37-circuit registry only exercises the flow on a handful
+//! of hand-written profiles; this module opens an *unbounded*,
+//! fully-deterministic workload space. A synthetic circuit is named by
+//! a **family**, a **seed** and a sorted `key=value` parameter list —
+//! the canonical string form is
+//!
+//! ```text
+//! synth:<family>:<seed>[:key=value[,key=value]*]
+//! ```
+//!
+//! which is exactly what `wavepipe::SynthSpec::name` formats and what
+//! [`crate::build_mig`] feeds into [`build`] here, so engine flow specs
+//! (`CircuitSpec::Synthetic`) and plain registry names resolve
+//! identically.
+//!
+//! ## Families
+//!
+//! | family    | parameters (defaults)                              | shape |
+//! |-----------|----------------------------------------------------|-------|
+//! | `dag`     | `nodes` (200), `depth` (0 ⇒ derived), `inputs` (16), `outputs` (8), `fanout` (0 ⇒ unbounded) | random DAG with exact depth and a bounded fan-out profile |
+//! | `adder`   | `width` (16), `chains` (1)                         | ripple-carry adder chain (deep, carry-dominated) |
+//! | `parity`  | `width` (64), `layers` (1)                         | chained XOR reduction trees |
+//! | `majtree` | `width` (81), `trees` (1)                          | native 3-ary majority reduction trees over shared inputs |
+//! | `compose` | `blocks` (4), `mode` (0 serial / 1 parallel / 2 shared-input), `width` (8), `nodes` (60) | seed-derived blocks glued by a composition operator |
+//!
+//! Every generator is **total**: parameters are clamped to feasible
+//! ranges, so any `(family, seed, params)` triple yields a valid,
+//! non-empty circuit — and the same triple yields a **bit-identical**
+//! netlist on every call, process and platform (asserted by the
+//! metamorphic suite), which is what lets the generated graph serve as
+//! an engine cache identity.
+//!
+//! The composition operators ([`compose_serial`], [`compose_parallel`],
+//! [`compose_shared`]) are public: the cograph-style join/sum algebra
+//! over blocks is how scaling sweeps synthesize circuits whose depth
+//! and fan-out profiles are controlled independently.
+
+use mig::{Mig, Node, Signal};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// A parsed `synth:*` name: family, seed, raw parameters.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct ParsedSynth {
+    /// Generator family name.
+    pub family: String,
+    /// RNG seed.
+    pub seed: u64,
+    /// `key = value` parameters as written (canonicalized on build).
+    pub params: Vec<(String, u64)>,
+}
+
+impl ParsedSynth {
+    /// The canonical name (params sorted by key) — the graph name every
+    /// equivalent spelling generates under, so engine content hashes
+    /// agree.
+    pub fn canonical_name(&self) -> String {
+        use std::fmt::Write as _;
+        let mut params = self.params.clone();
+        params.sort_by(|(a, _), (b, _)| a.cmp(b));
+        let mut out = format!("synth:{}:{}", self.family, self.seed);
+        for (i, (key, value)) in params.iter().enumerate() {
+            out.push(if i == 0 { ':' } else { ',' });
+            let _ = write!(out, "{key}={value}");
+        }
+        out
+    }
+}
+
+/// Parses a `synth:family:seed[:k=v,…]` name. `None` when the string is
+/// not in the grammar (wrong prefix, non-numeric seed or value).
+pub fn parse_name(name: &str) -> Option<ParsedSynth> {
+    let rest = name.strip_prefix("synth:")?;
+    let mut pieces = rest.splitn(3, ':');
+    let family = pieces.next()?.to_owned();
+    let seed: u64 = pieces.next()?.parse().ok()?;
+    let mut params = Vec::new();
+    if let Some(tail) = pieces.next() {
+        for pair in tail.split(',') {
+            let (key, value) = pair.split_once('=')?;
+            if key.is_empty() {
+                return None;
+            }
+            params.push((key.to_owned(), value.parse().ok()?));
+        }
+    }
+    if family.is_empty() {
+        return None;
+    }
+    Some(ParsedSynth {
+        family,
+        seed,
+        params,
+    })
+}
+
+/// Sorted-or-not parameter lookup with a clamped default.
+fn param(params: &[(String, u64)], key: &str, default: u64, min: u64, max: u64) -> u64 {
+    params
+        .iter()
+        .find(|(k, _)| k == key)
+        .map_or(default, |(_, v)| *v)
+        .clamp(min, max)
+}
+
+/// The family names [`generate`] accepts, for docs and sweeps.
+pub const FAMILIES: [&str; 5] = ["dag", "adder", "parity", "majtree", "compose"];
+
+/// A few ready-made synthetic names spanning the families — handy
+/// defaults for examples and smoke sweeps (any other `synth:*` name
+/// works just as well).
+pub const PRESETS: [&str; 6] = [
+    "synth:dag:1",
+    "synth:dag:2:depth=14,nodes=1000",
+    "synth:adder:3:chains=2,width=24",
+    "synth:parity:4:layers=2,width=48",
+    "synth:majtree:5:trees=3,width=81",
+    "synth:compose:6:blocks=4,mode=2",
+];
+
+/// Generates the named family. `None` for an unknown family — the
+/// registry turns that into an unknown-circuit error. The graph is
+/// named by the *canonical* form of the request so every equivalent
+/// spelling hashes identically.
+pub fn generate(family: &str, seed: u64, params: &[(String, u64)]) -> Option<Mig> {
+    let mut g = match family {
+        "dag" => dag(seed, params),
+        "adder" => adder(seed, params),
+        "parity" => parity(seed, params),
+        "majtree" => majtree(seed, params),
+        "compose" => compose(seed, params),
+        _ => return None,
+    };
+    g.set_name(
+        ParsedSynth {
+            family: family.to_owned(),
+            seed,
+            params: params.to_vec(),
+        }
+        .canonical_name(),
+    );
+    Some(g)
+}
+
+/// Parses and generates in one step — the `synth:*` arm of
+/// [`crate::build_mig`].
+pub fn build(name: &str) -> Option<Mig> {
+    let parsed = parse_name(name)?;
+    generate(&parsed.family, parsed.seed, &parsed.params)
+}
+
+// --- dag ---------------------------------------------------------------
+
+/// Random DAG with an exact depth target and a controllable fan-out
+/// profile: every gate anchors one fan-in on the previous level (so the
+/// depth target is realized exactly) and draws the rest from earlier
+/// levels, preferring signals whose fan-out is still under the `fanout`
+/// budget — the knob that makes the fan-out-restriction pass's worst
+/// case reachable on demand.
+fn dag(seed: u64, params: &[(String, u64)]) -> Mig {
+    let nodes = param(params, "nodes", 200, 4, 200_000) as usize;
+    // At least 3 inputs: a majority over fewer distinct nodes always
+    // folds by the Ω axioms, so no level-1 gate could ever exist.
+    let inputs = param(params, "inputs", 16, 3, 4_096) as usize;
+    let outputs = param(params, "outputs", 8, 1, 4_096) as usize;
+    // Default depth scales with log²(nodes) — the regime of mapped
+    // control netlists; an explicit `depth` pins it (clamped feasible).
+    let derived = {
+        let lg = (usize::BITS - nodes.leading_zeros()) as u64;
+        (lg * lg / 4).max(2)
+    };
+    let depth = param(params, "depth", derived, 1, nodes as u64) as u32;
+    let fanout_budget = param(params, "fanout", 0, 0, 64) as u32;
+
+    let mut rng = StdRng::seed_from_u64(seed ^ 0xD1A6_0000);
+    let mut g = Mig::new();
+    let pis = g.add_inputs("pi", inputs);
+
+    // Gates per level: one guaranteed (depth realization), the rest
+    // spread with a mid-weighted bell like real mapped logic.
+    let levels_n = depth as usize;
+    let mut per_level = vec![1usize; levels_n];
+    let mut remaining = nodes.saturating_sub(levels_n);
+    while remaining > 0 {
+        let l = (rng.gen_range(0..levels_n) + rng.gen_range(0..levels_n)) / 2;
+        per_level[l] += 1;
+        remaining -= 1;
+    }
+
+    // levels[l] = canonical signals whose ASAP level is exactly l.
+    let mut levels: Vec<Vec<Signal>> = vec![pis.clone()];
+    let mut fanout = vec![0u32; g.node_count() + nodes + 8];
+    let mut node_levels: Vec<u32> = vec![0; g.node_count()];
+    let level_of = |g: &Mig, node_levels: &mut Vec<u32>, s: Signal| -> u32 {
+        while node_levels.len() < g.node_count() {
+            let id = mig::NodeId::from_index(node_levels.len());
+            let lvl = match g.node(id) {
+                Node::Majority(f) => {
+                    1 + f
+                        .iter()
+                        .map(|x| node_levels[x.node().index()])
+                        .max()
+                        .expect("gates have fan-ins")
+                }
+                _ => 0,
+            };
+            node_levels.push(lvl);
+        }
+        node_levels[s.node().index()]
+    };
+    // Geometric backward distance (locality), then a budget-aware pick:
+    // sample candidates (re-rolling the level each time) and return the
+    // first one still under the fan-out budget, falling back to the
+    // least-loaded candidate seen. With no budget the first sample wins,
+    // which is exactly the unconstrained locality distribution.
+    let pick = |rng: &mut StdRng, levels: &[Vec<Signal>], fanout: &[u32], l: usize| -> Signal {
+        let mut best: Option<Signal> = None;
+        for _ in 0..12 {
+            let mut delta = 0usize;
+            while delta < l && rng.gen_bool(0.5) {
+                delta += 1;
+            }
+            let lvl = &levels[l - delta];
+            let candidate = lvl[rng.gen_range(0..lvl.len())];
+            if fanout_budget == 0 || fanout[candidate.node().index()] < fanout_budget {
+                return candidate;
+            }
+            best = Some(match best {
+                Some(b) if fanout[b.node().index()] <= fanout[candidate.node().index()] => b,
+                _ => candidate,
+            });
+        }
+        best.expect("twelve samples leave a fallback")
+    };
+
+    for (l, &count) in per_level.iter().enumerate() {
+        let target = (l + 1) as u32;
+        let mut this_level: Vec<Signal> = Vec::with_capacity(count);
+        for _ in 0..count {
+            for attempt in 0..16 {
+                // Anchor on the lowest-fanout previous-level signal so
+                // budgeted profiles spread anchors too.
+                let anchors = &levels[l];
+                let a = if fanout_budget > 0 && attempt < 8 {
+                    *anchors
+                        .iter()
+                        .min_by_key(|s| fanout[s.node().index()])
+                        .expect("levels are non-empty")
+                } else {
+                    anchors[rng.gen_range(0..anchors.len())]
+                };
+                let a = a.complement_if(rng.gen());
+                let b = pick(&mut rng, &levels, &fanout, l).complement_if(rng.gen());
+                let c = pick(&mut rng, &levels, &fanout, l).complement_if(rng.gen());
+                let before = g.node_count();
+                let s = g.add_maj(a, b, c);
+                if g.node_count() > before && level_of(&g, &mut node_levels, s) == target {
+                    if fanout.len() < g.node_count() {
+                        fanout.resize(g.node_count() + nodes, 0);
+                    }
+                    for f in [a, b, c] {
+                        fanout[f.node().index()] += 1;
+                    }
+                    this_level.push(s.with_complement(false));
+                    break;
+                }
+            }
+        }
+        if this_level.is_empty() {
+            // Force the level so the depth target is realized: a gate
+            // over three *distinct* non-constant nodes (the anchor at
+            // level `l` plus two earlier ones) cannot fold by any Ω
+            // axiom, so its level is exactly `target` — deterministic,
+            // no retry loop.
+            let a = levels[l][rng.gen_range(0..levels[l].len())];
+            let mut others: Vec<Signal> = Vec::with_capacity(2);
+            'hunt: for lvl in &levels {
+                for s in lvl {
+                    if s.node() != a.node() && others.iter().all(|o| o.node() != s.node()) {
+                        others.push(*s);
+                        if others.len() == 2 {
+                            break 'hunt;
+                        }
+                    }
+                }
+            }
+            let (b, c) = (others[0], others[1]); // ≥ 3 inputs guarantee them
+            let s = g.add_maj(a, b, c);
+            debug_assert_eq!(level_of(&g, &mut node_levels, s), target);
+            let _ = level_of(&g, &mut node_levels, s);
+            if fanout.len() < g.node_count() {
+                fanout.resize(g.node_count() + nodes, 0);
+            }
+            this_level.push(s.with_complement(false));
+        }
+        levels.push(this_level);
+    }
+
+    // First output pins the deepest level; the rest sample the top half
+    // so output depths vary (exercises output padding).
+    let deepest = *levels[levels_n]
+        .last()
+        .expect("deepest level non-empty by construction");
+    g.add_output("po0", deepest.complement_if(rng.gen()));
+    for i in 1..outputs {
+        let l = rng.gen_range((levels_n / 2).max(1)..=levels_n);
+        let s = levels[l][rng.gen_range(0..levels[l].len())];
+        g.add_output(format!("po{i}"), s.complement_if(rng.gen()));
+    }
+    g
+}
+
+// --- adder -------------------------------------------------------------
+
+/// Ripple-carry adder chain: stage 0 adds two fresh `width`-bit words;
+/// each later stage adds the previous sums to a rotated, seed-scrambled
+/// copy of themselves. Deep, carry-propagation-dominated arithmetic
+/// with bounded primary I/O.
+fn adder(seed: u64, params: &[(String, u64)]) -> Mig {
+    let width = param(params, "width", 16, 1, 512) as usize;
+    let chains = param(params, "chains", 1, 1, 64) as usize;
+    let mut rng = StdRng::seed_from_u64(seed ^ 0xADD0_0000);
+    let mut g = Mig::new();
+    let a = g.add_inputs("a", width);
+    let b = g.add_inputs("b", width);
+    let mut cin = g.add_input("cin");
+
+    let mut x = a;
+    let mut y = b;
+    for _ in 0..chains {
+        let mut sums = Vec::with_capacity(width);
+        let mut carry = cin;
+        for i in 0..width {
+            let (s, c) = g.add_full_adder(x[i], y[i], carry);
+            sums.push(s);
+            carry = c;
+        }
+        // Next stage: sums + (sums rotated by a seed-derived amount,
+        // with seed-derived polarities) — keeps the chain irregular.
+        let rot = rng.gen_range(1..=width.max(1));
+        x = sums.clone();
+        y = (0..width)
+            .map(|i| sums[(i + rot) % width].complement_if(rng.gen()))
+            .collect();
+        cin = carry;
+    }
+    for (i, s) in x.iter().enumerate() {
+        g.add_output(format!("s{i}"), *s);
+    }
+    g.add_output("cout", cin);
+    g
+}
+
+// --- parity ------------------------------------------------------------
+
+/// Chained XOR reduction trees: layer 0 reduces the inputs, each later
+/// layer reduces a rotated input vector with the previous root spliced
+/// in — log-depth trees stacked `layers` high.
+fn parity(seed: u64, params: &[(String, u64)]) -> Mig {
+    let width = param(params, "width", 64, 2, 4_096) as usize;
+    let layers = param(params, "layers", 1, 1, 32) as usize;
+    let mut rng = StdRng::seed_from_u64(seed ^ 0x9A21_0000);
+    let mut g = Mig::new();
+    let pis = g.add_inputs("x", width);
+
+    let mut root = g.add_xor_n(&pis);
+    g.add_output("p0", root);
+    for layer in 1..layers {
+        let rot = rng.gen_range(1..width);
+        let mut vec: Vec<Signal> = (0..width)
+            .map(|i| pis[(i + rot) % width].complement_if(rng.gen()))
+            .collect();
+        vec[0] = root;
+        root = g.add_xor_n(&vec);
+        g.add_output(format!("p{layer}"), root);
+    }
+    g
+}
+
+// --- majtree -----------------------------------------------------------
+
+/// Native 3-ary majority reduction trees. `trees` rotated copies share
+/// the same primary inputs, so every input's fan-out grows linearly
+/// with `trees` — a pure-majority stress profile for fan-out
+/// restriction that no AND/OR-mapped benchmark produces.
+fn majtree(seed: u64, params: &[(String, u64)]) -> Mig {
+    let width = param(params, "width", 81, 3, 6_561) as usize;
+    let trees = param(params, "trees", 1, 1, 64) as usize;
+    let mut rng = StdRng::seed_from_u64(seed ^ 0x3A11_0000);
+    let mut g = Mig::new();
+    let pis = g.add_inputs("m", width);
+
+    for t in 0..trees {
+        let rot = if t == 0 { 0 } else { rng.gen_range(1..width) };
+        let mut layer: Vec<Signal> = (0..width)
+            .map(|i| pis[(i + rot) % width].complement_if(t != 0 && rng.gen()))
+            .collect();
+        while layer.len() > 1 {
+            let mut next = Vec::with_capacity(layer.len().div_ceil(3));
+            let mut chunks = layer.chunks_exact(3);
+            for chunk in &mut chunks {
+                next.push(g.add_maj(chunk[0], chunk[1], chunk[2]));
+            }
+            match *chunks.remainder() {
+                [x] => next.push(x),
+                [x, y] => {
+                    // Anchor on a sibling root when one exists; the
+                    // constant-one fallback keeps both leftovers live
+                    // (⟨x y x⟩ would fold to x by the majority axiom).
+                    let anchor = next.first().copied().unwrap_or(Signal::ONE);
+                    next.push(g.add_maj(x, y, anchor));
+                }
+                _ => {}
+            }
+            layer = next;
+        }
+        g.add_output(format!("t{t}"), layer[0]);
+    }
+    g
+}
+
+// --- composition operators --------------------------------------------
+
+/// Instantiates `block` inside `host`, driving the copy's inputs from
+/// `inputs` (wrapping when the block needs more — the shared-input
+/// join). Returns the signals of the block's outputs. The arena walk is
+/// topological by construction, so this is a single O(nodes) pass.
+pub fn instantiate(host: &mut Mig, block: &Mig, inputs: &[Signal]) -> Vec<Signal> {
+    assert!(!inputs.is_empty(), "a block instantiation needs inputs");
+    let mut map: Vec<Signal> = Vec::with_capacity(block.node_count());
+    for id in block.node_ids() {
+        let mapped = match block.node(id) {
+            Node::Constant => Signal::ZERO,
+            Node::Input(position) => inputs[*position as usize % inputs.len()],
+            Node::Majority(fanins) => {
+                let f = |i: usize| {
+                    let s: Signal = fanins[i];
+                    map[s.node().index()].complement_if(s.is_complement())
+                };
+                let (a, b, c) = (f(0), f(1), f(2));
+                host.add_maj(a, b, c)
+            }
+        };
+        map.push(mapped);
+    }
+    block
+        .outputs()
+        .iter()
+        .map(|o| map[o.signal.node().index()].complement_if(o.signal.is_complement()))
+        .collect()
+}
+
+/// Serial composition: fresh inputs feed the first block, each block's
+/// outputs feed the next (wrapping as needed). Depths add up.
+pub fn compose_serial(name: impl Into<String>, blocks: &[Mig], width: usize) -> Mig {
+    let mut g = Mig::with_name(name);
+    let mut wave: Vec<Signal> = g.add_inputs("in", width.max(1));
+    for block in blocks {
+        let outs = instantiate(&mut g, block, &wave);
+        if !outs.is_empty() {
+            wave = outs;
+        }
+    }
+    for (i, s) in wave.iter().enumerate() {
+        g.add_output(format!("out{i}"), *s);
+    }
+    g
+}
+
+/// Parallel composition (disjoint sum): every block gets its own fresh
+/// primary inputs; outputs are concatenated. Sizes add, depth is the
+/// max.
+pub fn compose_parallel(name: impl Into<String>, blocks: &[Mig]) -> Mig {
+    let mut g = Mig::with_name(name);
+    let mut out_index = 0usize;
+    for (bi, block) in blocks.iter().enumerate() {
+        let inputs = g.add_inputs(&format!("b{bi}_in"), block.input_count().max(1));
+        for s in instantiate(&mut g, block, &inputs) {
+            g.add_output(format!("out{out_index}"), s);
+            out_index += 1;
+        }
+    }
+    g
+}
+
+/// Shared-input join: every block reads the *same* primary inputs
+/// (wrapping), outputs are concatenated. Input fan-out scales with the
+/// number of blocks — the join analogue of a cograph 1-sum.
+pub fn compose_shared(name: impl Into<String>, blocks: &[Mig], width: usize) -> Mig {
+    let mut g = Mig::with_name(name);
+    let inputs = g.add_inputs("in", width.max(1));
+    let mut out_index = 0usize;
+    for block in blocks {
+        for s in instantiate(&mut g, block, &inputs) {
+            g.add_output(format!("out{out_index}"), s);
+            out_index += 1;
+        }
+    }
+    g
+}
+
+/// The `compose` family: `blocks` seed-derived blocks (drawn from the
+/// other families with small parameters) glued by `mode` (0 serial,
+/// 1 parallel, 2 shared-input join).
+fn compose(seed: u64, params: &[(String, u64)]) -> Mig {
+    let blocks_n = param(params, "blocks", 4, 1, 64) as usize;
+    let mode = param(params, "mode", 0, 0, 2);
+    let width = param(params, "width", 8, 2, 256) as usize;
+    let block_nodes = param(params, "nodes", 60, 4, 4_096);
+    let mut rng = StdRng::seed_from_u64(seed ^ 0xC0A9_0000);
+
+    let blocks: Vec<Mig> = (0..blocks_n)
+        .map(|b| {
+            let sub_seed = seed
+                .wrapping_mul(0x9E37_79B9_7F4A_7C15)
+                .wrapping_add(b as u64);
+            let pick = rng.gen_range(0..4u32);
+            match pick {
+                0 => generate(
+                    "dag",
+                    sub_seed,
+                    &[
+                        ("inputs".to_owned(), width as u64),
+                        ("nodes".to_owned(), block_nodes),
+                        ("outputs".to_owned(), width as u64),
+                    ],
+                ),
+                1 => generate(
+                    "adder",
+                    sub_seed,
+                    &[("width".to_owned(), (width as u64).clamp(1, 32))],
+                ),
+                2 => generate(
+                    "parity",
+                    sub_seed,
+                    &[("width".to_owned(), (width as u64).max(2))],
+                ),
+                _ => generate(
+                    "majtree",
+                    sub_seed,
+                    &[("width".to_owned(), (width as u64).max(3))],
+                ),
+            }
+            .expect("block families are known")
+        })
+        .collect();
+
+    match mode {
+        0 => compose_serial("compose", &blocks, width),
+        1 => compose_parallel("compose", &blocks),
+        _ => compose_shared("compose", &blocks, width),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mig::Simulator;
+
+    fn patterns(inputs: usize, count: usize, seed: u64) -> Vec<Vec<bool>> {
+        let mut rng = StdRng::seed_from_u64(seed);
+        (0..count)
+            .map(|_| (0..inputs).map(|_| rng.gen()).collect())
+            .collect()
+    }
+
+    #[test]
+    fn every_family_generates_deterministically() {
+        for (i, family) in FAMILIES.iter().enumerate() {
+            let a = generate(family, 40 + i as u64, &[]).expect("known family");
+            let b = generate(family, 40 + i as u64, &[]).expect("known family");
+            assert_eq!(
+                mig::write_mig(&a),
+                mig::write_mig(&b),
+                "{family}: same request must be bit-identical"
+            );
+            assert!(a.gate_count() > 0, "{family} is empty");
+            assert!(a.output_count() > 0, "{family} has no outputs");
+            let c = generate(family, 41 + i as u64, &[]).expect("known family");
+            assert_ne!(
+                mig::write_mig(&a),
+                mig::write_mig(&c),
+                "{family}: different seeds must differ"
+            );
+        }
+        assert!(generate("nope", 1, &[]).is_none());
+    }
+
+    #[test]
+    fn names_parse_and_canonicalize() {
+        let parsed = parse_name("synth:dag:7:nodes=500,depth=12").expect("grammar");
+        assert_eq!(parsed.family, "dag");
+        assert_eq!(parsed.seed, 7);
+        assert_eq!(parsed.canonical_name(), "synth:dag:7:depth=12,nodes=500");
+
+        // Equivalent spellings generate the same graph under the same
+        // canonical name (⇒ same engine content hash).
+        let a = build("synth:dag:7:nodes=160,depth=9").unwrap();
+        let b = build("synth:dag:7:depth=9,nodes=160").unwrap();
+        assert_eq!(a.name(), "synth:dag:7:depth=9,nodes=160");
+        assert_eq!(mig::write_mig(&a), mig::write_mig(&b));
+
+        for bad in [
+            "dag:7",
+            "synth:",
+            "synth:dag",
+            "synth:dag:x",
+            "synth:dag:7:nodes",
+            "synth:dag:7:=3",
+            "synth:dag:7:n=x",
+        ] {
+            assert!(parse_name(bad).is_none(), "{bad} should not parse");
+        }
+    }
+
+    #[test]
+    fn presets_build() {
+        for name in PRESETS {
+            let g = build(name).unwrap_or_else(|| panic!("{name} must build"));
+            assert!(g.gate_count() > 0, "{name}");
+            assert_eq!(g.name(), parse_name(name).unwrap().canonical_name());
+        }
+    }
+
+    #[test]
+    fn dag_hits_depth_and_fanout_targets() {
+        let g = build("synth:dag:11:depth=9,nodes=300").unwrap();
+        assert_eq!(g.depth(), 9);
+        assert!((270..=300).contains(&g.gate_count()), "{}", g.gate_count());
+
+        // A fan-out budget keeps the gate-level profile under the cap
+        // (primary inputs may exceed it — there are only `inputs` of
+        // them to anchor a whole level on).
+        let g = build("synth:dag:11:depth=8,fanout=4,inputs=32,nodes=240").unwrap();
+        let counts = g.fanout_counts();
+        let mut over = 0usize;
+        for id in g.gate_ids() {
+            if counts[id.index()] > 4 {
+                over += 1;
+            }
+        }
+        assert!(
+            over * 10 <= g.gate_count(),
+            "{over} of {} gates exceed the fan-out budget",
+            g.gate_count()
+        );
+
+        // Extreme parameters clamp instead of panicking.
+        let g = build("synth:dag:1:depth=999999,inputs=0,nodes=10").unwrap();
+        assert!(g.gate_count() >= 10);
+    }
+
+    #[test]
+    fn adder_first_stage_is_a_real_adder() {
+        let g = build("synth:adder:9:width=6").unwrap();
+        let sim = Simulator::new(&g);
+        // inputs: a0..5, b0..5, cin; outputs s0..5, cout.
+        for (a, b, cin) in [(13u32, 52u32, 0u32), (63, 63, 1), (0, 0, 1), (21, 42, 0)] {
+            let mut pattern = Vec::new();
+            for i in 0..6 {
+                pattern.push(a >> i & 1 != 0);
+            }
+            for i in 0..6 {
+                pattern.push(b >> i & 1 != 0);
+            }
+            pattern.push(cin != 0);
+            let out = sim.eval(&pattern);
+            let expect = a + b + cin;
+            for (i, bit) in out.iter().enumerate().take(6) {
+                assert_eq!(*bit, expect >> i & 1 != 0, "sum bit {i} of {a}+{b}+{cin}");
+            }
+            assert_eq!(out[6], expect >> 6 & 1 != 0, "carry of {a}+{b}+{cin}");
+        }
+    }
+
+    #[test]
+    fn parity_layer0_is_parity() {
+        let g = build("synth:parity:3:width=9").unwrap();
+        let sim = Simulator::new(&g);
+        for p in patterns(9, 16, 3) {
+            let ones = p.iter().filter(|b| **b).count();
+            assert_eq!(sim.eval(&p)[0], ones % 2 == 1);
+        }
+    }
+
+    #[test]
+    fn majtree_tree0_is_a_majority_cascade() {
+        let g = build("synth:majtree:2:width=9").unwrap();
+        // All-ones → 1, all-zeros → 0 for the unrotated tree.
+        let sim = Simulator::new(&g);
+        assert!(sim.eval(&[true; 9])[0]);
+        assert!(!sim.eval(&[false; 9])[0]);
+        // `trees` multiplies input fan-out.
+        let one = build("synth:majtree:2:trees=1,width=27").unwrap();
+        let many = build("synth:majtree:2:trees=6,width=27").unwrap();
+        let max = |g: &Mig| g.fanout_counts().into_iter().max().unwrap_or(0);
+        assert!(max(&many) > max(&one));
+    }
+
+    #[test]
+    fn composition_operators_obey_their_algebra() {
+        let a = generate("parity", 1, &[("width".to_owned(), 4)]).unwrap();
+        let b = generate("majtree", 2, &[("width".to_owned(), 3)]).unwrap();
+
+        // Parallel: disjoint sum — sizes add, functions are unchanged.
+        let par = compose_parallel("par", &[a.clone(), b.clone()]);
+        assert_eq!(par.input_count(), a.input_count() + b.input_count());
+        assert_eq!(par.output_count(), a.output_count() + b.output_count());
+        let sim = Simulator::new(&par);
+        for p in patterns(par.input_count(), 12, 9) {
+            let got = sim.eval(&p);
+            let (pa, pb) = p.split_at(a.input_count());
+            let mut expect = Simulator::new(&a).eval(pa);
+            expect.extend(Simulator::new(&b).eval(pb));
+            assert_eq!(got, expect, "parallel composition must not mix blocks");
+        }
+
+        // Shared join: blocks read the same inputs (wrapped).
+        let shared = compose_shared("shared", &[a.clone(), b.clone()], 4);
+        assert_eq!(shared.input_count(), 4);
+        let sim = Simulator::new(&shared);
+        for p in patterns(4, 12, 10) {
+            let got = sim.eval(&p);
+            let expect_a = Simulator::new(&a).eval(&p);
+            let wrapped: Vec<bool> = (0..3).map(|i| p[i % 4]).collect();
+            let expect_b = Simulator::new(&b).eval(&wrapped);
+            assert_eq!(&got[..expect_a.len()], &expect_a[..]);
+            assert_eq!(&got[expect_a.len()..], &expect_b[..]);
+        }
+
+        // Serial: depths accumulate. (Multi-output blocks, so the chain
+        // cannot collapse to a constant by rewriting.)
+        let block = generate("adder", 3, &[("width".to_owned(), 4)]).unwrap();
+        let one = compose_serial("one", std::slice::from_ref(&block), 4);
+        let three = compose_serial("three", &[block.clone(), block.clone(), block], 4);
+        assert!(
+            three.depth() > one.depth(),
+            "serial chain must be deeper than one block ({} vs {})",
+            three.depth(),
+            one.depth()
+        );
+    }
+
+    #[test]
+    fn compose_modes_differ_and_build() {
+        for mode in 0..3u64 {
+            let g = generate("compose", 8, &[("mode".to_owned(), mode)]).unwrap();
+            assert!(g.gate_count() > 0, "mode {mode}");
+            assert!(g.output_count() > 0, "mode {mode}");
+        }
+    }
+}

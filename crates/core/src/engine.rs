@@ -205,11 +205,29 @@ impl<'a> IntoIterator for &'a EngineRun {
     }
 }
 
-/// Insertion-ordered cache with optional capacity (oldest-out).
+/// Recency-ordered cache with optional capacity. `order` runs from
+/// least- to most-recently-used: hits move their key to the back, so a
+/// bounded cache evicts the LRU entry from the front.
 #[derive(Default)]
 struct Cache {
     cells: HashMap<CellKey, Arc<PipelineRun>>,
     order: VecDeque<CellKey>,
+}
+
+impl Cache {
+    /// Looks a key up and, on a hit, marks it most-recently-used.
+    /// `track_recency` is false for the unbounded cache, where nothing
+    /// is ever evicted and the O(len) recency scan would buy nothing.
+    fn get_touch(&mut self, key: &CellKey, track_recency: bool) -> Option<Arc<PipelineRun>> {
+        let run = self.cells.get(key)?.clone();
+        if track_recency && self.order.back() != Some(key) {
+            if let Some(at) = self.order.iter().position(|k| k == key) {
+                self.order.remove(at);
+                self.order.push_back(*key);
+            }
+        }
+        Some(run)
+    }
 }
 
 /// The engine facade. See the [module docs](self) for semantics; the
@@ -280,8 +298,8 @@ impl Engine {
         self
     }
 
-    /// Bounds the cache to `cells` entries (oldest evicted first);
-    /// `0` disables caching.
+    /// Bounds the cache to `cells` entries (least-recently-used
+    /// evicted first; a hit counts as a use); `0` disables caching.
     pub fn with_cache_capacity(mut self, cells: usize) -> Engine {
         self.capacity = Some(cells);
         self
@@ -372,7 +390,7 @@ impl Engine {
         let resolved: Vec<Result<Mig, SpecError>> =
             spec.circuits.par_iter().map(|c| self.resolve(c)).collect();
         for (circuit, graph) in spec.circuits.iter().zip(resolved) {
-            circuits.push((circuit.name().to_owned(), graph?));
+            circuits.push((circuit.name(), graph?));
         }
         let graphs: Vec<&Mig> = circuits.iter().map(|(_, g)| g).collect();
 
@@ -486,15 +504,15 @@ impl Engine {
                     technology: technology.map_or(COST_BLIND, |m| tech_hashes[m]),
                 });
                 if let Some(key) = key {
-                    let cache = self.cache.lock().expect("cache poisoned");
-                    if let Some(run) = cache.cells.get(&key) {
+                    let mut cache = self.cache.lock().expect("cache poisoned");
+                    if let Some(run) = cache.get_touch(&key, self.capacity.is_some()) {
+                        drop(cache);
                         let cell = EngineCell {
                             circuit,
                             technology,
                             cached: true,
-                            outcome: Ok(run.clone()),
+                            outcome: Ok(run),
                         };
-                        drop(cache);
                         self.hits.fetch_add(1, Ordering::Relaxed);
                         sink(&cell);
                         return cell;
@@ -549,13 +567,14 @@ impl Engine {
 
     fn resolve(&self, circuit: &CircuitSpec) -> Result<Mig, SpecError> {
         match circuit {
-            CircuitSpec::Named(name) => {
-                let resolver = self
-                    .resolver
-                    .as_ref()
-                    .ok_or_else(|| SpecError::NoResolver(name.clone()))?;
-                resolver(name).ok_or_else(|| SpecError::UnknownCircuit(name.clone()))
-            }
+            CircuitSpec::Named(name) => self.resolve_name(name),
+            // Synthetic requests resolve through the same registry
+            // lookup under their canonical `synth:family:seed:k=v` name
+            // (`benchsuite::build_mig` parses it back and generates);
+            // the generated graph is then content-hashed like any other
+            // circuit, so the cache key tracks (family, seed, params)
+            // exactly as far as the generator is deterministic.
+            CircuitSpec::Synthetic(synth) => self.resolve_name(&synth.name()),
             CircuitSpec::Inline { name, mig } => {
                 mig::parse_mig(mig).map_err(|e| SpecError::InlineCircuit {
                     name: name.clone(),
@@ -563,6 +582,14 @@ impl Engine {
                 })
             }
         }
+    }
+
+    fn resolve_name(&self, name: &str) -> Result<Mig, SpecError> {
+        let resolver = self
+            .resolver
+            .as_ref()
+            .ok_or_else(|| SpecError::NoResolver(name.to_owned()))?;
+        resolver(name).ok_or_else(|| SpecError::UnknownCircuit(name.to_owned()))
     }
 }
 
@@ -710,6 +737,50 @@ mod tests {
         seen.sort();
         assert_eq!(seen, vec![(0, Some(0)), (1, Some(0))]);
         assert_eq!(run.cells.len(), 2);
+    }
+
+    #[test]
+    fn synthetic_circuits_resolve_through_the_registry_name() {
+        // The resolver sees the canonical `synth:*` string; two runs of
+        // the same request are one cache cell, different seeds are not.
+        fn synth_resolver(name: &str) -> Option<Mig> {
+            let seed: u64 = name.strip_prefix("synth:dag:")?.parse().ok()?;
+            let mut g = sample_mig(seed);
+            g.set_name(name);
+            Some(g)
+        }
+        let engine = Engine::new().with_resolver(synth_resolver);
+        let spec = FlowSpec::new("synth")
+            .synthetic_circuit(crate::SynthSpec::new("dag", 1))
+            .synthetic_circuit(crate::SynthSpec::new("dag", 2));
+        let cold = engine.run(&spec).unwrap();
+        assert_eq!(cold.circuits, ["synth:dag:1", "synth:dag:2"]);
+        assert_eq!(cold.stats.cache_misses, 2, "distinct seeds, distinct keys");
+        let warm = engine.run(&spec).unwrap();
+        assert_eq!(warm.stats.cache_hits, 2);
+        assert_eq!(warm.stats.passes_executed, 0);
+
+        // Unknown families surface as UnknownCircuit under the name.
+        let err = engine
+            .run(&FlowSpec::new("u").synthetic_circuit(crate::SynthSpec::new("nope", 1)))
+            .unwrap_err();
+        assert!(matches!(
+            err,
+            FlowError::Spec(SpecError::UnknownCircuit(name)) if name == "synth:nope:1"
+        ));
+    }
+
+    #[test]
+    fn bounded_cache_evicts_least_recently_used() {
+        let engine = Engine::new().with_resolver(resolver).with_cache_capacity(1);
+        let s1 = FlowSpec::new("one").circuit("S1");
+        let s2 = FlowSpec::new("two").circuit("S2");
+        engine.run(&s1).unwrap();
+        engine.run(&s2).unwrap(); // evicts S1 (capacity 1)
+        let back = engine.run(&s1).unwrap();
+        assert_eq!(back.stats.cache_hits, 0, "S1 was evicted");
+        assert_eq!(back.stats.cache_misses, 1);
+        assert!(back.stats.passes_executed > 0, "re-executes after eviction");
     }
 
     #[test]

@@ -169,7 +169,7 @@ pub use pipeline::{
     Pass, PassError, PassKind, PassStats, PipelineError, PipelineRun,
 };
 pub use retiming::{insert_buffers_retimed, schedule_levels, LevelSchedule, RetimedInsertionPass};
-pub use spec::{CircuitSpec, FlowSpec, PassSpec, PipelineSpec, SpecError};
+pub use spec::{CircuitSpec, FlowSpec, PassSpec, PipelineSpec, SpecError, SynthSpec};
 pub use wavesim::{WaveRun, WaveSimulator};
 pub use weighted::{
     insert_buffers_weighted, verify_weighted_balance, weighted_arrivals, CostAwareInsertionPass,

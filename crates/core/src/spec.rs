@@ -5,8 +5,9 @@
 //! pipeline to run ([`PipelineSpec`]: pass list, [`BufferStrategy`],
 //! cost-aware toggles), the technologies to price under (as
 //! [`CostTable`]s), and the circuits to run on ([`CircuitSpec`]: a
-//! `benchsuite` registry name resolved by the engine's resolver, or an
-//! inline netlist in the `mig` text format). [`crate::Engine::run`]
+//! `benchsuite` registry name resolved by the engine's resolver, an
+//! inline netlist in the `mig` text format, or a seeded synthetic
+//! generator request — a [`SynthSpec`]). [`crate::Engine::run`]
 //! validates a spec, compiles it into a [`FlowPipeline`] and sweeps the
 //! circuit × technology grid with content-hash keyed caching.
 //!
@@ -55,6 +56,14 @@ pub enum SpecError {
         /// The parse failure.
         error: String,
     },
+    /// A synthetic circuit request is malformed (bad family or
+    /// parameter identifier) — caught before the resolver ever sees it.
+    Synthetic {
+        /// The canonical `synth:*` name of the offending entry.
+        name: String,
+        /// What is wrong with it.
+        reason: String,
+    },
     /// A fan-out restriction limit is outside the paper's §IV range.
     FanoutLimitOutOfRange(u32),
     /// The pipeline uses a cost-aware pass but the spec targets no
@@ -80,6 +89,9 @@ impl fmt::Display for SpecError {
             ),
             SpecError::InlineCircuit { name, error } => {
                 write!(f, "inline circuit `{name}` does not parse: {error}")
+            }
+            SpecError::Synthetic { name, reason } => {
+                write!(f, "synthetic circuit `{name}` is malformed: {reason}")
             }
             SpecError::FanoutLimitOutOfRange(limit) => write!(
                 f,
@@ -294,6 +306,108 @@ impl PipelineSpec {
     }
 }
 
+/// A parameterized request for a *generated* circuit: a family name, a
+/// seed and a (canonically sorted) list of `key = value` parameters.
+///
+/// A synthetic spec is pure data — the generator itself lives with the
+/// circuit registry (the `benchsuite` crate's `synth` module, for the
+/// stock resolver). The engine resolves the spec by formatting its
+/// [`canonical name`](SynthSpec::name) (`synth:family:seed:k=v,…`) and
+/// handing that to its circuit resolver, exactly like a
+/// [`CircuitSpec::Named`] entry; the generated graph then participates
+/// in the engine's content-hash cache key like any other circuit, so
+/// the determinism contract (same `(family, seed, params)` → bit-identical
+/// netlist → identical cache key) holds across runs and processes.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct SynthSpec {
+    /// Generator family name (lowercase `[a-z0-9_]`).
+    pub family: String,
+    /// RNG seed — the determinism axis.
+    pub seed: u64,
+    /// `key = value` parameters, kept sorted by key (canonical order).
+    pub params: Vec<(String, u64)>,
+}
+
+/// `true` for identifiers the `synth:` name grammar can round-trip
+/// (lowercase alphanumerics and underscores).
+fn is_synth_ident(s: &str) -> bool {
+    !s.is_empty()
+        && s.chars()
+            .all(|c| c.is_ascii_lowercase() || c.is_ascii_digit() || c == '_')
+}
+
+impl SynthSpec {
+    /// Starts a parameterless request for `family` with `seed`.
+    pub fn new(family: impl Into<String>, seed: u64) -> SynthSpec {
+        SynthSpec {
+            family: family.into(),
+            seed,
+            params: Vec::new(),
+        }
+    }
+
+    /// Sets one parameter, keeping the list sorted (re-setting a key
+    /// replaces its value, so the canonical form stays canonical).
+    pub fn param(mut self, key: impl Into<String>, value: u64) -> SynthSpec {
+        let key = key.into();
+        match self.params.binary_search_by(|(k, _)| k.cmp(&key)) {
+            Ok(i) => self.params[i].1 = value,
+            Err(i) => self.params.insert(i, (key, value)),
+        }
+        self
+    }
+
+    /// The canonical registry name: `synth:family:seed` with a trailing
+    /// `:k=v,k=v` segment when parameters are set. This string is what
+    /// the engine's resolver receives, and what `benchsuite::build_mig`
+    /// parses back.
+    pub fn name(&self) -> String {
+        use std::fmt::Write as _;
+        let mut out = format!("synth:{}:{}", self.family, self.seed);
+        for (i, (key, value)) in self.params.iter().enumerate() {
+            out.push(if i == 0 { ':' } else { ',' });
+            let _ = write!(out, "{key}={value}");
+        }
+        out
+    }
+
+    /// Structural validation: family and parameter keys must be
+    /// round-trippable identifiers, keys unique and in canonical order.
+    ///
+    /// # Errors
+    ///
+    /// [`SpecError::Synthetic`].
+    pub fn validate(&self) -> Result<(), SpecError> {
+        let reject = |reason: String| {
+            Err(SpecError::Synthetic {
+                name: self.name(),
+                reason,
+            })
+        };
+        if !is_synth_ident(&self.family) {
+            return reject(format!(
+                "family `{}` is not a lowercase identifier",
+                self.family
+            ));
+        }
+        for (i, (key, _)) in self.params.iter().enumerate() {
+            if !is_synth_ident(key) {
+                return reject(format!(
+                    "parameter key `{key}` is not a lowercase identifier"
+                ));
+            }
+            if let Some((prev, _)) = i.checked_sub(1).map(|p| &self.params[p]) {
+                if *prev >= *key {
+                    return reject(format!(
+                        "parameter keys must be unique and sorted (`{prev}` before `{key}`)"
+                    ));
+                }
+            }
+        }
+        Ok(())
+    }
+}
+
 /// One circuit selection of a [`FlowSpec`].
 #[derive(Clone, Debug, PartialEq, Eq)]
 pub enum CircuitSpec {
@@ -308,6 +422,9 @@ pub enum CircuitSpec {
         /// The `mig` text of the graph.
         mig: String,
     },
+    /// A seeded synthetic circuit, generated on resolve (see
+    /// [`SynthSpec`]).
+    Synthetic(SynthSpec),
 }
 
 impl CircuitSpec {
@@ -319,10 +436,12 @@ impl CircuitSpec {
         }
     }
 
-    /// The circuit's display name.
-    pub fn name(&self) -> &str {
+    /// The circuit's display name (the canonical `synth:*` name for
+    /// synthetic entries).
+    pub fn name(&self) -> String {
         match self {
-            CircuitSpec::Named(name) | CircuitSpec::Inline { name, .. } => name,
+            CircuitSpec::Named(name) | CircuitSpec::Inline { name, .. } => name.clone(),
+            CircuitSpec::Synthetic(synth) => synth.name(),
         }
     }
 }
@@ -379,24 +498,33 @@ impl FlowSpec {
         self
     }
 
+    /// Adds a seeded synthetic circuit (resolved by the engine's
+    /// registry under its canonical `synth:*` name).
+    pub fn synthetic_circuit(mut self, synth: SynthSpec) -> FlowSpec {
+        self.circuits.push(CircuitSpec::Synthetic(synth));
+        self
+    }
+
     /// Structural validation, before any circuit is resolved or any
     /// pass runs. The engine calls this first on every run.
     ///
     /// # Errors
     ///
     /// [`SpecError::EmptyCircuits`], [`SpecError::DuplicateCircuit`],
-    /// [`SpecError::FanoutLimitOutOfRange`] or
-    /// [`SpecError::CostAwareWithoutTechnology`].
+    /// [`SpecError::Synthetic`], [`SpecError::FanoutLimitOutOfRange`]
+    /// or [`SpecError::CostAwareWithoutTechnology`].
     pub fn validate(&self) -> Result<(), SpecError> {
         if self.circuits.is_empty() {
             return Err(SpecError::EmptyCircuits);
         }
-        for (i, circuit) in self.circuits.iter().enumerate() {
-            if self.circuits[..i]
-                .iter()
-                .any(|c| c.name() == circuit.name())
-            {
-                return Err(SpecError::DuplicateCircuit(circuit.name().to_owned()));
+        let mut seen = std::collections::HashSet::with_capacity(self.circuits.len());
+        for circuit in &self.circuits {
+            if let CircuitSpec::Synthetic(synth) = circuit {
+                synth.validate()?;
+            }
+            let name = circuit.name();
+            if !seen.insert(name.clone()) {
+                return Err(SpecError::DuplicateCircuit(name));
             }
         }
         self.pipeline.validate()?;
@@ -606,6 +734,51 @@ impl Deserialize for PipelineSpec {
     }
 }
 
+impl Serialize for SynthSpec {
+    fn to_value(&self) -> Value {
+        object(vec![
+            ("family", self.family.to_value()),
+            ("seed", self.seed.to_value()),
+            (
+                "params",
+                Value::Object(
+                    self.params
+                        .iter()
+                        .map(|(k, v)| (k.clone(), v.to_value()))
+                        .collect(),
+                ),
+            ),
+        ])
+    }
+}
+
+impl Deserialize for SynthSpec {
+    fn from_value(value: &Value) -> Result<SynthSpec, DeError> {
+        let entries = value
+            .as_object()
+            .ok_or_else(|| DeError::expected("object for SynthSpec"))?;
+        let mut params: Vec<(String, u64)> = Vec::new();
+        for (key, item) in serde::field(entries, "params")?
+            .as_object()
+            .ok_or_else(|| DeError::expected("object for synth params"))?
+        {
+            params.push((key.clone(), Deserialize::from_value(item)?));
+        }
+        // Canonicalize here so a hand-edited JSON spec and its
+        // round-tripped form compare (and hash) equal; duplicate keys
+        // are a shape error, not a silent last-one-wins.
+        params.sort_by(|(a, _), (b, _)| a.cmp(b));
+        if params.windows(2).any(|w| w[0].0 == w[1].0) {
+            return Err(DeError("duplicate synth parameter key".to_owned()));
+        }
+        Ok(SynthSpec {
+            family: Deserialize::from_value(serde::field(entries, "family")?)?,
+            seed: Deserialize::from_value(serde::field(entries, "seed")?)?,
+            params,
+        })
+    }
+}
+
 impl Serialize for CircuitSpec {
     fn to_value(&self) -> Value {
         match self {
@@ -613,6 +786,7 @@ impl Serialize for CircuitSpec {
             CircuitSpec::Inline { name, mig } => {
                 object(vec![("name", name.to_value()), ("mig", mig.to_value())])
             }
+            CircuitSpec::Synthetic(synth) => object(vec![("synth", synth.to_value())]),
         }
     }
 }
@@ -621,11 +795,18 @@ impl Deserialize for CircuitSpec {
     fn from_value(value: &Value) -> Result<CircuitSpec, DeError> {
         match value {
             Value::Str(name) => Ok(CircuitSpec::Named(name.clone())),
-            Value::Object(entries) => Ok(CircuitSpec::Inline {
-                name: Deserialize::from_value(serde::field(entries, "name")?)?,
-                mig: Deserialize::from_value(serde::field(entries, "mig")?)?,
-            }),
-            _ => Err(DeError::expected("circuit name or inline object")),
+            Value::Object(entries) => {
+                if let Ok(synth) = serde::field(entries, "synth") {
+                    return Ok(CircuitSpec::Synthetic(Deserialize::from_value(synth)?));
+                }
+                Ok(CircuitSpec::Inline {
+                    name: Deserialize::from_value(serde::field(entries, "name")?)?,
+                    mig: Deserialize::from_value(serde::field(entries, "mig")?)?,
+                })
+            }
+            _ => Err(DeError::expected(
+                "circuit name, inline object or synth object",
+            )),
         }
     }
 }
@@ -776,6 +957,58 @@ mod tests {
             Err(SpecError::CostAwareWithoutTechnology)
         );
         assert_eq!(full_spec().validate(), Ok(()));
+    }
+
+    #[test]
+    fn synth_specs_have_canonical_names_and_round_trip() {
+        let synth = SynthSpec::new("dag", 7)
+            .param("nodes", 500)
+            .param("depth", 12)
+            .param("nodes", 600); // re-set replaces, stays sorted
+        assert_eq!(synth.name(), "synth:dag:7:depth=12,nodes=600");
+        assert_eq!(SynthSpec::new("adder", 3).name(), "synth:adder:3");
+
+        let spec = FlowSpec::new("synthetic")
+            .synthetic_circuit(synth.clone())
+            .synthetic_circuit(SynthSpec::new("parity", 1).param("width", 32));
+        assert_eq!(spec.validate(), Ok(()));
+        let back = FlowSpec::from_json(&spec.to_json()).unwrap();
+        assert_eq!(spec, back);
+        assert_eq!(spec.to_json(), back.to_json(), "bit-identical round trip");
+        assert_eq!(spec.content_hash(), back.content_hash());
+
+        // Different seeds / params are different cache identities.
+        let other = FlowSpec::new("synthetic")
+            .synthetic_circuit(synth.clone().param("depth", 13))
+            .synthetic_circuit(SynthSpec::new("parity", 2).param("width", 32));
+        assert_ne!(spec.content_hash(), other.content_hash());
+    }
+
+    #[test]
+    fn malformed_synth_specs_are_rejected() {
+        let bad_family = FlowSpec::new("s").synthetic_circuit(SynthSpec::new("DAG!", 1));
+        assert!(matches!(
+            bad_family.validate(),
+            Err(SpecError::Synthetic { .. })
+        ));
+        let bad_key =
+            FlowSpec::new("s").synthetic_circuit(SynthSpec::new("dag", 1).param("Nodes", 10));
+        assert!(matches!(
+            bad_key.validate(),
+            Err(SpecError::Synthetic { .. })
+        ));
+        // Hand-assembled unsorted params are caught too.
+        let mut synth = SynthSpec::new("dag", 1);
+        synth.params = vec![("b".to_owned(), 1), ("a".to_owned(), 2)];
+        assert!(matches!(synth.validate(), Err(SpecError::Synthetic { .. })));
+        // Duplicate params in JSON are a parse error, not last-one-wins.
+        assert!(FlowSpec::from_json(
+            r#"{"name":"x","pipeline":{"minimize_inverters":false,"passes":[]},
+                "technologies":[],
+                "circuits":[{"synth":{"family":"dag","seed":1,
+                             "params":{"n":1,"n":2}}}]}"#
+        )
+        .is_err());
     }
 
     #[test]

@@ -1,6 +1,7 @@
-//! Sweep a slice of the benchmark suite through the flow and print a
-//! compact scoreboard: sizes, depths, buffer/FOG overheads and the SWD
-//! gains — the bird's-eye view behind Figs 5, 8 and 9.
+//! Sweep a slice of the benchmark suite — plus the synthetic-generator
+//! presets — through the flow and print a compact scoreboard: sizes,
+//! depths, buffer/FOG overheads and the SWD gains — the bird's-eye
+//! view behind Figs 5, 8 and 9.
 //!
 //! ```text
 //! cargo run --release --example benchmark_sweep [N]
@@ -8,7 +9,8 @@
 //!
 //! `N` limits how many suite benchmarks to run (default 12, smallest
 //! first by original size; the full 37 take a few minutes in debug
-//! builds).
+//! builds). The `synth:*` preset names ride along regardless of `N` —
+//! any `synth:family:seed:k=v` name works here, same as in a spec.
 
 use wave_pipelining::prelude::*;
 
@@ -19,7 +21,8 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         .transpose()?
         .unwrap_or(12);
 
-    // Build everything cheap-ish first, sort by size, keep N.
+    // Build everything cheap-ish first, sort by size, keep N, then
+    // append the synthetic presets (resolved by the same registry).
     let mut built: Vec<_> = SUITE
         .iter()
         .filter(|s| !matches!(s.name, "RAND50K" | "MUL64" | "DIFFEQ1"))
@@ -27,10 +30,14 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         .collect();
     built.sort_by_key(|(_, g)| g.gate_count());
     built.truncate(limit);
+    for name in benchsuite::synth::PRESETS {
+        let g = benchsuite::build_mig(name).expect("presets resolve");
+        built.push((name, g));
+    }
 
     let swd = Technology::swd();
     println!(
-        "{:<12} {:>8} {:>6} {:>8} {:>6} {:>7} {:>7} {:>9} {:>9}",
+        "{:<34} {:>8} {:>6} {:>8} {:>6} {:>7} {:>7} {:>9} {:>9}",
         "benchmark", "size", "depth", "size'", "depth'", "+BUF", "+FOG", "SWD T/A", "SWD T/P"
     );
     // One declarative pipeline spec, swept over the whole batch by the
@@ -46,7 +53,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         let (o, p) = (result.original.counts(), result.pipelined.counts());
         let row = compare(result, &swd);
         println!(
-            "{:<12} {:>8} {:>6} {:>8} {:>6} {:>7} {:>7} {:>8.2}x {:>8.2}x",
+            "{:<34} {:>8} {:>6} {:>8} {:>6} {:>7} {:>7} {:>8.2}x {:>8.2}x",
             name,
             o.priced_total(),
             result.original.depth(),

@@ -1,0 +1,167 @@
+//! Golden test pinning the `BENCH_*.json` schemas (field names and
+//! shapes). The repro tooling that tracks the performance trajectory
+//! across PRs parses these records; a silent field rename would strand
+//! it, so any schema change must consciously update this test.
+
+use serde::Value;
+use wavepipe::EngineStats;
+use wavepipe_bench::record::{
+    BenchRecord, PassSummary, PassThroughput, ScalingPoint, ScalingRecord, StageRecord,
+};
+
+/// Sorted top-level keys of a JSON object value.
+fn keys(value: &Value) -> Vec<String> {
+    let mut keys: Vec<String> = value
+        .as_object()
+        .expect("object")
+        .iter()
+        .map(|(k, _)| k.clone())
+        .collect();
+    keys.sort();
+    keys
+}
+
+fn to_value<T: serde::Serialize>(record: &T) -> Value {
+    serde_json::from_str(&serde_json::to_string(record).expect("serialize"))
+        .expect("own output parses")
+}
+
+const ENGINE_KEYS: [&str; 3] = ["cache_hits", "cache_misses", "passes_executed"];
+
+#[test]
+fn bench_pr3_record_schema_is_pinned() {
+    let record = BenchRecord {
+        stages: [(
+            "grid_sweep".to_owned(),
+            StageRecord {
+                wall_ms: 1.5,
+                engine: EngineStats::default(),
+            },
+        )]
+        .into_iter()
+        .collect(),
+        engine_totals: EngineStats::default(),
+        cached_cells: 3,
+        passes: vec![PassSummary {
+            technology: "SWD".to_owned(),
+            pass: "map".to_owned(),
+            micros: 10,
+            area_delta: 0.0,
+            energy_delta: 0.0,
+            cycle_time_delta: 0.0,
+        }],
+    };
+    let value = to_value(&record);
+    assert_eq!(
+        keys(&value),
+        ["cached_cells", "engine_totals", "passes", "stages"]
+    );
+    let stages = value.as_object().unwrap();
+    let stage = serde::field(stages, "stages")
+        .and_then(|s| serde::field(s.as_object().unwrap(), "grid_sweep"))
+        .unwrap();
+    assert_eq!(keys(stage), ["engine", "wall_ms"]);
+    assert_eq!(
+        keys(serde::field(stage.as_object().unwrap(), "engine").unwrap()),
+        ENGINE_KEYS
+    );
+    let passes = serde::field(stages, "passes").unwrap().as_array().unwrap();
+    assert_eq!(
+        keys(&passes[0]),
+        [
+            "area_delta",
+            "cycle_time_delta",
+            "energy_delta",
+            "micros",
+            "pass",
+            "technology"
+        ]
+    );
+}
+
+#[test]
+fn bench_pr4_record_schema_is_pinned() {
+    let record = ScalingRecord {
+        pipeline: vec!["map".to_owned()],
+        points: vec![ScalingPoint {
+            name: "synth:dag:1".to_owned(),
+            target_nodes: 100,
+            gates: 100,
+            mapped_size: 120,
+            pipelined_size: 500,
+            depth: 9,
+            cold_wall_ms: 1.0,
+            warm_wall_ms: 0.1,
+            cold: EngineStats::default(),
+            warm: EngineStats::default(),
+            passes: vec![PassThroughput {
+                pass: "map".to_owned(),
+                micros: 5,
+                nodes_per_sec: 1e6,
+            }],
+        }],
+        engine_totals: EngineStats::default(),
+        cached_cells: 1,
+    };
+    let value = to_value(&record);
+    assert_eq!(
+        keys(&value),
+        ["cached_cells", "engine_totals", "pipeline", "points"]
+    );
+    let point = &serde::field(value.as_object().unwrap(), "points")
+        .unwrap()
+        .as_array()
+        .unwrap()[0];
+    assert_eq!(
+        keys(point),
+        [
+            "cold",
+            "cold_wall_ms",
+            "depth",
+            "gates",
+            "mapped_size",
+            "name",
+            "passes",
+            "pipelined_size",
+            "target_nodes",
+            "warm",
+            "warm_wall_ms"
+        ]
+    );
+    let pass = &serde::field(point.as_object().unwrap(), "passes")
+        .unwrap()
+        .as_array()
+        .unwrap()[0];
+    assert_eq!(keys(pass), ["micros", "nodes_per_sec", "pass"]);
+}
+
+/// Generated artifacts must match the pinned schema too. `results/` is
+/// gitignored (the binaries regenerate it), so absent files are
+/// skipped — CI's synth-smoke job runs the `scaling` binary first and
+/// then this test, which is what keeps `results/BENCH_pr4.json`
+/// generation from rotting relative to the record types.
+#[test]
+fn generated_bench_records_parse_with_the_pinned_shape() {
+    for (path, top) in [
+        (
+            "results/BENCH_pr3.json",
+            vec!["cached_cells", "engine_totals", "passes", "stages"],
+        ),
+        (
+            "results/BENCH_pr4.json",
+            vec!["cached_cells", "engine_totals", "pipeline", "points"],
+        ),
+    ] {
+        let Ok(text) = std::fs::read_to_string(path) else {
+            eprintln!("{path} not generated in this checkout; skipping");
+            continue;
+        };
+        let value: Value = serde_json::from_str(&text).unwrap_or_else(|e| panic!("{path}: {e}"));
+        assert_eq!(keys(&value), top[..], "{path} drifted from the schema");
+        assert_eq!(
+            keys(serde::field(value.as_object().unwrap(), "engine_totals").unwrap()),
+            ENGINE_KEYS,
+            "{path}"
+        );
+    }
+}

@@ -1,0 +1,87 @@
+//! Capacity-bounded engine cache semantics: the cache is LRU — hits
+//! refresh recency, filling past capacity evicts the least-recently-
+//! used cell, and re-running an evicted cell re-executes its passes
+//! (all confirmed through the [`wavepipe::EngineStats`] counters).
+
+use wavepipe::{Engine, FlowSpec, SynthSpec};
+
+fn engine(capacity: usize) -> Engine {
+    Engine::new()
+        .with_resolver(benchsuite::build_mig)
+        .with_cache_capacity(capacity)
+}
+
+fn spec(seed: u64) -> FlowSpec {
+    FlowSpec::new(format!("cell-{seed}"))
+        .synthetic_circuit(SynthSpec::new("dag", seed).param("nodes", 60))
+}
+
+#[test]
+fn filling_past_capacity_evicts_lru_and_evicted_cells_re_execute() {
+    let engine = engine(2);
+
+    engine.run(&spec(1)).unwrap(); // cache: [1]
+    engine.run(&spec(2)).unwrap(); // cache: [1, 2]
+    assert_eq!(engine.cached_cells(), 2);
+
+    // Touch cell 1: it becomes the most recently used.
+    let hit = engine.run(&spec(1)).unwrap();
+    assert_eq!(hit.stats.cache_hits, 1);
+    assert_eq!(hit.stats.passes_executed, 0);
+
+    // Cell 3 fills past capacity → the LRU entry (2, not 1) goes.
+    engine.run(&spec(3)).unwrap(); // cache: [1, 3]
+    assert_eq!(engine.cached_cells(), 2);
+
+    let survivor = engine.run(&spec(1)).unwrap();
+    assert_eq!(
+        survivor.stats.cache_hits, 1,
+        "the recently-touched cell must survive the eviction"
+    );
+    assert_eq!(survivor.stats.passes_executed, 0);
+
+    let evicted = engine.run(&spec(2)).unwrap();
+    assert_eq!(evicted.stats.cache_hits, 0, "cell 2 was evicted");
+    assert_eq!(evicted.stats.cache_misses, 1);
+    assert!(
+        evicted.stats.passes_executed > 0,
+        "an evicted cell re-executes its passes"
+    );
+}
+
+#[test]
+fn eviction_is_bounded_under_a_long_sweep() {
+    let engine = engine(3);
+    for seed in 0..10 {
+        engine.run(&spec(seed)).unwrap();
+    }
+    assert_eq!(engine.cached_cells(), 3, "capacity is a hard bound");
+    let stats = engine.stats();
+    assert_eq!(stats.cache_misses, 10);
+    assert_eq!(stats.cache_hits, 0);
+
+    // The three most recent seeds are resident; everything older is not.
+    for seed in 7..10 {
+        let run = engine.run(&spec(seed)).unwrap();
+        assert_eq!(run.stats.cache_hits, 1, "seed {seed} should be resident");
+    }
+    let old = engine.run(&spec(0)).unwrap();
+    assert_eq!(old.stats.cache_misses, 1, "seed 0 aged out");
+}
+
+#[test]
+fn cumulative_counters_track_every_run() {
+    let engine = engine(8);
+    engine.run(&spec(1)).unwrap();
+    engine.run(&spec(1)).unwrap();
+    engine.run(&spec(2)).unwrap();
+    let stats = engine.stats();
+    assert_eq!(stats.cache_hits, 1);
+    assert_eq!(stats.cache_misses, 2);
+    assert!(stats.passes_executed >= 8, "two cold runs × four passes");
+
+    engine.clear_cache();
+    assert_eq!(engine.cached_cells(), 0);
+    let after = engine.run(&spec(1)).unwrap();
+    assert_eq!(after.stats.cache_misses, 1, "clear forces recomputation");
+}

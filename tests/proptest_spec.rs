@@ -1,0 +1,118 @@
+//! Property test: any valid [`wavepipe::FlowSpec`] round-trips through
+//! JSON **bit-identically** — equal spec, equal content hash, equal
+//! serialized text — including the `CircuitSpec::Synthetic` variant and
+//! the Table I technology tables.
+
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use tech::Technology;
+use wavepipe::{BufferStrategy, DelayWeights, FlowSpec, PipelineSpec, SynthSpec};
+
+/// Builds a deterministic, structurally-arbitrary spec from one seed:
+/// random pass list (order not necessarily buildable — serialization
+/// must not care), random Table I technology subset, and a mix of
+/// named / inline / synthetic circuits.
+fn spec_from_seed(seed: u64) -> FlowSpec {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut pipeline = PipelineSpec::map(rng.gen());
+    for _ in 0..rng.gen_range(0..6) {
+        pipeline = match rng.gen_range(0..7u32) {
+            0 => pipeline.restrict_fanout(rng.gen_range(2..=5)),
+            1 => pipeline.restrict_fanout_cost_aware(),
+            2 => pipeline.insert_buffers(match rng.gen_range(0..4u32) {
+                0 => BufferStrategy::Asap,
+                1 => BufferStrategy::Retimed,
+                2 => BufferStrategy::CostAware,
+                _ => BufferStrategy::Weighted(DelayWeights::QCA),
+            }),
+            3 => pipeline.verify(if rng.gen() {
+                Some(rng.gen_range(2..=5))
+            } else {
+                None
+            }),
+            4 => pipeline.verify_weighted(DelayWeights::QCA),
+            5 => pipeline.verify_cost_aware(None),
+            _ => pipeline.check_fanout_bound(rng.gen_range(2..=5)),
+        };
+    }
+
+    let mut spec = FlowSpec::new(format!("prop-{seed}")).with_pipeline(pipeline);
+    // Table I technology tables — any subset, in any order.
+    let mut technologies = Technology::all();
+    for i in (1..technologies.len()).rev() {
+        technologies.swap(i, rng.gen_range(0..=i));
+    }
+    for technology in technologies.iter().take(rng.gen_range(0..=3)) {
+        spec = spec.technology(technology.cost_table());
+    }
+
+    for c in 0..rng.gen_range(1..5u32) {
+        spec = match rng.gen_range(0..3u32) {
+            0 => spec.circuit(format!("NAME_{seed}_{c}")),
+            1 => {
+                let mut g = mig::Mig::with_name(format!("inline_{seed}_{c}"));
+                let a = g.add_input("a");
+                let b = g.add_input("b");
+                let cin = g.add_input("cin");
+                let (s, carry) = g.add_full_adder(a, b, cin);
+                g.add_output("s", s.complement_if(rng.gen()));
+                g.add_output("c", carry);
+                spec.inline_circuit(format!("inline_{seed}_{c}"), &g)
+            }
+            _ => {
+                let family =
+                    ["dag", "adder", "parity", "majtree", "compose"][rng.gen_range(0..5usize)];
+                let mut synth = SynthSpec::new(family, rng.gen());
+                for key in ["nodes", "depth", "width", "fanout", "mode"]
+                    .iter()
+                    .take(rng.gen_range(0..=4))
+                {
+                    synth = synth.param(*key, rng.gen_range(0..1_000_000));
+                }
+                spec.synthetic_circuit(synth)
+            }
+        };
+    }
+    spec
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    #[test]
+    fn any_flow_spec_round_trips_bit_identically(seed in 0u64..1_000_000_000) {
+        let spec = spec_from_seed(seed);
+        let json = spec.to_json();
+        let back = FlowSpec::from_json(&json).expect("own serialization parses");
+        prop_assert_eq!(&spec, &back, "structural equality");
+        prop_assert_eq!(
+            spec.content_hash(),
+            back.content_hash(),
+            "cache identity is preserved"
+        );
+        prop_assert_eq!(
+            json,
+            back.to_json(),
+            "serialized text is bit-identical after a round trip"
+        );
+    }
+
+    #[test]
+    fn synthetic_entries_keep_their_canonical_names(seed in 0u64..1_000_000) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut synth = SynthSpec::new("dag", rng.gen());
+        for key in ["b", "a", "c", "a"] {
+            synth = synth.param(key, rng.gen_range(0..100));
+        }
+        let spec = FlowSpec::new("canon").synthetic_circuit(synth.clone());
+        prop_assert!(spec.validate().is_ok());
+        let back = FlowSpec::from_json(&spec.to_json()).unwrap();
+        match &back.circuits[0] {
+            wavepipe::CircuitSpec::Synthetic(s) => {
+                prop_assert_eq!(s.name(), synth.name(), "canonical name survives");
+            }
+            other => prop_assert!(false, "wrong variant back: {:?}", other),
+        }
+    }
+}

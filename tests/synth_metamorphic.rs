@@ -1,0 +1,260 @@
+//! Metamorphic differential verification over the synthetic-circuit
+//! generator: hundreds of generated circuits stream through the engine
+//! and every one is checked **differentially** against its source MIG
+//! (combinational eval on sampled vectors, wave streaming on a subset)
+//! plus the structural invariants each pass promises (fan-out bound,
+//! balanced depth), across several pipeline configurations.
+//!
+//! The circuit population is derived deterministically from an index,
+//! so a failure report like `synth:dag:137:depth=6,nodes=166` is a
+//! complete reproduction recipe: `benchsuite::build_mig` on that name
+//! rebuilds the exact netlist (see README, "Synthetic workloads &
+//! testing guide").
+//!
+//! `SYNTH_METAMORPHIC_CASES` shrinks/grows the population (CI's smoke
+//! job runs a small seed set in release mode; the default 200 meets the
+//! PR's acceptance floor inside the normal `cargo test` budget).
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use wave_pipelining::prelude::*;
+use wavepipe::{BufferStrategy, FlowConfig, FlowSpec, PipelineSpec, SynthSpec, WaveSimulator};
+
+/// Number of generated circuits (≥ 200 by default, per the acceptance
+/// criteria; override with `SYNTH_METAMORPHIC_CASES=n`).
+fn case_count() -> usize {
+    std::env::var("SYNTH_METAMORPHIC_CASES")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(200)
+}
+
+/// Deterministic case `i` → a small synthetic circuit request spanning
+/// all five generator families and a spread of parameter shapes.
+fn synth_case(i: usize) -> SynthSpec {
+    let seed = i as u64;
+    match i % 5 {
+        0 => {
+            let spec = SynthSpec::new("dag", seed)
+                .param("nodes", 40 + (seed * 7) % 180)
+                .param("depth", 3 + seed % 7)
+                .param("inputs", 4 + seed % 9)
+                .param("outputs", 1 + seed % 5);
+            if i.is_multiple_of(2) {
+                spec.param("fanout", 3 + seed % 4)
+            } else {
+                spec
+            }
+        }
+        1 => SynthSpec::new("adder", seed)
+            .param("width", 1 + seed % 10)
+            .param("chains", 1 + seed % 3),
+        2 => SynthSpec::new("parity", seed)
+            .param("width", 4 + seed % 20)
+            .param("layers", 1 + seed % 3),
+        3 => SynthSpec::new("majtree", seed)
+            .param("width", 3 + seed % 22)
+            .param("trees", 1 + seed % 4),
+        _ => SynthSpec::new("compose", seed)
+            .param("blocks", 1 + seed % 3)
+            .param("mode", seed % 3)
+            .param("width", 3 + seed % 6)
+            .param("nodes", 20 + seed % 40),
+    }
+}
+
+fn sample_patterns(inputs: usize, count: usize, seed: u64) -> Vec<Vec<bool>> {
+    let mut rng = StdRng::seed_from_u64(seed);
+    (0..count)
+        .map(|_| (0..inputs).map(|_| rng.gen()).collect())
+        .collect()
+}
+
+/// The core metamorphic sweep: every generated circuit through the
+/// default flow (FO3 + BUF + verify), checked against its source MIG,
+/// with per-pass invariants and cache-key uniqueness across seeds.
+#[test]
+fn default_flow_preserves_function_on_generated_population() {
+    let n = case_count();
+    let engine = Engine::new().with_resolver(benchsuite::build_mig);
+    let mut spec = FlowSpec::new("metamorphic");
+    for i in 0..n {
+        spec = spec.synthetic_circuit(synth_case(i));
+    }
+    let cold = engine.run(&spec).expect("population verifies");
+
+    // Cache-key uniqueness: n distinct (family, seed, params) triples
+    // must be n distinct cells — any collision would show as a hit.
+    assert_eq!(cold.stats.cache_misses, n as u64);
+    assert_eq!(cold.stats.cache_hits, 0);
+
+    for (ci, cell) in cold.iter().enumerate() {
+        let name = &cold.circuits[ci];
+        let run = cell
+            .run()
+            .unwrap_or_else(|| panic!("{name}: flow failed: {:?}", cell.outcome));
+        let source = benchsuite::build_mig(name)
+            .unwrap_or_else(|| panic!("{name}: registry must rebuild the circuit"));
+
+        // Differential equivalence: source MIG vs pipelined netlist.
+        let sim = mig::Simulator::new(&source);
+        for pattern in sample_patterns(source.input_count(), 6, 0xD1FF ^ ci as u64) {
+            assert_eq!(
+                sim.eval(&pattern),
+                run.result.pipelined.eval(&pattern),
+                "{name}: pipelined netlist diverged from the generator output"
+            );
+        }
+
+        // Pass invariants: fan-out bound, balance, monotone size.
+        assert!(
+            run.result.pipelined.max_fanout() <= 3,
+            "{name}: fan-out {} exceeds the FO3 bound",
+            run.result.pipelined.max_fanout()
+        );
+        let report = run.result.report.as_ref().expect("verify pass ran");
+        assert_eq!(
+            report.depth,
+            run.result.pipelined.depth(),
+            "{name}: balance report disagrees with the netlist depth"
+        );
+        for pass in &run.trace {
+            assert!(
+                pass.depth_after >= pass.depth_before || pass.pass.starts_with("map"),
+                "{name}: pass {} reduced depth",
+                pass.pass
+            );
+            assert!(
+                pass.counts_after.priced_total() >= pass.counts_before.priced_total(),
+                "{name}: pass {} removed components",
+                pass.pass
+            );
+        }
+    }
+
+    // Determinism: a verbatim re-run is pure cache hits (identical
+    // content-hash keys for identical (family, seed, params)).
+    let warm = engine.run(&spec).expect("population verifies");
+    assert_eq!(warm.stats.cache_hits, n as u64);
+    assert_eq!(warm.stats.passes_executed, 0);
+}
+
+/// Every pipeline configuration must preserve the generated function —
+/// the metamorphic relation is "same circuit, any flow ⇒ same I/O
+/// behaviour" — and enforce its own fan-out bound.
+#[test]
+fn alternative_pipelines_preserve_function_on_subsample() {
+    let n = case_count();
+    let engine = Engine::new().with_resolver(benchsuite::build_mig);
+    let configs: [(&str, PipelineSpec, Option<u32>); 4] = [
+        (
+            "fo2-retimed",
+            PipelineSpec::map(false)
+                .restrict_fanout(2)
+                .insert_buffers(BufferStrategy::Retimed)
+                .verify(Some(2)),
+            Some(2),
+        ),
+        (
+            "fo4-asap",
+            PipelineSpec::map(false)
+                .restrict_fanout(4)
+                .insert_buffers(BufferStrategy::Asap)
+                .verify(Some(4)),
+            Some(4),
+        ),
+        (
+            "buf-only",
+            PipelineSpec::map(false)
+                .insert_buffers(BufferStrategy::Asap)
+                .verify(None),
+            None,
+        ),
+        (
+            "min-inverters",
+            PipelineSpec::for_config(FlowConfig {
+                minimize_inverters: true,
+                ..FlowConfig::default()
+            }),
+            Some(3),
+        ),
+    ];
+
+    for (label, pipeline, bound) in configs {
+        let mut spec = FlowSpec::new(label).with_pipeline(pipeline);
+        for i in (0..n).step_by(7) {
+            spec = spec.synthetic_circuit(synth_case(i));
+        }
+        let swept = engine.run(&spec).expect("subsample verifies");
+        for (ci, cell) in swept.iter().enumerate() {
+            let name = &swept.circuits[ci];
+            let run = cell
+                .run()
+                .unwrap_or_else(|| panic!("{label}/{name}: {:?}", cell.outcome));
+            let source = benchsuite::build_mig(name).expect("registry rebuilds");
+            let sim = mig::Simulator::new(&source);
+            for pattern in sample_patterns(source.input_count(), 4, ci as u64) {
+                assert_eq!(
+                    sim.eval(&pattern),
+                    run.result.pipelined.eval(&pattern),
+                    "{label}/{name}: function not preserved"
+                );
+            }
+            if let Some(limit) = bound {
+                assert!(
+                    run.result.pipelined.max_fanout() <= limit,
+                    "{label}/{name}: fan-out bound violated"
+                );
+            }
+        }
+    }
+}
+
+/// Wave-level differential check on a subsample: the balanced netlist
+/// must stream waves coherently *and* the streamed outputs must equal
+/// the source MIG's combinational function wave-for-wave.
+#[test]
+fn wave_streaming_matches_the_source_mig_on_subsample() {
+    let n = case_count();
+    let engine = Engine::new().with_resolver(benchsuite::build_mig);
+    let mut spec = FlowSpec::new("waves");
+    for i in (0..n).step_by(11) {
+        spec = spec.synthetic_circuit(synth_case(i));
+    }
+    let swept = engine.run(&spec).expect("subsample verifies");
+    for (ci, cell) in swept.iter().enumerate() {
+        let name = &swept.circuits[ci];
+        let run = cell.run().expect("cell verified");
+        let source = benchsuite::build_mig(name).expect("registry rebuilds");
+        let waves = sample_patterns(source.input_count(), 8, 0x3A3E ^ ci as u64);
+
+        let streamed = WaveSimulator::new(&run.result.pipelined).run(&waves);
+        let sim = mig::Simulator::new(&source);
+        for (w, wave) in waves.iter().enumerate() {
+            assert_eq!(
+                streamed.outputs[w],
+                sim.eval(wave),
+                "{name}: wave {w} diverged from the source function"
+            );
+        }
+    }
+}
+
+/// The generator contract behind the cache: identical requests are
+/// bit-identical netlists, and the canonical name embedded in the spec
+/// is a complete reproduction recipe.
+#[test]
+fn generated_circuits_are_bit_identical_across_builds() {
+    for i in (0..case_count()).step_by(13) {
+        let synth = synth_case(i);
+        let name = synth.name();
+        let a = benchsuite::build_mig(&name).expect("synth name resolves");
+        let b = benchsuite::build_mig(&name).expect("synth name resolves");
+        assert_eq!(
+            mig::write_mig(&a),
+            mig::write_mig(&b),
+            "{name}: generator must be deterministic"
+        );
+        assert_eq!(a.name(), name, "{name}: graph carries its canonical name");
+    }
+}
