@@ -1,0 +1,231 @@
+//! Verification-throughput benchmark: scalar vs bit-parallel
+//! differential checking over the synthetic `dag` family, 10² to 10⁵
+//! nodes, plus the exhaustive-input ceiling curve — written to
+//! `results/BENCH_pr5.json` (shape: [`VerifyRecord`]).
+//!
+//! ```text
+//! cargo run --release -p wavepipe-bench --bin verify_throughput [-- --max-nodes N]
+//! ```
+//!
+//! Each point runs the paper's default flow (FO3 + BUF + verify) on a
+//! `synth:dag` circuit and measures equivalence-checking throughput on
+//! the *pipelined* netlist two ways: the scalar baseline
+//! (`Netlist::eval`, one pattern per traversal, topological order
+//! recomputed per call — the pre-bit-parallel behaviour) and the word
+//! path (`NetlistFunction`, 64 patterns per traversal, order and
+//! scratch prepared once). The run **asserts** the word path's
+//! advantage — ≥ 4× everywhere and ≥ 20× from 10⁴ nodes up — so a
+//! regression (e.g. a reintroduced per-call clone or recomputation in
+//! the evaluation hot path) fails the bench instead of silently
+//! flattening the curve.
+//!
+//! The second sweep times exhaustive differential proofs
+//! (`differential::check`, all `2^n` patterns) at growing input counts,
+//! mapping out how far the "prove it, don't sample it" ceiling
+//! practically reaches. `--max-nodes` truncates both sweeps (CI runs
+//! the smallest sizes to keep the record format alive).
+
+use std::fs;
+use std::path::Path;
+use std::time::{Duration, Instant};
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use wavepipe::differential::{self, Verdict};
+use wavepipe::{EquivalencePolicy, FlowConfig, FlowSpec, NetlistFunction, PipelineSpec, SynthSpec};
+use wavepipe_bench::harness::engine;
+use wavepipe_bench::record::{ExhaustivePoint, VerifyPoint, VerifyRecord};
+
+/// The throughput sweep axis: 10²..10⁵ target nodes.
+const SWEEP: [(usize, u64); 5] = [
+    (100, 8),
+    (1_000, 12),
+    (10_000, 16),
+    (30_000, 20),
+    (100_000, 24),
+];
+
+/// Input counts of the exhaustive-ceiling curve (each is one full
+/// `2^n`-pattern proof on a ~400-node circuit).
+const EXHAUSTIVE_INPUTS: [usize; 5] = [8, 10, 12, 14, 16];
+
+/// Runs `work` (which reports how many patterns it evaluated) until at
+/// least ~60 ms have elapsed; returns patterns per second.
+fn measure(mut work: impl FnMut() -> u64) -> f64 {
+    let started = Instant::now();
+    let mut patterns = 0u64;
+    while patterns == 0 || started.elapsed() < Duration::from_millis(60) {
+        patterns += work();
+    }
+    patterns as f64 / started.elapsed().as_secs_f64()
+}
+
+fn main() {
+    let mut max_nodes = usize::MAX;
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--max-nodes" => {
+                max_nodes = args
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .expect("--max-nodes takes an integer");
+            }
+            other => panic!("unknown argument `{other}` (try --max-nodes N)"),
+        }
+    }
+
+    let out_dir = Path::new("results");
+    fs::create_dir_all(out_dir).expect("create results/");
+    let engine = engine();
+    let pipeline = PipelineSpec::for_config(FlowConfig::default());
+
+    let mut points = Vec::new();
+    println!(
+        "{:<48} {:>8} {:>14} {:>14} {:>9}",
+        "circuit", "size'", "scalar pat/s", "word pat/s", "speedup"
+    );
+    for (i, (nodes, depth)) in SWEEP.iter().enumerate() {
+        if *nodes > max_nodes {
+            continue;
+        }
+        let synth = SynthSpec::new("dag", 0x7E51_F000 + i as u64)
+            .param("nodes", *nodes as u64)
+            .param("depth", *depth)
+            .param("inputs", (32 + nodes / 50) as u64)
+            .param("outputs", (16 + nodes / 100) as u64);
+        let name = synth.name();
+        let run = engine
+            .run(&FlowSpec::new("verify-throughput").synthetic_circuit(synth))
+            .expect("sweep spec verifies")
+            .cells
+            .remove(0)
+            .outcome
+            .expect("cell verifies");
+        let netlist = &run.result.pipelined;
+        let inputs = netlist.inputs().len();
+
+        // One shared random pattern pool, scalar and packed views.
+        let mut rng = StdRng::seed_from_u64(0xBEA7 + i as u64);
+        let scalar_patterns: Vec<Vec<bool>> = (0..64)
+            .map(|_| (0..inputs).map(|_| rng.gen()).collect())
+            .collect();
+        let word_blocks: Vec<Vec<u64>> = (0..16)
+            .map(|_| (0..inputs).map(|_| rng.gen()).collect())
+            .collect();
+
+        // Scalar baseline: one full netlist traversal per pattern.
+        let mut next = 0usize;
+        let scalar_pps = measure(|| {
+            let pattern = &scalar_patterns[next % scalar_patterns.len()];
+            next += 1;
+            std::hint::black_box(netlist.eval(pattern));
+            1
+        });
+
+        // Word path: 64 patterns per traversal, prepared evaluator.
+        let mut function = NetlistFunction::new(netlist).expect("flow output is acyclic");
+        let mut next_block = 0usize;
+        let word_pps = measure(|| {
+            let block = &word_blocks[next_block % word_blocks.len()];
+            next_block += 1;
+            std::hint::black_box(function.eval_words(block));
+            64
+        });
+
+        let speedup = word_pps / scalar_pps;
+        let point = VerifyPoint {
+            name: name.clone(),
+            target_nodes: *nodes,
+            inputs,
+            pipelined_size: run.result.pipelined_counts().priced_total(),
+            scalar_patterns_per_sec: scalar_pps,
+            word_patterns_per_sec: word_pps,
+            speedup,
+        };
+        println!(
+            "{:<48} {:>8} {:>14.0} {:>14.0} {:>8.1}x",
+            point.name, point.pipelined_size, scalar_pps, word_pps, speedup
+        );
+
+        // No-regression pins (the PR's acceptance floor): the word path
+        // must stay ≥ 4× the scalar baseline everywhere and ≥ 20× from
+        // 10⁴ nodes up.
+        assert!(
+            speedup >= 4.0,
+            "{name}: word path only {speedup:.1}x over scalar — hot-path regression"
+        );
+        if *nodes >= 10_000 {
+            assert!(
+                speedup >= 20.0,
+                "{name}: {speedup:.1}x at {nodes} nodes is below the 20x floor"
+            );
+        }
+        points.push(point);
+    }
+    assert!(!points.is_empty(), "--max-nodes filtered out every point");
+
+    // Exhaustive-ceiling curve: full 2^n proofs at growing n. In the
+    // CI configuration (tiny --max-nodes) only the cheapest proofs run.
+    let mut exhaustive = Vec::new();
+    println!("\n{:<8} {:>12} {:>12}", "inputs", "patterns", "wall ms");
+    for (i, n_inputs) in EXHAUSTIVE_INPUTS.into_iter().enumerate() {
+        if max_nodes < 1_000 && n_inputs > 10 {
+            continue;
+        }
+        let synth = SynthSpec::new("dag", 0xE0_0000 + i as u64)
+            .param("nodes", 400)
+            .param("depth", 10)
+            .param("inputs", n_inputs as u64)
+            .param("outputs", 8);
+        let name = synth.name();
+        let run = engine
+            .run(&FlowSpec::new("verify-exhaustive").synthetic_circuit(synth))
+            .expect("exhaustive spec verifies")
+            .cells
+            .remove(0)
+            .outcome
+            .expect("cell verifies");
+        let source = benchsuite::build_mig(&name).expect("registry rebuilds");
+        let policy = EquivalencePolicy::exhaustive(n_inputs as u32);
+
+        let started = Instant::now();
+        let verdict =
+            differential::check(&run.result.pipelined, &source, &policy).expect("interfaces match");
+        let wall_ms = started.elapsed().as_secs_f64() * 1000.0;
+        let holds = matches!(
+            verdict,
+            Verdict::Equivalent {
+                exhaustive: true,
+                ..
+            }
+        );
+        assert!(holds, "{name}: exhaustive differential proof failed");
+        println!("{:<8} {:>12} {:>12.2}", n_inputs, 1u64 << n_inputs, wall_ms);
+        exhaustive.push(ExhaustivePoint {
+            inputs: n_inputs,
+            patterns: 1u64 << n_inputs,
+            wall_ms,
+            holds,
+        });
+    }
+
+    let record = VerifyRecord {
+        pipeline: pipeline
+            .build()
+            .expect("default pipeline is well-ordered")
+            .pass_names(),
+        points,
+        exhaustive,
+    };
+    fs::write(
+        out_dir.join("BENCH_pr5.json"),
+        serde_json::to_string_pretty(&record).expect("serialize"),
+    )
+    .expect("write BENCH_pr5.json");
+    println!(
+        "\nverification record: results/BENCH_pr5.json ({} throughput points, {} exhaustive proofs)",
+        record.points.len(),
+        record.exhaustive.len()
+    );
+}

@@ -1,8 +1,9 @@
 //! Machine-readable `BENCH_*.json` record shapes.
 //!
 //! Every reproduction run leaves a perf-trajectory record under
-//! `results/`: `repro_all` writes a [`BenchRecord`] (`BENCH_pr3.json`)
-//! and the `scaling` binary a [`ScalingRecord`] (`BENCH_pr4.json`).
+//! `results/`: `repro_all` writes a [`BenchRecord`] (`BENCH_pr3.json`),
+//! the `scaling` binary a [`ScalingRecord`] (`BENCH_pr4.json`), and the
+//! `verify_throughput` binary a [`VerifyRecord`] (`BENCH_pr5.json`).
 //! The structs live here — not inside the binaries — so the schema is
 //! a *library contract*: the golden test `tests/bench_schema.rs` pins
 //! the exact field names and shapes, and any repro-tooling-breaking
@@ -104,4 +105,51 @@ pub struct ScalingRecord {
     pub engine_totals: EngineStats,
     /// Cells resident in the engine cache at the end.
     pub cached_cells: usize,
+}
+
+/// Scalar-vs-word verification throughput at one scaling point of the
+/// `verify_throughput` sweep.
+#[derive(Clone, Debug, serde::Serialize)]
+pub struct VerifyPoint {
+    /// Canonical `synth:*` circuit name.
+    pub name: String,
+    /// Target node count of the sweep axis.
+    pub target_nodes: usize,
+    /// Primary inputs of the circuit.
+    pub inputs: usize,
+    /// Final wave-pipelined netlist size (what evaluation traverses).
+    pub pipelined_size: usize,
+    /// Patterns per second through the scalar `Netlist::eval` baseline.
+    pub scalar_patterns_per_sec: f64,
+    /// Patterns per second through the bit-parallel block evaluator.
+    pub word_patterns_per_sec: f64,
+    /// `word_patterns_per_sec / scalar_patterns_per_sec`.
+    pub speedup: f64,
+}
+
+/// Wall time of one exhaustive differential proof (all `2^inputs`
+/// patterns) — the exhaustive-input ceiling curve.
+#[derive(Clone, Debug, serde::Serialize)]
+pub struct ExhaustivePoint {
+    /// Primary inputs of the checked circuit.
+    pub inputs: usize,
+    /// Patterns proven (`2^inputs`).
+    pub patterns: u64,
+    /// Wall time of the proof, milliseconds.
+    pub wall_ms: f64,
+    /// Whether the proof held (it must — recorded for auditability).
+    pub holds: bool,
+}
+
+/// The `BENCH_pr5.json` shape: scalar-vs-word verification throughput
+/// over the synthetic `dag` family plus the exhaustive-ceiling curve.
+#[derive(Clone, Debug, serde::Serialize)]
+pub struct VerifyRecord {
+    /// The pipeline the verified netlists came from (canonical pass
+    /// names).
+    pub pipeline: Vec<String>,
+    /// One point per target node count, ascending.
+    pub points: Vec<VerifyPoint>,
+    /// Exhaustive differential proofs: input count vs wall time.
+    pub exhaustive: Vec<ExhaustivePoint>,
 }

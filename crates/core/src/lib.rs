@@ -28,7 +28,18 @@
 //!    one-line pipeline edit.
 //! 4. **verify** ([`verify_balance`]) — checks the invariants
 //!    mechanically; [`WaveSimulator`] demonstrates coherent streaming
-//!    dynamically.
+//!    dynamically (bit-parallel: 64 independent streams per run).
+//!
+//! Functional correctness is checked by the bit-parallel
+//! **differential-verification subsystem** ([`verify`] /
+//! [`differential::check`]): a transformed netlist is compared against
+//! its source MIG under an [`EquivalencePolicy`] — exhaustively (all
+//! `2^n` patterns, 64 per netlist traversal via
+//! [`Netlist::eval_words`]) for small input counts, seeded stratified
+//! sampling beyond — and any pipeline can opt into per-pass
+//! equivalence gating ([`FlowPipelineBuilder::gate_equivalence`],
+//! [`FlowSpec::with_equivalence_gating`]) so every sweep self-verifies
+//! with counterexamples that name the offending pass.
 //!
 //! The builder rejects ill-ordered pipelines (mapping must come first,
 //! fan-out restriction before buffer insertion, verification last) with
@@ -142,8 +153,11 @@ mod pipeline;
 mod retiming;
 pub mod spec;
 pub mod stats;
+pub mod verify;
 mod wavesim;
 mod weighted;
+
+pub use mig::{EquivalencePolicy, PatternBlock, WordFunction};
 
 pub use balance::{
     verify_balance, verify_balance_prepared, BalanceError, BalanceReport, FanoutBoundPass,
@@ -170,7 +184,8 @@ pub use pipeline::{
 };
 pub use retiming::{insert_buffers_retimed, schedule_levels, LevelSchedule, RetimedInsertionPass};
 pub use spec::{CircuitSpec, FlowSpec, PassSpec, PipelineSpec, SpecError, SynthSpec};
-pub use wavesim::{WaveRun, WaveSimulator};
+pub use verify::{differential, NetlistFunction};
+pub use wavesim::{WaveRun, WaveSimulator, WaveWordRun};
 pub use weighted::{
     insert_buffers_weighted, verify_weighted_balance, weighted_arrivals, CostAwareInsertionPass,
     CostAwareVerifyPass, DelayWeights, VerifyWeightedPass, WeightedBalanceError, WeightedInsertion,

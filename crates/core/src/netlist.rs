@@ -620,7 +620,10 @@ impl Netlist {
     /// Evaluates the netlist combinationally on one input pattern.
     ///
     /// This is the golden reference the wave simulator is checked
-    /// against.
+    /// against. It is a thin wrapper over the bit-parallel
+    /// [`Netlist::eval_words`] (the pattern occupies one lane of a
+    /// broadcast word), so scalar and word-level evaluation can never
+    /// disagree.
     ///
     /// # Panics
     ///
@@ -639,31 +642,103 @@ impl Netlist {
     /// [`NetlistError::WidthMismatch`] or
     /// [`NetlistError::CombinationalCycle`].
     pub fn try_eval(&self, pattern: &[bool]) -> Result<Vec<bool>, NetlistError> {
+        let words: Vec<u64> = pattern.iter().map(|&b| if b { !0 } else { 0 }).collect();
+        Ok(self
+            .try_eval_words(&words)?
+            .into_iter()
+            .map(|w| w & 1 != 0)
+            .collect())
+    }
+
+    /// Evaluates 64 input patterns at once: bit `k` of `pattern[i]` is
+    /// the value of input `i` in pattern `k` (the
+    /// [`mig::PatternBlock`] packing). Returns one word per primary
+    /// output.
+    ///
+    /// This is the netlist counterpart of
+    /// [`mig::Simulator::eval_words`] and the engine behind
+    /// [`crate::differential`] — equivalence sweeps cost one netlist
+    /// traversal per 64 patterns instead of 64.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `pattern.len()` differs from the input count or the
+    /// netlist contains a combinational cycle; use
+    /// [`Netlist::try_eval_words`] for untrusted structures.
+    pub fn eval_words(&self, pattern: &[u64]) -> Vec<u64> {
+        self.try_eval_words(pattern)
+            .unwrap_or_else(|e| panic!("eval_words failed: {e}"))
+    }
+
+    /// Fallible [`Netlist::eval_words`].
+    ///
+    /// # Errors
+    ///
+    /// [`NetlistError::WidthMismatch`] or
+    /// [`NetlistError::CombinationalCycle`].
+    pub fn try_eval_words(&self, pattern: &[u64]) -> Result<Vec<u64>, NetlistError> {
         if pattern.len() != self.inputs.len() {
             return Err(NetlistError::WidthMismatch {
                 inputs: self.inputs.len(),
                 pattern: pattern.len(),
             });
         }
-        let mut values = vec![false; self.components.len()];
-        for id in self.try_topo_order()? {
+        let order = self.try_topo_order()?;
+        let mut values = vec![0u64; self.components.len()];
+        Ok(self.eval_words_prepared(pattern, &order, &mut values))
+    }
+
+    /// The word-level evaluation kernel against an already-computed
+    /// topological order and a caller-owned scratch buffer (one word
+    /// per component, overwritten) — what block sweeps use so neither
+    /// the traversal order nor the value buffer is recomputed or
+    /// reallocated per 64-pattern block (see
+    /// [`crate::verify::NetlistFunction`]).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `pattern` does not match the input count, or `order` /
+    /// `values` do not cover every component.
+    pub fn eval_words_prepared(
+        &self,
+        pattern: &[u64],
+        order: &[CompId],
+        values: &mut [u64],
+    ) -> Vec<u64> {
+        assert_eq!(
+            pattern.len(),
+            self.inputs.len(),
+            "pattern width must match the input count"
+        );
+        assert!(
+            order.len() >= self.components.len() && values.len() >= self.components.len(),
+            "topological order and scratch must cover every component"
+        );
+        for &id in order {
             let v = match &self.components[id.index()] {
                 Component::Input { position } => pattern[*position as usize],
-                Component::Const { value } => *value,
+                Component::Const { value } => {
+                    if *value {
+                        !0
+                    } else {
+                        0
+                    }
+                }
                 Component::Maj { fanins } => {
-                    let ones = fanins.iter().filter(|f| values[f.index()]).count();
-                    ones >= 2
+                    let a = values[fanins[0].index()];
+                    let b = values[fanins[1].index()];
+                    let c = values[fanins[2].index()];
+                    a & b | a & c | b & c
                 }
                 Component::Inv { fanin } => !values[fanin.index()],
                 Component::Buf { fanin } | Component::Fog { fanin } => values[fanin.index()],
             };
             values[id.index()] = v;
         }
-        Ok(self
-            .outputs
+        self.outputs
             .iter()
             .map(|p| values[p.driver.index()])
-            .collect())
+            .collect()
     }
 }
 
@@ -818,6 +893,30 @@ mod tests {
         assert_eq!(n.eval(&[true, true]), vec![true]);
         assert_eq!(n.eval(&[true, false]), vec![false]);
         assert_eq!(n.eval(&[false, true]), vec![false]);
+    }
+
+    #[test]
+    fn word_eval_matches_scalar_eval_exhaustively() {
+        // AND gate plus an inverter chain: all 4 patterns in one block.
+        let mut n = and_netlist();
+        let g = n.outputs()[0].driver;
+        let inv = n.add_inv(g);
+        n.add_output("nf", inv);
+        // words: input 0 = 0b1010, input 1 = 0b1100 (patterns 0..4).
+        let out = n.eval_words(&[0b1010, 0b1100]);
+        for p in 0..4u64 {
+            let bits = vec![p & 1 != 0, p >> 1 & 1 != 0];
+            let scalar = n.eval(&bits);
+            assert_eq!(scalar[0], out[0] >> p & 1 != 0, "pattern {p}");
+            assert_eq!(scalar[1], out[1] >> p & 1 != 0, "pattern {p}");
+        }
+        assert_eq!(
+            n.try_eval_words(&[0]),
+            Err(NetlistError::WidthMismatch {
+                inputs: 2,
+                pattern: 1
+            })
+        );
     }
 
     #[test]

@@ -49,6 +49,11 @@ pub enum PassError {
     /// A pass left the netlist structurally broken (e.g. a custom pass
     /// wired a combinational cycle) — caught at the pass boundary.
     Netlist(crate::netlist::NetlistError),
+    /// The opt-in per-pass equivalence gate
+    /// ([`FlowPipelineBuilder::gate_equivalence`]) caught a pass
+    /// breaking functional equivalence with the source MIG; the
+    /// counterexample names the offending pass.
+    Equivalence(Box<crate::verify::differential::Counterexample>),
     /// A custom pass failed with a free-form message.
     Custom(String),
 }
@@ -59,6 +64,7 @@ impl fmt::Display for PassError {
             PassError::Balance(e) => write!(f, "{e}"),
             PassError::Weighted(e) => write!(f, "{e}"),
             PassError::Netlist(e) => write!(f, "{e}"),
+            PassError::Equivalence(cex) => write!(f, "equivalence gate: {cex}"),
             PassError::Custom(message) => write!(f, "{message}"),
         }
     }
@@ -70,7 +76,7 @@ impl std::error::Error for PassError {
             PassError::Balance(e) => Some(e),
             PassError::Weighted(e) => Some(e),
             PassError::Netlist(e) => Some(e),
-            PassError::Custom(_) => None,
+            PassError::Equivalence(_) | PassError::Custom(_) => None,
         }
     }
 }
@@ -335,6 +341,14 @@ pub enum PipelineError {
     FanoutAfterBuffers,
     /// A transform pass was placed after a verification pass.
     TransformAfterVerify,
+    /// The equivalence gate's policy has zero sampling rounds: any
+    /// circuit above the exhaustive ceiling would "pass" the gate after
+    /// comparing zero patterns.
+    GateZeroRounds,
+    /// The equivalence gate's exhaustive ceiling is beyond what a block
+    /// sweep can realistically cover per pass boundary (cost doubles
+    /// per input; see [`crate::spec::MAX_EXHAUSTIVE_GATE_INPUTS`]).
+    GateCeilingTooHigh(u32),
 }
 
 impl fmt::Display for PipelineError {
@@ -352,6 +366,17 @@ impl fmt::Display for PipelineError {
             PipelineError::TransformAfterVerify => {
                 write!(f, "transform passes cannot follow verification")
             }
+            PipelineError::GateZeroRounds => write!(
+                f,
+                "equivalence gate has zero sampling rounds: circuits above the exhaustive \
+                 ceiling would pass after comparing zero patterns"
+            ),
+            PipelineError::GateCeilingTooHigh(inputs) => write!(
+                f,
+                "equivalence gate's exhaustive ceiling of {inputs} inputs is beyond the \
+                 practical limit of {} (cost doubles per input)",
+                crate::spec::MAX_EXHAUSTIVE_GATE_INPUTS
+            ),
         }
     }
 }
@@ -363,6 +388,7 @@ impl std::error::Error for PipelineError {}
 pub struct FlowPipeline {
     passes: Vec<Box<dyn Pass>>,
     cost: Option<CostTable>,
+    equivalence: Option<mig::EquivalencePolicy>,
 }
 
 impl fmt::Debug for FlowPipeline {
@@ -373,6 +399,7 @@ impl fmt::Debug for FlowPipeline {
                 &self.passes.iter().map(|p| p.name()).collect::<Vec<_>>(),
             )
             .field("cost", &self.cost.as_ref().map(|t| t.name().to_owned()))
+            .field("equivalence", &self.equivalence)
             .finish()
     }
 }
@@ -459,6 +486,29 @@ impl FlowPipeline {
                 depth_after,
                 priced,
             });
+
+            // Opt-in self-verification: after every pass boundary past
+            // mapping, the working netlist must still compute the
+            // source MIG's function. Runs outside the pass's timed
+            // window — the gate is instrumentation, not a pass.
+            if let Some(policy) = &self.equivalence {
+                if ctx.original.is_some() {
+                    use crate::verify::differential::{self, Verdict};
+                    match differential::check(&ctx.netlist, ctx.graph, policy) {
+                        Ok(Verdict::Equivalent { .. }) => {}
+                        Ok(Verdict::Diverged(mut cex)) => {
+                            cex.pass = Some(pass.name());
+                            return Err(PassError::Equivalence(Box::new(cex)));
+                        }
+                        Err(e) => {
+                            return Err(PassError::Custom(format!(
+                                "equivalence gate after `{}`: {e}",
+                                pass.name()
+                            )))
+                        }
+                    }
+                }
+            }
         }
 
         // The builder only checks the *kind tag*; a custom mapping pass
@@ -616,6 +666,7 @@ pub enum BufferStrategy {
 pub struct FlowPipelineBuilder {
     passes: Vec<Box<dyn Pass>>,
     cost: Option<CostTable>,
+    equivalence: Option<mig::EquivalencePolicy>,
 }
 
 impl fmt::Debug for FlowPipelineBuilder {
@@ -626,11 +677,24 @@ impl fmt::Debug for FlowPipelineBuilder {
                 &self.passes.iter().map(|p| p.name()).collect::<Vec<_>>(),
             )
             .field("cost", &self.cost.as_ref().map(|t| t.name().to_owned()))
+            .field("equivalence", &self.equivalence)
             .finish()
     }
 }
 
 impl FlowPipelineBuilder {
+    /// Turns on per-pass equivalence gating: after every pass past
+    /// mapping, the working netlist is differentially checked against
+    /// the source MIG under `policy`
+    /// ([`crate::differential::check`]). A pass that breaks the
+    /// function fails its run with
+    /// [`PassError::Equivalence`], whose counterexample records the
+    /// offending pass — so any sweep can self-verify instead of
+    /// trusting the transforms' structural proofs.
+    pub fn gate_equivalence(mut self, policy: mig::EquivalencePolicy) -> FlowPipelineBuilder {
+        self.equivalence = Some(policy);
+        self
+    }
     /// Attaches a technology cost model to the pipeline: every run
     /// prices its per-pass trace against it, and cost-aware passes
     /// ([`FlowPipelineBuilder::restrict_fanout_cost_aware`],
@@ -723,9 +787,21 @@ impl FlowPipelineBuilder {
     pub fn build(self) -> Result<FlowPipeline, PipelineError> {
         let kinds: Vec<PassKind> = self.passes.iter().map(|p| p.kind()).collect();
         validate_order(&kinds)?;
+        // Guard the gate here too (not just at the spec layer): builder
+        // users would otherwise install a vacuous (zero-round) or
+        // per-boundary-intractable gate with no error.
+        if let Some(gate) = &self.equivalence {
+            if gate.rounds == 0 {
+                return Err(PipelineError::GateZeroRounds);
+            }
+            if gate.exhaustive_inputs > crate::spec::MAX_EXHAUSTIVE_GATE_INPUTS {
+                return Err(PipelineError::GateCeilingTooHigh(gate.exhaustive_inputs));
+            }
+        }
         Ok(FlowPipeline {
             passes: self.passes,
             cost: self.cost,
+            equivalence: self.equivalence,
         })
     }
 }
@@ -860,6 +936,24 @@ mod tests {
                 .build()
                 .unwrap_err(),
             PipelineError::TransformAfterVerify
+        );
+        // Unusable equivalence gates are rejected at build time too
+        // (the spec layer rejects the same shapes with SpecErrors).
+        assert_eq!(
+            FlowPipeline::builder()
+                .map(false)
+                .gate_equivalence(mig::EquivalencePolicy::sampled(0, 1))
+                .build()
+                .unwrap_err(),
+            PipelineError::GateZeroRounds
+        );
+        assert_eq!(
+            FlowPipeline::builder()
+                .map(false)
+                .gate_equivalence(mig::EquivalencePolicy::exhaustive(40))
+                .build()
+                .unwrap_err(),
+            PipelineError::GateCeilingTooHigh(40)
         );
     }
 
@@ -1160,6 +1254,70 @@ mod tests {
             ),
             "{err}"
         );
+    }
+
+    #[test]
+    fn equivalence_gate_passes_a_correct_flow_and_names_a_broken_pass() {
+        // A pass that silently inverts an output: without the gate the
+        // run "succeeds"; with it, the run fails naming the pass and
+        // carrying a replayable counterexample.
+        struct FlipOutputPass;
+        impl Pass for FlipOutputPass {
+            fn name(&self) -> String {
+                "flip_output".to_owned()
+            }
+            fn run(&self, ctx: &mut FlowContext<'_>) -> Result<(), PassError> {
+                let netlist = ctx.netlist_mut();
+                let driver = netlist.outputs()[0].driver;
+                let inv = netlist.add_inv(driver);
+                netlist.set_output_driver(0, inv);
+                Ok(())
+            }
+        }
+
+        let g = sample_mig(12);
+        let policy = mig::EquivalencePolicy::default();
+
+        // The paper's flow self-verifies cleanly under the gate.
+        let run = FlowPipeline::builder()
+            .map(false)
+            .restrict_fanout(3)
+            .insert_buffers(BufferStrategy::Asap)
+            .verify(Some(3))
+            .gate_equivalence(policy)
+            .build()
+            .unwrap()
+            .run(&g)
+            .unwrap();
+        assert!(run.result.report.is_some());
+
+        // Ungated, the corruption goes unnoticed.
+        let silent = FlowPipeline::builder()
+            .map(false)
+            .pass(Box::new(FlipOutputPass))
+            .build()
+            .unwrap()
+            .run(&g);
+        assert!(silent.is_ok(), "without the gate nothing catches this");
+
+        // Gated, the counterexample names the pass.
+        let err = FlowPipeline::builder()
+            .map(false)
+            .pass(Box::new(FlipOutputPass))
+            .gate_equivalence(policy)
+            .build()
+            .unwrap()
+            .run(&g)
+            .unwrap_err();
+        match err {
+            PassError::Equivalence(cex) => {
+                assert_eq!(cex.pass.as_deref(), Some("flip_output"));
+                assert_eq!(cex.output, 0);
+                assert_ne!(cex.expected, cex.actual);
+                assert_eq!(cex.pattern.len(), 8, "one bit per primary input");
+            }
+            other => panic!("expected an equivalence failure, got {other}"),
+        }
     }
 
     #[test]

@@ -29,6 +29,7 @@
 
 use std::fmt;
 
+use mig::EquivalencePolicy;
 use serde::{DeError, Deserialize, Serialize, Value};
 
 use crate::cost::CostTable;
@@ -69,6 +70,13 @@ pub enum SpecError {
     /// The pipeline uses a cost-aware pass but the spec targets no
     /// technology, so there is no cost model to consult.
     CostAwareWithoutTechnology,
+    /// The equivalence gate's exhaustive ceiling is beyond what a block
+    /// sweep can realistically cover (cost doubles per input).
+    EquivalenceCeilingTooHigh(u32),
+    /// The equivalence gate has zero sampling rounds: any circuit above
+    /// the exhaustive ceiling would "pass" after comparing zero
+    /// patterns — a self-verifying sweep that verifies nothing.
+    EquivalenceGateZeroRounds,
     /// The JSON text could not be parsed into a spec.
     Json(String),
 }
@@ -100,6 +108,16 @@ impl fmt::Display for SpecError {
             SpecError::CostAwareWithoutTechnology => write!(
                 f,
                 "pipeline uses a cost-aware pass but the spec targets no technology"
+            ),
+            SpecError::EquivalenceCeilingTooHigh(inputs) => write!(
+                f,
+                "equivalence gate's exhaustive ceiling of {inputs} inputs is beyond the \
+                 practical limit of {MAX_EXHAUSTIVE_GATE_INPUTS} (cost doubles per input)"
+            ),
+            SpecError::EquivalenceGateZeroRounds => write!(
+                f,
+                "equivalence gate has zero sampling rounds: circuits above the exhaustive \
+                 ceiling would pass after comparing zero patterns"
             ),
             SpecError::Json(e) => write!(f, "spec JSON does not parse: {e}"),
         }
@@ -171,7 +189,18 @@ pub struct PipelineSpec {
     pub minimize_inverters: bool,
     /// The passes after mapping, in execution order.
     pub passes: Vec<PassSpec>,
+    /// Opt-in per-pass equivalence gating: when set, every pass
+    /// boundary differentially re-checks the working netlist against
+    /// the source MIG under this policy (see
+    /// [`crate::differential::check`]); a pass that breaks the function
+    /// fails the run with a counterexample naming it.
+    pub equivalence_gate: Option<EquivalencePolicy>,
 }
+
+/// Largest exhaustive ceiling [`FlowSpec::validate`] accepts for the
+/// equivalence gate — 2^24 patterns per pass boundary is already ~256k
+/// block evaluations.
+pub const MAX_EXHAUSTIVE_GATE_INPUTS: u32 = 24;
 
 impl Default for PipelineSpec {
     /// The paper's default flow: FO3 + BUF + verify.
@@ -186,6 +215,7 @@ impl PipelineSpec {
         PipelineSpec {
             minimize_inverters,
             passes: Vec::new(),
+            equivalence_gate: None,
         }
     }
 
@@ -249,6 +279,13 @@ impl PipelineSpec {
         self
     }
 
+    /// Turns on per-pass equivalence gating under `policy` (see the
+    /// [`PipelineSpec::equivalence_gate`] field).
+    pub fn gate_equivalence(mut self, policy: EquivalencePolicy) -> PipelineSpec {
+        self.equivalence_gate = Some(policy);
+        self
+    }
+
     /// `true` if any pass consults the run's cost model.
     pub fn uses_cost_aware_passes(&self) -> bool {
         self.passes.iter().any(PassSpec::is_cost_aware)
@@ -270,6 +307,18 @@ impl PipelineSpec {
                 }
             }
         }
+        if let Some(gate) = &self.equivalence_gate {
+            if gate.exhaustive_inputs > MAX_EXHAUSTIVE_GATE_INPUTS {
+                return Err(SpecError::EquivalenceCeilingTooHigh(gate.exhaustive_inputs));
+            }
+            // A gate must keep a sampling budget: the gate cannot know
+            // circuit sizes at validation time, and with zero rounds any
+            // circuit above the exhaustive ceiling would vacuously pass
+            // after comparing zero patterns.
+            if gate.rounds == 0 {
+                return Err(SpecError::EquivalenceGateZeroRounds);
+            }
+        }
         Ok(())
     }
 
@@ -281,6 +330,9 @@ impl PipelineSpec {
     /// ill-ordered (e.g. fan-out restriction after buffer insertion).
     pub fn build(&self) -> Result<FlowPipeline, PipelineError> {
         let mut builder = FlowPipeline::builder().map(self.minimize_inverters);
+        if let Some(policy) = self.equivalence_gate {
+            builder = builder.gate_equivalence(policy);
+        }
         for pass in &self.passes {
             builder = match pass {
                 PassSpec::RestrictFanout { limit } => builder.restrict_fanout(*limit),
@@ -505,6 +557,15 @@ impl FlowSpec {
         self
     }
 
+    /// Turns on per-pass equivalence gating for this spec's pipeline:
+    /// every cell of the sweep differentially re-checks its netlist
+    /// against the source MIG after each pass, so the whole experiment
+    /// self-verifies (see [`PipelineSpec::gate_equivalence`]).
+    pub fn with_equivalence_gating(mut self, policy: EquivalencePolicy) -> FlowSpec {
+        self.pipeline.equivalence_gate = Some(policy);
+        self
+    }
+
     /// Structural validation, before any circuit is resolved or any
     /// pass runs. The engine calls this first on every run.
     ///
@@ -710,12 +771,41 @@ impl Deserialize for PassSpec {
     }
 }
 
+/// Value form of an [`EquivalencePolicy`] (free functions instead of
+/// trait impls: the policy type lives in the `mig` crate, so the orphan
+/// rule forbids implementing the vendored serde traits for it here).
+fn policy_to_value(policy: &EquivalencePolicy) -> Value {
+    object(vec![
+        ("exhaustive_inputs", policy.exhaustive_inputs.to_value()),
+        ("rounds", (policy.rounds as u64).to_value()),
+        ("seed", policy.seed.to_value()),
+    ])
+}
+
+fn policy_from_value(value: &Value) -> Result<EquivalencePolicy, DeError> {
+    let entries = value
+        .as_object()
+        .ok_or_else(|| DeError::expected("object for EquivalencePolicy"))?;
+    let rounds: u64 = Deserialize::from_value(serde::field(entries, "rounds")?)?;
+    Ok(EquivalencePolicy {
+        exhaustive_inputs: Deserialize::from_value(serde::field(entries, "exhaustive_inputs")?)?,
+        rounds: rounds as usize,
+        seed: Deserialize::from_value(serde::field(entries, "seed")?)?,
+    })
+}
+
 impl Serialize for PipelineSpec {
     fn to_value(&self) -> Value {
-        object(vec![
+        let mut entries = vec![
             ("minimize_inverters", self.minimize_inverters.to_value()),
             ("passes", self.passes.to_value()),
-        ])
+        ];
+        // Omitted when off, so ungated specs (and their content hashes)
+        // serialize exactly as they did before the gate existed.
+        if let Some(policy) = &self.equivalence_gate {
+            entries.push(("equivalence_gate", policy_to_value(policy)));
+        }
+        object(entries)
     }
 }
 
@@ -724,12 +814,17 @@ impl Deserialize for PipelineSpec {
         let entries = value
             .as_object()
             .ok_or_else(|| DeError::expected("object for PipelineSpec"))?;
+        let equivalence_gate = match serde::field(entries, "equivalence_gate") {
+            Ok(Value::Null) | Err(_) => None,
+            Ok(v) => Some(policy_from_value(v)?),
+        };
         Ok(PipelineSpec {
             minimize_inverters: Deserialize::from_value(serde::field(
                 entries,
                 "minimize_inverters",
             )?)?,
             passes: Deserialize::from_value(serde::field(entries, "passes")?)?,
+            equivalence_gate,
         })
     }
 }
@@ -957,6 +1052,53 @@ mod tests {
             Err(SpecError::CostAwareWithoutTechnology)
         );
         assert_eq!(full_spec().validate(), Ok(()));
+    }
+
+    #[test]
+    fn equivalence_gate_round_trips_and_is_validated() {
+        let policy = EquivalencePolicy {
+            exhaustive_inputs: 12,
+            rounds: 16,
+            seed: 99,
+        };
+        let gated = FlowSpec::new("gated")
+            .with_equivalence_gating(policy)
+            .circuit("A");
+        assert_eq!(gated.validate(), Ok(()));
+        let back = FlowSpec::from_json(&gated.to_json()).unwrap();
+        assert_eq!(gated, back);
+        assert_eq!(back.pipeline.equivalence_gate, Some(policy));
+        assert_eq!(gated.content_hash(), back.content_hash());
+
+        // Gating is part of the pipeline's cache identity…
+        let ungated = FlowSpec::new("gated").circuit("A");
+        assert_ne!(
+            gated.pipeline.content_hash(),
+            ungated.pipeline.content_hash()
+        );
+        // …but an ungated spec serializes without the field, so specs
+        // written before the gate existed still parse.
+        assert!(!ungated.to_json().contains("equivalence_gate"));
+        assert_eq!(FlowSpec::from_json(&ungated.to_json()).unwrap(), ungated);
+
+        // An absurd exhaustive ceiling is rejected before anything runs.
+        let absurd = FlowSpec::new("absurd")
+            .with_equivalence_gating(EquivalencePolicy::exhaustive(40))
+            .circuit("A");
+        assert_eq!(
+            absurd.validate(),
+            Err(SpecError::EquivalenceCeilingTooHigh(40))
+        );
+
+        // So is a gate with no sampling budget — above the exhaustive
+        // ceiling it would "verify" zero patterns.
+        let vacuous = FlowSpec::new("vacuous")
+            .with_equivalence_gating(EquivalencePolicy::sampled(0, 1))
+            .circuit("A");
+        assert_eq!(
+            vacuous.validate(),
+            Err(SpecError::EquivalenceGateZeroRounds)
+        );
     }
 
     #[test]

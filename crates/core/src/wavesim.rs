@@ -13,15 +13,36 @@
 //! unbalanced netlist a cell reads data from the *wrong wave*; the
 //! simulator reproduces that corruption faithfully, which is how the
 //! tests demonstrate the necessity of buffer insertion.
+//!
+//! Simulation is **bit-parallel**: the core run path
+//! ([`WaveSimulator::run_words`]) packs 64 independent wave *streams*
+//! into each `u64` cell value, so one phase-step update advances 64
+//! simulations at once. The scalar [`WaveSimulator::run`] is a thin
+//! single-lane wrapper over it, which is what guarantees the two paths
+//! can never disagree.
 
-use crate::component::{Component, ComponentKind};
+use crate::component::{CompId, Component, ComponentKind};
 use crate::netlist::Netlist;
 
-/// Result of a wave-pipelined simulation run.
+/// Result of a scalar wave-pipelined simulation run.
 #[derive(Clone, Debug, PartialEq, Eq)]
 pub struct WaveRun {
     /// One output vector per injected input wave, in injection order.
     pub outputs: Vec<Vec<bool>>,
+    /// Netlist depth used for output sampling.
+    pub depth: u32,
+    /// Total phase steps simulated.
+    pub phase_steps: usize,
+}
+
+/// Result of a bit-parallel wave-pipelined simulation run: every `u64`
+/// packs the same wave position of 64 *independent* streams (lane `k`
+/// of every word belongs to stream `k`).
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct WaveWordRun {
+    /// One word per primary output per injected wave, in injection
+    /// order (`outputs[w][o]`, bit `k` = stream `k`).
+    pub outputs: Vec<Vec<u64>>,
     /// Netlist depth used for output sampling.
     pub depth: u32,
     /// Total phase steps simulated.
@@ -57,14 +78,25 @@ pub struct WaveRun {
 pub struct WaveSimulator<'n> {
     netlist: &'n Netlist,
     levels: Vec<u32>,
+    /// Component ids grouped by firing phase (`level % 3`), so each
+    /// phase step touches only the third of the netlist that actually
+    /// re-evaluates.
+    phase_ids: [Vec<CompId>; 3],
 }
 
 impl<'n> WaveSimulator<'n> {
-    /// Creates a simulator for `netlist` (levels are computed once).
+    /// Creates a simulator for `netlist` (levels and per-phase update
+    /// lists are computed once).
     pub fn new(netlist: &'n Netlist) -> WaveSimulator<'n> {
+        let levels = netlist.levels();
+        let mut phase_ids: [Vec<CompId>; 3] = Default::default();
+        for id in netlist.ids() {
+            phase_ids[(levels[id.index()] % 3) as usize].push(id);
+        }
         WaveSimulator {
             netlist,
-            levels: netlist.levels(),
+            levels,
+            phase_ids,
         }
     }
 
@@ -76,6 +108,8 @@ impl<'n> WaveSimulator<'n> {
     /// returned outputs are aligned with the injected waves: entry `w`
     /// is sampled `depth` phase steps after wave `w` was injected.
     ///
+    /// A single-lane wrapper over [`WaveSimulator::run_words`].
+    ///
     /// # Panics
     ///
     /// Panics if any wave's width differs from the netlist input count,
@@ -83,6 +117,32 @@ impl<'n> WaveSimulator<'n> {
     /// (wave sampling is only meaningful for aligned outputs — run
     /// buffer insertion first; [`crate::verify_balance`] diagnoses this).
     pub fn run(&self, waves: &[Vec<bool>]) -> WaveRun {
+        let packed: Vec<Vec<u64>> = waves
+            .iter()
+            .map(|w| w.iter().map(|&b| if b { !0 } else { 0 }).collect())
+            .collect();
+        let run = self.run_words(&packed);
+        WaveRun {
+            outputs: run
+                .outputs
+                .into_iter()
+                .map(|wave| wave.into_iter().map(|w| w & 1 != 0).collect())
+                .collect(),
+            depth: run.depth,
+            phase_steps: run.phase_steps,
+        }
+    }
+
+    /// Streams 64 independent wave sequences at once: bit `k` of
+    /// `waves[w][i]` is the value of input `i` in wave `w` of stream
+    /// `k`. One phase-step update advances all 64 streams, so checking
+    /// a netlist's streaming behaviour over 64 random stimuli costs one
+    /// scalar-run's worth of work.
+    ///
+    /// # Panics
+    ///
+    /// As [`WaveSimulator::run`].
+    pub fn run_words(&self, waves: &[Vec<u64>]) -> WaveWordRun {
         let n = self.netlist;
         for w in waves {
             assert_eq!(
@@ -95,47 +155,57 @@ impl<'n> WaveSimulator<'n> {
 
         // Simulate until the last wave has fully drained.
         let total_steps = 3 * waves.len().saturating_sub(1) + depth as usize + 1;
-        let mut state = vec![false; n.len()];
-        // Pre-load constant cells; they never change.
+        let mut state = vec![0u64; n.len()];
+        // Pre-load constant cells; they never change (all lanes share
+        // the constant).
         for id in n.ids() {
             if let Component::Const { value } = n.component(id) {
-                state[id.index()] = *value;
+                state[id.index()] = if *value { !0 } else { 0 };
             }
         }
 
-        let mut outputs: Vec<Vec<bool>> = Vec::with_capacity(waves.len());
+        // One scratch buffer reused across all steps: same-phase cells
+        // latch simultaneously, so each step computes every firing
+        // cell's next value against the pre-step state and only then
+        // commits — without cloning the full state vector per step.
+        let scratch_len = self.phase_ids.iter().map(Vec::len).max().unwrap_or(0);
+        let mut scratch: Vec<u64> = Vec::with_capacity(scratch_len);
+        let mut outputs: Vec<Vec<u64>> = Vec::with_capacity(waves.len());
         for t in 0..total_steps {
-            let phase = (t % 3) as u32;
-            // Double-buffered update: same-phase cells are ≥ 3 levels
-            // apart in a balanced netlist, but unbalanced netlists can
-            // connect them — reading the old state models the physics
-            // (both cells latch simultaneously).
-            let mut next = state.clone();
-            for id in n.ids() {
-                if self.levels[id.index()] % 3 != phase {
-                    continue;
-                }
+            let firing = &self.phase_ids[t % 3];
+            scratch.clear();
+            for &id in firing {
                 let v = match n.component(id) {
                     Component::Input { position } => {
                         // Inputs fire at phase 0 (level 0): inject the
                         // next wave, or hold the last value when the
                         // stream is exhausted.
-                        let wave_index = t / 3;
-                        match waves.get(wave_index) {
+                        match waves.get(t / 3) {
                             Some(w) => w[*position as usize],
                             None => state[id.index()],
                         }
                     }
-                    Component::Const { value } => *value,
+                    Component::Const { value } => {
+                        if *value {
+                            !0
+                        } else {
+                            0
+                        }
+                    }
                     Component::Maj { fanins } => {
-                        fanins.iter().filter(|f| state[f.index()]).count() >= 2
+                        let a = state[fanins[0].index()];
+                        let b = state[fanins[1].index()];
+                        let c = state[fanins[2].index()];
+                        a & b | a & c | b & c
                     }
                     Component::Inv { fanin } => !state[fanin.index()],
                     Component::Buf { fanin } | Component::Fog { fanin } => state[fanin.index()],
                 };
-                next[id.index()] = v;
+                scratch.push(v);
             }
-            state = next;
+            for (&id, &v) in firing.iter().zip(&scratch) {
+                state[id.index()] = v;
+            }
 
             // Sample outputs: wave w reaches level `depth` at step
             // 3w + depth; sampling happens after that step's update.
@@ -154,7 +224,7 @@ impl<'n> WaveSimulator<'n> {
             }
         }
 
-        WaveRun {
+        WaveWordRun {
             outputs,
             depth,
             phase_steps: total_steps,
@@ -164,12 +234,34 @@ impl<'n> WaveSimulator<'n> {
     /// Runs the wave simulation and compares each output wave against
     /// the combinational golden model; returns the indices of corrupted
     /// waves (empty = coherent streaming).
+    ///
+    /// A single-lane wrapper over
+    /// [`WaveSimulator::check_against_golden_words`]: a broadcast-packed
+    /// wave carries identical bits in all 64 lanes through both the
+    /// streaming and the golden path, so the scalar verdict is the word
+    /// verdict.
     pub fn check_against_golden(&self, waves: &[Vec<bool>]) -> Vec<usize> {
-        let run = self.run(waves);
+        let packed: Vec<Vec<u64>> = waves
+            .iter()
+            .map(|w| w.iter().map(|&b| if b { !0 } else { 0 }).collect())
+            .collect();
+        self.check_against_golden_words(&packed)
+    }
+
+    /// Word-level [`WaveSimulator::check_against_golden`]: streams 64
+    /// independent stimuli at once and compares every wave of every
+    /// lane against the bit-parallel combinational golden model
+    /// ([`Netlist::eval_words`], evaluated through one prepared
+    /// [`crate::verify::NetlistFunction`] for the whole stream).
+    /// Returns the indices of waves on which *any* lane diverged.
+    pub fn check_against_golden_words(&self, waves: &[Vec<u64>]) -> Vec<usize> {
+        let run = self.run_words(waves);
+        let mut golden =
+            crate::verify::NetlistFunction::new(self.netlist).expect("levels() proved acyclicity");
         waves
             .iter()
             .enumerate()
-            .filter(|(i, w)| run.outputs[*i] != self.netlist.eval(w))
+            .filter(|(i, w)| run.outputs[*i] != golden.eval_words(w))
             .map(|(i, _)| i)
             .collect()
     }
@@ -324,6 +416,34 @@ mod tests {
         for (w, out) in waves.iter().zip(&run.outputs) {
             assert_eq!(out, &vec![w[0]], "buffer chain is the identity");
         }
+    }
+
+    #[test]
+    fn word_run_lanes_agree_with_scalar_runs() {
+        let n = balanced_adder();
+        let sim = WaveSimulator::new(&n);
+        // 64 independent random streams of 6 waves each, packed.
+        let mut rng = StdRng::seed_from_u64(21);
+        let word_waves: Vec<Vec<u64>> = (0..6)
+            .map(|_| (0..3).map(|_| rng.gen()).collect())
+            .collect();
+        let word_run = sim.run_words(&word_waves);
+        for lane in [0usize, 1, 17, 63] {
+            let scalar_waves: Vec<Vec<bool>> = word_waves
+                .iter()
+                .map(|w| w.iter().map(|word| word >> lane & 1 != 0).collect())
+                .collect();
+            let scalar_run = sim.run(&scalar_waves);
+            assert_eq!(scalar_run.depth, word_run.depth);
+            for (w, out) in scalar_run.outputs.iter().enumerate() {
+                let unpacked: Vec<bool> = word_run.outputs[w]
+                    .iter()
+                    .map(|word| word >> lane & 1 != 0)
+                    .collect();
+                assert_eq!(out, &unpacked, "lane {lane}, wave {w}");
+            }
+        }
+        assert!(sim.check_against_golden_words(&word_waves).is_empty());
     }
 
     #[test]

@@ -1,17 +1,31 @@
-//! Combinational equivalence checking between two MIGs.
+//! Combinational equivalence checking — the workspace's one
+//! differential-verification engine.
 //!
-//! Small graphs (≤ 20 inputs) are compared exhaustively via
-//! [`TruthTable`]; larger graphs fall back to seeded random bit-parallel
-//! simulation, which is the standard pragmatic check for synthesis
-//! transforms that are correct by construction (the transforms in this
-//! workspace additionally carry structural proofs/tests of their own).
+//! Any two implementations of the bit-parallel [`WordFunction`]
+//! contract (64 input patterns per `u64` word) can be compared under an
+//! [`EquivalencePolicy`]:
+//!
+//! * **Exhaustive** for small input counts: all `2^n` patterns swept in
+//!   64-wide [`PatternBlock`]s — a *proof*, with no truth-table
+//!   materialization, practical up to ~20 inputs (2^20 patterns is
+//!   16384 block evaluations per side).
+//! * **Seeded stratified sampling** beyond: a corner block (all-zero,
+//!   all-ones, one-hot patterns) followed by rounds of biased-density
+//!   random words cycling through activation densities from 1/16 to
+//!   15/16, so both sparse and dense input activity is exercised — the
+//!   standard pragmatic check for synthesis transforms that are correct
+//!   by construction.
+//!
+//! [`check_equivalence`] compares two [`Mig`]s through this engine; the
+//! `wavepipe` crate compares mapped netlists against their source MIGs
+//! through the same engine (`wavepipe::differential`), so every
+//! differential check in the workspace shares one implementation.
 
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 
 use crate::graph::Mig;
 use crate::simulate::Simulator;
-use crate::truth_table::TruthTable;
 
 /// Outcome of an equivalence check.
 #[derive(Clone, Debug, PartialEq, Eq)]
@@ -40,21 +54,21 @@ impl Equivalence {
     }
 }
 
-/// Errors raised when two graphs cannot even be compared.
+/// Errors raised when two functions cannot even be compared.
 #[derive(Clone, Debug, PartialEq, Eq)]
 pub enum CheckError {
     /// Input counts differ.
     InputCountMismatch {
-        /// Inputs of the left graph.
+        /// Inputs of the left function.
         left: usize,
-        /// Inputs of the right graph.
+        /// Inputs of the right function.
         right: usize,
     },
     /// Output counts differ.
     OutputCountMismatch {
-        /// Outputs of the left graph.
+        /// Outputs of the left function.
         left: usize,
-        /// Outputs of the right graph.
+        /// Outputs of the right function.
         right: usize,
     },
 }
@@ -74,15 +88,426 @@ impl std::fmt::Display for CheckError {
 
 impl std::error::Error for CheckError {}
 
-/// Default number of 64-pattern random rounds for large graphs.
+/// Default number of 64-pattern random rounds for large functions.
 pub const DEFAULT_RANDOM_ROUNDS: usize = 256;
+
+/// Default exhaustive ceiling: functions with at most this many inputs
+/// are proven over all `2^n` patterns (1024 block evaluations at 16
+/// inputs).
+pub const DEFAULT_EXHAUSTIVE_INPUTS: u32 = 16;
+
+/// The default seed of [`check_equivalence`].
+pub const DEFAULT_SEED: u64 = 0xDA7E_2017;
+
+/// How hard a differential check works: exhaustive up to a ceiling,
+/// seeded stratified sampling beyond.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct EquivalencePolicy {
+    /// Functions with at most this many inputs are checked exhaustively
+    /// (all `2^n` patterns, swept in 64-wide blocks). Cost doubles per
+    /// input: ~20 is the practical ceiling (16384 blocks per side).
+    pub exhaustive_inputs: u32,
+    /// Number of 64-pattern sampling rounds beyond the exhaustive
+    /// ceiling. Round 0 is a deterministic-corner block (all-zero,
+    /// all-ones, one-hot patterns); later rounds cycle through biased
+    /// bit densities.
+    pub rounds: usize,
+    /// RNG seed of the sampling rounds — identical policies replay the
+    /// exact pattern sequence.
+    pub seed: u64,
+}
+
+impl Default for EquivalencePolicy {
+    /// Exhaustive up to [`DEFAULT_EXHAUSTIVE_INPUTS`],
+    /// [`DEFAULT_RANDOM_ROUNDS`] sampling rounds beyond, seeded with
+    /// [`DEFAULT_SEED`].
+    fn default() -> EquivalencePolicy {
+        EquivalencePolicy {
+            exhaustive_inputs: DEFAULT_EXHAUSTIVE_INPUTS,
+            rounds: DEFAULT_RANDOM_ROUNDS,
+            seed: DEFAULT_SEED,
+        }
+    }
+}
+
+impl EquivalencePolicy {
+    /// A policy that proves equivalence for up to `max_inputs` inputs
+    /// (and falls back to the default sampling beyond).
+    pub fn exhaustive(max_inputs: u32) -> EquivalencePolicy {
+        EquivalencePolicy {
+            exhaustive_inputs: max_inputs,
+            ..EquivalencePolicy::default()
+        }
+    }
+
+    /// A pure sampling policy: never exhaustive, `rounds` stratified
+    /// 64-pattern rounds with the given seed.
+    ///
+    /// Note that `rounds == 0` makes the policy vacuous for any
+    /// function above the exhaustive ceiling: the check returns
+    /// [`Equivalence::ProbablyEqual`]` { rounds: 0 }` having compared
+    /// zero patterns. The spec layer rejects such gates
+    /// (`wavepipe::SpecError::EquivalenceGateZeroRounds`).
+    pub fn sampled(rounds: usize, seed: u64) -> EquivalencePolicy {
+        EquivalencePolicy {
+            exhaustive_inputs: 0,
+            rounds,
+            seed,
+        }
+    }
+
+    /// The same policy with a different sampling seed.
+    pub fn with_seed(mut self, seed: u64) -> EquivalencePolicy {
+        self.seed = seed;
+        self
+    }
+
+    /// `true` if a function with `inputs` inputs is checked
+    /// exhaustively under this policy.
+    pub fn is_exhaustive_for(&self, inputs: usize) -> bool {
+        inputs < 64 && inputs as u32 <= self.exhaustive_inputs
+    }
+
+    /// Number of input patterns this policy applies to a function with
+    /// `inputs` inputs.
+    pub fn patterns_for(&self, inputs: usize) -> u64 {
+        if self.is_exhaustive_for(inputs) {
+            1u64 << inputs
+        } else {
+            self.rounds as u64 * PatternBlock::LANES as u64
+        }
+    }
+}
+
+/// Bit patterns of the low-order selector words: bit `k` of
+/// `EXHAUSTIVE_MASKS[i]` is `(k >> i) & 1`.
+const EXHAUSTIVE_MASKS: [u64; 6] = [
+    0xAAAA_AAAA_AAAA_AAAA,
+    0xCCCC_CCCC_CCCC_CCCC,
+    0xF0F0_F0F0_F0F0_F0F0,
+    0xFF00_FF00_FF00_FF00,
+    0xFFFF_0000_FFFF_0000,
+    0xFFFF_FFFF_0000_0000,
+];
+
+/// Up to 64 input patterns packed bit-parallel: bit `k` of word `i` is
+/// the value of input `i` in lane (pattern) `k` — the input shape
+/// [`WordFunction::eval_block`] consumes.
+///
+/// Blocks are either packed from explicit patterns
+/// ([`PatternBlock::pack`]) or generated as one 64-lane slice of an
+/// exhaustive `2^n` sweep ([`PatternBlock::exhaustive`]).
+///
+/// # Examples
+///
+/// ```
+/// use mig::PatternBlock;
+///
+/// let block = PatternBlock::pack(&[
+///     vec![false, true],
+///     vec![true, true],
+/// ]);
+/// assert_eq!(block.lanes(), 2);
+/// assert_eq!(block.words(), &[0b10, 0b11]);
+/// assert_eq!(block.pattern(0), vec![false, true]);
+///
+/// // Block 0 of an exhaustive 3-input sweep holds all 8 patterns.
+/// let sweep = PatternBlock::exhaustive(3, 0);
+/// assert_eq!(sweep.lanes(), 8);
+/// assert_eq!(sweep.pattern(5), vec![true, false, true]);
+/// ```
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct PatternBlock {
+    inputs: usize,
+    lanes: usize,
+    words: Vec<u64>,
+}
+
+impl PatternBlock {
+    /// Number of lanes (patterns) a full block carries.
+    pub const LANES: usize = 64;
+
+    /// Packs up to 64 scalar patterns into one block.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `patterns` is empty, holds more than 64 entries, or
+    /// the patterns differ in width.
+    pub fn pack(patterns: &[Vec<bool>]) -> PatternBlock {
+        assert!(
+            !patterns.is_empty() && patterns.len() <= Self::LANES,
+            "a pattern block packs 1..=64 patterns, got {}",
+            patterns.len()
+        );
+        let inputs = patterns[0].len();
+        let mut words = vec![0u64; inputs];
+        for (lane, pattern) in patterns.iter().enumerate() {
+            assert_eq!(pattern.len(), inputs, "patterns must share a width");
+            for (i, &bit) in pattern.iter().enumerate() {
+                if bit {
+                    words[i] |= 1 << lane;
+                }
+            }
+        }
+        PatternBlock {
+            inputs,
+            lanes: patterns.len(),
+            words,
+        }
+    }
+
+    /// Number of 64-lane blocks an exhaustive sweep over `inputs`
+    /// variables needs (`⌈2^inputs / 64⌉`, at least 1).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `inputs >= 64` (the pattern count would overflow; use
+    /// sampling for such functions).
+    pub fn block_count(inputs: usize) -> u64 {
+        assert!(inputs < 64, "exhaustive sweeps support at most 63 inputs");
+        (1u64 << inputs).div_ceil(Self::LANES as u64).max(1)
+    }
+
+    /// Block `block` of the exhaustive sweep: lane `k` carries the
+    /// input pattern whose binary encoding is `block * 64 + k` (input 0
+    /// is the least-significant selector bit).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `inputs >= 64` or `block >= block_count(inputs)`.
+    pub fn exhaustive(inputs: usize, block: u64) -> PatternBlock {
+        let blocks = Self::block_count(inputs);
+        assert!(block < blocks, "block {block} out of range ({blocks})");
+        let total = 1u64 << inputs;
+        let base = block * Self::LANES as u64;
+        let lanes = (total - base).min(Self::LANES as u64) as usize;
+        let words = (0..inputs)
+            .map(|i| {
+                if i < EXHAUSTIVE_MASKS.len() {
+                    // The low 6 selector bits cycle within the block.
+                    EXHAUSTIVE_MASKS[i]
+                } else if base >> i & 1 != 0 {
+                    !0
+                } else {
+                    0
+                }
+            })
+            .collect();
+        PatternBlock {
+            inputs,
+            lanes,
+            words,
+        }
+    }
+
+    /// Pattern width (number of inputs).
+    pub fn inputs(&self) -> usize {
+        self.inputs
+    }
+
+    /// Number of meaningful lanes (1..=64); bits of lanes beyond this
+    /// are don't-care.
+    pub fn lanes(&self) -> usize {
+        self.lanes
+    }
+
+    /// Mask with one bit set per meaningful lane.
+    pub fn lane_mask(&self) -> u64 {
+        if self.lanes == Self::LANES {
+            !0
+        } else {
+            (1u64 << self.lanes) - 1
+        }
+    }
+
+    /// The packed input words (one per input, in declaration order).
+    pub fn words(&self) -> &[u64] {
+        &self.words
+    }
+
+    /// Unpacks lane `lane` back into a scalar pattern.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `lane >= self.lanes()`.
+    pub fn pattern(&self, lane: usize) -> Vec<bool> {
+        assert!(lane < self.lanes, "lane {lane} out of range");
+        self.words.iter().map(|w| w >> lane & 1 != 0).collect()
+    }
+}
+
+/// A combinational function that evaluates 64 input patterns per call —
+/// the contract the differential engine compares over. Implemented by
+/// [`Simulator`] for MIGs and by `wavepipe`'s netlist adapter, so one
+/// engine serves every "are these two still the same function?"
+/// question in the workspace.
+///
+/// `eval_block` takes `&mut self` so implementations can reuse internal
+/// scratch buffers across the thousands of blocks an exhaustive sweep
+/// evaluates.
+pub trait WordFunction {
+    /// Number of primary inputs.
+    fn input_count(&self) -> usize;
+
+    /// Number of primary outputs.
+    fn output_count(&self) -> usize;
+
+    /// Evaluates 64 packed patterns: bit `k` of `inputs[i]` is input
+    /// `i` in pattern `k`; returns one word per output.
+    fn eval_block(&mut self, inputs: &[u64]) -> Vec<u64>;
+
+    /// Display name of output `position` (used in counterexamples).
+    fn output_name(&self, position: usize) -> String {
+        format!("o{position}")
+    }
+}
+
+/// The corner block of the sampling path: lane 0 is the all-zero
+/// pattern, lane 1 all-ones, lane `2 + j` the one-hot pattern of input
+/// `j`; leftover lanes stay uniformly random.
+fn corner_block(inputs: usize, rng: &mut StdRng) -> Vec<u64> {
+    (0..inputs)
+        .map(|i| {
+            let mut word: u64 = rng.gen();
+            word &= !1; // lane 0: all inputs low
+            word |= 2; // lane 1: all inputs high
+            for lane in 2..PatternBlock::LANES {
+                if lane - 2 < inputs {
+                    let bit = 1u64 << lane;
+                    if lane - 2 == i {
+                        word |= bit;
+                    } else {
+                        word &= !bit;
+                    }
+                }
+            }
+            word
+        })
+        .collect()
+}
+
+/// One stratified sampling round: the activation density cycles through
+/// {1/2, 1/4, 3/4, 1/8, 7/8, 1/16, 15/16} so sparse and dense input
+/// activity are both exercised.
+fn stratified_block(inputs: usize, round: usize, rng: &mut StdRng) -> Vec<u64> {
+    let stratum = (round - 1) % 7;
+    (0..inputs)
+        .map(|_| {
+            let a: u64 = rng.gen();
+            match stratum {
+                0 => a,
+                1 => a & rng.gen::<u64>(),
+                2 => a | rng.gen::<u64>(),
+                3 => a & rng.gen::<u64>() & rng.gen::<u64>(),
+                4 => a | rng.gen::<u64>() | rng.gen::<u64>(),
+                5 => a & rng.gen::<u64>() & rng.gen::<u64>() & rng.gen::<u64>(),
+                _ => a | rng.gen::<u64>() | rng.gen::<u64>() | rng.gen::<u64>(),
+            }
+        })
+        .collect()
+}
+
+/// Compares two [`WordFunction`]s under a policy — the engine behind
+/// [`check_equivalence`] and `wavepipe::differential::check`.
+///
+/// Outputs are matched by position, not by name; counterexamples are
+/// named after the **left** function's outputs.
+///
+/// # Errors
+///
+/// Returns [`CheckError`] if the interfaces (input/output counts)
+/// differ.
+pub fn check_word_functions<L, R>(
+    left: &mut L,
+    right: &mut R,
+    policy: &EquivalencePolicy,
+) -> Result<Equivalence, CheckError>
+where
+    L: WordFunction + ?Sized,
+    R: WordFunction + ?Sized,
+{
+    if left.input_count() != right.input_count() {
+        return Err(CheckError::InputCountMismatch {
+            left: left.input_count(),
+            right: right.input_count(),
+        });
+    }
+    if left.output_count() != right.output_count() {
+        return Err(CheckError::OutputCountMismatch {
+            left: left.output_count(),
+            right: right.output_count(),
+        });
+    }
+    let n = left.input_count();
+
+    if policy.is_exhaustive_for(n) {
+        for block in 0..PatternBlock::block_count(n) {
+            let patterns = PatternBlock::exhaustive(n, block);
+            let lo = left.eval_block(patterns.words());
+            let ro = right.eval_block(patterns.words());
+            let mask = patterns.lane_mask();
+            for (o, (a, b)) in lo.iter().zip(&ro).enumerate() {
+                let diff = (a ^ b) & mask;
+                if diff != 0 {
+                    let lane = diff.trailing_zeros() as usize;
+                    return Ok(Equivalence::NotEqual {
+                        output: left.output_name(o),
+                        pattern: patterns.pattern(lane),
+                    });
+                }
+            }
+        }
+        return Ok(Equivalence::Equal);
+    }
+
+    let mut rng = StdRng::seed_from_u64(policy.seed);
+    for round in 0..policy.rounds {
+        let words = if round == 0 {
+            corner_block(n, &mut rng)
+        } else {
+            stratified_block(n, round, &mut rng)
+        };
+        let lo = left.eval_block(&words);
+        let ro = right.eval_block(&words);
+        for (o, (a, b)) in lo.iter().zip(&ro).enumerate() {
+            if a != b {
+                let lane = (a ^ b).trailing_zeros() as usize;
+                return Ok(Equivalence::NotEqual {
+                    output: left.output_name(o),
+                    pattern: words.iter().map(|w| w >> lane & 1 != 0).collect(),
+                });
+            }
+        }
+    }
+    Ok(Equivalence::ProbablyEqual {
+        rounds: policy.rounds,
+    })
+}
+
+/// [`check_equivalence`] under an explicit [`EquivalencePolicy`].
+///
+/// # Errors
+///
+/// Returns [`CheckError`] if the interfaces (input/output counts) differ.
+pub fn check_equivalence_with_policy(
+    left: &Mig,
+    right: &Mig,
+    policy: &EquivalencePolicy,
+) -> Result<Equivalence, CheckError> {
+    check_word_functions(
+        &mut Simulator::new(left),
+        &mut Simulator::new(right),
+        policy,
+    )
+}
 
 /// Checks combinational equivalence of `left` and `right`.
 ///
 /// Outputs are matched by position, not by name. Graphs with at most
-/// [`TruthTable::MAX_INPUTS`] inputs are checked exhaustively; larger
-/// graphs are checked with [`DEFAULT_RANDOM_ROUNDS`] rounds of seeded
-/// random simulation (64 patterns per round).
+/// [`DEFAULT_EXHAUSTIVE_INPUTS`] inputs are *proven* equivalent (or
+/// not) over all `2^n` patterns, swept bit-parallel in 64-wide blocks;
+/// larger graphs are checked with [`DEFAULT_RANDOM_ROUNDS`] rounds of
+/// seeded stratified simulation (64 patterns per round).
 ///
 /// # Errors
 ///
@@ -112,11 +537,11 @@ pub const DEFAULT_RANDOM_ROUNDS: usize = 256;
 /// # }
 /// ```
 pub fn check_equivalence(left: &Mig, right: &Mig) -> Result<Equivalence, CheckError> {
-    check_equivalence_seeded(left, right, 0xDA7E_2017)
+    check_equivalence_seeded(left, right, DEFAULT_SEED)
 }
 
 /// [`check_equivalence`] with an explicit random seed for the fallback
-/// simulation path.
+/// sampling path.
 ///
 /// # Errors
 ///
@@ -126,61 +551,7 @@ pub fn check_equivalence_seeded(
     right: &Mig,
     seed: u64,
 ) -> Result<Equivalence, CheckError> {
-    if left.input_count() != right.input_count() {
-        return Err(CheckError::InputCountMismatch {
-            left: left.input_count(),
-            right: right.input_count(),
-        });
-    }
-    if left.output_count() != right.output_count() {
-        return Err(CheckError::OutputCountMismatch {
-            left: left.output_count(),
-            right: right.output_count(),
-        });
-    }
-
-    let n = left.input_count();
-    // 14 is comfortably below `TruthTable::MAX_INPUTS`; beyond it the
-    // exhaustive table is too expensive and we sample instead.
-    if n <= 14 {
-        // Exhaustive proof for small graphs.
-        let lt = TruthTable::of_graph(left);
-        let rt = TruthTable::of_graph(right);
-        for (o, (a, b)) in lt.iter().zip(&rt).enumerate() {
-            if a != b {
-                let p = (0..a.pattern_count())
-                    .find(|&p| a.bit(p) != b.bit(p))
-                    .expect("tables differ");
-                return Ok(Equivalence::NotEqual {
-                    output: left.outputs()[o].name.clone(),
-                    pattern: (0..n).map(|i| p >> i & 1 != 0).collect(),
-                });
-            }
-        }
-        return Ok(Equivalence::Equal);
-    }
-
-    // Random bit-parallel simulation for large graphs.
-    let lsim = Simulator::new(left);
-    let rsim = Simulator::new(right);
-    let mut rng = StdRng::seed_from_u64(seed);
-    for _ in 0..DEFAULT_RANDOM_ROUNDS {
-        let inputs: Vec<u64> = (0..n).map(|_| rng.gen()).collect();
-        let lo = lsim.eval_words(&inputs);
-        let ro = rsim.eval_words(&inputs);
-        for (o, (a, b)) in lo.iter().zip(&ro).enumerate() {
-            if a != b {
-                let bit = (a ^ b).trailing_zeros() as usize;
-                return Ok(Equivalence::NotEqual {
-                    output: left.outputs()[o].name.clone(),
-                    pattern: inputs.iter().map(|w| w >> bit & 1 != 0).collect(),
-                });
-            }
-        }
-    }
-    Ok(Equivalence::ProbablyEqual {
-        rounds: DEFAULT_RANDOM_ROUNDS,
-    })
+    check_equivalence_with_policy(left, right, &EquivalencePolicy::default().with_seed(seed))
 }
 
 #[cfg(test)]
@@ -264,7 +635,12 @@ mod tests {
             g
         };
         let r = check_equivalence(&build(false), &build(true)).unwrap();
-        assert!(matches!(r, Equivalence::ProbablyEqual { .. }));
+        assert!(matches!(
+            r,
+            Equivalence::ProbablyEqual {
+                rounds: DEFAULT_RANDOM_ROUNDS
+            }
+        ));
         assert!(r.holds());
     }
 
@@ -282,5 +658,96 @@ mod tests {
         };
         let r = check_equivalence(&build(false), &build(true)).unwrap();
         assert!(!r.holds());
+    }
+
+    #[test]
+    fn exhaustive_blocks_enumerate_every_pattern_once() {
+        for inputs in [0usize, 1, 3, 6, 7, 9] {
+            let mut seen = vec![false; 1 << inputs];
+            for block in 0..PatternBlock::block_count(inputs) {
+                let b = PatternBlock::exhaustive(inputs, block);
+                for lane in 0..b.lanes() {
+                    let pattern = b.pattern(lane);
+                    let code: usize = pattern
+                        .iter()
+                        .enumerate()
+                        .map(|(i, &bit)| usize::from(bit) << i)
+                        .sum();
+                    assert_eq!(
+                        code as u64,
+                        block * 64 + lane as u64,
+                        "lane encodes its pattern index"
+                    );
+                    assert!(!seen[code], "pattern {code} repeated");
+                    seen[code] = true;
+                }
+            }
+            assert!(seen.iter().all(|&s| s), "{inputs} inputs: sweep incomplete");
+        }
+    }
+
+    #[test]
+    fn pack_round_trips_patterns() {
+        let patterns = vec![
+            vec![true, false, true, true],
+            vec![false, false, false, false],
+            vec![true, true, true, true],
+        ];
+        let block = PatternBlock::pack(&patterns);
+        assert_eq!(block.lanes(), 3);
+        assert_eq!(block.inputs(), 4);
+        assert_eq!(block.lane_mask(), 0b111);
+        for (lane, p) in patterns.iter().enumerate() {
+            assert_eq!(&block.pattern(lane), p);
+        }
+    }
+
+    #[test]
+    fn exhaustive_policy_proves_what_sampling_misses() {
+        // Two 18-input functions differing on exactly one pattern
+        // (the all-ones minterm): sampling's corner block catches it
+        // (lane 1 is all-ones), and the exhaustive policy proves the
+        // unbroken pair equal.
+        let build = |broken: bool| {
+            let mut g = Mig::new();
+            let ins = g.add_inputs("x", 18);
+            let conj = ins.iter().skip(1).fold(ins[0], |acc, &s| g.add_and(acc, s));
+            let p = g.add_xor_n(&ins);
+            let f = if broken { g.add_xor(p, conj) } else { p };
+            g.add_output("f", f);
+            g
+        };
+        let exhaustive = EquivalencePolicy::exhaustive(18);
+        assert_eq!(
+            check_equivalence_with_policy(&build(false), &build(false), &exhaustive).unwrap(),
+            Equivalence::Equal
+        );
+        let r = check_equivalence_with_policy(&build(false), &build(true), &exhaustive).unwrap();
+        match &r {
+            Equivalence::NotEqual { pattern, .. } => {
+                assert!(
+                    pattern.iter().all(|&b| b),
+                    "only the all-ones minterm flips"
+                );
+            }
+            other => panic!("expected NotEqual, got {other:?}"),
+        }
+        // The stratified sampler finds it too (corner lane 1 = all-ones).
+        let sampled = EquivalencePolicy::sampled(4, 1);
+        assert!(
+            !check_equivalence_with_policy(&build(false), &build(true), &sampled)
+                .unwrap()
+                .holds()
+        );
+    }
+
+    #[test]
+    fn policy_pattern_accounting() {
+        let p = EquivalencePolicy::default();
+        assert!(p.is_exhaustive_for(16));
+        assert!(!p.is_exhaustive_for(17));
+        assert_eq!(p.patterns_for(10), 1024);
+        assert_eq!(p.patterns_for(40), 256 * 64);
+        assert_eq!(EquivalencePolicy::sampled(8, 1).patterns_for(4), 8 * 64);
     }
 }

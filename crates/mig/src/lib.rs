@@ -65,7 +65,9 @@ pub use analysis::{
     BaseDistance, ConeAnalysis, FanoutHistogram, GraphStats, PathAnalysis, Support,
 };
 pub use equivalence::{
-    check_equivalence, check_equivalence_seeded, CheckError, Equivalence, DEFAULT_RANDOM_ROUNDS,
+    check_equivalence, check_equivalence_seeded, check_equivalence_with_policy,
+    check_word_functions, CheckError, Equivalence, EquivalencePolicy, PatternBlock, WordFunction,
+    DEFAULT_EXHAUSTIVE_INPUTS, DEFAULT_RANDOM_ROUNDS, DEFAULT_SEED,
 };
 pub use graph::{Mig, Output};
 pub use io::{parse_mig, to_dot, to_verilog, write_mig, ParseMigError};

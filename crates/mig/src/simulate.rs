@@ -37,6 +37,11 @@ impl<'g> Simulator<'g> {
         Simulator { graph }
     }
 
+    /// The graph being simulated.
+    pub fn graph(&self) -> &'g Mig {
+        self.graph
+    }
+
     /// Evaluates one input pattern; returns one bool per primary output.
     ///
     /// # Panics
@@ -94,6 +99,27 @@ impl<'g> Simulator<'g> {
                 }
             })
             .collect()
+    }
+}
+
+/// A [`Simulator`] *is* a bit-parallel word function — the MIG side of
+/// every differential check in the workspace (see
+/// [`crate::check_word_functions`]).
+impl crate::equivalence::WordFunction for Simulator<'_> {
+    fn input_count(&self) -> usize {
+        self.graph.input_count()
+    }
+
+    fn output_count(&self) -> usize {
+        self.graph.output_count()
+    }
+
+    fn eval_block(&mut self, inputs: &[u64]) -> Vec<u64> {
+        self.eval_words(inputs)
+    }
+
+    fn output_name(&self, position: usize) -> String {
+        self.graph.outputs()[position].name.clone()
     }
 }
 

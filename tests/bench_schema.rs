@@ -6,7 +6,8 @@
 use serde::Value;
 use wavepipe::EngineStats;
 use wavepipe_bench::record::{
-    BenchRecord, PassSummary, PassThroughput, ScalingPoint, ScalingRecord, StageRecord,
+    BenchRecord, ExhaustivePoint, PassSummary, PassThroughput, ScalingPoint, ScalingRecord,
+    StageRecord, VerifyPoint, VerifyRecord,
 };
 
 /// Sorted top-level keys of a JSON object value.
@@ -135,21 +136,74 @@ fn bench_pr4_record_schema_is_pinned() {
     assert_eq!(keys(pass), ["micros", "nodes_per_sec", "pass"]);
 }
 
+#[test]
+fn bench_pr5_record_schema_is_pinned() {
+    let record = VerifyRecord {
+        pipeline: vec!["map".to_owned()],
+        points: vec![VerifyPoint {
+            name: "synth:dag:1".to_owned(),
+            target_nodes: 100,
+            inputs: 34,
+            pipelined_size: 500,
+            scalar_patterns_per_sec: 1e4,
+            word_patterns_per_sec: 5e5,
+            speedup: 50.0,
+        }],
+        exhaustive: vec![ExhaustivePoint {
+            inputs: 12,
+            patterns: 4096,
+            wall_ms: 3.5,
+            holds: true,
+        }],
+    };
+    let value = to_value(&record);
+    assert_eq!(keys(&value), ["exhaustive", "pipeline", "points"]);
+    let point = &serde::field(value.as_object().unwrap(), "points")
+        .unwrap()
+        .as_array()
+        .unwrap()[0];
+    assert_eq!(
+        keys(point),
+        [
+            "inputs",
+            "name",
+            "pipelined_size",
+            "scalar_patterns_per_sec",
+            "speedup",
+            "target_nodes",
+            "word_patterns_per_sec"
+        ]
+    );
+    let proof = &serde::field(value.as_object().unwrap(), "exhaustive")
+        .unwrap()
+        .as_array()
+        .unwrap()[0];
+    assert_eq!(keys(proof), ["holds", "inputs", "patterns", "wall_ms"]);
+}
+
 /// Generated artifacts must match the pinned schema too. `results/` is
 /// gitignored (the binaries regenerate it), so absent files are
-/// skipped — CI's synth-smoke job runs the `scaling` binary first and
-/// then this test, which is what keeps `results/BENCH_pr4.json`
-/// generation from rotting relative to the record types.
+/// skipped — CI's smoke jobs run the `scaling` / `verify_throughput`
+/// binaries first and then this test, which is what keeps
+/// `results/BENCH_pr4.json` / `BENCH_pr5.json` generation from rotting
+/// relative to the record types.
 #[test]
 fn generated_bench_records_parse_with_the_pinned_shape() {
-    for (path, top) in [
+    for (path, top, has_engine_totals) in [
         (
             "results/BENCH_pr3.json",
             vec!["cached_cells", "engine_totals", "passes", "stages"],
+            true,
         ),
         (
             "results/BENCH_pr4.json",
             vec!["cached_cells", "engine_totals", "pipeline", "points"],
+            true,
+        ),
+        (
+            "results/BENCH_pr5.json",
+            vec!["exhaustive", "pipeline", "points"],
+            false,
         ),
     ] {
         let Ok(text) = std::fs::read_to_string(path) else {
@@ -158,10 +212,12 @@ fn generated_bench_records_parse_with_the_pinned_shape() {
         };
         let value: Value = serde_json::from_str(&text).unwrap_or_else(|e| panic!("{path}: {e}"));
         assert_eq!(keys(&value), top[..], "{path} drifted from the schema");
-        assert_eq!(
-            keys(serde::field(value.as_object().unwrap(), "engine_totals").unwrap()),
-            ENGINE_KEYS,
-            "{path}"
-        );
+        if has_engine_totals {
+            assert_eq!(
+                keys(serde::field(value.as_object().unwrap(), "engine_totals").unwrap()),
+                ENGINE_KEYS,
+                "{path}"
+            );
+        }
     }
 }

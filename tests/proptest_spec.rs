@@ -7,7 +7,9 @@ use proptest::prelude::*;
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 use tech::Technology;
-use wavepipe::{BufferStrategy, DelayWeights, FlowSpec, PipelineSpec, SynthSpec};
+use wavepipe::{
+    BufferStrategy, DelayWeights, EquivalencePolicy, FlowSpec, PipelineSpec, SynthSpec,
+};
 
 /// Builds a deterministic, structurally-arbitrary spec from one seed:
 /// random pass list (order not necessarily buildable — serialization
@@ -35,6 +37,15 @@ fn spec_from_seed(seed: u64) -> FlowSpec {
             5 => pipeline.verify_cost_aware(None),
             _ => pipeline.check_fanout_bound(rng.gen_range(2..=5)),
         };
+    }
+    // A third of the specs carry the per-pass equivalence gate, so its
+    // serialized form (and its omitted-when-off form) both round-trip.
+    if rng.gen_range(0..3u32) == 0 {
+        pipeline = pipeline.gate_equivalence(EquivalencePolicy {
+            exhaustive_inputs: rng.gen_range(0..=20),
+            rounds: rng.gen_range(0..512),
+            seed: rng.gen(),
+        });
     }
 
     let mut spec = FlowSpec::new(format!("prop-{seed}")).with_pipeline(pipeline);

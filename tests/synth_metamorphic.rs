@@ -1,9 +1,12 @@
 //! Metamorphic differential verification over the synthetic-circuit
 //! generator: hundreds of generated circuits stream through the engine
 //! and every one is checked **differentially** against its source MIG
-//! (combinational eval on sampled vectors, wave streaming on a subset)
-//! plus the structural invariants each pass promises (fan-out bound,
-//! balanced depth), across several pipeline configurations.
+//! on the shared bit-parallel engine (`wavepipe::differential`):
+//! exhaustively (all `2^n` patterns) for small input counts, seeded
+//! stratified sampling beyond — plus word-level wave streaming on a
+//! subsample (64 independent streams per run) and the structural
+//! invariants each pass promises (fan-out bound, balanced depth),
+//! across several pipeline configurations.
 //!
 //! The circuit population is derived deterministically from an index,
 //! so a failure report like `synth:dag:137:depth=6,nodes=166` is a
@@ -12,21 +15,36 @@
 //! testing guide").
 //!
 //! `SYNTH_METAMORPHIC_CASES` shrinks/grows the population (CI's smoke
-//! job runs a small seed set in release mode; the default 200 meets the
-//! PR's acceptance floor inside the normal `cargo test` budget).
+//! jobs scale it; the default 256 — raised from 200 now that each case
+//! checks thousands of patterns at 64 per netlist traversal — fits the
+//! normal `cargo test` budget).
 
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 use wave_pipelining::prelude::*;
-use wavepipe::{BufferStrategy, FlowConfig, FlowSpec, PipelineSpec, SynthSpec, WaveSimulator};
+use wavepipe::differential::{self, Verdict};
+use wavepipe::{
+    BufferStrategy, EquivalencePolicy, FlowConfig, FlowSpec, PipelineSpec, SynthSpec, WaveSimulator,
+};
 
-/// Number of generated circuits (≥ 200 by default, per the acceptance
-/// criteria; override with `SYNTH_METAMORPHIC_CASES=n`).
+/// Number of generated circuits (override with
+/// `SYNTH_METAMORPHIC_CASES=n`).
 fn case_count() -> usize {
     std::env::var("SYNTH_METAMORPHIC_CASES")
         .ok()
         .and_then(|v| v.parse().ok())
-        .unwrap_or(200)
+        .unwrap_or(256)
+}
+
+/// The per-case differential budget: exhaustive proof up to 2^14
+/// patterns, 6 stratified 64-pattern rounds beyond — each case checks
+/// at least 384 patterns where the pre-bit-parallel harness sampled 6.
+fn case_policy(seed: u64) -> EquivalencePolicy {
+    EquivalencePolicy {
+        exhaustive_inputs: 14,
+        rounds: 6,
+        seed,
+    }
 }
 
 /// Deterministic case `i` → a small synthetic circuit request spanning
@@ -63,7 +81,7 @@ fn synth_case(i: usize) -> SynthSpec {
     }
 }
 
-fn sample_patterns(inputs: usize, count: usize, seed: u64) -> Vec<Vec<bool>> {
+fn random_word_waves(inputs: usize, count: usize, seed: u64) -> Vec<Vec<u64>> {
     let mut rng = StdRng::seed_from_u64(seed);
     (0..count)
         .map(|_| (0..inputs).map(|_| rng.gen()).collect())
@@ -71,8 +89,9 @@ fn sample_patterns(inputs: usize, count: usize, seed: u64) -> Vec<Vec<bool>> {
 }
 
 /// The core metamorphic sweep: every generated circuit through the
-/// default flow (FO3 + BUF + verify), checked against its source MIG,
-/// with per-pass invariants and cache-key uniqueness across seeds.
+/// default flow (FO3 + BUF + verify), differentially checked against
+/// its source MIG (exhaustively for ≤ 14 inputs), with per-pass
+/// invariants and cache-key uniqueness across seeds.
 #[test]
 fn default_flow_preserves_function_on_generated_population() {
     let n = case_count();
@@ -88,6 +107,7 @@ fn default_flow_preserves_function_on_generated_population() {
     assert_eq!(cold.stats.cache_misses, n as u64);
     assert_eq!(cold.stats.cache_hits, 0);
 
+    let mut proven_exhaustively = 0usize;
     for (ci, cell) in cold.iter().enumerate() {
         let name = &cold.circuits[ci];
         let run = cell
@@ -96,14 +116,30 @@ fn default_flow_preserves_function_on_generated_population() {
         let source = benchsuite::build_mig(name)
             .unwrap_or_else(|| panic!("{name}: registry must rebuild the circuit"));
 
-        // Differential equivalence: source MIG vs pipelined netlist.
-        let sim = mig::Simulator::new(&source);
-        for pattern in sample_patterns(source.input_count(), 6, 0xD1FF ^ ci as u64) {
-            assert_eq!(
-                sim.eval(&pattern),
-                run.result.pipelined.eval(&pattern),
-                "{name}: pipelined netlist diverged from the generator output"
-            );
+        // Differential equivalence on the shared bit-parallel engine:
+        // an exhaustive proof for ≤ 14 inputs, stratified sampling
+        // beyond; a divergence comes back as a replayable pattern.
+        let verdict = differential::check(
+            &run.result.pipelined,
+            &source,
+            &case_policy(0xD1FF ^ ci as u64),
+        )
+        .unwrap_or_else(|e| panic!("{name}: differential check impossible: {e}"));
+        match &verdict {
+            Verdict::Equivalent {
+                patterns,
+                exhaustive,
+            } => {
+                if *exhaustive {
+                    assert_eq!(*patterns, 1u64 << source.input_count(), "{name}");
+                    proven_exhaustively += 1;
+                } else {
+                    assert!(*patterns >= 384, "{name}: budget too small ({patterns})");
+                }
+            }
+            Verdict::Diverged(cex) => {
+                panic!("{name}: pipelined netlist diverged from the generator output: {cex}")
+            }
         }
 
         // Pass invariants: fan-out bound, balance, monotone size.
@@ -131,6 +167,11 @@ fn default_flow_preserves_function_on_generated_population() {
             );
         }
     }
+    assert!(
+        proven_exhaustively * 2 >= n,
+        "most generated cases are small enough for exhaustive proofs \
+         ({proven_exhaustively}/{n})"
+    );
 
     // Determinism: a verbatim re-run is pure cache hits (identical
     // content-hash keys for identical (family, seed, params)).
@@ -141,7 +182,10 @@ fn default_flow_preserves_function_on_generated_population() {
 
 /// Every pipeline configuration must preserve the generated function —
 /// the metamorphic relation is "same circuit, any flow ⇒ same I/O
-/// behaviour" — and enforce its own fan-out bound.
+/// behaviour" — and enforce its own fan-out bound. One configuration
+/// additionally runs with the per-pass equivalence gate enabled, so the
+/// engine-level self-verification toggle is exercised on the whole
+/// subsample.
 #[test]
 fn alternative_pipelines_preserve_function_on_subsample() {
     let n = case_count();
@@ -152,7 +196,14 @@ fn alternative_pipelines_preserve_function_on_subsample() {
             PipelineSpec::map(false)
                 .restrict_fanout(2)
                 .insert_buffers(BufferStrategy::Retimed)
-                .verify(Some(2)),
+                .verify(Some(2))
+                // Self-verifying sweep: every pass boundary re-checks
+                // equivalence with the source MIG.
+                .gate_equivalence(EquivalencePolicy {
+                    exhaustive_inputs: 10,
+                    rounds: 2,
+                    seed: 0x6A7E,
+                }),
             Some(2),
         ),
         (
@@ -192,14 +243,13 @@ fn alternative_pipelines_preserve_function_on_subsample() {
                 .run()
                 .unwrap_or_else(|| panic!("{label}/{name}: {:?}", cell.outcome));
             let source = benchsuite::build_mig(name).expect("registry rebuilds");
-            let sim = mig::Simulator::new(&source);
-            for pattern in sample_patterns(source.input_count(), 4, ci as u64) {
-                assert_eq!(
-                    sim.eval(&pattern),
-                    run.result.pipelined.eval(&pattern),
-                    "{label}/{name}: function not preserved"
-                );
-            }
+            let verdict =
+                differential::check(&run.result.pipelined, &source, &case_policy(ci as u64))
+                    .unwrap_or_else(|e| panic!("{label}/{name}: {e}"));
+            assert!(
+                verdict.holds(),
+                "{label}/{name}: function not preserved: {verdict:?}"
+            );
             if let Some(limit) = bound {
                 assert!(
                     run.result.pipelined.max_fanout() <= limit,
@@ -210,9 +260,70 @@ fn alternative_pipelines_preserve_function_on_subsample() {
     }
 }
 
-/// Wave-level differential check on a subsample: the balanced netlist
-/// must stream waves coherently *and* the streamed outputs must equal
-/// the source MIG's combinational function wave-for-wave.
+/// Exhaustive differential equivalence for every ≤ 16-input circuit of
+/// the reconstructed benchmark suite (a superset of the bench harness's
+/// quick subset), across all four pipeline configurations: all `2^n`
+/// patterns, proven, per config.
+#[test]
+fn small_suite_circuits_are_exhaustively_equivalent_across_all_configs() {
+    let engine = Engine::new().with_resolver(benchsuite::build_mig);
+    let small: Vec<(&str, Mig)> = benchsuite::SUITE
+        .iter()
+        .map(|s| (s.name, s.build()))
+        .filter(|(_, g)| g.input_count() <= 16)
+        .collect();
+    assert!(
+        small.len() >= 3,
+        "the suite should keep a few exhaustively-checkable circuits"
+    );
+
+    let configs: [(&str, PipelineSpec); 4] = [
+        ("fo3-asap", PipelineSpec::default()),
+        (
+            "fo2-retimed",
+            PipelineSpec::map(false)
+                .restrict_fanout(2)
+                .insert_buffers(BufferStrategy::Retimed)
+                .verify(Some(2)),
+        ),
+        (
+            "buf-only",
+            PipelineSpec::map(false)
+                .insert_buffers(BufferStrategy::Asap)
+                .verify(None),
+        ),
+        (
+            "min-inverters",
+            PipelineSpec::for_config(FlowConfig {
+                minimize_inverters: true,
+                ..FlowConfig::default()
+            }),
+        ),
+    ];
+    let policy = EquivalencePolicy::exhaustive(16);
+
+    for (label, pipeline) in configs {
+        for (name, graph) in &small {
+            let run = engine
+                .run_graph(graph, &pipeline, None)
+                .unwrap_or_else(|e| panic!("{label}/{name}: flow failed: {e}"));
+            match differential::check(&run.result.pipelined, graph, &policy).unwrap() {
+                Verdict::Equivalent {
+                    exhaustive: true,
+                    patterns,
+                } => {
+                    assert_eq!(patterns, 1u64 << graph.input_count(), "{label}/{name}");
+                }
+                other => panic!("{label}/{name}: expected an exhaustive proof, got {other:?}"),
+            }
+        }
+    }
+}
+
+/// Word-level wave streaming on a subsample: 64 independent random
+/// stimulus streams per circuit (one bit-parallel run), every wave of
+/// every lane compared against the source MIG's bit-parallel
+/// combinational function.
 #[test]
 fn wave_streaming_matches_the_source_mig_on_subsample() {
     let n = case_count();
@@ -226,14 +337,15 @@ fn wave_streaming_matches_the_source_mig_on_subsample() {
         let name = &swept.circuits[ci];
         let run = cell.run().expect("cell verified");
         let source = benchsuite::build_mig(name).expect("registry rebuilds");
-        let waves = sample_patterns(source.input_count(), 8, 0x3A3E ^ ci as u64);
+        // 8 waves × 64 lanes = 512 streamed operations per circuit.
+        let waves = random_word_waves(source.input_count(), 8, 0x3A3E ^ ci as u64);
 
-        let streamed = WaveSimulator::new(&run.result.pipelined).run(&waves);
+        let streamed = WaveSimulator::new(&run.result.pipelined).run_words(&waves);
         let sim = mig::Simulator::new(&source);
         for (w, wave) in waves.iter().enumerate() {
             assert_eq!(
                 streamed.outputs[w],
-                sim.eval(wave),
+                sim.eval_words(wave),
                 "{name}: wave {w} diverged from the source function"
             );
         }
