@@ -1,5 +1,5 @@
 //! Scaling benchmark over the synthetic `dag` family: sweeps the
-//! node-count axis from 10² to 10⁵ through the paper's default flow
+//! node-count axis from 10² to 10⁷ through the paper's default flow
 //! (FO3 + BUF + verify) on a cached engine, and writes the
 //! node-count vs throughput and cache-hit curves to
 //! `results/BENCH_pr4.json` (shape: [`ScalingRecord`]).
@@ -26,8 +26,9 @@ use wavepipe_bench::harness::engine;
 use wavepipe_bench::record::{PassThroughput, ScalingPoint, ScalingRecord};
 
 /// The sweep axis: Fig 5's 10²..10⁵ node-count span, log-spaced, with
-/// depth growing like mapped-netlist depth does.
-const SWEEP: [(usize, u64); 7] = [
+/// depth growing like mapped-netlist depth does — extended to 10⁶ and
+/// 10⁷ now that the flat-arena evaluation core sustains that scale.
+const SWEEP: [(usize, u64); 9] = [
     (100, 8),
     (300, 10),
     (1_000, 12),
@@ -35,6 +36,8 @@ const SWEEP: [(usize, u64); 7] = [
     (10_000, 16),
     (30_000, 20),
     (100_000, 24),
+    (1_000_000, 28),
+    (10_000_000, 32),
 ];
 
 fn main() {
@@ -66,11 +69,13 @@ fn main() {
         if *nodes > max_nodes {
             continue;
         }
+        // The generator caps ports at 4096 — pass the cap explicitly so
+        // the canonical name states what is actually generated.
         let synth = SynthSpec::new("dag", 0x5CA1_E000 + i as u64)
             .param("nodes", *nodes as u64)
             .param("depth", *depth)
-            .param("inputs", (32 + nodes / 50) as u64)
-            .param("outputs", (16 + nodes / 100) as u64);
+            .param("inputs", (32 + nodes / 50).min(4_096) as u64)
+            .param("outputs", (16 + nodes / 100).min(4_096) as u64);
         let name = synth.name();
         let spec = FlowSpec::new("scaling").synthetic_circuit(synth);
 
@@ -134,6 +139,26 @@ fn main() {
         points.push(point);
     }
     assert!(!points.is_empty(), "--max-nodes filtered out every point");
+
+    // No-regression floor: the flow must stay near-linear in circuit
+    // size all the way up the sweep. Per-component cold cost at the
+    // largest point may not exceed 10x the 10^4-node reference —
+    // cache-pressure growth is expected, complexity blowups are not.
+    if let Some(reference) = points.iter().find(|p| p.target_nodes >= 10_000) {
+        let last = points.last().expect("non-empty");
+        if last.target_nodes > reference.target_nodes {
+            let ref_per = reference.cold_wall_ms / reference.pipelined_size as f64;
+            let last_per = last.cold_wall_ms / last.pipelined_size as f64;
+            assert!(
+                last_per <= ref_per * 10.0,
+                "per-component cold cost regressed: {:.4} ms/kc at {} nodes vs {:.4} ms/kc at {}",
+                last_per * 1000.0,
+                last.target_nodes,
+                ref_per * 1000.0,
+                reference.target_nodes
+            );
+        }
+    }
 
     let record = ScalingRecord {
         pipeline: pipeline

@@ -3,7 +3,9 @@
 //! Every reproduction run leaves a perf-trajectory record under
 //! `results/`: `repro_all` writes a [`BenchRecord`] (`BENCH_pr3.json`),
 //! the `scaling` binary a [`ScalingRecord`] (`BENCH_pr4.json`), and the
-//! `verify_throughput` binary a [`VerifyRecord`] (`BENCH_pr5.json`).
+//! `verify_throughput` binary a [`VerifyRecord`] (`BENCH_pr5.json`)
+//! plus a [`WideRecord`] (`BENCH_pr6.json`: flat-arena wide-block
+//! throughput and the block-width × thread-count grid).
 //! The structs live here — not inside the binaries — so the schema is
 //! a *library contract*: the golden test `tests/bench_schema.rs` pins
 //! the exact field names and shapes, and any repro-tooling-breaking
@@ -152,4 +154,60 @@ pub struct VerifyRecord {
     pub points: Vec<VerifyPoint>,
     /// Exhaustive differential proofs: input count vs wall time.
     pub exhaustive: Vec<ExhaustivePoint>,
+}
+
+/// Legacy-word-kernel vs flat-arena wide-block throughput at one node
+/// count of the `verify_throughput` wide sweep.
+#[derive(Clone, Debug, serde::Serialize)]
+pub struct WidePoint {
+    /// Canonical `synth:*` circuit name.
+    pub name: String,
+    /// Target node count of the sweep axis.
+    pub target_nodes: usize,
+    /// Primary inputs of the circuit.
+    pub inputs: usize,
+    /// Final wave-pipelined netlist size (components).
+    pub pipelined_size: usize,
+    /// Evaluation slots after the arena's copy elision.
+    pub arena_slots: usize,
+    /// Patterns per second through the PR5 word kernel
+    /// (`Netlist::eval_words_prepared`, one 64-lane word per node) —
+    /// the BENCH_pr5 curve this PR must beat.
+    pub legacy_word_patterns_per_sec: f64,
+    /// Patterns per second through the flat arena at the default block
+    /// width.
+    pub wide_patterns_per_sec: f64,
+    /// `wide_patterns_per_sec / legacy_word_patterns_per_sec`.
+    pub wide_speedup: f64,
+}
+
+/// Sharded differential-check throughput at one (block width, thread
+/// count) cell of the grid.
+#[derive(Clone, Debug, serde::Serialize)]
+pub struct GridPoint {
+    /// Words per pattern block (`SweepConfig::block_words`).
+    pub block_words: usize,
+    /// Worker threads (`SweepConfig::threads`).
+    pub threads: usize,
+    /// Patterns per second through `differential::check_with` on the
+    /// grid circuit.
+    pub patterns_per_sec: f64,
+}
+
+/// The `BENCH_pr6.json` shape: flat-arena wide-block verification
+/// throughput (vs the PR5 word kernel) over the synthetic `dag` family,
+/// plus the block-width × thread-count sharded-check grid.
+#[derive(Clone, Debug, serde::Serialize)]
+pub struct WideRecord {
+    /// The pipeline the measured netlists came from (canonical pass
+    /// names).
+    pub pipeline: Vec<String>,
+    /// Default block width the wide column used.
+    pub block_words: usize,
+    /// One point per target node count, ascending.
+    pub points: Vec<WidePoint>,
+    /// Canonical name of the circuit the grid was measured on.
+    pub grid_circuit: String,
+    /// Sharded-check throughput per (block width, thread count) cell.
+    pub grid: Vec<GridPoint>,
 }

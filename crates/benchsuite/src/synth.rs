@@ -160,7 +160,7 @@ pub fn build(name: &str) -> Option<Mig> {
 /// budget — the knob that makes the fan-out-restriction pass's worst
 /// case reachable on demand.
 fn dag(seed: u64, params: &[(String, u64)]) -> Mig {
-    let nodes = param(params, "nodes", 200, 4, 200_000) as usize;
+    let nodes = param(params, "nodes", 200, 4, 10_000_000) as usize;
     // At least 3 inputs: a majority over fewer distinct nodes always
     // folds by the Ω axioms, so no level-1 gate could ever exist.
     let inputs = param(params, "inputs", 16, 3, 4_096) as usize;

@@ -2,47 +2,12 @@
 //! cache keys. Not `std::hash`: the keys must be stable across
 //! processes and runs, because cached results are compared against
 //! golden re-runs, and `std`'s hasher is randomized by design.
+//!
+//! The implementation lives in [`mig::fnv`] — the same algorithm backs
+//! the MIG's structural-hash table — so the workspace has exactly one
+//! FNV definition.
 
-/// FNV-1a offset basis.
-const OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
-/// FNV-1a prime.
-const PRIME: u64 = 0x0000_0100_0000_01b3;
-
-/// Incremental FNV-1a hasher over byte chunks.
-#[derive(Clone, Copy, Debug)]
-pub(crate) struct Fnv(u64);
-
-impl Fnv {
-    /// Starts a hash at the FNV offset basis.
-    pub(crate) fn new() -> Fnv {
-        Fnv(OFFSET)
-    }
-
-    /// Feeds a byte slice.
-    pub(crate) fn write(&mut self, bytes: &[u8]) {
-        for &b in bytes {
-            self.0 ^= u64::from(b);
-            self.0 = self.0.wrapping_mul(PRIME);
-        }
-    }
-
-    /// Feeds a `u64` (little-endian).
-    pub(crate) fn write_u64(&mut self, v: u64) {
-        self.write(&v.to_le_bytes());
-    }
-
-    /// Feeds an `f64` by bit pattern, so equal bit patterns hash equal
-    /// and -0.0 / 0.0 / NaN payloads are distinguished exactly as the
-    /// bit-identicality golden tests require.
-    pub(crate) fn write_f64(&mut self, v: f64) {
-        self.write_u64(v.to_bits());
-    }
-
-    /// The accumulated hash.
-    pub(crate) fn finish(&self) -> u64 {
-        self.0
-    }
-}
+pub(crate) use mig::fnv::Fnv64 as Fnv;
 
 #[cfg(test)]
 mod tests {

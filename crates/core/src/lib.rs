@@ -137,6 +137,7 @@
 #![warn(missing_docs)]
 #![warn(missing_debug_implementations)]
 
+mod arena;
 mod balance;
 mod buffer_insertion;
 mod component;
@@ -157,8 +158,9 @@ pub mod verify;
 mod wavesim;
 mod weighted;
 
-pub use mig::{EquivalencePolicy, PatternBlock, WordFunction};
+pub use mig::{EquivalencePolicy, PatternBlock, SweepConfig, WordFunction, DEFAULT_BLOCK_WORDS};
 
+pub use arena::EvalArena;
 pub use balance::{
     verify_balance, verify_balance_prepared, BalanceError, BalanceReport, FanoutBoundPass,
     VerifyBalancePass,
@@ -185,7 +187,7 @@ pub use pipeline::{
 pub use retiming::{insert_buffers_retimed, schedule_levels, LevelSchedule, RetimedInsertionPass};
 pub use spec::{CircuitSpec, FlowSpec, PassSpec, PipelineSpec, SpecError, SynthSpec};
 pub use verify::{differential, NetlistFunction};
-pub use wavesim::{WaveRun, WaveSimulator, WaveWordRun};
+pub use wavesim::{WaveRun, WaveSimulator, WaveWideRun, WaveWordRun};
 pub use weighted::{
     insert_buffers_weighted, verify_weighted_balance, weighted_arrivals, CostAwareInsertionPass,
     CostAwareVerifyPass, DelayWeights, VerifyWeightedPass, WeightedBalanceError, WeightedInsertion,

@@ -1,9 +1,23 @@
 //! The mapped wave-pipeline netlist.
 
+use std::cell::RefCell;
 use std::fmt;
 use std::sync::Arc;
 
+use crate::arena::EvalArena;
 use crate::component::{CompId, Component, ComponentKind};
+
+thread_local! {
+    /// Per-thread evaluation scratch behind [`Netlist::eval_words`] /
+    /// [`Netlist::eval_wide`]: one rebuildable [`EvalArena`] plus a
+    /// value buffer, so repeated one-shot evaluations on the same
+    /// thread reach steady state without per-call allocation. Hot
+    /// sweeps should still prepare their own arena (via
+    /// [`StructuralCaches::eval_arena`] or [`EvalArena::try_new`]) and
+    /// skip even the rebuild.
+    static EVAL_SCRATCH: RefCell<(EvalArena, Vec<u64>)> =
+        RefCell::new((EvalArena::default(), Vec::new()));
+}
 
 /// A structural failure surfaced by the fallible [`Netlist`] accessors
 /// (the panicking variants document their panics and delegate here).
@@ -677,15 +691,44 @@ impl Netlist {
     /// [`NetlistError::WidthMismatch`] or
     /// [`NetlistError::CombinationalCycle`].
     pub fn try_eval_words(&self, pattern: &[u64]) -> Result<Vec<u64>, NetlistError> {
-        if pattern.len() != self.inputs.len() {
+        self.try_eval_wide(pattern, 1)
+    }
+
+    /// Evaluates `width` 64-lane pattern blocks in one traversal:
+    /// `pattern[i * width + j]` is word `j` of input `i`, and word `j`
+    /// of output `o` lands at slot `o * width + j` of the result (the
+    /// [`EvalArena::eval_wide_into`] layout). [`Netlist::eval_words`]
+    /// is the `width == 1` case.
+    ///
+    /// # Panics
+    ///
+    /// Panics on a width mismatch, `width == 0` or a combinational
+    /// cycle; use [`Netlist::try_eval_wide`] for untrusted inputs.
+    pub fn eval_wide(&self, pattern: &[u64], width: usize) -> Vec<u64> {
+        self.try_eval_wide(pattern, width)
+            .unwrap_or_else(|e| panic!("eval_wide failed: {e}"))
+    }
+
+    /// Fallible [`Netlist::eval_wide`].
+    ///
+    /// # Errors
+    ///
+    /// [`NetlistError::WidthMismatch`] (also for `width == 0`) or
+    /// [`NetlistError::CombinationalCycle`].
+    pub fn try_eval_wide(&self, pattern: &[u64], width: usize) -> Result<Vec<u64>, NetlistError> {
+        if width == 0 || pattern.len() != self.inputs.len() * width {
             return Err(NetlistError::WidthMismatch {
-                inputs: self.inputs.len(),
+                inputs: self.inputs.len() * width,
                 pattern: pattern.len(),
             });
         }
-        let order = self.try_topo_order()?;
-        let mut values = vec![0u64; self.components.len()];
-        Ok(self.eval_words_prepared(pattern, &order, &mut values))
+        EVAL_SCRATCH.with(|scratch| {
+            let (arena, values) = &mut *scratch.borrow_mut();
+            arena.try_rebuild(self)?;
+            let mut out = Vec::new();
+            arena.eval_wide_into(pattern, width, values, &mut out);
+            Ok(out)
+        })
     }
 
     /// The word-level evaluation kernel against an already-computed
@@ -762,6 +805,7 @@ pub struct StructuralCaches {
     fanout_edges: Option<Arc<FanoutEdges>>,
     fanout_counts: Option<Arc<Vec<u32>>>,
     depth: Option<u32>,
+    eval_arena: Option<Arc<EvalArena>>,
 }
 
 /// Per-component fan-out edge lists, as produced by
@@ -826,6 +870,26 @@ impl StructuralCaches {
         self.fanout_counts
             .get_or_insert_with(|| Arc::new(netlist.fanout_counts()))
             .clone()
+    }
+
+    /// Cached [`EvalArena`] for `netlist` — one flattening shared by
+    /// every evaluation consumer of this snapshot (word sweeps, the
+    /// differential engine's parallel workers, instrumentation).
+    pub fn eval_arena(&mut self, netlist: &Netlist) -> Arc<EvalArena> {
+        self.try_eval_arena(netlist)
+            .unwrap_or_else(|e| panic!("combinational cycle: {e}"))
+    }
+
+    /// Cached fallible [`EvalArena`] construction.
+    ///
+    /// # Errors
+    ///
+    /// [`NetlistError::CombinationalCycle`].
+    pub fn try_eval_arena(&mut self, netlist: &Netlist) -> Result<Arc<EvalArena>, NetlistError> {
+        if self.eval_arena.is_none() {
+            self.eval_arena = Some(Arc::new(EvalArena::try_new(netlist)?));
+        }
+        Ok(self.eval_arena.as_ref().expect("just filled").clone())
     }
 
     /// Cached [`Netlist::depth`] (reuses the cached levels).

@@ -494,7 +494,23 @@ impl FlowPipeline {
             if let Some(policy) = &self.equivalence {
                 if ctx.original.is_some() {
                     use crate::verify::differential::{self, Verdict};
-                    match differential::check(&ctx.netlist, ctx.graph, policy) {
+                    // Share the cached flattening: the gate reuses the
+                    // same arena any later structural consumer of this
+                    // snapshot will read.
+                    let checked = ctx
+                        .caches
+                        .try_eval_arena(&ctx.netlist)
+                        .map_err(differential::DifferentialError::Netlist)
+                        .and_then(|arena| {
+                            differential::check_prepared(
+                                &ctx.netlist,
+                                arena,
+                                ctx.graph,
+                                policy,
+                                &mig::SweepConfig::from_env(),
+                            )
+                        });
+                    match checked {
                         Ok(Verdict::Equivalent { .. }) => {}
                         Ok(Verdict::Diverged(mut cex)) => {
                             cex.pass = Some(pass.name());

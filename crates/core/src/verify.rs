@@ -23,19 +23,24 @@
 //! gate raised it — the pass that introduced the divergence.
 
 use std::fmt;
+use std::sync::Arc;
 
 use mig::WordFunction;
 
-use crate::component::CompId;
+use crate::arena::EvalArena;
 use crate::netlist::{Netlist, NetlistError};
 
-pub use mig::{EquivalencePolicy, PatternBlock};
+pub use mig::{EquivalencePolicy, PatternBlock, SweepConfig};
 
-/// A [`Netlist`] as a bit-parallel [`WordFunction`]: the topological
-/// order is computed once at construction and the per-component value
-/// buffer is reused across [`WordFunction::eval_block`] calls, so an
-/// exhaustive sweep costs one allocation total instead of one per
-/// 64-pattern block.
+/// A [`Netlist`] as a bit-parallel [`WordFunction`]: the netlist is
+/// flattened once into a shared [`EvalArena`] and the per-slot value
+/// buffer is reused across [`WordFunction::eval_block`] /
+/// [`NetlistFunction::eval_wide`] calls, so an exhaustive sweep costs
+/// one flattening total instead of one traversal-order allocation per
+/// 64-pattern block. [`NetlistFunction::with_arena`] shares one arena
+/// across many functions — that is how [`differential::check`]'s
+/// parallel workers each get a private scratch over the same flattened
+/// structure.
 ///
 /// # Examples
 ///
@@ -59,7 +64,7 @@ pub use mig::{EquivalencePolicy, PatternBlock};
 #[derive(Debug)]
 pub struct NetlistFunction<'n> {
     netlist: &'n Netlist,
-    order: Vec<CompId>,
+    arena: Arc<EvalArena>,
     values: Vec<u64>,
 }
 
@@ -71,11 +76,31 @@ impl<'n> NetlistFunction<'n> {
     /// [`NetlistError::CombinationalCycle`] when the netlist has no
     /// topological order.
     pub fn new(netlist: &'n Netlist) -> Result<NetlistFunction<'n>, NetlistError> {
-        Ok(NetlistFunction {
-            order: netlist.try_topo_order()?,
-            values: vec![0; netlist.len()],
+        Ok(NetlistFunction::with_arena(
             netlist,
-        })
+            Arc::new(EvalArena::try_new(netlist)?),
+        ))
+    }
+
+    /// Wraps an already-flattened arena — cheap (no traversal), so
+    /// per-thread workers can each take one over a shared flattening
+    /// (see [`crate::StructuralCaches::eval_arena`]).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `arena` was not built from a netlist of the same
+    /// component count.
+    pub fn with_arena(netlist: &'n Netlist, arena: Arc<EvalArena>) -> NetlistFunction<'n> {
+        assert_eq!(
+            arena.component_count(),
+            netlist.len(),
+            "arena must be built from this netlist"
+        );
+        NetlistFunction {
+            netlist,
+            arena,
+            values: Vec::new(),
+        }
     }
 
     /// The adapted netlist.
@@ -83,16 +108,34 @@ impl<'n> NetlistFunction<'n> {
         self.netlist
     }
 
+    /// The shared flattened arena.
+    pub fn arena(&self) -> Arc<EvalArena> {
+        self.arena.clone()
+    }
+
     /// Evaluates one 64-pattern block (bit `k` of `pattern[i]` is input
-    /// `i` in pattern `k`), reusing the prepared traversal order and
-    /// scratch.
+    /// `i` in pattern `k`), reusing the prepared arena and scratch.
     ///
     /// # Panics
     ///
     /// Panics if `pattern.len()` differs from the input count.
     pub fn eval_words(&mut self, pattern: &[u64]) -> Vec<u64> {
-        self.netlist
-            .eval_words_prepared(pattern, &self.order, &mut self.values)
+        self.eval_wide(pattern, 1)
+    }
+
+    /// Evaluates `width` adjacent 64-pattern blocks in one arena walk
+    /// (the [`EvalArena::eval_wide_into`] layout:
+    /// `pattern[i * width + j]`, result `[o * width + j]`).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `width == 0` or `pattern.len()` is not `input_count()
+    /// * width`.
+    pub fn eval_wide(&mut self, pattern: &[u64], width: usize) -> Vec<u64> {
+        let mut out = Vec::new();
+        self.arena
+            .eval_wide_into(pattern, width, &mut self.values, &mut out);
+        out
     }
 }
 
@@ -109,6 +152,10 @@ impl WordFunction for NetlistFunction<'_> {
         self.eval_words(inputs)
     }
 
+    fn eval_wide(&mut self, inputs: &[u64], width: usize) -> Vec<u64> {
+        NetlistFunction::eval_wide(self, inputs, width)
+    }
+
     fn output_name(&self, position: usize) -> String {
         self.netlist.outputs()[position].name.clone()
     }
@@ -121,7 +168,7 @@ pub mod differential {
     //! share.
 
     use super::*;
-    use mig::{Equivalence, Mig, Simulator};
+    use mig::{Equivalence, Mig, SimPlan, Simulator};
 
     /// Why two functions could not even be compared.
     #[derive(Clone, Debug, PartialEq, Eq)]
@@ -267,10 +314,56 @@ pub mod differential {
         graph: &Mig,
         policy: &EquivalencePolicy,
     ) -> Result<Verdict, DifferentialError> {
-        let mut left = NetlistFunction::new(netlist).map_err(DifferentialError::Netlist)?;
-        let mut right = Simulator::new(graph);
-        let outcome = mig::check_word_functions(&mut left, &mut right, policy)
-            .map_err(DifferentialError::Interface)?;
+        check_with(netlist, graph, policy, &SweepConfig::from_env())
+    }
+
+    /// [`check`] with an explicit [`SweepConfig`] instead of the
+    /// environment-derived default. The sweep configuration is an
+    /// execution knob only: the verdict — including which
+    /// counterexample a broken pair yields — is bit-identical for every
+    /// block width and thread count.
+    ///
+    /// # Errors
+    ///
+    /// As [`check`].
+    pub fn check_with(
+        netlist: &Netlist,
+        graph: &Mig,
+        policy: &EquivalencePolicy,
+        sweep: &SweepConfig,
+    ) -> Result<Verdict, DifferentialError> {
+        let arena = Arc::new(EvalArena::try_new(netlist).map_err(DifferentialError::Netlist)?);
+        check_prepared(netlist, arena, graph, policy, sweep)
+    }
+
+    /// [`check_with`] over an already-flattened arena (e.g. the one
+    /// cached in [`crate::StructuralCaches`]), so repeated gates on the
+    /// same netlist snapshot skip re-flattening.
+    ///
+    /// # Errors
+    ///
+    /// [`DifferentialError::Interface`] when the input/output counts
+    /// differ.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `arena` was not built from `netlist` (component-count
+    /// mismatch).
+    pub fn check_prepared(
+        netlist: &Netlist,
+        arena: Arc<EvalArena>,
+        graph: &Mig,
+        policy: &EquivalencePolicy,
+        sweep: &SweepConfig,
+    ) -> Result<Verdict, DifferentialError> {
+        let plan = Arc::new(SimPlan::build(graph));
+        let outcome = mig::check_word_functions_sharded(
+            || NetlistFunction::with_arena(netlist, arena.clone()),
+            || Simulator::with_plan(graph, plan.clone()),
+            policy,
+            sweep,
+        )
+        .map_err(DifferentialError::Interface)?;
         Ok(match outcome {
             Equivalence::Equal => Verdict::Equivalent {
                 patterns: policy.patterns_for(graph.input_count()),

@@ -14,15 +14,49 @@
 //! simulator reproduces that corruption faithfully, which is how the
 //! tests demonstrate the necessity of buffer insertion.
 //!
-//! Simulation is **bit-parallel**: the core run path
-//! ([`WaveSimulator::run_words`]) packs 64 independent wave *streams*
-//! into each `u64` cell value, so one phase-step update advances 64
-//! simulations at once. The scalar [`WaveSimulator::run`] is a thin
-//! single-lane wrapper over it, which is what guarantees the two paths
-//! can never disagree.
+//! Simulation is **bit-parallel and block-wide**: the core run path
+//! ([`WaveSimulator::run_wide`]) packs `64 * width` independent wave
+//! *streams* into `width` adjacent `u64` words per cell, so one
+//! phase-step update advances them all at once over flattened,
+//! pre-typed per-phase op lists. [`WaveSimulator::run_words`] is the
+//! one-word case and the scalar [`WaveSimulator::run`] a single-lane
+//! wrapper over that, which is what guarantees the paths can never
+//! disagree.
 
-use crate::component::{CompId, Component, ComponentKind};
+use crate::component::{Component, ComponentKind};
 use crate::netlist::Netlist;
+
+/// What a firing cell computes during a phase step. Unlike the
+/// combinational [`crate::EvalArena`], BUF/FOG cells stay explicit:
+/// in wave pipelining a buffer *is* state — it carries a wave for one
+/// phase — so nothing can be elided.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+enum WaveOpKind {
+    /// Inject word `a` of the current wave (an input position).
+    Input,
+    /// Constant 0 (re-asserted, though it never changes).
+    Const0,
+    /// Constant 1.
+    Const1,
+    /// Majority of cells `a`, `b`, `c`.
+    Maj,
+    /// Complement of cell `a`.
+    Inv,
+    /// Copy of cell `a` (BUF and FOG cells).
+    Copy,
+}
+
+/// One flattened phase-step update: `target` is the cell's component
+/// index in the state vector, operands are component indices (except
+/// [`WaveOpKind::Input`], whose `a` is an input position).
+#[derive(Clone, Copy, Debug)]
+struct WaveOp {
+    target: u32,
+    a: u32,
+    b: u32,
+    c: u32,
+    kind: WaveOpKind,
+}
 
 /// Result of a scalar wave-pipelined simulation run.
 #[derive(Clone, Debug, PartialEq, Eq)]
@@ -43,6 +77,24 @@ pub struct WaveWordRun {
     /// One word per primary output per injected wave, in injection
     /// order (`outputs[w][o]`, bit `k` = stream `k`).
     pub outputs: Vec<Vec<u64>>,
+    /// Netlist depth used for output sampling.
+    pub depth: u32,
+    /// Total phase steps simulated.
+    pub phase_steps: usize,
+}
+
+/// Result of an N-word-block wave-pipelined simulation run
+/// ([`WaveSimulator::run_wide`]): `width` 64-lane words per cell, so
+/// one run carries `64 * width` independent streams.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct WaveWideRun {
+    /// Per injected wave, `width` words per primary output in the
+    /// [`crate::EvalArena::eval_wide_into`] layout: word `j` of output
+    /// `o` is `outputs[w][o * width + j]`; bit `k` of word `j` belongs
+    /// to stream `64 * j + k`.
+    pub outputs: Vec<Vec<u64>>,
+    /// Words per cell (the block width).
+    pub width: usize,
     /// Netlist depth used for output sampling.
     pub depth: u32,
     /// Total phase steps simulated.
@@ -78,25 +130,69 @@ pub struct WaveWordRun {
 pub struct WaveSimulator<'n> {
     netlist: &'n Netlist,
     levels: Vec<u32>,
-    /// Component ids grouped by firing phase (`level % 3`), so each
+    /// Flattened updates grouped by firing phase (`level % 3`): each
     /// phase step touches only the third of the netlist that actually
-    /// re-evaluates.
-    phase_ids: [Vec<CompId>; 3],
+    /// re-evaluates, and does so through typed ops with pre-resolved
+    /// operand indices instead of re-matching `Component` payloads on
+    /// every step of every run.
+    phase_ops: [Vec<WaveOp>; 3],
 }
 
 impl<'n> WaveSimulator<'n> {
-    /// Creates a simulator for `netlist` (levels and per-phase update
-    /// lists are computed once).
+    /// Creates a simulator for `netlist` (levels and the per-phase
+    /// flattened update lists are computed once).
     pub fn new(netlist: &'n Netlist) -> WaveSimulator<'n> {
         let levels = netlist.levels();
-        let mut phase_ids: [Vec<CompId>; 3] = Default::default();
+        let mut phase_ops: [Vec<WaveOp>; 3] = Default::default();
         for id in netlist.ids() {
-            phase_ids[(levels[id.index()] % 3) as usize].push(id);
+            let target = id.index() as u32;
+            let op = match netlist.component(id) {
+                Component::Input { position } => WaveOp {
+                    target,
+                    a: *position,
+                    b: 0,
+                    c: 0,
+                    kind: WaveOpKind::Input,
+                },
+                Component::Const { value } => WaveOp {
+                    target,
+                    a: 0,
+                    b: 0,
+                    c: 0,
+                    kind: if *value {
+                        WaveOpKind::Const1
+                    } else {
+                        WaveOpKind::Const0
+                    },
+                },
+                Component::Maj { fanins } => WaveOp {
+                    target,
+                    a: fanins[0].index() as u32,
+                    b: fanins[1].index() as u32,
+                    c: fanins[2].index() as u32,
+                    kind: WaveOpKind::Maj,
+                },
+                Component::Inv { fanin } => WaveOp {
+                    target,
+                    a: fanin.index() as u32,
+                    b: 0,
+                    c: 0,
+                    kind: WaveOpKind::Inv,
+                },
+                Component::Buf { fanin } | Component::Fog { fanin } => WaveOp {
+                    target,
+                    a: fanin.index() as u32,
+                    b: 0,
+                    c: 0,
+                    kind: WaveOpKind::Copy,
+                },
+            };
+            phase_ops[(levels[id.index()] % 3) as usize].push(op);
         }
         WaveSimulator {
             netlist,
             levels,
-            phase_ids,
+            phase_ops,
         }
     }
 
@@ -143,24 +239,44 @@ impl<'n> WaveSimulator<'n> {
     ///
     /// As [`WaveSimulator::run`].
     pub fn run_words(&self, waves: &[Vec<u64>]) -> WaveWordRun {
+        let run = self.run_wide(waves, 1);
+        WaveWordRun {
+            outputs: run.outputs,
+            depth: run.depth,
+            phase_steps: run.phase_steps,
+        }
+    }
+
+    /// Streams `64 * width` independent wave sequences at once: word
+    /// `j` of input `i` in wave `w` is `waves[w][i * width + j]`, and
+    /// each of its 64 lanes is one stream. One phase-step update
+    /// advances every stream, walking the flattened per-phase op lists
+    /// with `width` adjacent words per cell.
+    /// [`WaveSimulator::run_words`] is the `width == 1` case.
+    ///
+    /// # Panics
+    ///
+    /// As [`WaveSimulator::run`], plus `width == 0`.
+    pub fn run_wide(&self, waves: &[Vec<u64>], width: usize) -> WaveWideRun {
         let n = self.netlist;
+        assert!(width > 0, "a wide wave run needs at least one block");
         for w in waves {
             assert_eq!(
                 w.len(),
-                n.inputs().len(),
-                "wave width must match input count"
+                n.inputs().len() * width,
+                "wave width must match input count times block width"
             );
         }
         let depth = self.common_output_level();
 
         // Simulate until the last wave has fully drained.
         let total_steps = 3 * waves.len().saturating_sub(1) + depth as usize + 1;
-        let mut state = vec![0u64; n.len()];
+        let mut state = vec![0u64; n.len() * width];
         // Pre-load constant cells; they never change (all lanes share
         // the constant).
-        for id in n.ids() {
-            if let Component::Const { value } = n.component(id) {
-                state[id.index()] = if *value { !0 } else { 0 };
+        for op in self.phase_ops.iter().flatten() {
+            if op.kind == WaveOpKind::Const1 {
+                state[op.target as usize * width..][..width].fill(!0);
             }
         }
 
@@ -168,43 +284,57 @@ impl<'n> WaveSimulator<'n> {
         // latch simultaneously, so each step computes every firing
         // cell's next value against the pre-step state and only then
         // commits — without cloning the full state vector per step.
-        let scratch_len = self.phase_ids.iter().map(Vec::len).max().unwrap_or(0);
+        let scratch_len = self.phase_ops.iter().map(Vec::len).max().unwrap_or(0) * width;
         let mut scratch: Vec<u64> = Vec::with_capacity(scratch_len);
         let mut outputs: Vec<Vec<u64>> = Vec::with_capacity(waves.len());
         for t in 0..total_steps {
-            let firing = &self.phase_ids[t % 3];
+            let firing = &self.phase_ops[t % 3];
             scratch.clear();
-            for &id in firing {
-                let v = match n.component(id) {
-                    Component::Input { position } => {
+            for op in firing {
+                match op.kind {
+                    WaveOpKind::Input => {
                         // Inputs fire at phase 0 (level 0): inject the
                         // next wave, or hold the last value when the
                         // stream is exhausted.
                         match waves.get(t / 3) {
-                            Some(w) => w[*position as usize],
-                            None => state[id.index()],
+                            Some(w) => {
+                                scratch.extend_from_slice(&w[op.a as usize * width..][..width]);
+                            }
+                            None => {
+                                let s = op.target as usize * width;
+                                scratch.extend_from_slice(&state[s..s + width]);
+                            }
                         }
                     }
-                    Component::Const { value } => {
-                        if *value {
-                            !0
-                        } else {
-                            0
+                    WaveOpKind::Const0 => scratch.extend(std::iter::repeat_n(0, width)),
+                    WaveOpKind::Const1 => scratch.extend(std::iter::repeat_n(!0u64, width)),
+                    WaveOpKind::Maj => {
+                        let (a0, b0, c0) = (
+                            op.a as usize * width,
+                            op.b as usize * width,
+                            op.c as usize * width,
+                        );
+                        for j in 0..width {
+                            let a = state[a0 + j];
+                            let b = state[b0 + j];
+                            let c = state[c0 + j];
+                            scratch.push(a & b | a & c | b & c);
                         }
                     }
-                    Component::Maj { fanins } => {
-                        let a = state[fanins[0].index()];
-                        let b = state[fanins[1].index()];
-                        let c = state[fanins[2].index()];
-                        a & b | a & c | b & c
+                    WaveOpKind::Inv => {
+                        let a0 = op.a as usize * width;
+                        for j in 0..width {
+                            scratch.push(!state[a0 + j]);
+                        }
                     }
-                    Component::Inv { fanin } => !state[fanin.index()],
-                    Component::Buf { fanin } | Component::Fog { fanin } => state[fanin.index()],
-                };
-                scratch.push(v);
+                    WaveOpKind::Copy => {
+                        let a0 = op.a as usize * width;
+                        scratch.extend_from_slice(&state[a0..a0 + width]);
+                    }
+                }
             }
-            for (&id, &v) in firing.iter().zip(&scratch) {
-                state[id.index()] = v;
+            for (op, chunk) in firing.iter().zip(scratch.chunks_exact(width)) {
+                state[op.target as usize * width..][..width].copy_from_slice(chunk);
             }
 
             // Sample outputs: wave w reaches level `depth` at step
@@ -214,18 +344,19 @@ impl<'n> WaveSimulator<'n> {
                 let wave_index = (t - d) / 3;
                 if wave_index < waves.len() {
                     debug_assert_eq!(outputs.len(), wave_index);
-                    outputs.push(
-                        n.outputs()
-                            .iter()
-                            .map(|p| state[p.driver.index()])
-                            .collect(),
-                    );
+                    let mut sample = Vec::with_capacity(n.outputs().len() * width);
+                    for p in n.outputs() {
+                        let s = p.driver.index() * width;
+                        sample.extend_from_slice(&state[s..s + width]);
+                    }
+                    outputs.push(sample);
                 }
             }
         }
 
-        WaveWordRun {
+        WaveWideRun {
             outputs,
+            width,
             depth,
             phase_steps: total_steps,
         }
@@ -444,6 +575,35 @@ mod tests {
             }
         }
         assert!(sim.check_against_golden_words(&word_waves).is_empty());
+    }
+
+    #[test]
+    fn wide_run_blocks_agree_with_word_runs() {
+        let n = balanced_adder();
+        let sim = WaveSimulator::new(&n);
+        let mut rng = StdRng::seed_from_u64(33);
+        for width in [2usize, 3, 8] {
+            // 6 waves of `width` packed blocks over 3 inputs.
+            let wide_waves: Vec<Vec<u64>> = (0..6)
+                .map(|_| (0..3 * width).map(|_| rng.gen()).collect())
+                .collect();
+            let wide = sim.run_wide(&wide_waves, width);
+            assert_eq!(wide.width, width);
+            for j in 0..width {
+                let word_waves: Vec<Vec<u64>> = wide_waves
+                    .iter()
+                    .map(|w| (0..3).map(|i| w[i * width + j]).collect())
+                    .collect();
+                let word = sim.run_words(&word_waves);
+                assert_eq!(word.depth, wide.depth);
+                for (w, out) in word.outputs.iter().enumerate() {
+                    let sliced: Vec<u64> = (0..out.len())
+                        .map(|o| wide.outputs[w][o * width + j])
+                        .collect();
+                    assert_eq!(out, &sliced, "width {width}, block {j}, wave {w}");
+                }
+            }
+        }
     }
 
     #[test]

@@ -179,6 +179,87 @@ impl EquivalencePolicy {
     }
 }
 
+/// Default number of 64-lane words per wide sweep block (8 × 64 = 512
+/// patterns per traversal; 8 adjacent `u64`s are exactly one 64-byte
+/// cache line, so every random fan-in read is fully used).
+pub const DEFAULT_BLOCK_WORDS: usize = 8;
+
+/// *How* a block sweep executes — block width and worker count — as
+/// opposed to the [`EquivalencePolicy`], which defines *what* is
+/// checked. Splitting the two keeps execution knobs out of policy
+/// equality, spec serialization and cache keys: any sweep
+/// configuration produces bit-identical verdicts, so it must never
+/// influence a cache key.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct SweepConfig {
+    /// 64-lane words evaluated per traversal (≥ 1). Widths 1, 2, 4 and
+    /// 8 hit monomorphized kernels in the flat-arena evaluators.
+    pub block_words: usize,
+    /// Worker threads the exhaustive/sampled sweeps shard over (≥ 1).
+    /// Shards are contiguous block ranges merged in order, so the
+    /// verdict — including the counterexample — is identical for every
+    /// thread count.
+    pub threads: usize,
+}
+
+impl Default for SweepConfig {
+    /// [`DEFAULT_BLOCK_WORDS`]-wide blocks across all available cores.
+    fn default() -> SweepConfig {
+        SweepConfig {
+            block_words: DEFAULT_BLOCK_WORDS,
+            threads: std::thread::available_parallelism()
+                .map(std::num::NonZeroUsize::get)
+                .unwrap_or(1),
+        }
+    }
+}
+
+impl SweepConfig {
+    /// The pre-wide behaviour: one 64-lane word per traversal, one
+    /// thread.
+    pub fn single_word() -> SweepConfig {
+        SweepConfig {
+            block_words: 1,
+            threads: 1,
+        }
+    }
+
+    /// The default configuration with the `WAVEPIPE_BLOCK_WORDS` and
+    /// `WAVEPIPE_THREADS` environment overrides applied (unparsable or
+    /// zero values are ignored).
+    pub fn from_env() -> SweepConfig {
+        let mut sweep = SweepConfig::default();
+        if let Some(words) = env_knob("WAVEPIPE_BLOCK_WORDS") {
+            sweep.block_words = words;
+        }
+        if let Some(threads) = env_knob("WAVEPIPE_THREADS") {
+            sweep.threads = threads;
+        }
+        sweep
+    }
+
+    /// The same configuration with a different block width.
+    pub fn with_block_words(mut self, block_words: usize) -> SweepConfig {
+        self.block_words = block_words.max(1);
+        self
+    }
+
+    /// The same configuration with a different worker count.
+    pub fn with_threads(mut self, threads: usize) -> SweepConfig {
+        self.threads = threads.max(1);
+        self
+    }
+}
+
+/// Reads a positive-integer environment knob; `None` when unset,
+/// unparsable or zero.
+fn env_knob(name: &str) -> Option<usize> {
+    std::env::var(name)
+        .ok()
+        .and_then(|v| v.trim().parse::<usize>().ok())
+        .filter(|&v| v > 0)
+}
+
 /// Bit patterns of the low-order selector words: bit `k` of
 /// `EXHAUSTIVE_MASKS[i]` is `(k >> i) & 1`.
 const EXHAUSTIVE_MASKS: [u64; 6] = [
@@ -356,6 +437,35 @@ pub trait WordFunction {
     /// `i` in pattern `k`; returns one word per output.
     fn eval_block(&mut self, inputs: &[u64]) -> Vec<u64>;
 
+    /// Evaluates `width` 64-lane blocks in one call: `inputs[i * width
+    /// + j]` is word `j` of input `i`; the result holds word `j` of
+    /// output `o` at `[o * width + j]`.
+    ///
+    /// The default implementation loops [`WordFunction::eval_block`]
+    /// over the blocks, so every implementor is wide-correct by
+    /// construction; flat-arena evaluators override it with a fused
+    /// kernel that amortizes the traversal over all `width` words.
+    fn eval_wide(&mut self, inputs: &[u64], width: usize) -> Vec<u64> {
+        assert!(width > 0, "a wide evaluation needs at least one block");
+        let n = self.input_count();
+        assert_eq!(
+            inputs.len(),
+            n * width,
+            "input pattern width must match input_count() * width"
+        );
+        let mut out = vec![0u64; self.output_count() * width];
+        let mut block = vec![0u64; n];
+        for j in 0..width {
+            for (i, word) in block.iter_mut().enumerate() {
+                *word = inputs[i * width + j];
+            }
+            for (o, word) in self.eval_block(&block).into_iter().enumerate() {
+                out[o * width + j] = word;
+            }
+        }
+        out
+    }
+
     /// Display name of output `position` (used in counterexamples).
     fn output_name(&self, position: usize) -> String {
         format!("o{position}")
@@ -407,11 +517,228 @@ fn stratified_block(inputs: usize, round: usize, rng: &mut StdRng) -> Vec<u64> {
         .collect()
 }
 
+/// Checks that two word functions have comparable interfaces.
+fn interface_check(
+    left: &(impl WordFunction + ?Sized),
+    right: &(impl WordFunction + ?Sized),
+) -> Result<(), CheckError> {
+    if left.input_count() != right.input_count() {
+        return Err(CheckError::InputCountMismatch {
+            left: left.input_count(),
+            right: right.input_count(),
+        });
+    }
+    if left.output_count() != right.output_count() {
+        return Err(CheckError::OutputCountMismatch {
+            left: left.output_count(),
+            right: right.output_count(),
+        });
+    }
+    Ok(())
+}
+
+/// Word of input `i` in block `block` of the exhaustive sweep — the
+/// generator behind [`PatternBlock::exhaustive`], usable without
+/// materializing a block.
+fn exhaustive_word(i: usize, block: u64) -> u64 {
+    if i < EXHAUSTIVE_MASKS.len() {
+        EXHAUSTIVE_MASKS[i]
+    } else if (block * PatternBlock::LANES as u64) >> i & 1 != 0 {
+        !0
+    } else {
+        0
+    }
+}
+
+/// Meaningful-lane mask of block `block` of an exhaustive sweep over
+/// `inputs` variables (only the final block can be partial).
+fn block_lane_mask(inputs: usize, block: u64) -> u64 {
+    let total = 1u64 << inputs;
+    let base = block * PatternBlock::LANES as u64;
+    let lanes = (total - base).min(PatternBlock::LANES as u64);
+    if lanes == PatternBlock::LANES as u64 {
+        !0
+    } else {
+        (1u64 << lanes) - 1
+    }
+}
+
+/// The first divergence found in a contiguous sweep range, in the
+/// canonical order: block ascending, then output ascending, then lane
+/// ascending — the order every execution shape (narrow, wide, sharded)
+/// reports, which is what makes verdicts bit-identical across
+/// [`SweepConfig`]s.
+#[derive(Clone, Copy, Debug)]
+struct Divergence {
+    /// Exhaustive block index, or sampling round.
+    at: u64,
+    /// Position of the first diverging output within that block.
+    output: usize,
+    /// First diverging lane of that output.
+    lane: u32,
+}
+
+/// Scans exhaustive blocks `[start, end)` in `block_words`-wide strides
+/// and returns the range's first divergence (canonical order).
+fn scan_exhaustive_range<L, R>(
+    left: &mut L,
+    right: &mut R,
+    inputs: usize,
+    start: u64,
+    end: u64,
+    block_words: usize,
+) -> Option<Divergence>
+where
+    L: WordFunction + ?Sized,
+    R: WordFunction + ?Sized,
+{
+    let width = block_words.max(1);
+    let mut buf = vec![0u64; inputs * width];
+    let mut block = start;
+    while block < end {
+        let w = ((end - block) as usize).min(width);
+        for i in 0..inputs {
+            for j in 0..w {
+                buf[i * w + j] = exhaustive_word(i, block + j as u64);
+            }
+        }
+        let lo = left.eval_wide(&buf[..inputs * w], w);
+        let ro = right.eval_wide(&buf[..inputs * w], w);
+        let outputs = lo.len() / w;
+        for j in 0..w {
+            let mask = block_lane_mask(inputs, block + j as u64);
+            for o in 0..outputs {
+                let diff = (lo[o * w + j] ^ ro[o * w + j]) & mask;
+                if diff != 0 {
+                    return Some(Divergence {
+                        at: block + j as u64,
+                        output: o,
+                        lane: diff.trailing_zeros(),
+                    });
+                }
+            }
+        }
+        block += w as u64;
+    }
+    None
+}
+
+/// Scans sampling rounds `[start, end)` of a pregenerated round list in
+/// `block_words`-wide strides; first divergence in canonical order.
+fn scan_sampled_range<L, R>(
+    left: &mut L,
+    right: &mut R,
+    rounds: &[Vec<u64>],
+    start: usize,
+    end: usize,
+    block_words: usize,
+) -> Option<Divergence>
+where
+    L: WordFunction + ?Sized,
+    R: WordFunction + ?Sized,
+{
+    let width = block_words.max(1);
+    let inputs = rounds.first().map_or(0, Vec::len);
+    let mut buf = vec![0u64; inputs * width];
+    let mut round = start;
+    while round < end {
+        let w = (end - round).min(width);
+        for i in 0..inputs {
+            for j in 0..w {
+                buf[i * w + j] = rounds[round + j][i];
+            }
+        }
+        let lo = left.eval_wide(&buf[..inputs * w], w);
+        let ro = right.eval_wide(&buf[..inputs * w], w);
+        let outputs = lo.len() / w;
+        for j in 0..w {
+            for o in 0..outputs {
+                let diff = lo[o * w + j] ^ ro[o * w + j];
+                if diff != 0 {
+                    return Some(Divergence {
+                        at: (round + j) as u64,
+                        output: o,
+                        lane: diff.trailing_zeros(),
+                    });
+                }
+            }
+        }
+        round += w;
+    }
+    None
+}
+
+/// Generates the policy's full sampling schedule: round 0 is the corner
+/// block, later rounds stratified densities, all drawn from one
+/// sequential seeded stream — so the schedule is identical however the
+/// rounds are then sharded.
+fn sampling_rounds(inputs: usize, policy: &EquivalencePolicy) -> Vec<Vec<u64>> {
+    let mut rng = StdRng::seed_from_u64(policy.seed);
+    (0..policy.rounds)
+        .map(|round| {
+            if round == 0 {
+                corner_block(inputs, &mut rng)
+            } else {
+                stratified_block(inputs, round, &mut rng)
+            }
+        })
+        .collect()
+}
+
+/// Splits `total` work items into at most `shards` contiguous,
+/// near-equal ranges.
+fn shard_ranges(total: u64, shards: usize) -> Vec<(u64, u64)> {
+    let shards = (shards.max(1) as u64).min(total.max(1));
+    let base = total / shards;
+    let extra = total % shards;
+    let mut ranges = Vec::with_capacity(shards as usize);
+    let mut start = 0;
+    for s in 0..shards {
+        let len = base + u64::from(s < extra);
+        ranges.push((start, start + len));
+        start += len;
+    }
+    ranges
+}
+
+/// Turns a raw exhaustive-sweep divergence into a counterexample.
+fn exhaustive_counterexample(
+    left: &(impl WordFunction + ?Sized),
+    inputs: usize,
+    d: Divergence,
+) -> Equivalence {
+    Equivalence::NotEqual {
+        output: left.output_name(d.output),
+        pattern: PatternBlock::exhaustive(inputs, d.at).pattern(d.lane as usize),
+    }
+}
+
+/// Turns a raw sampling divergence into a counterexample.
+fn sampled_counterexample(
+    left: &(impl WordFunction + ?Sized),
+    rounds: &[Vec<u64>],
+    d: Divergence,
+) -> Equivalence {
+    Equivalence::NotEqual {
+        output: left.output_name(d.output),
+        pattern: rounds[d.at as usize]
+            .iter()
+            .map(|w| w >> d.lane & 1 != 0)
+            .collect(),
+    }
+}
+
 /// Compares two [`WordFunction`]s under a policy — the engine behind
 /// [`check_equivalence`] and `wavepipe::differential::check`.
 ///
 /// Outputs are matched by position, not by name; counterexamples are
-/// named after the **left** function's outputs.
+/// named after the **left** function's outputs and report the first
+/// divergence in canonical order (block, then output, then lane).
+///
+/// Blocks are swept [`SweepConfig::from_env`]`().block_words` wide on
+/// the calling thread; [`check_word_functions_sharded`] is the
+/// multi-worker variant (its verdicts are bit-identical to this one's
+/// by construction).
 ///
 /// # Errors
 ///
@@ -426,65 +753,126 @@ where
     L: WordFunction + ?Sized,
     R: WordFunction + ?Sized,
 {
-    if left.input_count() != right.input_count() {
-        return Err(CheckError::InputCountMismatch {
-            left: left.input_count(),
-            right: right.input_count(),
-        });
-    }
-    if left.output_count() != right.output_count() {
-        return Err(CheckError::OutputCountMismatch {
-            left: left.output_count(),
-            right: right.output_count(),
-        });
-    }
+    interface_check(left, right)?;
     let n = left.input_count();
+    let width = SweepConfig::from_env().block_words;
 
     if policy.is_exhaustive_for(n) {
-        for block in 0..PatternBlock::block_count(n) {
-            let patterns = PatternBlock::exhaustive(n, block);
-            let lo = left.eval_block(patterns.words());
-            let ro = right.eval_block(patterns.words());
-            let mask = patterns.lane_mask();
-            for (o, (a, b)) in lo.iter().zip(&ro).enumerate() {
-                let diff = (a ^ b) & mask;
-                if diff != 0 {
-                    let lane = diff.trailing_zeros() as usize;
-                    return Ok(Equivalence::NotEqual {
-                        output: left.output_name(o),
-                        pattern: patterns.pattern(lane),
-                    });
-                }
-            }
-        }
-        return Ok(Equivalence::Equal);
+        let blocks = PatternBlock::block_count(n);
+        return Ok(
+            match scan_exhaustive_range(left, right, n, 0, blocks, width) {
+                Some(d) => exhaustive_counterexample(left, n, d),
+                None => Equivalence::Equal,
+            },
+        );
     }
 
-    let mut rng = StdRng::seed_from_u64(policy.seed);
-    for round in 0..policy.rounds {
-        let words = if round == 0 {
-            corner_block(n, &mut rng)
+    let rounds = sampling_rounds(n, policy);
+    Ok(
+        match scan_sampled_range(left, right, &rounds, 0, policy.rounds, width) {
+            Some(d) => sampled_counterexample(left, &rounds, d),
+            None => Equivalence::ProbablyEqual {
+                rounds: policy.rounds,
+            },
+        },
+    )
+}
+
+/// Multi-worker [`check_word_functions`]: the sweep's blocks (or
+/// sampling rounds) are split into contiguous ranges, scanned in
+/// parallel by per-worker function instances from the two factories,
+/// and merged in range order — each range reports its first divergence
+/// in the canonical (block, output, lane) order, and the merged verdict
+/// is the first reporting range's, so the result (counterexample
+/// included) is **bit-identical for every `threads` / `block_words`
+/// combination**, including `threads: 1`.
+///
+/// The factories run once per worker; give them cheap construction by
+/// sharing prepared state (e.g. [`Simulator::with_plan`] over one
+/// [`crate::SimPlan`]).
+///
+/// # Errors
+///
+/// Returns [`CheckError`] if the interfaces (input/output counts)
+/// differ.
+pub fn check_word_functions_sharded<L, R, FL, FR>(
+    make_left: FL,
+    make_right: FR,
+    policy: &EquivalencePolicy,
+    sweep: &SweepConfig,
+) -> Result<Equivalence, CheckError>
+where
+    L: WordFunction,
+    R: WordFunction,
+    FL: Fn() -> L + Sync,
+    FR: Fn() -> R + Sync,
+{
+    let mut left = make_left();
+    let mut right = make_right();
+    interface_check(&left, &right)?;
+    let n = left.input_count();
+    let width = sweep.block_words.max(1);
+
+    if policy.is_exhaustive_for(n) {
+        let blocks = PatternBlock::block_count(n);
+        let first = if sweep.threads <= 1 {
+            scan_exhaustive_range(&mut left, &mut right, n, 0, blocks, width)
         } else {
-            stratified_block(n, round, &mut rng)
+            use rayon::prelude::*;
+            let ranges = shard_ranges(blocks, sweep.threads);
+            let found: Vec<Option<Divergence>> = ranges
+                .par_iter()
+                .map(|&(start, end)| {
+                    let mut l = make_left();
+                    let mut r = make_right();
+                    scan_exhaustive_range(&mut l, &mut r, n, start, end, width)
+                })
+                .collect();
+            found.into_iter().flatten().next()
         };
-        let lo = left.eval_block(&words);
-        let ro = right.eval_block(&words);
-        for (o, (a, b)) in lo.iter().zip(&ro).enumerate() {
-            if a != b {
-                let lane = (a ^ b).trailing_zeros() as usize;
-                return Ok(Equivalence::NotEqual {
-                    output: left.output_name(o),
-                    pattern: words.iter().map(|w| w >> lane & 1 != 0).collect(),
-                });
-            }
-        }
+        return Ok(match first {
+            Some(d) => exhaustive_counterexample(&left, n, d),
+            None => Equivalence::Equal,
+        });
     }
-    Ok(Equivalence::ProbablyEqual {
-        rounds: policy.rounds,
+
+    let rounds = sampling_rounds(n, policy);
+    let first = if sweep.threads <= 1 {
+        scan_sampled_range(&mut left, &mut right, &rounds, 0, policy.rounds, width)
+    } else {
+        use rayon::prelude::*;
+        let ranges = shard_ranges(policy.rounds as u64, sweep.threads);
+        let rounds_ref = &rounds;
+        let found: Vec<Option<Divergence>> = ranges
+            .par_iter()
+            .map(|&(start, end)| {
+                let mut l = make_left();
+                let mut r = make_right();
+                scan_sampled_range(
+                    &mut l,
+                    &mut r,
+                    rounds_ref,
+                    start as usize,
+                    end as usize,
+                    width,
+                )
+            })
+            .collect();
+        found.into_iter().flatten().next()
+    };
+    Ok(match first {
+        Some(d) => sampled_counterexample(&left, &rounds, d),
+        None => Equivalence::ProbablyEqual {
+            rounds: policy.rounds,
+        },
     })
 }
 
 /// [`check_equivalence`] under an explicit [`EquivalencePolicy`].
+///
+/// Runs on the sharded engine under [`SweepConfig::from_env`]: both
+/// graphs are flattened once and the per-worker simulators share the
+/// plans, so the parallel fan-out costs no re-preparation.
 ///
 /// # Errors
 ///
@@ -494,10 +882,13 @@ pub fn check_equivalence_with_policy(
     right: &Mig,
     policy: &EquivalencePolicy,
 ) -> Result<Equivalence, CheckError> {
-    check_word_functions(
-        &mut Simulator::new(left),
-        &mut Simulator::new(right),
+    let left_plan = std::sync::Arc::new(crate::simulate::SimPlan::build(left));
+    let right_plan = std::sync::Arc::new(crate::simulate::SimPlan::build(right));
+    check_word_functions_sharded(
+        || Simulator::with_plan(left, left_plan.clone()),
+        || Simulator::with_plan(right, right_plan.clone()),
         policy,
+        &SweepConfig::from_env(),
     )
 }
 
@@ -739,6 +1130,79 @@ mod tests {
                 .unwrap()
                 .holds()
         );
+    }
+
+    #[test]
+    fn sharded_verdicts_are_bit_identical_across_sweep_configs() {
+        // One exhaustive pair and one sampled pair, each with a real
+        // divergence, swept under every (threads, block_words)
+        // combination: the verdict — counterexample included — must be
+        // byte-for-byte the sequential engine's.
+        let broken_pair = |inputs: usize| {
+            let build = |broken: bool| {
+                let mut g = Mig::new();
+                let ins = g.add_inputs("x", inputs);
+                let conj = ins.iter().skip(1).fold(ins[0], |acc, &s| g.add_and(acc, s));
+                let p = g.add_xor_n(&ins);
+                let f = if broken { g.add_xor(p, conj) } else { p };
+                g.add_output("f", f);
+                g
+            };
+            (build(false), build(true))
+        };
+        for (inputs, policy) in [
+            (10, EquivalencePolicy::exhaustive(10)),
+            (30, EquivalencePolicy::sampled(16, 3)),
+        ] {
+            let (good, bad) = broken_pair(inputs);
+            let reference = check_word_functions(
+                &mut Simulator::new(&good),
+                &mut Simulator::new(&bad),
+                &policy,
+            )
+            .unwrap();
+            assert!(!reference.holds());
+            for threads in [1usize, 2, 8] {
+                for block_words in [1usize, 3, 8] {
+                    let sweep = SweepConfig::single_word()
+                        .with_threads(threads)
+                        .with_block_words(block_words);
+                    let sharded = check_word_functions_sharded(
+                        || Simulator::new(&good),
+                        || Simulator::new(&bad),
+                        &policy,
+                        &sweep,
+                    )
+                    .unwrap();
+                    assert_eq!(
+                        sharded, reference,
+                        "{inputs} inputs, {threads} threads, {block_words} words"
+                    );
+                }
+            }
+            // And the equivalent pair stays equivalent under sharding.
+            let twin = good.clone();
+            let clean = check_word_functions_sharded(
+                || Simulator::new(&good),
+                || Simulator::new(&twin),
+                &policy,
+                &SweepConfig::default().with_threads(4),
+            )
+            .unwrap();
+            assert!(clean.holds());
+        }
+    }
+
+    #[test]
+    fn sweep_config_knobs_clamp_and_default() {
+        let d = SweepConfig::default();
+        assert_eq!(d.block_words, DEFAULT_BLOCK_WORDS);
+        assert!(d.threads >= 1);
+        assert_eq!(
+            SweepConfig::single_word().with_block_words(0).block_words,
+            1
+        );
+        assert_eq!(SweepConfig::single_word().with_threads(0).threads, 1);
     }
 
     #[test]

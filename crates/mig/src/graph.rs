@@ -3,6 +3,7 @@
 use std::collections::HashMap;
 use std::fmt;
 
+use crate::fnv::FnvBuildHasher;
 use crate::node::Node;
 use crate::signal::{NodeId, Signal};
 
@@ -49,7 +50,10 @@ pub struct Mig {
     inputs: Vec<NodeId>,
     input_names: Vec<String>,
     outputs: Vec<Output>,
-    strash: HashMap<[Signal; 3], NodeId>,
+    /// Structural-hash table keyed on normalized fan-in triples. FNV-1a
+    /// instead of SipHash: the 12-byte keys are queried once per gate
+    /// construction, where SipHash's per-lookup setup dominates.
+    strash: HashMap<[Signal; 3], NodeId, FnvBuildHasher>,
 }
 
 impl Mig {
@@ -66,7 +70,7 @@ impl Mig {
             inputs: Vec::new(),
             input_names: Vec::new(),
             outputs: Vec::new(),
-            strash: HashMap::new(),
+            strash: HashMap::default(),
         }
     }
 

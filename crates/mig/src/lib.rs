@@ -52,6 +52,7 @@
 pub mod analysis;
 mod builder;
 mod equivalence;
+pub mod fnv;
 mod graph;
 pub mod io;
 mod node;
@@ -66,8 +67,9 @@ pub use analysis::{
 };
 pub use equivalence::{
     check_equivalence, check_equivalence_seeded, check_equivalence_with_policy,
-    check_word_functions, CheckError, Equivalence, EquivalencePolicy, PatternBlock, WordFunction,
-    DEFAULT_EXHAUSTIVE_INPUTS, DEFAULT_RANDOM_ROUNDS, DEFAULT_SEED,
+    check_word_functions, check_word_functions_sharded, CheckError, Equivalence, EquivalencePolicy,
+    PatternBlock, SweepConfig, WordFunction, DEFAULT_BLOCK_WORDS, DEFAULT_EXHAUSTIVE_INPUTS,
+    DEFAULT_RANDOM_ROUNDS, DEFAULT_SEED,
 };
 pub use graph::{Mig, Output};
 pub use io::{parse_mig, to_dot, to_verilog, write_mig, ParseMigError};
@@ -75,5 +77,5 @@ pub use node::Node;
 pub use random::{random_mig, RandomMigConfig};
 pub use rewrite::{optimize_depth, optimize_size, DepthOptOutcome};
 pub use signal::{NodeId, Signal};
-pub use simulate::Simulator;
+pub use simulate::{SimPlan, Simulator};
 pub use truth_table::TruthTable;

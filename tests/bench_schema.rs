@@ -6,8 +6,8 @@
 use serde::Value;
 use wavepipe::EngineStats;
 use wavepipe_bench::record::{
-    BenchRecord, ExhaustivePoint, PassSummary, PassThroughput, ScalingPoint, ScalingRecord,
-    StageRecord, VerifyPoint, VerifyRecord,
+    BenchRecord, ExhaustivePoint, GridPoint, PassSummary, PassThroughput, ScalingPoint,
+    ScalingRecord, StageRecord, VerifyPoint, VerifyRecord, WidePoint, WideRecord,
 };
 
 /// Sorted top-level keys of a JSON object value.
@@ -181,12 +181,64 @@ fn bench_pr5_record_schema_is_pinned() {
     assert_eq!(keys(proof), ["holds", "inputs", "patterns", "wall_ms"]);
 }
 
-/// Generated artifacts must match the pinned schema too. `results/` is
-/// gitignored (the binaries regenerate it), so absent files are
-/// skipped — CI's smoke jobs run the `scaling` / `verify_throughput`
-/// binaries first and then this test, which is what keeps
-/// `results/BENCH_pr4.json` / `BENCH_pr5.json` generation from rotting
-/// relative to the record types.
+#[test]
+fn bench_pr6_record_schema_is_pinned() {
+    let record = WideRecord {
+        pipeline: vec!["map".to_owned()],
+        block_words: 8,
+        points: vec![WidePoint {
+            name: "synth:dag:1".to_owned(),
+            target_nodes: 100_000,
+            inputs: 2032,
+            pipelined_size: 680_000,
+            arena_slots: 190_000,
+            legacy_word_patterns_per_sec: 1.3e4,
+            wide_patterns_per_sec: 2.0e5,
+            wide_speedup: 15.4,
+        }],
+        grid_circuit: "synth:dag:1".to_owned(),
+        grid: vec![GridPoint {
+            block_words: 8,
+            threads: 2,
+            patterns_per_sec: 1e7,
+        }],
+    };
+    let value = to_value(&record);
+    assert_eq!(
+        keys(&value),
+        ["block_words", "grid", "grid_circuit", "pipeline", "points"]
+    );
+    let point = &serde::field(value.as_object().unwrap(), "points")
+        .unwrap()
+        .as_array()
+        .unwrap()[0];
+    assert_eq!(
+        keys(point),
+        [
+            "arena_slots",
+            "inputs",
+            "legacy_word_patterns_per_sec",
+            "name",
+            "pipelined_size",
+            "target_nodes",
+            "wide_patterns_per_sec",
+            "wide_speedup"
+        ]
+    );
+    let cell = &serde::field(value.as_object().unwrap(), "grid")
+        .unwrap()
+        .as_array()
+        .unwrap()[0];
+    assert_eq!(keys(cell), ["block_words", "patterns_per_sec", "threads"]);
+}
+
+/// Generated artifacts must match the pinned schema too. Most of
+/// `results/` is gitignored (the binaries regenerate it;
+/// `BENCH_pr6.json` alone is committed as the PR's perf baseline), so
+/// absent files are skipped — CI's smoke jobs run the `scaling` /
+/// `verify_throughput` binaries first and then this test, which is
+/// what keeps `results/BENCH_pr4.json`–`BENCH_pr6.json` generation
+/// from rotting relative to the record types.
 #[test]
 fn generated_bench_records_parse_with_the_pinned_shape() {
     for (path, top, has_engine_totals) in [
@@ -203,6 +255,11 @@ fn generated_bench_records_parse_with_the_pinned_shape() {
         (
             "results/BENCH_pr5.json",
             vec!["exhaustive", "pipeline", "points"],
+            false,
+        ),
+        (
+            "results/BENCH_pr6.json",
+            vec!["block_words", "grid", "grid_circuit", "pipeline", "points"],
             false,
         ),
     ] {

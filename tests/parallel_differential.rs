@@ -1,0 +1,152 @@
+//! The sharded differential engine is an *execution* knob, not a
+//! *semantics* knob: for any block width and thread count,
+//! [`wavepipe::differential::check_with`] must return the bit-identical
+//! verdict — the same pattern budget on clean pairs, and the same
+//! canonical counterexample (first divergence in block-then-output-
+//! then-lane order) on broken ones.
+
+use wavepipe::differential::{self, Verdict};
+use wavepipe::{
+    insert_buffers, netlist_from_mig, restrict_fanout, EquivalencePolicy, Netlist, SweepConfig,
+};
+
+const THREADS: [usize; 3] = [1, 2, 8];
+const BLOCK_WORDS: [usize; 3] = [1, 3, 8];
+
+/// A mid-sized circuit whose input count selects the policy's
+/// exhaustive arm (all `2^n` patterns).
+fn small_pair() -> (mig::Mig, Netlist) {
+    let name = "synth:dag:77:depth=6,inputs=10,nodes=160,outputs=6";
+    let graph = benchsuite::build_mig(name).expect("synth name resolves");
+    let mut netlist = netlist_from_mig(&graph);
+    restrict_fanout(&mut netlist, 3);
+    insert_buffers(&mut netlist);
+    (graph, netlist)
+}
+
+/// A wide circuit that forces the stratified-sampling arm.
+fn sampled_pair() -> (mig::Mig, Netlist) {
+    let name = "synth:dag:78:depth=7,inputs=30,nodes=240,outputs=8";
+    let graph = benchsuite::build_mig(name).expect("synth name resolves");
+    let mut netlist = netlist_from_mig(&graph);
+    restrict_fanout(&mut netlist, 3);
+    insert_buffers(&mut netlist);
+    (graph, netlist)
+}
+
+/// Flip one output through an inverter — a single-output corruption
+/// with a well-defined first divergence.
+fn corrupt(netlist: &mut Netlist, output: usize) {
+    let driver = netlist.outputs()[output].driver;
+    let broken = netlist.add_inv(driver);
+    netlist.set_output_driver(output, broken);
+}
+
+fn sweep_grid() -> Vec<SweepConfig> {
+    let mut grid = Vec::new();
+    for &threads in &THREADS {
+        for &block_words in &BLOCK_WORDS {
+            grid.push(
+                SweepConfig::single_word()
+                    .with_block_words(block_words)
+                    .with_threads(threads),
+            );
+        }
+    }
+    grid
+}
+
+#[test]
+fn exhaustive_verdicts_are_bit_identical_across_the_grid() {
+    let (graph, clean) = small_pair();
+    let policy = EquivalencePolicy::default();
+    let reference = differential::check_with(&clean, &graph, &policy, &SweepConfig::single_word())
+        .expect("interfaces match");
+    assert!(matches!(
+        reference,
+        Verdict::Equivalent {
+            exhaustive: true,
+            ..
+        }
+    ));
+
+    let (_, mut broken) = small_pair();
+    corrupt(&mut broken, 3);
+    let broken_reference =
+        differential::check_with(&broken, &graph, &policy, &SweepConfig::single_word())
+            .expect("interfaces match");
+    let Verdict::Diverged(cex) = &broken_reference else {
+        panic!("corrupted netlist must diverge");
+    };
+    assert_eq!(cex.output, 3, "corruption localizes to the flipped output");
+    // The counterexample replays on both sides.
+    assert_eq!(broken.eval(&cex.pattern)[cex.output], cex.actual);
+
+    for sweep in sweep_grid() {
+        assert_eq!(
+            differential::check_with(&clean, &graph, &policy, &sweep).expect("interfaces match"),
+            reference,
+            "clean verdict drifted at {sweep:?}"
+        );
+        assert_eq!(
+            differential::check_with(&broken, &graph, &policy, &sweep).expect("interfaces match"),
+            broken_reference,
+            "counterexample drifted at {sweep:?}"
+        );
+    }
+}
+
+#[test]
+fn sampled_verdicts_are_bit_identical_across_the_grid() {
+    let (graph, clean) = sampled_pair();
+    // 30 inputs: always the sampled arm under the default ceiling.
+    let policy = EquivalencePolicy::sampled(17, 0xFEED);
+    let reference = differential::check_with(&clean, &graph, &policy, &SweepConfig::single_word())
+        .expect("interfaces match");
+    assert!(matches!(
+        reference,
+        Verdict::Equivalent {
+            exhaustive: false,
+            ..
+        }
+    ));
+
+    let (_, mut broken) = sampled_pair();
+    corrupt(&mut broken, 5);
+    let broken_reference =
+        differential::check_with(&broken, &graph, &policy, &SweepConfig::single_word())
+            .expect("interfaces match");
+    let Verdict::Diverged(cex) = &broken_reference else {
+        panic!("corrupted netlist must diverge under sampling");
+    };
+    assert_eq!(cex.output, 5);
+
+    for sweep in sweep_grid() {
+        assert_eq!(
+            differential::check_with(&clean, &graph, &policy, &sweep).expect("interfaces match"),
+            reference,
+            "clean verdict drifted at {sweep:?}"
+        );
+        assert_eq!(
+            differential::check_with(&broken, &graph, &policy, &sweep).expect("interfaces match"),
+            broken_reference,
+            "counterexample drifted at {sweep:?}"
+        );
+    }
+}
+
+#[test]
+fn the_environment_driven_path_matches_the_explicit_grid() {
+    // `differential::check` resolves its SweepConfig from the
+    // environment; whatever it resolves to, the verdict must equal the
+    // single-word reference.
+    let (graph, mut broken) = small_pair();
+    corrupt(&mut broken, 0);
+    let policy = EquivalencePolicy::default();
+    let reference = differential::check_with(&broken, &graph, &policy, &SweepConfig::single_word())
+        .expect("interfaces match");
+    assert_eq!(
+        differential::check(&broken, &graph, &policy).expect("interfaces match"),
+        reference
+    );
+}

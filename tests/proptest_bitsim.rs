@@ -95,6 +95,40 @@ proptest! {
         }
     }
 
+    /// Wide evaluation is exactly `width` independent 64-lane blocks,
+    /// which (with `eval_words_is_64_scalar_evals`) closes the chain
+    /// N-word ≡ N × 64-lane ≡ scalar: every divergence any sweep could
+    /// observe is independent of the block width it ran at.
+    #[test]
+    fn eval_wide_is_width_independent_word_evals(
+        seed in 0u64..1_000_000,
+        width in 1usize..=9,
+    ) {
+        let netlist = synth_netlist(seed);
+        let inputs = netlist.inputs().len();
+        let mut rng = StdRng::seed_from_u64(seed ^ 0x51DE);
+        let pattern: Vec<u64> = (0..inputs * width).map(|_| rng.gen()).collect();
+
+        let wide = netlist.eval_wide(&pattern, width);
+        let mut function = NetlistFunction::new(&netlist).expect("flow netlists are acyclic");
+        prop_assert_eq!(
+            &function.eval_wide(&pattern, width),
+            &wide,
+            "prepared and one-shot wide paths must agree"
+        );
+        for j in 0..width {
+            let block: Vec<u64> = (0..inputs).map(|i| pattern[i * width + j]).collect();
+            let narrow = netlist.eval_words(&block);
+            for (o, &word) in narrow.iter().enumerate() {
+                prop_assert_eq!(
+                    word,
+                    wide[o * width + j],
+                    "width {}, block {}, output {}", width, j, o
+                );
+            }
+        }
+    }
+
     /// Packing is the inverse of unpacking for partial blocks too.
     #[test]
     fn pattern_block_round_trips(seed in 0u64..1_000_000, lanes in 1usize..=64, width in 1usize..40) {
