@@ -1,0 +1,314 @@
+//! Incremental (ECO) engine benchmark over the synthetic `dag` family:
+//! opens an incremental session per sweep point, measures the cold
+//! run (every output cone executes), the warm re-run (one
+//! `spliced`-scope lookup), a fresh-process re-serve from the disk
+//! tier (smallest point only — write-through JSON of big spliced runs
+//! would dominate edit timing above that), and a seeded ECO edit
+//! sequence where each single-gate rewire must re-execute only its own
+//! dirty cone. Writes `results/BENCH_pr7.json` (shape:
+//! [`IncrementalRecord`]).
+//!
+//! ```text
+//! cargo run --release -p wavepipe-bench --bin eco [-- --max-nodes N]
+//! ```
+//!
+//! No-regression floors baked in: the warm re-run executes zero
+//! passes, every rewire dirties exactly one cone, the incremental
+//! re-run after a single-gate edit is bit-identical
+//! (`persist::run_to_json`) to a cold engine recomputing the edited
+//! graph, and at 10⁵ nodes and up the edit re-run is at least 10×
+//! faster than the cold run.
+
+use std::fs;
+use std::path::Path;
+use std::time::Instant;
+
+use mig::{Mig, NodeId, Signal};
+use wavepipe::{persist, Engine, EquivalencePolicy, FlowConfig, PipelineSpec, SynthSpec};
+use wavepipe_bench::record::{EditPoint, IncrementalPoint, IncrementalRecord};
+
+/// The sweep axis: the 10⁴..10⁶ span of the scaling sweep. Depth is
+/// held shallow on purpose — deep DAGs make every output cone reach
+/// nearly the whole graph, so the "dirty region" of a one-gate edit
+/// converges on the full design and the sweep would measure cone
+/// overlap, not incrementality. Output count stays flat (64 cones) so
+/// the dirty-cone fraction of a one-gate edit is comparable across
+/// sizes.
+const SWEEP: [(usize, u64); 3] = [(10_000, 16), (100_000, 16), (1_000_000, 18)];
+
+/// Seeded ECO edits per point.
+const EDITS: usize = 4;
+
+/// splitmix64 — deterministic node picking without threading a rand
+/// generator through the sweep.
+fn splitmix(state: &mut u64) -> u64 {
+    *state = state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    let mut z = *state;
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+/// A deterministic signal over an existing node (gates and inputs,
+/// never the constant), complemented on odd draws.
+fn pick_signal(graph: &Mig, state: &mut u64) -> Signal {
+    let index = 1 + (splitmix(state) as usize % (graph.node_count() - 1));
+    Signal::new(NodeId::from_index(index), splitmix(state) & 1 == 1)
+}
+
+fn main() {
+    let mut max_nodes = usize::MAX;
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--max-nodes" => {
+                max_nodes = args
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .expect("--max-nodes takes an integer");
+            }
+            other => panic!("unknown argument `{other}` (try --max-nodes N)"),
+        }
+    }
+
+    let out_dir = Path::new("results");
+    fs::create_dir_all(out_dir).expect("create results/");
+    let engine = Engine::new();
+    // Full default-policy per-cone verification: it is the expensive,
+    // cacheable part of the flow, i.e. exactly the work an ECO re-run
+    // legitimately skips for clean cones.
+    let pipeline = PipelineSpec::for_config(FlowConfig::default())
+        .gate_equivalence(EquivalencePolicy::default());
+
+    let mut points = Vec::new();
+    println!(
+        "{:<44} {:>9} {:>8} {:>10} {:>9} {:>9} {:>10} {:>8}",
+        "circuit", "gates", "cones", "cold ms", "warm ms", "disk ms", "edit ms", "speedup"
+    );
+    for (i, (nodes, depth)) in SWEEP.iter().enumerate() {
+        if *nodes > max_nodes {
+            continue;
+        }
+        let synth = SynthSpec::new("dag", 0xEC0_0000 + i as u64)
+            .param("nodes", *nodes as u64)
+            .param("depth", *depth)
+            .param("inputs", (32 + nodes / 50).min(4_096) as u64)
+            .param("outputs", 64);
+        let name = synth.name();
+        let graph = benchsuite::build_mig(&name).expect("synth name resolves");
+        let gates = graph.gate_count();
+        let outputs = graph.output_count();
+        let mut session = engine.incremental(graph, pipeline.clone());
+
+        let before = engine.stats();
+        let started = Instant::now();
+        let cold_run = session.run().expect("cold incremental run verifies");
+        let cold_wall_ms = started.elapsed().as_secs_f64() * 1000.0;
+        let cold = engine.stats().since(&before);
+        assert!(
+            !cold_run.spliced_reused,
+            "{name}: cold run found a warm cache"
+        );
+        let unique_cones = cold_run.unique_cones;
+
+        let before = engine.stats();
+        let started = Instant::now();
+        let warm_run = session.run().expect("warm incremental run verifies");
+        let warm_wall_ms = started.elapsed().as_secs_f64() * 1000.0;
+        let warm = engine.stats().since(&before);
+        assert!(
+            warm_run.spliced_reused && warm.passes_executed == 0,
+            "{name}: warm re-run must be one spliced-scope cache hit"
+        );
+        assert_eq!(
+            persist::run_to_json(&cold_run.run),
+            persist::run_to_json(&warm_run.run),
+            "{name}: warm re-run must be bit-identical to the cold run"
+        );
+
+        // The disk tier is exercised at the smallest point only:
+        // write-through JSON of megacomponent spliced runs is exactly
+        // the latency the memory tier exists to hide.
+        let disk_wall_ms = (i == 0).then(|| {
+            let dir = std::env::temp_dir().join("wavepipe-bench-pr7-disk");
+            let _ = fs::remove_dir_all(&dir);
+            let writer = Engine::new().with_disk_cache(&dir);
+            let populate = writer
+                .incremental(session.graph().clone(), pipeline.clone())
+                .run()
+                .expect("disk populate run verifies");
+            let reader = Engine::new().with_disk_cache(&dir);
+            let mut served = reader.incremental(session.graph().clone(), pipeline.clone());
+            let before = reader.stats();
+            let started = Instant::now();
+            let outcome = served.run().expect("disk-served run verifies");
+            let wall = started.elapsed().as_secs_f64() * 1000.0;
+            let delta = reader.stats().since(&before);
+            assert!(
+                outcome.spliced_reused && delta.passes_executed == 0 && delta.disk_hits >= 1,
+                "{name}: fresh engine must re-serve the run from disk with zero passes"
+            );
+            assert_eq!(
+                persist::run_to_json(&populate.run),
+                persist::run_to_json(&outcome.run),
+                "{name}: disk-served run must be bit-identical"
+            );
+            let _ = fs::remove_dir_all(&dir);
+            wall
+        });
+
+        // Seeded ECO loop: each step grafts one dead majority gate onto
+        // existing signals and rewires one primary output to it — a
+        // one-gate edit that must dirty exactly one cone.
+        let mut seed = 0xD1E7_0000 + i as u64;
+        let mut edits = Vec::new();
+        let mut last_edit = None;
+        for step in 0..EDITS {
+            let position = (step * 17 + 3) % outputs;
+            let (a, b, c) = {
+                let g = session.graph();
+                (
+                    pick_signal(g, &mut seed),
+                    pick_signal(g, &mut seed),
+                    pick_signal(g, &mut seed),
+                )
+            };
+            let gate = session
+                .apply(wavepipe::EngineEdit::AddGate {
+                    a,
+                    b,
+                    c,
+                    output: None,
+                })
+                .expect("gate fanins exist")
+                .expect("AddGate returns the new signal");
+            session
+                .apply(wavepipe::EngineEdit::RewireOutput {
+                    position,
+                    signal: gate,
+                })
+                .expect("output position exists");
+
+            let before = engine.stats();
+            let started = Instant::now();
+            let outcome = session.run().expect("incremental edit run verifies");
+            let wall = started.elapsed().as_secs_f64() * 1000.0;
+            let delta = engine.stats().since(&before);
+            assert!(
+                !outcome.spliced_reused && outcome.cones_recomputed == 1,
+                "{name}: a one-gate rewire must re-execute exactly one cone \
+                 (recomputed {})",
+                outcome.cones_recomputed
+            );
+            assert_eq!(
+                delta.cones_recomputed, 1,
+                "{name}: engine telemetry must agree with the outcome"
+            );
+            edits.push(EditPoint {
+                edit: format!(
+                    "rewire o{position} -> maj({}{}, {}{}, {}{})",
+                    if a.is_complement() { "!" } else { "" },
+                    a.node().index(),
+                    if b.is_complement() { "!" } else { "" },
+                    b.node().index(),
+                    if c.is_complement() { "!" } else { "" },
+                    c.node().index(),
+                ),
+                wall_ms: wall,
+                dirty_cones: outcome.cones_recomputed,
+                reused_cones: outcome.cones_reused,
+                dirty_fraction: outcome.dirty_fraction(),
+                dirty_bands: outcome.dirty_bands.as_ref().map_or(0, Vec::len),
+            });
+            last_edit = Some(outcome);
+        }
+
+        // Bit-identity floor: the final edited state, recomputed cold
+        // by a fresh engine, must match the incrementally-spliced run
+        // byte for byte. Skipped at 10⁶ — the reference cold run alone
+        // would double the point's cost without changing the check.
+        if *nodes <= 100_000 {
+            let reference = Engine::new()
+                .incremental(session.graph().clone(), pipeline.clone())
+                .run()
+                .expect("reference cold run verifies");
+            assert_eq!(
+                persist::run_to_json(&reference.run),
+                persist::run_to_json(&last_edit.as_ref().expect("EDITS > 0").run),
+                "{name}: incremental edit result must be bit-identical to a cold recompute"
+            );
+        }
+
+        let edit_wall_ms = edits.iter().map(|e| e.wall_ms).sum::<f64>() / edits.len() as f64;
+        let edit_speedup = cold_wall_ms / edit_wall_ms;
+        if *nodes >= 100_000 {
+            // Floor on the *fastest* edit: a single scheduler stall on
+            // one re-run must not fail a structural guarantee the other
+            // edits demonstrate.
+            let best_ms = edits
+                .iter()
+                .map(|e| e.wall_ms)
+                .fold(f64::INFINITY, f64::min);
+            assert!(
+                cold_wall_ms / best_ms >= 10.0,
+                "{name}: one-gate edit must be >=10x faster than cold \
+                 (best {:.1}x, mean {edit_speedup:.1}x)",
+                cold_wall_ms / best_ms
+            );
+        }
+        let dirty_cone_fraction =
+            edits.iter().map(|e| e.dirty_fraction).sum::<f64>() / edits.len() as f64;
+
+        let point = IncrementalPoint {
+            name: name.clone(),
+            target_nodes: *nodes,
+            gates,
+            outputs,
+            unique_cones,
+            cold_wall_ms,
+            warm_wall_ms,
+            disk_wall_ms,
+            edit_wall_ms,
+            edit_speedup,
+            dirty_cone_fraction,
+            cold,
+            warm,
+            edits,
+        };
+        println!(
+            "{:<44} {:>9} {:>8} {:>10.1} {:>9.3} {:>9} {:>10.2} {:>7.1}x",
+            point.name,
+            point.gates,
+            point.unique_cones,
+            point.cold_wall_ms,
+            point.warm_wall_ms,
+            point
+                .disk_wall_ms
+                .map_or("-".into(), |ms| format!("{ms:.2}")),
+            point.edit_wall_ms,
+            point.edit_speedup,
+        );
+        points.push(point);
+    }
+    assert!(!points.is_empty(), "--max-nodes filtered out every point");
+
+    let record = IncrementalRecord {
+        pipeline: pipeline
+            .build()
+            .expect("default pipeline is well-ordered")
+            .pass_names(),
+        points,
+        engine_totals: engine.stats(),
+    };
+    fs::write(
+        out_dir.join("BENCH_pr7.json"),
+        serde_json::to_string_pretty(&record).expect("serialize"),
+    )
+    .expect("write BENCH_pr7.json");
+    println!(
+        "\nincremental record: results/BENCH_pr7.json ({} points, engine: {} reused / {} recomputed cones)",
+        record.points.len(),
+        record.engine_totals.cones_reused,
+        record.engine_totals.cones_recomputed
+    );
+}

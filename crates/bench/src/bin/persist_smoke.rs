@@ -1,0 +1,64 @@
+//! Persistence smoke test: proves the on-disk result cache survives a
+//! process boundary. Run it **twice** with the same `--dir`, in two
+//! separate processes:
+//!
+//! ```text
+//! cargo run --release -p wavepipe-bench --bin persist_smoke -- --dir /tmp/wp-disk
+//! cargo run --release -p wavepipe-bench --bin persist_smoke -- --dir /tmp/wp-disk
+//! ```
+//!
+//! Both invocations sweep the quick suite over the full circuit ×
+//! technology grid through a disk-backed engine. The first run
+//! populates the cache (and asserts it actually missed); any later run
+//! must be served *entirely* from the disk tier — at least one disk
+//! hit and **zero passes executed** — or the process exits non-zero.
+//! CI uses exactly this pair to pin cross-process persistence.
+
+use std::path::PathBuf;
+
+use wavepipe_bench::harness::{build_suite, engine, evaluate_suite_grid, QUICK_SUBSET};
+
+fn main() {
+    let mut dir: Option<PathBuf> = None;
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--dir" => dir = Some(PathBuf::from(args.next().expect("--dir takes a path"))),
+            other => panic!("unknown argument `{other}` (try --dir PATH)"),
+        }
+    }
+    let dir = dir.expect("persist_smoke requires --dir PATH");
+    let cold = !dir.exists();
+
+    let engine = engine().with_disk_cache(&dir);
+    let suite = build_suite(Some(&QUICK_SUBSET));
+    let grid = evaluate_suite_grid(&engine, &suite);
+    let stats = engine.stats();
+    println!(
+        "swept {} circuits x {} technologies ({}): {} passes executed, disk {} hits / {} misses",
+        suite.len(),
+        grid.technologies.len(),
+        if cold { "cold store" } else { "warm store" },
+        stats.passes_executed,
+        stats.disk_hits,
+        stats.disk_misses,
+    );
+
+    if cold {
+        assert!(
+            stats.passes_executed > 0 && stats.disk_misses > 0,
+            "first run against an empty store must execute the flow"
+        );
+        println!("populated {}", dir.display());
+    } else {
+        assert!(
+            stats.disk_hits > 0,
+            "warm store must serve at least one disk hit"
+        );
+        assert_eq!(
+            stats.passes_executed, 0,
+            "warm store must re-serve the whole sweep without executing a pass"
+        );
+        println!("re-served from {} with zero passes", dir.display());
+    }
+}

@@ -51,6 +51,7 @@
 //! ```
 
 use std::collections::{HashMap, VecDeque};
+use std::path::PathBuf;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, Mutex};
 
@@ -59,74 +60,92 @@ use rayon::prelude::*;
 
 use crate::cost::CostTable;
 use crate::error::FlowError;
-use crate::fnv;
+use crate::persist::DiskCache;
 use crate::pipeline::{FlowPipeline, PassError, PipelineRun};
 use crate::spec::{CircuitSpec, FlowSpec, PipelineSpec, SpecError};
 
 /// Looks a named circuit up; `None` means "not in the registry".
 pub type CircuitResolver = dyn Fn(&str) -> Option<Mig> + Send + Sync;
 
-/// Stable structural content hash of a MIG — the circuit axis of the
-/// cache key. Covers everything a flow run can observe: graph name,
-/// input names, every arena node (kind, fan-in signals with complement
-/// bits) and the output bindings. A direct walk, so hashing costs one
-/// O(nodes) pass per sweep instead of materializing a text
-/// serialization.
-fn hash_graph(graph: &Mig) -> u64 {
-    let mut h = fnv::Fnv::new();
-    h.write(graph.name().as_bytes());
-    h.write_u64(graph.node_count() as u64);
-    for id in graph.node_ids() {
-        match graph.node(id) {
-            mig::Node::Constant => h.write(b"c"),
-            mig::Node::Input(position) => {
-                h.write(b"i");
-                h.write_u64(u64::from(*position));
-            }
-            mig::Node::Majority(fanins) => {
-                h.write(b"m");
-                for signal in fanins {
-                    h.write_u64(u64::from(signal.to_raw()));
-                }
-            }
+/// The default disk-cache root, relative to the working directory —
+/// what [`Engine::for_spec`] and the `WAVEPIPE_CACHE_DIR` environment
+/// knob resolve against when given a bare `default`.
+pub const DEFAULT_CACHE_DIR: &str = "results/cache";
+
+/// Granularity of one cache entry. Whole grid cells, per-output-cone
+/// runs and spliced incremental results share the cache (and the disk
+/// tier) but can never collide: the scope is part of the key.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub(crate) enum Scope {
+    /// A whole-circuit grid cell (the PR-3 granularity).
+    Cell,
+    /// One extracted output cone run through the pipeline.
+    Cone,
+    /// A merged incremental result for a whole edited graph.
+    Spliced,
+}
+
+impl Scope {
+    pub(crate) fn tag(self) -> &'static str {
+        match self {
+            Scope::Cell => "cell",
+            Scope::Cone => "cone",
+            Scope::Spliced => "spliced",
         }
     }
-    for position in 0..graph.input_count() {
-        h.write(graph.input_name(position).as_bytes());
-        h.write(&[0]);
-    }
-    for output in graph.outputs() {
-        h.write(output.name.as_bytes());
-        h.write(&[0]);
-        h.write_u64(u64::from(output.signal.to_raw()));
-    }
-    h.finish()
 }
 
-/// One cell's cache identity. `technology` is the model's content hash,
-/// or a fixed sentinel for cost-blind cells (a model could only collide
-/// with it by hashing to the exact sentinel — an FNV output like any
-/// other).
+/// One entry's cache identity. `technology` is the model's content
+/// hash, or a fixed sentinel for cost-blind cells (a model could only
+/// collide with it by hashing to the exact sentinel — an FNV output
+/// like any other).
 #[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
-struct CellKey {
-    circuit: u64,
-    pipeline: u64,
-    technology: u64,
+pub(crate) struct CacheKey {
+    pub(crate) scope: Scope,
+    pub(crate) circuit: u64,
+    pub(crate) pipeline: u64,
+    pub(crate) technology: u64,
 }
 
-const COST_BLIND: u64 = 0;
+impl CacheKey {
+    fn triple(&self) -> (u64, u64, u64) {
+        (self.circuit, self.pipeline, self.technology)
+    }
+}
+
+pub(crate) const COST_BLIND: u64 = 0;
+
+/// `default` → [`DEFAULT_CACHE_DIR`]; anything else is taken verbatim.
+fn resolve_cache_dir(dir: &str) -> PathBuf {
+    if dir == "default" {
+        PathBuf::from(DEFAULT_CACHE_DIR)
+    } else {
+        PathBuf::from(dir)
+    }
+}
 
 /// Cumulative (or per-run delta) engine counters.
 #[derive(Clone, Copy, Debug, Default, PartialEq, Eq, serde::Serialize)]
 pub struct EngineStats {
-    /// Cells answered from the cache.
+    /// Entries answered from the in-memory cache.
     pub cache_hits: u64,
-    /// Cells that had to execute (cache enabled but cold, or changed).
+    /// Entries that had to execute (every cache tier cold, or changed).
     pub cache_misses: u64,
     /// Passes actually executed, summed from the [`crate::PassStats`]
     /// traces of every run that was computed rather than recalled — the
     /// counter the warm-cache golden test pins to zero.
     pub passes_executed: u64,
+    /// Output cones spliced from cached runs by the incremental engine.
+    pub cones_reused: u64,
+    /// Output cones the incremental engine had to re-run (dirty, or
+    /// first sight).
+    pub cones_recomputed: u64,
+    /// Entries answered from the disk tier (memory missed).
+    pub disk_hits: u64,
+    /// Disk-tier lookups that missed (absent, corrupt or stale entry).
+    pub disk_misses: u64,
+    /// In-memory entries evicted by the LRU capacity bound.
+    pub evictions: u64,
 }
 
 impl EngineStats {
@@ -138,6 +157,11 @@ impl EngineStats {
             cache_hits: self.cache_hits - earlier.cache_hits,
             cache_misses: self.cache_misses - earlier.cache_misses,
             passes_executed: self.passes_executed - earlier.passes_executed,
+            cones_reused: self.cones_reused - earlier.cones_reused,
+            cones_recomputed: self.cones_recomputed - earlier.cones_recomputed,
+            disk_hits: self.disk_hits - earlier.disk_hits,
+            disk_misses: self.disk_misses - earlier.disk_misses,
+            evictions: self.evictions - earlier.evictions,
         }
     }
 }
@@ -210,15 +234,15 @@ impl<'a> IntoIterator for &'a EngineRun {
 /// bounded cache evicts the LRU entry from the front.
 #[derive(Default)]
 struct Cache {
-    cells: HashMap<CellKey, Arc<PipelineRun>>,
-    order: VecDeque<CellKey>,
+    cells: HashMap<CacheKey, Arc<PipelineRun>>,
+    order: VecDeque<CacheKey>,
 }
 
 impl Cache {
     /// Looks a key up and, on a hit, marks it most-recently-used.
     /// `track_recency` is false for the unbounded cache, where nothing
     /// is ever evicted and the O(len) recency scan would buy nothing.
-    fn get_touch(&mut self, key: &CellKey, track_recency: bool) -> Option<Arc<PipelineRun>> {
+    fn get_touch(&mut self, key: &CacheKey, track_recency: bool) -> Option<Arc<PipelineRun>> {
         let run = self.cells.get(key)?.clone();
         if track_recency && self.order.back() != Some(key) {
             if let Some(at) = self.order.iter().position(|k| k == key) {
@@ -239,9 +263,16 @@ pub struct Engine {
     /// `Some(0)` disables caching entirely (no hashing, no lookups) —
     /// the mode the thin `run_flow` / `run_grid` wrappers use.
     capacity: Option<usize>,
+    /// Persistent tier under the in-memory LRU, when configured.
+    disk: Option<DiskCache>,
     hits: AtomicU64,
     misses: AtomicU64,
     passes_executed: AtomicU64,
+    cones_reused: AtomicU64,
+    cones_recomputed: AtomicU64,
+    disk_hits: AtomicU64,
+    disk_misses: AtomicU64,
+    evictions: AtomicU64,
 }
 
 impl std::fmt::Debug for Engine {
@@ -253,6 +284,7 @@ impl std::fmt::Debug for Engine {
                 &self.cache.lock().expect("poisoned").cells.len(),
             )
             .field("capacity", &self.capacity)
+            .field("disk", &self.disk.as_ref().map(DiskCache::root))
             .field("stats", &self.stats())
             .finish()
     }
@@ -272,10 +304,62 @@ impl Engine {
             resolver: None,
             cache: Mutex::new(Cache::default()),
             capacity: None,
+            disk: None,
             hits: AtomicU64::new(0),
             misses: AtomicU64::new(0),
             passes_executed: AtomicU64::new(0),
+            cones_reused: AtomicU64::new(0),
+            cones_recomputed: AtomicU64::new(0),
+            disk_hits: AtomicU64::new(0),
+            disk_misses: AtomicU64::new(0),
+            evictions: AtomicU64::new(0),
         }
+    }
+
+    /// An engine configured from the environment: unbounded in-memory
+    /// cache and no disk tier unless `WAVEPIPE_CACHE_CAPACITY` (LRU
+    /// entry bound; `0` disables caching) or `WAVEPIPE_CACHE_DIR`
+    /// (disk-cache root; `default` means [`DEFAULT_CACHE_DIR`], empty
+    /// disables the disk tier) say otherwise. Unparsable values warn on
+    /// stderr and are ignored.
+    pub fn from_env() -> Engine {
+        Engine::new().apply_env()
+    }
+
+    /// An engine configured from a spec's [`crate::CacheSpec`] (when
+    /// present), then overridden by the environment knobs exactly as in
+    /// [`Engine::from_env`] — env wins over spec, spec wins over the
+    /// defaults.
+    pub fn for_spec(spec: &FlowSpec) -> Engine {
+        let mut engine = Engine::new();
+        if let Some(cache) = &spec.cache {
+            if let Some(capacity) = cache.capacity {
+                engine.capacity = Some(capacity);
+            }
+            if let Some(dir) = &cache.dir {
+                engine.disk = Some(DiskCache::new(resolve_cache_dir(dir)));
+            }
+        }
+        engine.apply_env()
+    }
+
+    fn apply_env(mut self) -> Engine {
+        if let Ok(value) = std::env::var("WAVEPIPE_CACHE_CAPACITY") {
+            match value.trim().parse::<usize>() {
+                Ok(cells) => self.capacity = Some(cells),
+                Err(_) => {
+                    eprintln!("warning: ignoring unparsable WAVEPIPE_CACHE_CAPACITY `{value}`")
+                }
+            }
+        }
+        if let Ok(value) = std::env::var("WAVEPIPE_CACHE_DIR") {
+            self.disk = if value.is_empty() {
+                None
+            } else {
+                Some(DiskCache::new(resolve_cache_dir(&value)))
+            };
+        }
+        self
     }
 
     /// An engine that never caches (and never hashes) — every cell
@@ -305,12 +389,32 @@ impl Engine {
         self
     }
 
+    /// Layers a persistent disk cache under the in-memory LRU, rooted
+    /// at `root` (created on first store). Memory misses consult the
+    /// disk tier and promote hits back into memory; computed entries
+    /// are written through. Corrupt, stale or unreadable entries warn
+    /// on stderr and recompute — they never fail a run.
+    pub fn with_disk_cache(mut self, root: impl Into<PathBuf>) -> Engine {
+        self.disk = Some(DiskCache::new(root.into()));
+        self
+    }
+
+    /// The disk-cache root, when a disk tier is configured.
+    pub fn disk_cache_root(&self) -> Option<&std::path::Path> {
+        self.disk.as_ref().map(DiskCache::root)
+    }
+
     /// Snapshot of the cumulative counters.
     pub fn stats(&self) -> EngineStats {
         EngineStats {
             cache_hits: self.hits.load(Ordering::Relaxed),
             cache_misses: self.misses.load(Ordering::Relaxed),
             passes_executed: self.passes_executed.load(Ordering::Relaxed),
+            cones_reused: self.cones_reused.load(Ordering::Relaxed),
+            cones_recomputed: self.cones_recomputed.load(Ordering::Relaxed),
+            disk_hits: self.disk_hits.load(Ordering::Relaxed),
+            disk_misses: self.disk_misses.load(Ordering::Relaxed),
+            evictions: self.evictions.load(Ordering::Relaxed),
         }
     }
 
@@ -477,11 +581,11 @@ impl Engine {
         models: &[CostTable],
         sink: &(dyn Fn(&EngineCell) + Sync),
     ) -> Vec<EngineCell> {
-        let caching = self.capacity != Some(0) && pipe_hash.is_some();
+        let caching = self.caching_enabled() && pipe_hash.is_some();
         // One content hash per circuit, computed once per sweep — a
         // direct arena walk, no intermediate serialization.
         let circuit_hashes: Vec<u64> = if caching {
-            graphs.par_iter().map(|g| hash_graph(g)).collect()
+            graphs.par_iter().map(|g| g.content_hash()).collect()
         } else {
             vec![0; graphs.len()]
         };
@@ -498,25 +602,21 @@ impl Engine {
         coords
             .par_iter()
             .map(|&(circuit, technology)| {
-                let key = caching.then(|| CellKey {
+                let key = caching.then(|| CacheKey {
+                    scope: Scope::Cell,
                     circuit: circuit_hashes[circuit],
                     pipeline: pipe_hash.expect("caching implies a pipeline hash"),
                     technology: technology.map_or(COST_BLIND, |m| tech_hashes[m]),
                 });
-                if let Some(key) = key {
-                    let mut cache = self.cache.lock().expect("cache poisoned");
-                    if let Some(run) = cache.get_touch(&key, self.capacity.is_some()) {
-                        drop(cache);
-                        let cell = EngineCell {
-                            circuit,
-                            technology,
-                            cached: true,
-                            outcome: Ok(run),
-                        };
-                        self.hits.fetch_add(1, Ordering::Relaxed);
-                        sink(&cell);
-                        return cell;
-                    }
+                if let Some(run) = key.and_then(|key| self.lookup(&key)) {
+                    let cell = EngineCell {
+                        circuit,
+                        technology,
+                        cached: true,
+                        outcome: Ok(run),
+                    };
+                    sink(&cell);
+                    return cell;
                 }
 
                 let model = technology.map(|m| &models[m]);
@@ -530,7 +630,7 @@ impl Engine {
                             .fetch_add(run.trace.len() as u64, Ordering::Relaxed);
                         let run = Arc::new(run);
                         if let Some(key) = key {
-                            self.insert(key, run.clone());
+                            self.store(key, &run);
                         }
                         Ok(run)
                     }
@@ -548,13 +648,76 @@ impl Engine {
             .collect()
     }
 
-    fn insert(&self, key: CellKey, run: Arc<PipelineRun>) {
+    /// Whether this engine caches at all (`with_cache_capacity(0)` and
+    /// [`Engine::uncached`] turn everything off, disk tier included).
+    pub(crate) fn caching_enabled(&self) -> bool {
+        self.capacity != Some(0)
+    }
+
+    /// Tiered lookup: in-memory LRU first (counted as a cache hit),
+    /// then the disk tier (counted as a disk hit and promoted back into
+    /// memory). `None` means both tiers missed — only the disk-tier
+    /// counter moves here; the caller decides whether the miss leads to
+    /// a computation (and then counts `cache_misses`).
+    pub(crate) fn lookup(&self, key: &CacheKey) -> Option<Arc<PipelineRun>> {
+        let hit = {
+            let mut cache = self.cache.lock().expect("cache poisoned");
+            cache.get_touch(key, self.capacity.is_some())
+        };
+        if let Some(run) = hit {
+            self.hits.fetch_add(1, Ordering::Relaxed);
+            return Some(run);
+        }
+        let disk = self.disk.as_ref()?;
+        match disk.load(key.scope.tag(), key.triple()) {
+            Some(run) => {
+                self.disk_hits.fetch_add(1, Ordering::Relaxed);
+                let run = Arc::new(run);
+                self.insert(*key, run.clone());
+                Some(run)
+            }
+            None => {
+                self.disk_misses.fetch_add(1, Ordering::Relaxed);
+                None
+            }
+        }
+    }
+
+    /// Stores a computed run in both tiers (write-through).
+    pub(crate) fn store(&self, key: CacheKey, run: &Arc<PipelineRun>) {
+        self.insert(key, run.clone());
+        if let Some(disk) = &self.disk {
+            disk.store(key.scope.tag(), key.triple(), run);
+        }
+    }
+
+    /// Bumps the incremental engine's cone telemetry.
+    pub(crate) fn count_cones(&self, reused: u64, recomputed: u64) {
+        self.cones_reused.fetch_add(reused, Ordering::Relaxed);
+        self.cones_recomputed
+            .fetch_add(recomputed, Ordering::Relaxed);
+    }
+
+    /// Counts a computation both tiers missed (and its executed passes).
+    pub(crate) fn count_computed(&self, passes: u64) {
+        self.misses.fetch_add(1, Ordering::Relaxed);
+        self.count_passes(passes);
+    }
+
+    /// Counts executed passes without a cache miss — what an uncached
+    /// engine's computations record.
+    pub(crate) fn count_passes(&self, passes: u64) {
+        self.passes_executed.fetch_add(passes, Ordering::Relaxed);
+    }
+
+    fn insert(&self, key: CacheKey, run: Arc<PipelineRun>) {
         let mut cache = self.cache.lock().expect("cache poisoned");
         if let Some(capacity) = self.capacity {
             while cache.cells.len() >= capacity {
                 match cache.order.pop_front() {
                     Some(oldest) => {
                         cache.cells.remove(&oldest);
+                        self.evictions.fetch_add(1, Ordering::Relaxed);
                     }
                     None => return, // capacity 0: never insert
                 }
@@ -876,6 +1039,80 @@ mod tests {
         assert_eq!(uncached.cached_cells(), 0);
         assert_eq!(uncached.stats().cache_hits, 0);
         assert!(uncached.stats().passes_executed > 0);
+    }
+
+    #[test]
+    fn disk_tier_survives_a_fresh_engine_with_zero_passes() {
+        let dir = std::env::temp_dir().join(format!("wavepipe-engine-disk-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        let spec = FlowSpec::new("disk")
+            .technology(flat_table())
+            .circuit("S1")
+            .circuit("S2");
+
+        let first = Engine::new().with_resolver(resolver).with_disk_cache(&dir);
+        let cold = first.run(&spec).unwrap();
+        assert_eq!(cold.stats.cache_misses, 2);
+        assert_eq!(cold.stats.disk_misses, 2, "cold run consulted the disk");
+        assert!(cold.stats.passes_executed > 0);
+
+        // A fresh engine (fresh memory cache) with the same disk root:
+        // zero passes, everything from disk, results bit-identical.
+        let second = Engine::new().with_resolver(resolver).with_disk_cache(&dir);
+        let warm = second.run(&spec).unwrap();
+        assert_eq!(warm.stats.passes_executed, 0, "all cells from disk");
+        assert_eq!(warm.stats.disk_hits, 2);
+        assert_eq!(warm.stats.cache_misses, 0);
+        for (a, b) in cold.iter().zip(warm.iter()) {
+            assert!(b.cached);
+            let (a, b) = (a.run().unwrap(), b.run().unwrap());
+            assert_eq!(a.trace, b.trace, "disk round trip is bit-identical");
+            assert_eq!(a.result.report, b.result.report);
+        }
+
+        // Promoted into memory: a third run on the same engine is pure
+        // memory hits.
+        let hot = second.run(&spec).unwrap();
+        assert_eq!(hot.stats.cache_hits, 2);
+        assert_eq!(hot.stats.disk_hits, 0);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn corrupt_disk_entries_recompute_instead_of_failing() {
+        let dir =
+            std::env::temp_dir().join(format!("wavepipe-engine-corrupt-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        let spec = FlowSpec::new("corrupt").circuit("S1");
+        Engine::new()
+            .with_resolver(resolver)
+            .with_disk_cache(&dir)
+            .run(&spec)
+            .unwrap();
+        // Truncate every entry on disk.
+        for entry in std::fs::read_dir(&dir).unwrap() {
+            let path = entry.unwrap().path();
+            std::fs::write(&path, "{\"magic\":\"wavepipe-cache\"").unwrap();
+        }
+        let fresh = Engine::new().with_resolver(resolver).with_disk_cache(&dir);
+        let run = fresh.run(&spec).unwrap();
+        assert_eq!(run.stats.disk_hits, 0);
+        assert_eq!(run.stats.disk_misses, 1);
+        assert_eq!(run.stats.cache_misses, 1, "recomputed, not crashed");
+        assert!(run.stats.passes_executed > 0);
+        // … and the recompute repaired the entry.
+        let repaired = Engine::new().with_resolver(resolver).with_disk_cache(&dir);
+        assert_eq!(repaired.run(&spec).unwrap().stats.disk_hits, 1);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn lru_evictions_are_counted() {
+        let engine = Engine::new().with_resolver(resolver).with_cache_capacity(1);
+        engine.run(&FlowSpec::new("one").circuit("S1")).unwrap();
+        assert_eq!(engine.stats().evictions, 0);
+        engine.run(&FlowSpec::new("two").circuit("S2")).unwrap();
+        assert_eq!(engine.stats().evictions, 1, "S1's cell was evicted");
     }
 
     #[test]

@@ -148,8 +148,10 @@ mod fanout_restriction;
 mod flow;
 mod fnv;
 mod from_mig;
+pub mod incremental;
 pub mod io;
 mod netlist;
+pub mod persist;
 mod pipeline;
 mod retiming;
 pub mod spec;
@@ -171,7 +173,7 @@ pub use buffer_insertion::{
 };
 pub use component::{CompId, Component, ComponentKind};
 pub use cost::{CostModel, CostTable, PricedCost, PricedDelta};
-pub use engine::{CircuitResolver, Engine, EngineCell, EngineRun, EngineStats};
+pub use engine::{CircuitResolver, Engine, EngineCell, EngineRun, EngineStats, DEFAULT_CACHE_DIR};
 pub use error::FlowError;
 pub use fanout_restriction::{
     restrict_fanout, restrict_fanout_prepared, CostAwareFanoutPass, FanoutRestriction,
@@ -179,13 +181,14 @@ pub use fanout_restriction::{
 };
 pub use flow::{run_flow, run_flow_batch, FlowConfig, FlowResult};
 pub use from_mig::{netlist_from_mig, netlist_from_mig_min_inv, MapPass};
+pub use incremental::{EngineEdit, IncrementalError, IncrementalOutcome, IncrementalSession};
 pub use netlist::{FanoutEdges, KindCounts, Netlist, NetlistError, Port, StructuralCaches};
 pub use pipeline::{
     run_config_grid, BufferStrategy, FlowContext, FlowPipeline, FlowPipelineBuilder, GridCell,
     Pass, PassError, PassKind, PassStats, PipelineError, PipelineRun,
 };
 pub use retiming::{insert_buffers_retimed, schedule_levels, LevelSchedule, RetimedInsertionPass};
-pub use spec::{CircuitSpec, FlowSpec, PassSpec, PipelineSpec, SpecError, SynthSpec};
+pub use spec::{CacheSpec, CircuitSpec, FlowSpec, PassSpec, PipelineSpec, SpecError, SynthSpec};
 pub use verify::{differential, NetlistFunction};
 pub use wavesim::{WaveRun, WaveSimulator, WaveWideRun, WaveWordRun};
 pub use weighted::{

@@ -498,6 +498,20 @@ impl CircuitSpec {
     }
 }
 
+/// Engine cache configuration a spec can carry — how a declarative
+/// experiment opts into a bounded LRU or the persistent disk tier
+/// without code. `None` fields keep the engine defaults; the
+/// `WAVEPIPE_CACHE_CAPACITY` / `WAVEPIPE_CACHE_DIR` environment knobs
+/// override both (see [`crate::Engine::for_spec`]).
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct CacheSpec {
+    /// In-memory LRU entry bound; `Some(0)` disables caching.
+    pub capacity: Option<usize>,
+    /// Disk-cache root; the literal `default` means the engine's
+    /// `results/cache/` default root.
+    pub dir: Option<String>,
+}
+
 /// A complete, serializable experiment description: pipeline ×
 /// technologies × circuits. See the [module docs](self) for the
 /// round-trip guarantee and [`crate::Engine::run`] for execution.
@@ -512,6 +526,10 @@ pub struct FlowSpec {
     pub technologies: Vec<CostTable>,
     /// The circuits to run on.
     pub circuits: Vec<CircuitSpec>,
+    /// Cache configuration for [`crate::Engine::for_spec`]; `None`
+    /// keeps the engine defaults (and keeps the spec's JSON and content
+    /// hash exactly as they were before this field existed).
+    pub cache: Option<CacheSpec>,
 }
 
 impl FlowSpec {
@@ -523,7 +541,14 @@ impl FlowSpec {
             pipeline: PipelineSpec::default(),
             technologies: Vec::new(),
             circuits: Vec::new(),
+            cache: None,
         }
+    }
+
+    /// Sets the cache configuration (see [`CacheSpec`]).
+    pub fn with_cache(mut self, cache: CacheSpec) -> FlowSpec {
+        self.cache = Some(cache);
+        self
     }
 
     /// Replaces the pipeline.
@@ -620,8 +645,9 @@ impl FlowSpec {
 }
 
 /// Feeds a serialized value tree into a hasher, with discriminant tags
-/// so differently-shaped values never collide structurally.
-fn hash_value(value: &Value, h: &mut Fnv) {
+/// so differently-shaped values never collide structurally (also the
+/// disk cache's payload-checksum primitive — see `crate::persist`).
+pub(crate) fn hash_value(value: &Value, h: &mut Fnv) {
     match value {
         Value::Null => h.write(b"n"),
         Value::Bool(b) => {
@@ -906,14 +932,50 @@ impl Deserialize for CircuitSpec {
     }
 }
 
+impl Serialize for CacheSpec {
+    fn to_value(&self) -> Value {
+        let mut entries = Vec::new();
+        if let Some(capacity) = self.capacity {
+            entries.push(("capacity", (capacity as u64).to_value()));
+        }
+        if let Some(dir) = &self.dir {
+            entries.push(("dir", dir.to_value()));
+        }
+        object(entries)
+    }
+}
+
+impl Deserialize for CacheSpec {
+    fn from_value(value: &Value) -> Result<CacheSpec, DeError> {
+        let entries = value
+            .as_object()
+            .ok_or_else(|| DeError::expected("object for CacheSpec"))?;
+        let capacity = match serde::field(entries, "capacity") {
+            Ok(Value::Null) | Err(_) => None,
+            Ok(v) => Some(Deserialize::from_value(v)?),
+        };
+        let dir = match serde::field(entries, "dir") {
+            Ok(Value::Null) | Err(_) => None,
+            Ok(v) => Some(Deserialize::from_value(v)?),
+        };
+        Ok(CacheSpec { capacity, dir })
+    }
+}
+
 impl Serialize for FlowSpec {
     fn to_value(&self) -> Value {
-        object(vec![
+        let mut entries = vec![
             ("name", self.name.to_value()),
             ("pipeline", self.pipeline.to_value()),
             ("technologies", self.technologies.to_value()),
             ("circuits", self.circuits.to_value()),
-        ])
+        ];
+        // Omitted when unset, so cache-less specs (and their content
+        // hashes) serialize exactly as they did before the knob existed.
+        if let Some(cache) = &self.cache {
+            entries.push(("cache", cache.to_value()));
+        }
+        object(entries)
     }
 }
 
@@ -922,11 +984,16 @@ impl Deserialize for FlowSpec {
         let entries = value
             .as_object()
             .ok_or_else(|| DeError::expected("object for FlowSpec"))?;
+        let cache = match serde::field(entries, "cache") {
+            Ok(Value::Null) | Err(_) => None,
+            Ok(v) => Some(Deserialize::from_value(v)?),
+        };
         Ok(FlowSpec {
             name: Deserialize::from_value(serde::field(entries, "name")?)?,
             pipeline: Deserialize::from_value(serde::field(entries, "pipeline")?)?,
             technologies: Deserialize::from_value(serde::field(entries, "technologies")?)?,
             circuits: Deserialize::from_value(serde::field(entries, "circuits")?)?,
+            cache,
         })
     }
 }
@@ -1000,6 +1067,42 @@ mod tests {
         let back = FlowSpec::from_json(&spec.to_json()).unwrap();
         assert_eq!(spec, back);
         assert_eq!(spec.content_hash(), back.content_hash());
+    }
+
+    #[test]
+    fn cache_spec_round_trips_and_absence_preserves_the_content_hash() {
+        let plain = full_spec();
+        // A spec without a cache block serializes without the key …
+        assert!(!plain.to_json().contains("\"cache\""));
+        let cached = plain.clone().with_cache(CacheSpec {
+            capacity: Some(64),
+            dir: Some("default".to_owned()),
+        });
+        // … so pre-existing specs keep their identity …
+        assert_eq!(
+            plain.content_hash(),
+            FlowSpec::from_json(&plain.to_json())
+                .unwrap()
+                .content_hash()
+        );
+        assert_ne!(plain.content_hash(), cached.content_hash());
+        // … and a configured block round-trips field-for-field.
+        let back = FlowSpec::from_json(&cached.to_json()).unwrap();
+        assert_eq!(cached, back);
+        assert_eq!(
+            back.cache,
+            Some(CacheSpec {
+                capacity: Some(64),
+                dir: Some("default".to_owned()),
+            })
+        );
+        // Partial blocks keep unset fields unset.
+        let partial = plain.with_cache(CacheSpec {
+            capacity: None,
+            dir: Some("/tmp/x".to_owned()),
+        });
+        let back = FlowSpec::from_json(&partial.to_json()).unwrap();
+        assert_eq!(back.cache.as_ref().unwrap().capacity, None);
     }
 
     #[test]

@@ -242,6 +242,54 @@ impl Mig {
         self.outputs[position].signal = signal;
     }
 
+    /// Removes and returns output `position`; later outputs shift down
+    /// one position (`Vec::remove` semantics). The driving cone stays in
+    /// the arena — [`Mig::cleanup`] reclaims it if nothing else uses it.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `position >= self.output_count()`.
+    pub fn remove_output(&mut self, position: usize) -> Output {
+        self.outputs.remove(position)
+    }
+
+    /// Stable structural content hash: graph name, arena length, every
+    /// node (kind, input position, fan-in signals with complement bits),
+    /// input names and output bindings — everything a flow over this
+    /// graph can observe. One O(nodes) arena walk, no intermediate
+    /// serialization; this is the circuit axis of the engine cache key
+    /// in the companion `wavepipe` crate.
+    pub fn content_hash(&self) -> u64 {
+        let mut h = crate::fnv::Fnv64::new();
+        h.write(self.name.as_bytes());
+        h.write_u64(self.nodes.len() as u64);
+        for node in &self.nodes {
+            match node {
+                Node::Constant => h.write(b"c"),
+                Node::Input(position) => {
+                    h.write(b"i");
+                    h.write_u64(u64::from(*position));
+                }
+                Node::Majority(fanins) => {
+                    h.write(b"m");
+                    for signal in fanins {
+                        h.write_u64(u64::from(signal.to_raw()));
+                    }
+                }
+            }
+        }
+        for name in &self.input_names {
+            h.write(name.as_bytes());
+            h.write(&[0]);
+        }
+        for output in &self.outputs {
+            h.write(output.name.as_bytes());
+            h.write(&[0]);
+            h.write_u64(u64::from(output.signal.to_raw()));
+        }
+        h.finish()
+    }
+
     /// Iterates over all node ids in topological (arena) order.
     pub fn node_ids(&self) -> impl Iterator<Item = NodeId> + '_ {
         (0..self.nodes.len()).map(NodeId::from_index)

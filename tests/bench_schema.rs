@@ -6,8 +6,9 @@
 use serde::Value;
 use wavepipe::EngineStats;
 use wavepipe_bench::record::{
-    BenchRecord, ExhaustivePoint, GridPoint, PassSummary, PassThroughput, ScalingPoint,
-    ScalingRecord, StageRecord, VerifyPoint, VerifyRecord, WidePoint, WideRecord,
+    BenchRecord, EditPoint, ExhaustivePoint, GridPoint, IncrementalPoint, IncrementalRecord,
+    PassSummary, PassThroughput, ScalingPoint, ScalingRecord, StageRecord, VerifyPoint,
+    VerifyRecord, WidePoint, WideRecord,
 };
 
 /// Sorted top-level keys of a JSON object value.
@@ -27,7 +28,16 @@ fn to_value<T: serde::Serialize>(record: &T) -> Value {
         .expect("own output parses")
 }
 
-const ENGINE_KEYS: [&str; 3] = ["cache_hits", "cache_misses", "passes_executed"];
+const ENGINE_KEYS: [&str; 8] = [
+    "cache_hits",
+    "cache_misses",
+    "cones_recomputed",
+    "cones_reused",
+    "disk_hits",
+    "disk_misses",
+    "evictions",
+    "passes_executed",
+];
 
 #[test]
 fn bench_pr3_record_schema_is_pinned() {
@@ -232,13 +242,89 @@ fn bench_pr6_record_schema_is_pinned() {
     assert_eq!(keys(cell), ["block_words", "patterns_per_sec", "threads"]);
 }
 
+#[test]
+fn bench_pr7_record_schema_is_pinned() {
+    let record = IncrementalRecord {
+        pipeline: vec!["map".to_owned()],
+        points: vec![IncrementalPoint {
+            name: "synth:dag:1".to_owned(),
+            target_nodes: 10_000,
+            gates: 9_800,
+            outputs: 64,
+            unique_cones: 64,
+            cold_wall_ms: 900.0,
+            warm_wall_ms: 0.2,
+            disk_wall_ms: Some(5.0),
+            edit_wall_ms: 30.0,
+            edit_speedup: 30.0,
+            dirty_cone_fraction: 1.0 / 64.0,
+            cold: EngineStats::default(),
+            warm: EngineStats::default(),
+            edits: vec![EditPoint {
+                edit: "rewire o3 -> maj(1, !2, 4)".to_owned(),
+                wall_ms: 30.0,
+                dirty_cones: 1,
+                reused_cones: 63,
+                dirty_fraction: 1.0 / 64.0,
+                dirty_bands: 1,
+            }],
+        }],
+        engine_totals: EngineStats::default(),
+    };
+    let value = to_value(&record);
+    assert_eq!(keys(&value), ["engine_totals", "pipeline", "points"]);
+    assert_eq!(
+        keys(serde::field(value.as_object().unwrap(), "engine_totals").unwrap()),
+        ENGINE_KEYS
+    );
+    let point = &serde::field(value.as_object().unwrap(), "points")
+        .unwrap()
+        .as_array()
+        .unwrap()[0];
+    assert_eq!(
+        keys(point),
+        [
+            "cold",
+            "cold_wall_ms",
+            "dirty_cone_fraction",
+            "disk_wall_ms",
+            "edit_speedup",
+            "edit_wall_ms",
+            "edits",
+            "gates",
+            "name",
+            "outputs",
+            "target_nodes",
+            "unique_cones",
+            "warm",
+            "warm_wall_ms"
+        ]
+    );
+    let edit = &serde::field(point.as_object().unwrap(), "edits")
+        .unwrap()
+        .as_array()
+        .unwrap()[0];
+    assert_eq!(
+        keys(edit),
+        [
+            "dirty_bands",
+            "dirty_cones",
+            "dirty_fraction",
+            "edit",
+            "reused_cones",
+            "wall_ms"
+        ]
+    );
+}
+
 /// Generated artifacts must match the pinned schema too. Most of
 /// `results/` is gitignored (the binaries regenerate it;
-/// `BENCH_pr6.json` alone is committed as the PR's perf baseline), so
-/// absent files are skipped — CI's smoke jobs run the `scaling` /
-/// `verify_throughput` binaries first and then this test, which is
-/// what keeps `results/BENCH_pr4.json`–`BENCH_pr6.json` generation
-/// from rotting relative to the record types.
+/// `BENCH_pr6.json` and `BENCH_pr7.json` are committed as perf
+/// baselines), so absent files are skipped — CI's smoke jobs run the
+/// `scaling` / `verify_throughput` / `eco` binaries first and then
+/// this test, which is what keeps `results/BENCH_pr4.json`–
+/// `BENCH_pr7.json` generation from rotting relative to the record
+/// types.
 #[test]
 fn generated_bench_records_parse_with_the_pinned_shape() {
     for (path, top, has_engine_totals) in [
@@ -261,6 +347,11 @@ fn generated_bench_records_parse_with_the_pinned_shape() {
             "results/BENCH_pr6.json",
             vec!["block_words", "grid", "grid_circuit", "pipeline", "points"],
             false,
+        ),
+        (
+            "results/BENCH_pr7.json",
+            vec!["engine_totals", "pipeline", "points"],
+            true,
         ),
     ] {
         let Ok(text) = std::fs::read_to_string(path) else {

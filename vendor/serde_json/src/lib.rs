@@ -311,12 +311,18 @@ impl<'a> Parser<'a> {
                     }
                 }
                 _ => {
-                    // Consume one UTF-8 character.
-                    let text =
-                        std::str::from_utf8(rest).map_err(|_| Error("invalid UTF-8".into()))?;
-                    let c = text.chars().next().expect("non-empty");
-                    s.push(c);
-                    self.pos += c.len_utf8();
+                    // Bulk-consume the run up to the next quote or
+                    // escape: both are ASCII bytes, which never occur
+                    // inside a multi-byte UTF-8 sequence, so the run
+                    // boundary is always a character boundary.
+                    let run = rest
+                        .iter()
+                        .position(|&b| b == b'"' || b == b'\\')
+                        .ok_or_else(|| Error("unterminated string".into()))?;
+                    let text = std::str::from_utf8(&rest[..run])
+                        .map_err(|_| Error("invalid UTF-8".into()))?;
+                    s.push_str(text);
+                    self.pos += run;
                 }
             }
         }
