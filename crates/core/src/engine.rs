@@ -281,7 +281,7 @@ impl std::fmt::Debug for Engine {
             .field("resolver", &self.resolver.is_some())
             .field(
                 "cached_cells",
-                &self.cache.lock().expect("poisoned").cells.len(),
+                &self.cache.lock().expect("cache poisoned").cells.len(),
             )
             .field("capacity", &self.capacity)
             .field("disk", &self.disk.as_ref().map(DiskCache::root))
@@ -476,16 +476,28 @@ impl Engine {
     /// # Errors
     ///
     /// [`FlowError::Spec`] when the spec fails validation or a circuit
-    /// cannot be resolved; [`FlowError::Pipeline`] when the pass list
-    /// is ill-ordered. Per-cell pass failures do **not** fail the run —
-    /// they come back in each [`EngineCell::outcome`], so one failing
-    /// circuit cannot poison a sweep.
+    /// cannot be resolved; [`FlowError::Lint`] when the pre-run spec
+    /// lint ([`crate::lint_spec`]) finds error-severity diagnostics
+    /// (e.g. a technology table that cannot time a wave);
+    /// [`FlowError::Pipeline`] when the pass list is ill-ordered.
+    /// Per-cell pass failures do **not** fail the run — they come back
+    /// in each [`EngineCell::outcome`], so one failing circuit cannot
+    /// poison a sweep.
     pub fn run_streaming(
         &self,
         spec: &FlowSpec,
         sink: impl Fn(&EngineCell) + Sync,
     ) -> Result<EngineRun, FlowError> {
         spec.validate()?;
+        // Pre-run static analysis: a spec that validates structurally
+        // can still be semantically hopeless (a zero phase delay prices
+        // every wave at nothing). Reject on error-severity findings
+        // before building a single circuit.
+        let mut diagnostics = crate::lint::lint_spec(spec);
+        diagnostics.retain(|d| d.severity == crate::lint::Severity::Error);
+        if !diagnostics.is_empty() {
+            return Err(FlowError::Lint(diagnostics));
+        }
         let pipeline = spec.pipeline.build()?;
         // Resolve (and for registry names, generate) the circuits in
         // parallel — suite builds are the expensive part of a cold

@@ -21,6 +21,10 @@ use crate::spec::SpecError;
 pub enum FlowError {
     /// The [`crate::FlowSpec`] was rejected before anything ran.
     Spec(SpecError),
+    /// The pre-run spec lint ([`crate::lint_spec`]) found error-severity
+    /// diagnostics — e.g. a cost table whose phase delay cannot time a
+    /// wave. Carries only the error-severity findings.
+    Lint(Vec<crate::lint::Diagnostic>),
     /// The spec's pass list violates the pipeline ordering rules.
     Pipeline(PipelineError),
     /// A pass failed while executing.
@@ -31,6 +35,17 @@ impl fmt::Display for FlowError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
             FlowError::Spec(e) => write!(f, "invalid flow spec: {e}"),
+            FlowError::Lint(diagnostics) => {
+                let first = diagnostics
+                    .first()
+                    .map(|d| d.to_string())
+                    .unwrap_or_else(|| "no diagnostics recorded".to_owned());
+                write!(
+                    f,
+                    "spec lint rejected the run: {} error diagnostic(s); first: {first}",
+                    diagnostics.len()
+                )
+            }
             FlowError::Pipeline(e) => write!(f, "invalid pipeline: {e}"),
             FlowError::Pass(e) => write!(f, "flow run failed: {e}"),
         }
@@ -41,6 +56,7 @@ impl std::error::Error for FlowError {
     fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
         match self {
             FlowError::Spec(e) => Some(e),
+            FlowError::Lint(_) => None,
             FlowError::Pipeline(e) => Some(e),
             FlowError::Pass(e) => Some(e),
         }

@@ -29,4 +29,15 @@ mod tests {
         b.write_f64(-0.0);
         assert_ne!(a.finish(), b.finish(), "bit patterns, not numeric equality");
     }
+
+    /// Pins the re-export to the reference FNV-1a/64 algorithm with the
+    /// published test vectors. Every persisted engine cache key depends
+    /// on these digests: if this test fails, the on-disk cache format
+    /// changed and [`crate::persist`]'s version must be bumped.
+    #[test]
+    fn matches_reference_fnv1a_vectors() {
+        assert_eq!(hash_bytes(b""), 0xcbf2_9ce4_8422_2325, "offset basis");
+        assert_eq!(hash_bytes(b"a"), 0xaf63_dc4c_8601_ec8c);
+        assert_eq!(hash_bytes(b"foobar"), 0x8594_4171_f739_67e8);
+    }
 }

@@ -150,6 +150,7 @@ mod fnv;
 mod from_mig;
 pub mod incremental;
 pub mod io;
+pub mod lint;
 mod netlist;
 pub mod persist;
 mod pipeline;
@@ -182,6 +183,10 @@ pub use fanout_restriction::{
 pub use flow::{run_flow, run_flow_batch, FlowConfig, FlowResult};
 pub use from_mig::{netlist_from_mig, netlist_from_mig_min_inv, MapPass};
 pub use incremental::{EngineEdit, IncrementalError, IncrementalOutcome, IncrementalSession};
+pub use lint::{
+    lint_mig, lint_netlist, lint_spec, Diagnostic, LintContext, LintDriver, LintFailure,
+    LintReport, LintRule,
+};
 pub use netlist::{FanoutEdges, KindCounts, Netlist, NetlistError, Port, StructuralCaches};
 pub use pipeline::{
     run_config_grid, BufferStrategy, FlowContext, FlowPipeline, FlowPipelineBuilder, GridCell,

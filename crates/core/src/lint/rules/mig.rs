@@ -1,0 +1,226 @@
+//! Source-MIG hygiene rules (`MIG0xx`).
+//!
+//! [`mig::Mig::add_maj`] constant-folds, axiom-normalizes and
+//! structurally hashes every gate it builds, so graphs assembled
+//! through the public API cannot trip `MIG001`/`MIG002` — those rules
+//! are defense in depth for graphs arriving from foreign tools or
+//! hand-edited `.mig` text, and they pin the normalizer's contract.
+//! Dead gates (`MIG003`) *are* constructible (build a gate, never
+//! output it), and `MIG004` guards the arena's topological storage
+//! invariant everything else assumes.
+
+use std::collections::HashMap;
+
+use mig::{Node, Signal};
+
+use crate::lint::rules::capped;
+use crate::lint::{Category, Diagnostic, LintContext, LintRule, Severity};
+
+/// `MIG001` — no majority gates reducible by the Ω axioms.
+///
+/// A gate with two or more constant fan-ins is a constant or a wire
+/// (`⟨0 0 c⟩ = 0`, `⟨0 1 c⟩ = c`); a gate with a repeated fan-in
+/// reduces by majority (`⟨a a c⟩ = a`) and a complementary pair by
+/// resolution (`⟨a ā c⟩ = c`). The normalizing constructor folds all of
+/// these, so a surviving instance means the graph bypassed it.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct ReducibleGates;
+
+impl LintRule for ReducibleGates {
+    fn id(&self) -> &'static str {
+        "MIG001"
+    }
+
+    fn category(&self) -> Category {
+        Category::Graph
+    }
+
+    fn severity(&self) -> Severity {
+        Severity::Warning
+    }
+
+    fn description(&self) -> &'static str {
+        "no gates the Ω axioms (const / duplicate fan-ins) would fold"
+    }
+
+    fn check(&self, ctx: &LintContext<'_>) -> Vec<Diagnostic> {
+        let Some(graph) = ctx.graph() else {
+            return Vec::new();
+        };
+        let mut found = Vec::new();
+        for id in graph.gate_ids() {
+            let Node::Majority([a, b, c]) = *graph.node(id) else {
+                continue;
+            };
+            let consts = [a, b, c].iter().filter(|s| s.is_const()).count();
+            let axiom = if consts >= 2 {
+                Some("two constant fan-ins: the gate is a constant or a wire")
+            } else if a == b || b == c || a == c {
+                Some("repeated fan-in: majority of ⟨a a c⟩ is a")
+            } else if a.node() == b.node() || b.node() == c.node() || a.node() == c.node() {
+                Some("complementary fan-in pair: ⟨a ā c⟩ resolves to c")
+            } else {
+                None
+            };
+            if let Some(axiom) = axiom {
+                found.push(self.diagnostic(
+                    ctx,
+                    format!("n{}: {axiom}", id.index()),
+                    Some(format!("n{}", id.index())),
+                ));
+            }
+        }
+        capped(found)
+    }
+}
+
+/// `MIG002` — no structural duplicates the strash table should merge.
+///
+/// Two gates with identical (sorted) fan-in triples compute the same
+/// function; the structural-hash table exists to share them. Duplicates
+/// inflate size, defeat cone-level caching (two hashes for one
+/// function) and skew every size metric.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct StrashDuplicates;
+
+impl LintRule for StrashDuplicates {
+    fn id(&self) -> &'static str {
+        "MIG002"
+    }
+
+    fn category(&self) -> Category {
+        Category::Graph
+    }
+
+    fn severity(&self) -> Severity {
+        Severity::Warning
+    }
+
+    fn description(&self) -> &'static str {
+        "no two gates share one fan-in triple"
+    }
+
+    fn check(&self, ctx: &LintContext<'_>) -> Vec<Diagnostic> {
+        let Some(graph) = ctx.graph() else {
+            return Vec::new();
+        };
+        let mut seen: HashMap<[Signal; 3], usize> = HashMap::new();
+        let mut found = Vec::new();
+        for id in graph.gate_ids() {
+            let Node::Majority(fanins) = *graph.node(id) else {
+                continue;
+            };
+            match seen.get(&fanins) {
+                Some(&first) => found.push(self.diagnostic(
+                    ctx,
+                    format!(
+                        "n{} duplicates n{first}: identical fan-in triple",
+                        id.index()
+                    ),
+                    Some(format!("n{}", id.index())),
+                )),
+                None => {
+                    seen.insert(fanins, id.index());
+                }
+            }
+        }
+        capped(found)
+    }
+}
+
+/// `MIG003` — no dead gates.
+///
+/// Gates no output transitively reads never influence any function the
+/// graph computes, yet they are mapped, fan-out-restricted and buffered
+/// like live logic; [`mig::Mig::cleanup`] would drop them.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct DeadNodes;
+
+impl LintRule for DeadNodes {
+    fn id(&self) -> &'static str {
+        "MIG003"
+    }
+
+    fn category(&self) -> Category {
+        Category::Graph
+    }
+
+    fn severity(&self) -> Severity {
+        Severity::Warning
+    }
+
+    fn description(&self) -> &'static str {
+        "every gate is reachable from some output"
+    }
+
+    fn check(&self, ctx: &LintContext<'_>) -> Vec<Diagnostic> {
+        let Some(graph) = ctx.graph() else {
+            return Vec::new();
+        };
+        let counts = graph.fanout_counts();
+        let mut found = Vec::new();
+        for id in graph.gate_ids() {
+            if counts[id.index()] == 0 {
+                found.push(self.diagnostic(
+                    ctx,
+                    format!("n{} drives no gate and no output", id.index()),
+                    Some(format!("n{}", id.index())),
+                ));
+            }
+        }
+        capped(found)
+    }
+}
+
+/// `MIG004` — arena fan-ins point strictly backwards.
+///
+/// The node arena is stored in topological order: every fan-in of node
+/// `i` must reference a node `< i`. All traversals (levels, simulation
+/// plans, cone hashing) assume it; a forward or self reference makes
+/// them read garbage or loop.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct LevelInconsistency;
+
+impl LintRule for LevelInconsistency {
+    fn id(&self) -> &'static str {
+        "MIG004"
+    }
+
+    fn category(&self) -> Category {
+        Category::Graph
+    }
+
+    fn severity(&self) -> Severity {
+        Severity::Error
+    }
+
+    fn description(&self) -> &'static str {
+        "the node arena is topologically ordered (fan-ins point backwards)"
+    }
+
+    fn check(&self, ctx: &LintContext<'_>) -> Vec<Diagnostic> {
+        let Some(graph) = ctx.graph() else {
+            return Vec::new();
+        };
+        let mut found = Vec::new();
+        for id in graph.gate_ids() {
+            let Node::Majority(fanins) = *graph.node(id) else {
+                continue;
+            };
+            for signal in fanins {
+                if signal.node().index() >= id.index() {
+                    found.push(self.diagnostic(
+                        ctx,
+                        format!(
+                            "n{} reads n{}, which is not strictly before it in the arena",
+                            id.index(),
+                            signal.node().index()
+                        ),
+                        Some(format!("n{}", id.index())),
+                    ));
+                }
+            }
+        }
+        capped(found)
+    }
+}

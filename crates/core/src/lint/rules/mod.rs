@@ -1,0 +1,44 @@
+//! The built-in rule set, one module per [`Category`](super::Category).
+//!
+//! | Code | Severity | Checks |
+//! |---|---|---|
+//! | `WP001` | error | every input→component path has equal length (the wave-pipelining invariant) |
+//! | `WP002` | error | all outputs aligned at one common depth |
+//! | `WP003` | error | fan-out bounded by the configured §IV limit |
+//! | `WP004` | error | no combinational cycles |
+//! | `WP005` | error | structurally well-formed (drivers/fanins in bounds, const registry sane) |
+//! | `WP006` | warning | no unreachable (dead) components |
+//! | `WP007` | warning | no redundant cells (const-fed buffers, double inverters, single-consumer FOGs) |
+//! | `MIG001` | warning | no majority gates reducible by the Ω axioms (const/duplicate fan-ins) |
+//! | `MIG002` | warning | no structurally-duplicate gates the strash table should have merged |
+//! | `MIG003` | warning | no dead gates unreachable from any output |
+//! | `MIG004` | error | arena fan-ins point strictly backwards (topological storage invariant) |
+//! | `SPEC001` | warning | pass-list smells (never verifies; verify bound ≠ restriction limit) |
+//! | `SPEC002` | error/warning | cost tables are complete: positive phase delay (error), positive per-kind area/delay for the cells in play (warning) |
+//! | `SPEC003` | warning | no duplicate circuit entries |
+
+pub mod mig;
+pub mod netlist;
+pub mod spec;
+
+use super::Diagnostic;
+
+/// Cap per-rule reports: a badly broken artifact can violate a rule at
+/// thousands of sites, and a bounded report stays readable (and keeps
+/// `wavecheck --json` output proportional to the defect, not the
+/// circuit). The tail is folded into one summary diagnostic.
+pub(crate) const MAX_REPORTED: usize = 16;
+
+/// Truncates `found` to [`MAX_REPORTED`] diagnostics, appending one
+/// summary diagnostic describing how many were dropped.
+pub(crate) fn capped(mut found: Vec<Diagnostic>) -> Vec<Diagnostic> {
+    if found.len() > MAX_REPORTED {
+        let dropped = found.len() - MAX_REPORTED;
+        found.truncate(MAX_REPORTED);
+        let mut summary = found[MAX_REPORTED - 1].clone();
+        summary.message = format!("…and {dropped} more finding(s) of this rule");
+        summary.provenance = None;
+        found.push(summary);
+    }
+    found
+}

@@ -1,0 +1,256 @@
+//! Flow-spec and cost-table rules (`SPEC0xx`).
+//!
+//! These run before anything executes — [`crate::Engine::run_streaming`]
+//! lints every spec after validation and rejects error-severity
+//! findings — so a malformed technology table or a pipeline that never
+//! verifies is caught at the front door, not deep in a sweep.
+
+use crate::component::ComponentKind;
+use crate::cost::{CostModel, CostTable};
+use crate::lint::{Category, Diagnostic, LintContext, LintRule, Severity};
+use crate::spec::PassSpec;
+
+/// `SPEC001` — pass-list smells.
+///
+/// Orderings the builder *accepts* but that undermine the flow's
+/// guarantees: a pipeline that transforms without ever verifying
+/// balance, or a verify pass whose fan-out bound disagrees with the
+/// limit the restriction pass actually enforced.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct PipelineSmells;
+
+impl LintRule for PipelineSmells {
+    fn id(&self) -> &'static str {
+        "SPEC001"
+    }
+
+    fn category(&self) -> Category {
+        Category::Spec
+    }
+
+    fn severity(&self) -> Severity {
+        Severity::Warning
+    }
+
+    fn description(&self) -> &'static str {
+        "the pass list verifies what it transforms"
+    }
+
+    fn check(&self, ctx: &LintContext<'_>) -> Vec<Diagnostic> {
+        let Some(spec) = ctx.spec() else {
+            return Vec::new();
+        };
+        let passes = &spec.pipeline.passes;
+        let mut found = Vec::new();
+        let verifies = passes.iter().any(|p| {
+            matches!(
+                p,
+                PassSpec::Verify { .. }
+                    | PassSpec::VerifyWeighted(_)
+                    | PassSpec::VerifyCostAware { .. }
+            )
+        });
+        let transforms = passes.iter().any(|p| {
+            matches!(
+                p,
+                PassSpec::RestrictFanout { .. }
+                    | PassSpec::RestrictFanoutCostAware
+                    | PassSpec::InsertBuffers(_)
+            )
+        });
+        if transforms && !verifies {
+            found.push(
+                self.diagnostic(
+                    ctx,
+                    "the pipeline transforms the netlist but never verifies balance; \
+                 append a verify pass"
+                        .to_owned(),
+                    None,
+                ),
+            );
+        }
+        let restricted = passes.iter().find_map(|p| match p {
+            PassSpec::RestrictFanout { limit } => Some(*limit),
+            _ => None,
+        });
+        for (position, pass) in passes.iter().enumerate() {
+            if let PassSpec::Verify {
+                fanout_limit: Some(bound),
+            } = pass
+            {
+                match restricted {
+                    Some(limit) if limit != *bound => found.push(self.diagnostic(
+                        ctx,
+                        format!(
+                            "verify enforces fan-out ≤ {bound} but the restriction pass \
+                             enforced ≤ {limit}; the bounds should agree"
+                        ),
+                        Some(format!("passes[{position}]")),
+                    )),
+                    _ => {}
+                }
+            }
+        }
+        found
+    }
+}
+
+/// `SPEC002` — cost tables are complete for the cells in play.
+///
+/// A wave interval is three clock phases, so a non-positive phase delay
+/// makes every throughput and cycle-time figure meaningless (error).
+/// A priced cell kind with non-positive area or delay silently zeroes
+/// its contribution to the §V metrics (warning). When the context
+/// carries a netlist, only the kinds its cell mix actually uses are
+/// checked; otherwise all priced kinds are.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct CostCompleteness;
+
+impl CostCompleteness {
+    fn check_table(
+        &self,
+        ctx: &LintContext<'_>,
+        table: &CostTable,
+        kinds: &[ComponentKind],
+    ) -> Vec<Diagnostic> {
+        let mut found = Vec::new();
+        if table.phase_delay() <= 0.0 {
+            let mut d = self.diagnostic(
+                ctx,
+                format!(
+                    "cost table `{}` has non-positive phase delay {}; waves cannot be timed",
+                    table.name(),
+                    table.phase_delay()
+                ),
+                Some(table.name().to_owned()),
+            );
+            d.severity = Severity::Error;
+            found.push(d);
+        }
+        for &kind in kinds {
+            for (metric, value) in [
+                ("area", table.area_of(kind)),
+                ("delay", table.delay_of(kind)),
+            ] {
+                if value <= 0.0 {
+                    found.push(self.diagnostic(
+                        ctx,
+                        format!(
+                            "cost table `{}` prices {kind} {metric} at {value}; the cell's \
+                             contribution to the §V metrics vanishes",
+                            table.name()
+                        ),
+                        Some(table.name().to_owned()),
+                    ));
+                }
+            }
+        }
+        found
+    }
+}
+
+impl LintRule for CostCompleteness {
+    fn id(&self) -> &'static str {
+        "SPEC002"
+    }
+
+    fn category(&self) -> Category {
+        Category::Spec
+    }
+
+    /// Nominal severity; the phase-delay finding is upgraded to
+    /// [`Severity::Error`] because nothing downstream survives it.
+    fn severity(&self) -> Severity {
+        Severity::Warning
+    }
+
+    fn description(&self) -> &'static str {
+        "cost tables price every cell kind the circuit mix uses"
+    }
+
+    fn check(&self, ctx: &LintContext<'_>) -> Vec<Diagnostic> {
+        const ALL_PRICED: [ComponentKind; 4] = [
+            ComponentKind::Maj,
+            ComponentKind::Inv,
+            ComponentKind::Buf,
+            ComponentKind::Fog,
+        ];
+        // The cell mix: with a netlist in context, check only the kinds
+        // it actually instantiates.
+        let kinds: Vec<ComponentKind> = match ctx.netlist() {
+            Some(netlist) => {
+                let counts = netlist.counts();
+                ALL_PRICED
+                    .into_iter()
+                    .filter(|kind| match kind {
+                        ComponentKind::Maj => counts.maj > 0,
+                        ComponentKind::Inv => counts.inv > 0,
+                        ComponentKind::Buf => counts.buf > 0,
+                        ComponentKind::Fog => counts.fog > 0,
+                        _ => false,
+                    })
+                    .collect()
+            }
+            None => ALL_PRICED.to_vec(),
+        };
+        let mut found = Vec::new();
+        if let Some(table) = ctx.cost() {
+            found.extend(self.check_table(ctx, table, &kinds));
+        }
+        if let Some(spec) = ctx.spec() {
+            for table in &spec.technologies {
+                found.extend(self.check_table(ctx, table, &kinds));
+            }
+        }
+        found
+    }
+}
+
+/// `SPEC003` — no duplicate circuit entries.
+///
+/// Duplicates are rejected by [`crate::FlowSpec::validate`] at run
+/// time; the lint surfaces them in standalone `wavecheck` runs (and in
+/// editors) before a run is ever attempted.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct DuplicateCircuits;
+
+impl LintRule for DuplicateCircuits {
+    fn id(&self) -> &'static str {
+        "SPEC003"
+    }
+
+    fn category(&self) -> Category {
+        Category::Spec
+    }
+
+    fn severity(&self) -> Severity {
+        Severity::Warning
+    }
+
+    fn description(&self) -> &'static str {
+        "every circuit appears once"
+    }
+
+    fn check(&self, ctx: &LintContext<'_>) -> Vec<Diagnostic> {
+        let Some(spec) = ctx.spec() else {
+            return Vec::new();
+        };
+        let mut seen: Vec<String> = Vec::new();
+        let mut found = Vec::new();
+        for (position, circuit) in spec.circuits.iter().enumerate() {
+            let name = circuit.name();
+            if seen.contains(&name) {
+                found.push(self.diagnostic(
+                    ctx,
+                    format!(
+                        "circuit `{name}` listed more than once; the engine would reject this spec"
+                    ),
+                    Some(format!("circuits[{position}]")),
+                ));
+            } else {
+                seen.push(name);
+            }
+        }
+        found
+    }
+}

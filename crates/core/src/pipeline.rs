@@ -54,6 +54,11 @@ pub enum PassError {
     /// breaking functional equivalence with the source MIG; the
     /// counterexample names the offending pass.
     Equivalence(Box<crate::verify::differential::Counterexample>),
+    /// The opt-in per-pass lint gate
+    /// ([`FlowPipelineBuilder::gate_lints`]) found error-severity
+    /// diagnostics; the failure names the offending pass and carries
+    /// the full diagnostic set.
+    Lint(Box<crate::lint::LintFailure>),
     /// A custom pass failed with a free-form message.
     Custom(String),
 }
@@ -65,6 +70,7 @@ impl fmt::Display for PassError {
             PassError::Weighted(e) => write!(f, "{e}"),
             PassError::Netlist(e) => write!(f, "{e}"),
             PassError::Equivalence(cex) => write!(f, "equivalence gate: {cex}"),
+            PassError::Lint(failure) => write!(f, "{failure}"),
             PassError::Custom(message) => write!(f, "{message}"),
         }
     }
@@ -76,7 +82,7 @@ impl std::error::Error for PassError {
             PassError::Balance(e) => Some(e),
             PassError::Weighted(e) => Some(e),
             PassError::Netlist(e) => Some(e),
-            PassError::Equivalence(_) | PassError::Custom(_) => None,
+            PassError::Equivalence(_) | PassError::Lint(_) | PassError::Custom(_) => None,
         }
     }
 }
@@ -389,6 +395,7 @@ pub struct FlowPipeline {
     passes: Vec<Box<dyn Pass>>,
     cost: Option<CostTable>,
     equivalence: Option<mig::EquivalencePolicy>,
+    lints: bool,
 }
 
 impl fmt::Debug for FlowPipeline {
@@ -400,6 +407,7 @@ impl fmt::Debug for FlowPipeline {
             )
             .field("cost", &self.cost.as_ref().map(|t| t.name().to_owned()))
             .field("equivalence", &self.equivalence)
+            .field("lints", &self.lints)
             .finish()
     }
 }
@@ -486,6 +494,41 @@ impl FlowPipeline {
                 depth_after,
                 priced,
             });
+
+            // Opt-in static gate: re-lint the working netlist at every
+            // pass boundary, with the rule set growing as the flow
+            // makes guarantees (structural rules always; the fan-out
+            // rule once restriction enforced a limit; the balance
+            // rules once buffer insertion equalized paths). Runs
+            // outside the pass's timed window, like the equivalence
+            // gate below, and costs only a level/fan-out recomputation
+            // — no simulation.
+            if self.lints && ctx.original.is_some() {
+                use crate::lint::{LintContext, LintDriver, LintFailure, Severity};
+                // Only error-severity rules: warnings never trip the
+                // gate, so running them here would be wasted work.
+                let mut codes = vec!["WP004", "WP005"];
+                if ctx.fanout.is_some() {
+                    codes.push("WP003");
+                }
+                if ctx.buffers.is_some() {
+                    codes.extend(["WP001", "WP002"]);
+                }
+                let lctx = LintContext::new()
+                    .with_netlist(&ctx.netlist)
+                    .with_fanout_limit(ctx.fanout.as_ref().map(|f| f.limit));
+                let diagnostics: Vec<_> = LintDriver::with_codes(&codes)
+                    .run(&lctx)
+                    .into_iter()
+                    .filter(|d| d.severity == Severity::Error)
+                    .collect();
+                if !diagnostics.is_empty() {
+                    return Err(PassError::Lint(Box::new(LintFailure {
+                        pass: pass.name(),
+                        diagnostics,
+                    })));
+                }
+            }
 
             // Opt-in self-verification: after every pass boundary past
             // mapping, the working netlist must still compute the
@@ -683,6 +726,7 @@ pub struct FlowPipelineBuilder {
     passes: Vec<Box<dyn Pass>>,
     cost: Option<CostTable>,
     equivalence: Option<mig::EquivalencePolicy>,
+    lints: bool,
 }
 
 impl fmt::Debug for FlowPipelineBuilder {
@@ -694,6 +738,7 @@ impl fmt::Debug for FlowPipelineBuilder {
             )
             .field("cost", &self.cost.as_ref().map(|t| t.name().to_owned()))
             .field("equivalence", &self.equivalence)
+            .field("lints", &self.lints)
             .finish()
     }
 }
@@ -709,6 +754,21 @@ impl FlowPipelineBuilder {
     /// trusting the transforms' structural proofs.
     pub fn gate_equivalence(mut self, policy: mig::EquivalencePolicy) -> FlowPipelineBuilder {
         self.equivalence = Some(policy);
+        self
+    }
+
+    /// Turns on per-pass lint gating: after every pass past mapping,
+    /// the working netlist is re-linted with the error-severity
+    /// structural rules appropriate to the pipeline's progress (cycles
+    /// and well-formedness always; the `WP003` fan-out rule once a
+    /// restriction pass enforced a limit; the `WP001`/`WP002` balance
+    /// rules once buffer insertion equalized paths — see
+    /// [`crate::lint`]). A pass that breaks a statically-provable
+    /// legality condition fails its run with [`PassError::Lint`] naming
+    /// it — a zero-simulation counterpart to
+    /// [`FlowPipelineBuilder::gate_equivalence`].
+    pub fn gate_lints(mut self) -> FlowPipelineBuilder {
+        self.lints = true;
         self
     }
     /// Attaches a technology cost model to the pipeline: every run
@@ -818,6 +878,7 @@ impl FlowPipelineBuilder {
             passes: self.passes,
             cost: self.cost,
             equivalence: self.equivalence,
+            lints: self.lints,
         })
     }
 }

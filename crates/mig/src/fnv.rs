@@ -121,6 +121,18 @@ mod tests {
         assert_ne!(a.finish(), b.finish(), "bit patterns, not numeric equality");
     }
 
+    /// The published FNV-1a/64 reference vectors — both faces must
+    /// produce them bit-for-bit (downstream crates persist digests).
+    #[test]
+    fn matches_reference_fnv1a_vectors() {
+        assert_eq!(hash_bytes(b""), 0xcbf2_9ce4_8422_2325, "offset basis");
+        assert_eq!(hash_bytes(b"a"), 0xaf63_dc4c_8601_ec8c);
+        assert_eq!(hash_bytes(b"foobar"), 0x8594_4171_f739_67e8);
+        let mut h = FnvHasher::default();
+        h.write(b"foobar");
+        assert_eq!(h.finish(), 0x8594_4171_f739_67e8);
+    }
+
     #[test]
     fn hasher_face_matches_the_content_face() {
         let mut h = FnvHasher::default();

@@ -317,6 +317,92 @@ fn bench_pr7_record_schema_is_pinned() {
     );
 }
 
+#[test]
+fn lint_report_schema_is_pinned() {
+    let mut netlist = wavepipe::Netlist::new("hot");
+    let a = netlist.add_input("a");
+    for k in 0..4 {
+        let i = netlist.add_inv(a);
+        netlist.add_output(format!("o{k}"), i);
+    }
+    let report = wavepipe::LintReport::new(
+        Some(3),
+        vec![wavepipe::lint::SubjectReport {
+            subject: "hot".to_owned(),
+            diagnostics: wavepipe::lint_netlist(&netlist, Some(3)),
+        }],
+    );
+    let value = to_value(&report);
+    assert_eq!(
+        keys(&value),
+        ["fanout_limit", "schema_version", "subjects", "totals"]
+    );
+    assert_eq!(
+        serde::field(value.as_object().unwrap(), "schema_version")
+            .unwrap()
+            .as_f64(),
+        Some(f64::from(wavepipe::lint::LINT_SCHEMA_VERSION))
+    );
+    let subject = &serde::field(value.as_object().unwrap(), "subjects")
+        .unwrap()
+        .as_array()
+        .unwrap()[0];
+    assert_eq!(keys(subject), ["diagnostics", "subject"]);
+    let diagnostic = &serde::field(subject.as_object().unwrap(), "diagnostics")
+        .unwrap()
+        .as_array()
+        .unwrap()[0];
+    // `provenance` is optional (omitted when unset); the WP003 finding
+    // above names the hot component, so it is present here.
+    assert_eq!(
+        keys(diagnostic),
+        [
+            "category",
+            "code",
+            "message",
+            "provenance",
+            "severity",
+            "subject"
+        ]
+    );
+    assert_eq!(
+        keys(serde::field(value.as_object().unwrap(), "totals").unwrap()),
+        ["errors", "infos", "warnings"]
+    );
+    // A report with no configured fan-out limit omits the field.
+    let bare = wavepipe::LintReport::new(None, Vec::new());
+    assert_eq!(
+        keys(&to_value(&bare)),
+        ["schema_version", "subjects", "totals"]
+    );
+}
+
+/// The `wavecheck --json --out` artifact (regenerated by CI's
+/// lint-smoke job) must parse with the pinned report shape and carry
+/// zero error-severity findings.
+#[test]
+fn generated_lint_report_parses_clean() {
+    let path = "results/LINT.json";
+    let Ok(text) = std::fs::read_to_string(path) else {
+        eprintln!("{path} not generated in this checkout; skipping");
+        return;
+    };
+    let value: Value = serde_json::from_str(&text).unwrap_or_else(|e| panic!("{path}: {e}"));
+    assert_eq!(
+        keys(&value),
+        ["fanout_limit", "schema_version", "subjects", "totals"],
+        "{path} drifted from the schema"
+    );
+    let totals = serde::field(value.as_object().unwrap(), "totals").unwrap();
+    assert_eq!(
+        serde::field(totals.as_object().unwrap(), "errors")
+            .unwrap()
+            .as_f64(),
+        Some(0.0),
+        "{path}: the checked-in flows must lint clean"
+    );
+}
+
 /// Generated artifacts must match the pinned schema too. Most of
 /// `results/` is gitignored (the binaries regenerate it;
 /// `BENCH_pr6.json` and `BENCH_pr7.json` are committed as perf
