@@ -1,0 +1,320 @@
+//! `wavepipe-load` — latency-percentile load generator for the daemon.
+//!
+//! Replays thousands of concurrent synthetic sweep requests against a
+//! live `wavepipe-serve` and records client-observed latency
+//! percentiles (p50/p95/p99), throughput, and coalesce/cache-hit rates
+//! into `results/BENCH_pr9.json` (shape:
+//! [`wavepipe_bench::record::ServeRecord`], pinned by the golden
+//! schema test). Two phases:
+//!
+//! 1. **`coalesce_burst`** — every client pipelines the *same* spec,
+//!    so `clients × pipelined` identical requests are in flight at
+//!    once. The daemon must answer all of them out of **one** pipeline
+//!    execution (coalesced while in flight, cache hits after); the
+//!    generator asserts the engine missed exactly once.
+//! 2. **`distinct_sweep`** — requests cycle through a pool of distinct
+//!    synthetic specs, measuring mixed cold/warm behavior; the engine
+//!    must miss exactly once per distinct spec.
+//!
+//! ```text
+//! cargo run --release -p wavepipe-bench --bin wavepipe-load -- \
+//!     --addr 127.0.0.1:7117 --out results/BENCH_pr9.json --shutdown
+//! ```
+//!
+//! `--quick` shrinks the run for CI smoke jobs. The generator assumes
+//! it is the daemon's only traffic source while it runs (the
+//! before/after counter deltas are not otherwise attributable).
+
+use std::collections::HashMap;
+use std::time::Instant;
+
+use wavepipe::{FlowSpec, SynthSpec};
+use wavepipe_bench::record::{LatencySummary, LoadPhase, ServeRecord, ServeTotals};
+use wavepipe_serve::protocol::PROTOCOL_VERSION;
+use wavepipe_serve::{Client, Control, Event, Request, ServeConfig, ServeMetrics};
+
+fn dag_spec(experiment: &str, seed: u64, nodes: u64, depth: u64) -> FlowSpec {
+    FlowSpec::new(experiment).synthetic_circuit(
+        SynthSpec::new("dag", seed)
+            .param("nodes", nodes)
+            .param("depth", depth),
+    )
+}
+
+fn fetch_stats(addr: &str) -> (ServeConfig, ServeMetrics) {
+    let mut client = Client::connect(addr).expect("connect for stats");
+    client
+        .send(&Request::Control {
+            id: 0,
+            control: Control::Stats,
+        })
+        .expect("send stats");
+    loop {
+        if let Event::Stats {
+            config, metrics, ..
+        } = client.read_event().expect("stats answer")
+        {
+            return (config, metrics);
+        }
+    }
+}
+
+fn summarize(mut samples: Vec<f64>) -> LatencySummary {
+    samples.sort_by(f64::total_cmp);
+    let percentile = |q: f64| -> f64 {
+        if samples.is_empty() {
+            return 0.0;
+        }
+        samples[((samples.len() as f64 - 1.0) * q).round() as usize]
+    };
+    LatencySummary {
+        count: samples.len() as u64,
+        min_ms: samples.first().copied().unwrap_or(0.0),
+        mean_ms: if samples.is_empty() {
+            0.0
+        } else {
+            samples.iter().sum::<f64>() / samples.len() as f64
+        },
+        p50_ms: percentile(0.50),
+        p95_ms: percentile(0.95),
+        p99_ms: percentile(0.99),
+        max_ms: samples.last().copied().unwrap_or(0.0),
+    }
+}
+
+/// Runs one phase: `clients` connections, each pipelining its whole
+/// request list up front (so every request of the phase is in flight
+/// concurrently), then collecting terminal events and per-request
+/// send-to-terminal latency. `spec_for(client, slot)` names the spec of
+/// each request.
+fn run_phase(
+    name: &str,
+    addr: &str,
+    clients: usize,
+    pipelined: usize,
+    distinct_specs: usize,
+    spec_for: impl Fn(usize, usize) -> FlowSpec,
+) -> LoadPhase {
+    let (_, before) = fetch_stats(addr);
+    let started = Instant::now();
+    let handles: Vec<_> = (0..clients)
+        .map(|c| {
+            let addr = addr.to_owned();
+            let specs: Vec<FlowSpec> = (0..pipelined).map(|s| spec_for(c, s)).collect();
+            std::thread::spawn(move || {
+                let mut client = Client::connect(&addr).expect("connect load client");
+                let mut sent: HashMap<u64, Instant> = HashMap::new();
+                for (i, spec) in specs.into_iter().enumerate() {
+                    let id = i as u64 + 1;
+                    client.send(&Request::Run { id, spec }).expect("send run");
+                    sent.insert(id, Instant::now());
+                }
+                let mut latencies = Vec::with_capacity(sent.len());
+                let (mut completed, mut failed) = (0u64, 0u64);
+                while !sent.is_empty() {
+                    let event = client.read_event().expect("terminal events for every run");
+                    if !event.is_terminal() {
+                        continue;
+                    }
+                    let Some(at) = sent.remove(&event.id()) else {
+                        continue;
+                    };
+                    latencies.push(at.elapsed().as_secs_f64() * 1000.0);
+                    match event {
+                        Event::Done { .. } => completed += 1,
+                        _ => failed += 1,
+                    }
+                }
+                (latencies, completed, failed)
+            })
+        })
+        .collect();
+
+    let mut latencies = Vec::with_capacity(clients * pipelined);
+    let (mut completed, mut failed) = (0u64, 0u64);
+    for handle in handles {
+        let (l, c, f) = handle.join().expect("load client thread");
+        latencies.extend(l);
+        completed += c;
+        failed += f;
+    }
+    let wall_ms = started.elapsed().as_secs_f64() * 1000.0;
+    let (_, after) = fetch_stats(addr);
+
+    let requests = (clients * pipelined) as u64;
+    LoadPhase {
+        name: name.to_owned(),
+        clients,
+        pipelined,
+        requests,
+        completed,
+        failed,
+        distinct_specs,
+        wall_ms,
+        requests_per_sec: requests as f64 / (wall_ms / 1000.0),
+        latency: summarize(latencies),
+        executed: after.executed - before.executed,
+        coalesced: after.coalesced - before.coalesced,
+        cache_hits: after.engine.cache_hits - before.engine.cache_hits,
+        cache_misses: after.engine.cache_misses - before.engine.cache_misses,
+    }
+}
+
+fn print_phase(phase: &LoadPhase) {
+    println!(
+        "{:<16} {:>6} req ({:>3} distinct) {:>6} ok {:>4} fail  \
+         p50 {:>8.2} ms  p95 {:>8.2} ms  p99 {:>8.2} ms  {:>8.0} req/s  \
+         {} executed / {} coalesced, engine {} hits / {} misses",
+        phase.name,
+        phase.requests,
+        phase.distinct_specs,
+        phase.completed,
+        phase.failed,
+        phase.latency.p50_ms,
+        phase.latency.p95_ms,
+        phase.latency.p99_ms,
+        phase.requests_per_sec,
+        phase.executed,
+        phase.coalesced,
+        phase.cache_hits,
+        phase.cache_misses,
+    );
+}
+
+fn main() {
+    let mut addr = "127.0.0.1:7117".to_owned();
+    let mut clients = 100usize;
+    let mut pipelined = 10usize;
+    let mut sweep_specs = 8usize;
+    let mut burst_nodes = 20_000u64;
+    let mut out: Option<String> = None;
+    let mut shutdown = false;
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        let mut value = |flag: &str| {
+            args.next()
+                .unwrap_or_else(|| panic!("{flag} takes a value"))
+        };
+        match arg.as_str() {
+            "--addr" => addr = value("--addr"),
+            "--clients" => clients = value("--clients").parse().expect("--clients N"),
+            "--pipelined" => pipelined = value("--pipelined").parse().expect("--pipelined N"),
+            "--sweep-specs" => {
+                sweep_specs = value("--sweep-specs").parse().expect("--sweep-specs N");
+            }
+            "--burst-nodes" => {
+                burst_nodes = value("--burst-nodes").parse().expect("--burst-nodes N");
+            }
+            "--out" => out = Some(value("--out")),
+            "--shutdown" => shutdown = true,
+            "--quick" => {
+                clients = 8;
+                pipelined = 4;
+                sweep_specs = 3;
+                burst_nodes = 600;
+            }
+            other => panic!(
+                "unknown argument `{other}` (try --addr HOST:PORT --clients N \
+                 --pipelined N --sweep-specs N --burst-nodes N --out PATH \
+                 --shutdown --quick)"
+            ),
+        }
+    }
+    let sweep_specs = sweep_specs.max(1);
+
+    println!(
+        "loading {addr}: {clients} clients x {pipelined} pipelined = {} concurrent requests",
+        clients * pipelined
+    );
+
+    // Phase 1: every request is the same spec — one pipeline execution
+    // must serve them all (coalesced in flight, cache hits after).
+    let burst_spec = dag_spec("load-burst", 0xB0057, burst_nodes, 16);
+    let burst = run_phase("coalesce_burst", &addr, clients, pipelined, 1, |_, _| {
+        burst_spec.clone()
+    });
+    print_phase(&burst);
+    assert_eq!(burst.failed, 0, "burst requests must all verify");
+    assert_eq!(
+        burst.cache_misses, 1,
+        "identical in-flight specs must coalesce to a single pipeline execution"
+    );
+
+    // Phase 2: requests cycle through a pool of distinct specs — mixed
+    // cold/warm latency; exactly one miss per distinct spec.
+    let pool: Vec<FlowSpec> = (0..sweep_specs)
+        .map(|i| {
+            dag_spec(
+                "load-sweep",
+                0x5EED_0000 + i as u64,
+                800 + 150 * i as u64,
+                12,
+            )
+        })
+        .collect();
+    let sweep = run_phase(
+        "distinct_sweep",
+        &addr,
+        clients,
+        pipelined,
+        pool.len(),
+        |c, s| pool[(c * pipelined + s) % pool.len()].clone(),
+    );
+    print_phase(&sweep);
+    assert_eq!(sweep.failed, 0, "sweep requests must all verify");
+    assert_eq!(
+        sweep.cache_misses,
+        pool.len() as u64,
+        "each distinct spec must execute exactly once"
+    );
+
+    let (config, totals) = fetch_stats(&addr);
+    let record = ServeRecord {
+        protocol_version: PROTOCOL_VERSION,
+        workers: config.workers,
+        queue_depth: config.queue_depth,
+        client_queue: config.client_queue,
+        shed_slow_clients: config.shed_slow_clients,
+        phases: vec![burst, sweep],
+        server: ServeTotals {
+            requests: totals.requests,
+            completed: totals.completed,
+            failed: totals.failed,
+            rejected: totals.rejected,
+            coalesced: totals.coalesced,
+            executed: totals.executed,
+            cells_streamed: totals.cells_streamed,
+            cells_shed: totals.cells_shed,
+            clients: totals.clients,
+        },
+        engine_totals: totals.engine,
+    };
+    if let Some(path) = &out {
+        if let Some(dir) = std::path::Path::new(path).parent() {
+            std::fs::create_dir_all(dir).expect("create output directory");
+        }
+        std::fs::write(
+            path,
+            serde_json::to_string_pretty(&record).expect("serialize"),
+        )
+        .unwrap_or_else(|e| panic!("write {path}: {e}"));
+        println!("serve record: {path} ({} phases)", record.phases.len());
+    }
+
+    if shutdown {
+        let mut client = Client::connect(&addr).expect("connect for shutdown");
+        client
+            .send(&Request::Control {
+                id: 0,
+                control: Control::Shutdown,
+            })
+            .expect("send shutdown");
+        loop {
+            match client.read_event_eof().expect("shutdown ack") {
+                Some(Event::ShuttingDown { .. }) | None => break,
+                Some(_) => continue,
+            }
+        }
+        println!("daemon acknowledged shutdown");
+    }
+}

@@ -2,10 +2,12 @@
 //!
 //! Every reproduction run leaves a perf-trajectory record under
 //! `results/`: `repro_all` writes a [`BenchRecord`] (`BENCH_pr3.json`),
-//! the `scaling` binary a [`ScalingRecord`] (`BENCH_pr4.json`), and the
+//! the `scaling` binary a [`ScalingRecord`] (`BENCH_pr4.json`), the
 //! `verify_throughput` binary a [`VerifyRecord`] (`BENCH_pr5.json`)
 //! plus a [`WideRecord`] (`BENCH_pr6.json`: flat-arena wide-block
-//! throughput and the block-width × thread-count grid).
+//! throughput and the block-width × thread-count grid), and the
+//! `wavepipe-load` generator a [`ServeRecord`] (`BENCH_pr9.json`:
+//! daemon latency percentiles, throughput, and coalesce/cache rates).
 //! The structs live here — not inside the binaries — so the schema is
 //! a *library contract*: the golden test `tests/bench_schema.rs` pins
 //! the exact field names and shapes, and any repro-tooling-breaking
@@ -281,5 +283,107 @@ pub struct IncrementalRecord {
     /// One point per target node count, ascending.
     pub points: Vec<IncrementalPoint>,
     /// Cumulative engine counters over the whole sweep.
+    pub engine_totals: EngineStats,
+}
+
+/// Request-latency percentiles of one load phase, milliseconds
+/// (send-to-terminal-event, measured at the client).
+#[derive(Clone, Debug, serde::Serialize)]
+pub struct LatencySummary {
+    /// Latency samples the percentiles are computed over.
+    pub count: u64,
+    /// Fastest request.
+    pub min_ms: f64,
+    /// Arithmetic mean.
+    pub mean_ms: f64,
+    /// Median.
+    pub p50_ms: f64,
+    /// 95th percentile.
+    pub p95_ms: f64,
+    /// 99th percentile.
+    pub p99_ms: f64,
+    /// Slowest request.
+    pub max_ms: f64,
+}
+
+/// One phase of the `wavepipe-load` run against a live daemon.
+#[derive(Clone, Debug, serde::Serialize)]
+pub struct LoadPhase {
+    /// Phase name (`coalesce_burst`, `distinct_sweep`, ...).
+    pub name: String,
+    /// Concurrent client connections.
+    pub clients: usize,
+    /// Requests pipelined per connection (all outstanding at once, so
+    /// `clients * pipelined` requests are concurrently in flight).
+    pub pipelined: usize,
+    /// Requests sent.
+    pub requests: u64,
+    /// Requests that came back `done`.
+    pub completed: u64,
+    /// Requests that came back `error`.
+    pub failed: u64,
+    /// Distinct spec content hashes among the requests.
+    pub distinct_specs: usize,
+    /// Wall time of the phase (first send to last terminal event).
+    pub wall_ms: f64,
+    /// `requests / wall seconds`.
+    pub requests_per_sec: f64,
+    /// Client-observed latency percentiles.
+    pub latency: LatencySummary,
+    /// Pipeline executions the phase triggered (server counter delta).
+    pub executed: u64,
+    /// Requests served by joining an identical in-flight execution.
+    pub coalesced: u64,
+    /// Engine memory-cache hits the phase produced.
+    pub cache_hits: u64,
+    /// Engine memory-cache misses the phase produced.
+    pub cache_misses: u64,
+}
+
+/// Final daemon counters, as reported over the wire at the end of the
+/// load run (mirror of the protocol's `ServeMetrics`, minus the engine
+/// block that lands in [`ServeRecord::engine_totals`]).
+#[derive(Clone, Debug, serde::Serialize)]
+pub struct ServeTotals {
+    /// Run requests accepted off the wire.
+    pub requests: u64,
+    /// Runs that finished with a `done` event.
+    pub completed: u64,
+    /// Runs that finished with an `error` event.
+    pub failed: u64,
+    /// Runs rejected because the daemon was draining.
+    pub rejected: u64,
+    /// Runs served by joining an identical in-flight execution.
+    pub coalesced: u64,
+    /// Runs that actually executed on the engine.
+    pub executed: u64,
+    /// Streaming cell events delivered (or attempted).
+    pub cells_streamed: u64,
+    /// Streaming cell events dropped on slow clients.
+    pub cells_shed: u64,
+    /// Client connections accepted.
+    pub clients: u64,
+}
+
+/// The `BENCH_pr9.json` shape: service-mode latency percentiles,
+/// throughput, and coalesce/cache-hit rates under concurrent
+/// multi-client load.
+#[derive(Clone, Debug, serde::Serialize)]
+pub struct ServeRecord {
+    /// Wire protocol version the run spoke.
+    pub protocol_version: u64,
+    /// Daemon worker threads.
+    pub workers: usize,
+    /// Daemon job-queue bound.
+    pub queue_depth: usize,
+    /// Per-client outbound-queue bound.
+    pub client_queue: usize,
+    /// Whether slow clients shed streaming cell events.
+    pub shed_slow_clients: bool,
+    /// The load phases, in execution order.
+    pub phases: Vec<LoadPhase>,
+    /// Final daemon counters.
+    pub server: ServeTotals,
+    /// Final cumulative engine counters.
     pub engine_totals: EngineStats,
 }

@@ -152,16 +152,57 @@ impl EngineStats {
     /// Counter-wise difference against an earlier snapshot — how
     /// callers turn two [`Engine::stats`] readings into a per-stage
     /// delta (the bench harness records these in `BENCH_pr3.json`).
+    ///
+    /// Each counter is an independent atomic, so a snapshot taken while
+    /// other threads are mid-run is not a single consistent cut: one
+    /// counter may already include an operation whose sibling counter
+    /// does not. The subtraction saturates so such an interleaving can
+    /// never underflow; callers that need *exact* per-run counters on a
+    /// shared engine should use [`EngineRun::stats`], which is tallied
+    /// locally by the run itself rather than diffed from the globals.
     pub fn since(&self, earlier: &EngineStats) -> EngineStats {
         EngineStats {
-            cache_hits: self.cache_hits - earlier.cache_hits,
-            cache_misses: self.cache_misses - earlier.cache_misses,
-            passes_executed: self.passes_executed - earlier.passes_executed,
-            cones_reused: self.cones_reused - earlier.cones_reused,
-            cones_recomputed: self.cones_recomputed - earlier.cones_recomputed,
-            disk_hits: self.disk_hits - earlier.disk_hits,
-            disk_misses: self.disk_misses - earlier.disk_misses,
-            evictions: self.evictions - earlier.evictions,
+            cache_hits: self.cache_hits.saturating_sub(earlier.cache_hits),
+            cache_misses: self.cache_misses.saturating_sub(earlier.cache_misses),
+            passes_executed: self.passes_executed.saturating_sub(earlier.passes_executed),
+            cones_reused: self.cones_reused.saturating_sub(earlier.cones_reused),
+            cones_recomputed: self
+                .cones_recomputed
+                .saturating_sub(earlier.cones_recomputed),
+            disk_hits: self.disk_hits.saturating_sub(earlier.disk_hits),
+            disk_misses: self.disk_misses.saturating_sub(earlier.disk_misses),
+            evictions: self.evictions.saturating_sub(earlier.evictions),
+        }
+    }
+}
+
+/// Per-run counter tally. The engine's cumulative counters are shared
+/// by every concurrent caller (the serve daemon runs many clients on
+/// one engine), so a before/after diff of [`Engine::stats`] would fold
+/// other clients' work into this run's delta. Each run therefore
+/// carries its own tally, bumped in lockstep with the globals, and
+/// [`EngineRun::stats`] reads it — exact even under full concurrency.
+#[derive(Default)]
+pub(crate) struct RunTally {
+    hits: AtomicU64,
+    misses: AtomicU64,
+    passes: AtomicU64,
+    disk_hits: AtomicU64,
+    disk_misses: AtomicU64,
+    evictions: AtomicU64,
+}
+
+impl RunTally {
+    fn snapshot(&self) -> EngineStats {
+        EngineStats {
+            cache_hits: self.hits.load(Ordering::Relaxed),
+            cache_misses: self.misses.load(Ordering::Relaxed),
+            passes_executed: self.passes.load(Ordering::Relaxed),
+            cones_reused: 0,
+            cones_recomputed: 0,
+            disk_hits: self.disk_hits.load(Ordering::Relaxed),
+            disk_misses: self.disk_misses.load(Ordering::Relaxed),
+            evictions: self.evictions.load(Ordering::Relaxed),
         }
     }
 }
@@ -279,10 +320,7 @@ impl std::fmt::Debug for Engine {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         f.debug_struct("Engine")
             .field("resolver", &self.resolver.is_some())
-            .field(
-                "cached_cells",
-                &self.cache.lock().expect("cache poisoned").cells.len(),
-            )
+            .field("cached_cells", &self.lock_cache().cells.len())
             .field("capacity", &self.capacity)
             .field("disk", &self.disk.as_ref().map(DiskCache::root))
             .field("stats", &self.stats())
@@ -418,14 +456,39 @@ impl Engine {
         }
     }
 
+    /// Locks the cache, recovering from poison. A panic on another
+    /// thread while the mutex was held (a panicking sink or a torn
+    /// allocation mid-insert) must not brick a shared daemon engine:
+    /// the interrupted mutation may have left `cells` and `order`
+    /// inconsistent, so recovery drops the whole cache — a warm start
+    /// costs recomputes, never a crash — and clears the poison flag so
+    /// later locks stop paying the reset.
+    fn lock_cache(&self) -> std::sync::MutexGuard<'_, Cache> {
+        match self.cache.lock() {
+            Ok(guard) => guard,
+            Err(poisoned) => {
+                let mut guard = poisoned.into_inner();
+                let dropped = guard.cells.len();
+                guard.cells.clear();
+                guard.order.clear();
+                self.cache.clear_poison();
+                eprintln!(
+                    "warning: engine cache poisoned by a panicking request; \
+                     dropped {dropped} cached cells and recovered"
+                );
+                guard
+            }
+        }
+    }
+
     /// Number of cells currently cached.
     pub fn cached_cells(&self) -> usize {
-        self.cache.lock().expect("cache poisoned").cells.len()
+        self.lock_cache().cells.len()
     }
 
     /// Drops every cached cell (counters are kept).
     pub fn clear_cache(&self) {
-        let mut cache = self.cache.lock().expect("cache poisoned");
+        let mut cache = self.lock_cache();
         cache.cells.clear();
         cache.order.clear();
     }
@@ -510,12 +573,13 @@ impl Engine {
         }
         let graphs: Vec<&Mig> = circuits.iter().map(|(_, g)| g).collect();
 
-        let before = self.stats();
+        let tally = RunTally::default();
         let cells = self.grid_cells(
             &pipeline,
             Some(spec.pipeline.content_hash()),
             &graphs,
             &spec.technologies,
+            Some(&tally),
             &sink,
         );
         Ok(EngineRun {
@@ -527,7 +591,7 @@ impl Engine {
                 .map(|t| t.name().to_owned())
                 .collect(),
             cells,
-            stats: self.stats().since(&before),
+            stats: tally.snapshot(),
         })
     }
 
@@ -560,6 +624,7 @@ impl Engine {
             Some(pipeline.content_hash()),
             graphs,
             models,
+            None,
             &|_| {},
         ))
     }
@@ -591,6 +656,7 @@ impl Engine {
         pipe_hash: Option<u64>,
         graphs: &[&Mig],
         models: &[CostTable],
+        tally: Option<&RunTally>,
         sink: &(dyn Fn(&EngineCell) + Sync),
     ) -> Vec<EngineCell> {
         let caching = self.caching_enabled() && pipe_hash.is_some();
@@ -620,7 +686,7 @@ impl Engine {
                     pipeline: pipe_hash.expect("caching implies a pipeline hash"),
                     technology: technology.map_or(COST_BLIND, |m| tech_hashes[m]),
                 });
-                if let Some(run) = key.and_then(|key| self.lookup(&key)) {
+                if let Some(run) = key.and_then(|key| self.lookup_tallied(&key, tally)) {
                     let cell = EngineCell {
                         circuit,
                         technology,
@@ -635,14 +701,22 @@ impl Engine {
                 let outcome = pipeline.run_with_model(graphs[circuit], model);
                 if caching {
                     self.misses.fetch_add(1, Ordering::Relaxed);
+                    if let Some(tally) = tally {
+                        tally.misses.fetch_add(1, Ordering::Relaxed);
+                    }
                 }
                 let outcome = match outcome {
                     Ok(run) => {
                         self.passes_executed
                             .fetch_add(run.trace.len() as u64, Ordering::Relaxed);
+                        if let Some(tally) = tally {
+                            tally
+                                .passes
+                                .fetch_add(run.trace.len() as u64, Ordering::Relaxed);
+                        }
                         let run = Arc::new(run);
                         if let Some(key) = key {
-                            self.store(key, &run);
+                            self.store_tallied(key, &run, tally);
                         }
                         Ok(run)
                     }
@@ -672,24 +746,43 @@ impl Engine {
     /// counter moves here; the caller decides whether the miss leads to
     /// a computation (and then counts `cache_misses`).
     pub(crate) fn lookup(&self, key: &CacheKey) -> Option<Arc<PipelineRun>> {
+        self.lookup_tallied(key, None)
+    }
+
+    /// [`Engine::lookup`] with an optional per-run tally bumped in
+    /// lockstep with the cumulative counters.
+    pub(crate) fn lookup_tallied(
+        &self,
+        key: &CacheKey,
+        tally: Option<&RunTally>,
+    ) -> Option<Arc<PipelineRun>> {
         let hit = {
-            let mut cache = self.cache.lock().expect("cache poisoned");
+            let mut cache = self.lock_cache();
             cache.get_touch(key, self.capacity.is_some())
         };
         if let Some(run) = hit {
             self.hits.fetch_add(1, Ordering::Relaxed);
+            if let Some(tally) = tally {
+                tally.hits.fetch_add(1, Ordering::Relaxed);
+            }
             return Some(run);
         }
         let disk = self.disk.as_ref()?;
         match disk.load(key.scope.tag(), key.triple()) {
             Some(run) => {
                 self.disk_hits.fetch_add(1, Ordering::Relaxed);
+                if let Some(tally) = tally {
+                    tally.disk_hits.fetch_add(1, Ordering::Relaxed);
+                }
                 let run = Arc::new(run);
-                self.insert(*key, run.clone());
+                self.insert(*key, run.clone(), tally);
                 Some(run)
             }
             None => {
                 self.disk_misses.fetch_add(1, Ordering::Relaxed);
+                if let Some(tally) = tally {
+                    tally.disk_misses.fetch_add(1, Ordering::Relaxed);
+                }
                 None
             }
         }
@@ -697,7 +790,18 @@ impl Engine {
 
     /// Stores a computed run in both tiers (write-through).
     pub(crate) fn store(&self, key: CacheKey, run: &Arc<PipelineRun>) {
-        self.insert(key, run.clone());
+        self.store_tallied(key, run, None);
+    }
+
+    /// [`Engine::store`] with an optional per-run tally (evictions the
+    /// insert triggers are attributed to the inserting run).
+    pub(crate) fn store_tallied(
+        &self,
+        key: CacheKey,
+        run: &Arc<PipelineRun>,
+        tally: Option<&RunTally>,
+    ) {
+        self.insert(key, run.clone(), tally);
         if let Some(disk) = &self.disk {
             disk.store(key.scope.tag(), key.triple(), run);
         }
@@ -722,14 +826,17 @@ impl Engine {
         self.passes_executed.fetch_add(passes, Ordering::Relaxed);
     }
 
-    fn insert(&self, key: CacheKey, run: Arc<PipelineRun>) {
-        let mut cache = self.cache.lock().expect("cache poisoned");
+    fn insert(&self, key: CacheKey, run: Arc<PipelineRun>, tally: Option<&RunTally>) {
+        let mut cache = self.lock_cache();
         if let Some(capacity) = self.capacity {
             while cache.cells.len() >= capacity {
                 match cache.order.pop_front() {
                     Some(oldest) => {
                         cache.cells.remove(&oldest);
                         self.evictions.fetch_add(1, Ordering::Relaxed);
+                        if let Some(tally) = tally {
+                            tally.evictions.fetch_add(1, Ordering::Relaxed);
+                        }
                     }
                     None => return, // capacity 0: never insert
                 }
@@ -1125,6 +1232,68 @@ mod tests {
         assert_eq!(engine.stats().evictions, 0);
         engine.run(&FlowSpec::new("two").circuit("S2")).unwrap();
         assert_eq!(engine.stats().evictions, 1, "S1's cell was evicted");
+    }
+
+    #[test]
+    fn poisoned_cache_recovers_with_a_cleared_cache_fallback() {
+        let engine = std::sync::Arc::new(Engine::new().with_resolver(resolver));
+        let spec = FlowSpec::new("poison").circuit("S1");
+        engine.run(&spec).unwrap();
+        assert_eq!(engine.cached_cells(), 1);
+
+        // Poison the cache mutex: panic on another thread while holding
+        // the lock (the shape of a panicking request that dies inside a
+        // cache mutation).
+        let held = engine.clone();
+        let _ = std::thread::spawn(move || {
+            let _guard = held.cache.lock().unwrap();
+            panic!("request dies while holding the cache lock");
+        })
+        .join();
+        assert!(engine.cache.is_poisoned(), "the panic actually poisoned");
+
+        // The engine still serves: recovery drops the (possibly torn)
+        // cache and the run recomputes instead of panicking.
+        let run = engine.run(&spec).unwrap();
+        assert_eq!(run.stats.cache_hits, 0, "torn cache was dropped");
+        assert_eq!(run.stats.cache_misses, 1);
+        assert!(!engine.cache.is_poisoned(), "poison flag cleared");
+
+        // ... and caching works again afterwards.
+        let warm = engine.run(&spec).unwrap();
+        assert_eq!(warm.stats.cache_hits, 1);
+    }
+
+    #[test]
+    fn concurrent_runs_report_exact_per_run_stats() {
+        // Two runs race on one engine; each run's stats must describe
+        // that run alone (global-delta snapshots would mix them).
+        let engine = std::sync::Arc::new(Engine::new().with_resolver(resolver));
+        let threads: Vec<_> = [1u64, 2]
+            .into_iter()
+            .map(|seed| {
+                let engine = engine.clone();
+                std::thread::spawn(move || {
+                    let name = if seed == 1 { "S1" } else { "S2" };
+                    let spec = FlowSpec::new(format!("c{seed}")).circuit(name);
+                    engine.run(&spec).unwrap().stats
+                })
+            })
+            .collect();
+        let stats: Vec<EngineStats> = threads.into_iter().map(|t| t.join().unwrap()).collect();
+        for s in &stats {
+            assert_eq!(s.cache_hits + s.cache_misses, 1, "one cell per run");
+        }
+        let total = engine.stats();
+        assert_eq!(
+            total.cache_hits + total.cache_misses,
+            stats.iter().map(|s| s.cache_hits + s.cache_misses).sum(),
+            "per-run tallies partition the cumulative counters"
+        );
+        assert_eq!(
+            total.passes_executed,
+            stats.iter().map(|s| s.passes_executed).sum()
+        );
     }
 
     #[test]

@@ -503,9 +503,42 @@ pub(crate) struct DiskCache {
 /// Distinguishes temp files of concurrent stores within one process.
 static TMP_COUNTER: AtomicU64 = AtomicU64::new(0);
 
+/// Orphaned temp files older than this are garbage-collected when a
+/// cache is opened. A crash between the temp write and the rename
+/// leaves a `.tmp-*` behind; the committed entries are untouched (the
+/// rename never happened), but the orphans would accumulate forever.
+/// The generous age floor keeps a *live* writer in another process —
+/// even one mid-multi-second store — safe from collection.
+const ORPHAN_TMP_TTL: std::time::Duration = std::time::Duration::from_secs(600);
+
 impl DiskCache {
     pub(crate) fn new(root: PathBuf) -> DiskCache {
+        Self::sweep_orphans(&root);
         DiskCache { root }
+    }
+
+    /// Removes stale `.tmp-*` leftovers of crashed writers. Best-effort
+    /// on every path: a missing root, unreadable metadata or a racing
+    /// unlink are all fine.
+    fn sweep_orphans(root: &Path) {
+        let Ok(entries) = std::fs::read_dir(root) else {
+            return;
+        };
+        for entry in entries.flatten() {
+            let name = entry.file_name();
+            if !name.to_string_lossy().starts_with(".tmp-") {
+                continue;
+            }
+            let stale = entry
+                .metadata()
+                .and_then(|m| m.modified())
+                .ok()
+                .and_then(|modified| modified.elapsed().ok())
+                .is_some_and(|age| age >= ORPHAN_TMP_TTL);
+            if stale {
+                let _ = std::fs::remove_file(entry.path());
+            }
+        }
     }
 
     pub(crate) fn root(&self) -> &Path {
@@ -610,8 +643,18 @@ impl DiskCache {
             std::process::id(),
             TMP_COUNTER.fetch_add(1, Ordering::Relaxed)
         ));
+        // Write the full entry to a private temp file, force it to
+        // stable storage, then publish with an atomic rename: a crash
+        // at any point (or a concurrent daemon process storing the same
+        // key) can leave an orphaned temp file, never a torn entry
+        // under the final name.
         let written = std::fs::create_dir_all(&self.root)
-            .and_then(|()| std::fs::write(&tmp, &text))
+            .and_then(|()| {
+                use std::io::Write as _;
+                let mut file = std::fs::File::create(&tmp)?;
+                file.write_all(text.as_bytes())?;
+                file.sync_all()
+            })
             .and_then(|()| std::fs::rename(&tmp, &path));
         if let Err(e) = written {
             let _ = std::fs::remove_file(&tmp);
@@ -709,6 +752,101 @@ mod tests {
         // The pristine text still loads (the checks above were real).
         std::fs::write(&path, &pristine).unwrap();
         assert!(cache.load("cell", (7, 8, 9)).is_some());
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn simulated_partial_write_leaves_committed_entries_intact() {
+        let dir = std::env::temp_dir().join(format!("wavepipe-partial-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        let cache = DiskCache::new(dir.clone());
+        let run = sample_run();
+        cache.store("cell", (1, 1, 1), &run);
+        let pristine = std::fs::read_to_string(cache.entry_path("cell", (1, 1, 1))).unwrap();
+
+        // Simulate a writer that crashed mid-store: a half-written temp
+        // file sits in the cache dir, the rename never happened. The
+        // committed entry must still load, and the orphan must not be
+        // mistaken for an entry under any key.
+        let orphan = dir.join(".tmp-99999-0");
+        std::fs::write(&orphan, &pristine[..pristine.len() / 3]).unwrap();
+        assert_eq!(
+            run_to_json(
+                &cache
+                    .load("cell", (1, 1, 1))
+                    .expect("committed entry intact")
+            ),
+            run_to_json(&run)
+        );
+
+        // A freshly-opened cache leaves the young orphan alone (it
+        // could belong to a live writer in another process) ...
+        let _reopened = DiskCache::new(dir.clone());
+        assert!(orphan.exists(), "young temp files are not collected");
+
+        // ... but collects it once it is older than the TTL.
+        let aged = std::time::SystemTime::now() - (ORPHAN_TMP_TTL + ORPHAN_TMP_TTL);
+        let file = std::fs::File::options().write(true).open(&orphan).unwrap();
+        file.set_times(std::fs::FileTimes::new().set_modified(aged))
+            .unwrap();
+        drop(file);
+        let _reopened = DiskCache::new(dir.clone());
+        assert!(!orphan.exists(), "stale orphan garbage-collected");
+        assert!(
+            cache.load("cell", (1, 1, 1)).is_some(),
+            "collection never touches committed entries"
+        );
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn concurrent_stores_of_one_key_never_tear_the_entry() {
+        let dir = std::env::temp_dir().join(format!("wavepipe-racing-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        let cache = std::sync::Arc::new(DiskCache::new(dir.clone()));
+        let run = std::sync::Arc::new(sample_run());
+        let expected = run_to_json(&run);
+
+        // Many writers race the same key (the daemon shape: coalescing
+        // dedups identical in-flight specs, but distinct specs can
+        // still collide on a shared cache cell). Readers interleave;
+        // every successful load must be the complete entry.
+        let writers: Vec<_> = (0..8)
+            .map(|_| {
+                let (cache, run) = (cache.clone(), run.clone());
+                std::thread::spawn(move || {
+                    for _ in 0..4 {
+                        cache.store("cell", (5, 5, 5), &run);
+                    }
+                })
+            })
+            .collect();
+        let readers: Vec<_> = (0..4)
+            .map(|_| {
+                let (cache, expected) = (cache.clone(), expected.clone());
+                std::thread::spawn(move || {
+                    for _ in 0..8 {
+                        if let Some(loaded) = cache.load("cell", (5, 5, 5)) {
+                            assert_eq!(run_to_json(&loaded), expected, "torn read");
+                        }
+                    }
+                })
+            })
+            .collect();
+        for t in writers.into_iter().chain(readers) {
+            t.join().unwrap();
+        }
+        assert_eq!(
+            run_to_json(&cache.load("cell", (5, 5, 5)).expect("entry present")),
+            expected
+        );
+        // No temp litter survives a clean run.
+        let litter: Vec<_> = std::fs::read_dir(&dir)
+            .unwrap()
+            .flatten()
+            .filter(|e| e.file_name().to_string_lossy().starts_with(".tmp-"))
+            .collect();
+        assert!(litter.is_empty(), "orphaned temp files after clean stores");
         let _ = std::fs::remove_dir_all(&dir);
     }
 }

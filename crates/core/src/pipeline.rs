@@ -622,7 +622,7 @@ impl FlowPipeline {
             return Vec::new();
         }
         crate::engine::Engine::uncached()
-            .grid_cells(self, None, graphs, models, &|_| {})
+            .grid_cells(self, None, graphs, models, None, &|_| {})
             .into_iter()
             .map(|cell| GridCell {
                 circuit: cell.circuit,

@@ -1,0 +1,265 @@
+//! Request coalescing: identical in-flight work executes once.
+//!
+//! The engine's content-hash cache already dedups *completed* work, but
+//! two identical specs arriving together would both miss the cache and
+//! race the pipeline. A [`Coalescer`] closes that window with a slot
+//! map layered over the cache: the first arrival for a key becomes the
+//! **leader** and computes; every later arrival while the slot is live
+//! becomes a **follower** and blocks on the slot's [`Condvar`] until
+//! the leader publishes the shared result. Slots are removed on
+//! completion, so post-completion arrivals go back to the cache tier
+//! (where the leader's store has already landed).
+//!
+//! A leader that panics mid-compute marks its slot abandoned and wakes
+//! every follower; one of them retries as the new leader, so a single
+//! poisoned request never wedges the queue behind it.
+
+use std::collections::hash_map::Entry;
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Condvar, Mutex, MutexGuard};
+
+enum SlotState<T> {
+    /// The leader is still computing.
+    Pending,
+    /// The leader published; followers clone this.
+    Done(T),
+    /// The leader panicked before publishing; followers retry.
+    Abandoned,
+}
+
+struct Slot<T> {
+    state: Mutex<SlotState<T>>,
+    ready: Condvar,
+}
+
+impl<T> Slot<T> {
+    fn new() -> Slot<T> {
+        Slot {
+            state: Mutex::new(SlotState::Pending),
+            ready: Condvar::new(),
+        }
+    }
+}
+
+/// Recover a poisoned slot/map lock: the daemon must keep serving even
+/// after a panicking request, and every mutation the coalescer performs
+/// is a single assignment — there is no torn intermediate state.
+fn relock<T>(lock: &Mutex<T>) -> MutexGuard<'_, T> {
+    lock.lock().unwrap_or_else(|poisoned| poisoned.into_inner())
+}
+
+/// Publishes `Abandoned` if the leader unwinds before `disarm`.
+struct AbandonOnPanic<'a, T> {
+    slots: &'a Mutex<HashMap<u64, Arc<Slot<T>>>>,
+    slot: &'a Arc<Slot<T>>,
+    key: u64,
+    armed: bool,
+}
+
+impl<T> Drop for AbandonOnPanic<'_, T> {
+    fn drop(&mut self) {
+        if !self.armed {
+            return;
+        }
+        *relock(&self.slot.state) = SlotState::Abandoned;
+        self.slot.ready.notify_all();
+        relock(self.slots).remove(&self.key);
+    }
+}
+
+/// The in-flight slot map. `T` is the shared result type — cheap to
+/// clone (an `Arc` in the daemon).
+pub struct Coalescer<T> {
+    slots: Mutex<HashMap<u64, Arc<Slot<T>>>>,
+    executed: AtomicU64,
+    coalesced: AtomicU64,
+}
+
+impl<T: Clone> Default for Coalescer<T> {
+    fn default() -> Coalescer<T> {
+        Coalescer::new()
+    }
+}
+
+impl<T: Clone> Coalescer<T> {
+    pub fn new() -> Coalescer<T> {
+        Coalescer {
+            slots: Mutex::new(HashMap::new()),
+            executed: AtomicU64::new(0),
+            coalesced: AtomicU64::new(0),
+        }
+    }
+
+    /// Runs `compute` for `key`, or joins an identical in-flight
+    /// computation. Returns the (possibly shared) result and whether
+    /// this call was coalesced onto another caller's execution.
+    pub fn run(&self, key: u64, compute: impl FnOnce() -> T) -> (T, bool) {
+        loop {
+            let role = {
+                let mut slots = relock(&self.slots);
+                match slots.entry(key) {
+                    Entry::Occupied(entry) => Err(entry.get().clone()),
+                    Entry::Vacant(entry) => {
+                        let slot = Arc::new(Slot::new());
+                        entry.insert(slot.clone());
+                        Ok(slot)
+                    }
+                }
+            };
+            match role {
+                Ok(slot) => {
+                    let mut guard = AbandonOnPanic {
+                        slots: &self.slots,
+                        slot: &slot,
+                        key,
+                        armed: true,
+                    };
+                    let value = compute();
+                    guard.armed = false;
+                    *relock(&slot.state) = SlotState::Done(value.clone());
+                    slot.ready.notify_all();
+                    relock(&self.slots).remove(&key);
+                    self.executed.fetch_add(1, Ordering::Relaxed);
+                    return (value, false);
+                }
+                Err(slot) => {
+                    let mut state = relock(&slot.state);
+                    loop {
+                        match &*state {
+                            SlotState::Pending => {
+                                state = slot
+                                    .ready
+                                    .wait(state)
+                                    .unwrap_or_else(|poisoned| poisoned.into_inner());
+                            }
+                            SlotState::Done(value) => {
+                                self.coalesced.fetch_add(1, Ordering::Relaxed);
+                                return (value.clone(), true);
+                            }
+                            SlotState::Abandoned => break,
+                        }
+                    }
+                    // Leader died; loop back and contend for the slot.
+                }
+            }
+        }
+    }
+
+    /// Computations actually executed (coalescing leaders).
+    pub fn executed(&self) -> u64 {
+        self.executed.load(Ordering::Relaxed)
+    }
+
+    /// Calls served by joining another caller's in-flight execution.
+    pub fn coalesced(&self) -> u64 {
+        self.coalesced.load(Ordering::Relaxed)
+    }
+
+    /// Keys currently in flight.
+    pub fn in_flight(&self) -> usize {
+        relock(&self.slots).len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::Barrier;
+
+    #[test]
+    fn identical_keys_execute_once_and_share_the_value() {
+        let coalescer = Arc::new(Coalescer::new());
+        let barrier = Arc::new(Barrier::new(9)); // 8 workers + the test
+        let executions = Arc::new(AtomicU64::new(0));
+        let (entered_tx, entered_rx) = std::sync::mpsc::channel::<()>();
+        let (release_tx, release_rx) = std::sync::mpsc::channel::<()>();
+        let release_rx = Arc::new(Mutex::new(release_rx));
+        let threads: Vec<_> = (0..8)
+            .map(|_| {
+                let (coalescer, barrier, executions) =
+                    (coalescer.clone(), barrier.clone(), executions.clone());
+                let (entered_tx, release_rx) = (entered_tx.clone(), release_rx.clone());
+                std::thread::spawn(move || {
+                    barrier.wait();
+                    coalescer.run(42, || {
+                        executions.fetch_add(1, Ordering::SeqCst);
+                        entered_tx.send(()).unwrap();
+                        // Hold the slot open until the test releases it,
+                        // so the other seven calls really are in flight.
+                        release_rx.lock().unwrap().recv().unwrap();
+                        "result".to_owned()
+                    })
+                })
+            })
+            .collect();
+        barrier.wait(); // every worker is past the start line
+        entered_rx.recv().unwrap(); // the leader is inside compute
+                                    // Give the seven followers time to block on the slot, then
+                                    // release the leader.
+        std::thread::sleep(std::time::Duration::from_millis(100));
+        release_tx.send(()).unwrap();
+        let results: Vec<(String, bool)> = threads.into_iter().map(|t| t.join().unwrap()).collect();
+        assert_eq!(executions.load(Ordering::SeqCst), 1, "one execution");
+        assert_eq!(coalescer.executed(), 1);
+        assert_eq!(coalescer.coalesced(), 7);
+        assert_eq!(results.iter().filter(|(_, c)| !*c).count(), 1);
+        assert!(results.iter().all(|(v, _)| v == "result"));
+        assert_eq!(coalescer.in_flight(), 0, "slot removed after completion");
+    }
+
+    #[test]
+    fn distinct_keys_do_not_coalesce() {
+        let coalescer = Coalescer::new();
+        for key in 0..5u64 {
+            let (value, coalesced) = coalescer.run(key, || key * 2);
+            assert_eq!(value, key * 2);
+            assert!(!coalesced);
+        }
+        assert_eq!(coalescer.executed(), 5);
+        assert_eq!(coalescer.coalesced(), 0);
+    }
+
+    #[test]
+    fn sequential_identical_keys_each_execute() {
+        // Coalescing only spans *in-flight* work — a finished slot is
+        // removed, and the cache tier (not the coalescer) serves later
+        // arrivals.
+        let coalescer = Coalescer::new();
+        assert_eq!(coalescer.run(7, || 1).0, 1);
+        assert_eq!(coalescer.run(7, || 2).0, 2, "second call recomputes");
+        assert_eq!(coalescer.executed(), 2);
+    }
+
+    #[test]
+    fn panicking_leader_hands_off_to_a_follower() {
+        let coalescer = Arc::new(Coalescer::<u64>::new());
+        let barrier = Arc::new(Barrier::new(2));
+
+        let leader = {
+            let (coalescer, barrier) = (coalescer.clone(), barrier.clone());
+            std::thread::spawn(move || {
+                let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+                    coalescer.run(9, || {
+                        barrier.wait(); // follower is aboard
+                                        // Give the follower time to actually block.
+                        std::thread::sleep(std::time::Duration::from_millis(50));
+                        panic!("leader dies mid-compute");
+                    })
+                }));
+                assert!(result.is_err());
+            })
+        };
+        let follower = {
+            let (coalescer, barrier) = (coalescer.clone(), barrier.clone());
+            std::thread::spawn(move || {
+                barrier.wait();
+                coalescer.run(9, || 77)
+            })
+        };
+        leader.join().unwrap();
+        let (value, _) = follower.join().unwrap();
+        assert_eq!(value, 77, "follower retried as the new leader");
+        assert_eq!(coalescer.in_flight(), 0);
+    }
+}

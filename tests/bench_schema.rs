@@ -7,8 +7,8 @@ use serde::Value;
 use wavepipe::EngineStats;
 use wavepipe_bench::record::{
     BenchRecord, EditPoint, ExhaustivePoint, GridPoint, IncrementalPoint, IncrementalRecord,
-    PassSummary, PassThroughput, ScalingPoint, ScalingRecord, StageRecord, VerifyPoint,
-    VerifyRecord, WidePoint, WideRecord,
+    LatencySummary, LoadPhase, PassSummary, PassThroughput, ScalingPoint, ScalingRecord,
+    ServeRecord, ServeTotals, StageRecord, VerifyPoint, VerifyRecord, WidePoint, WideRecord,
 };
 
 /// Sorted top-level keys of a JSON object value.
@@ -318,6 +318,112 @@ fn bench_pr7_record_schema_is_pinned() {
 }
 
 #[test]
+fn bench_pr9_record_schema_is_pinned() {
+    let record = ServeRecord {
+        protocol_version: 1,
+        workers: 4,
+        queue_depth: 256,
+        client_queue: 1024,
+        shed_slow_clients: true,
+        phases: vec![LoadPhase {
+            name: "coalesce_burst".to_owned(),
+            clients: 100,
+            pipelined: 10,
+            requests: 1000,
+            completed: 1000,
+            failed: 0,
+            distinct_specs: 1,
+            wall_ms: 190.0,
+            requests_per_sec: 5200.0,
+            latency: LatencySummary {
+                count: 1000,
+                min_ms: 90.0,
+                mean_ms: 130.0,
+                p50_ms: 128.0,
+                p95_ms: 162.0,
+                p99_ms: 176.0,
+                max_ms: 177.0,
+            },
+            executed: 8,
+            coalesced: 992,
+            cache_hits: 7,
+            cache_misses: 1,
+        }],
+        server: ServeTotals {
+            requests: 2000,
+            completed: 2000,
+            failed: 0,
+            rejected: 0,
+            coalesced: 1052,
+            executed: 948,
+            cells_streamed: 2000,
+            cells_shed: 0,
+            clients: 206,
+        },
+        engine_totals: EngineStats::default(),
+    };
+    let value = to_value(&record);
+    assert_eq!(
+        keys(&value),
+        [
+            "client_queue",
+            "engine_totals",
+            "phases",
+            "protocol_version",
+            "queue_depth",
+            "server",
+            "shed_slow_clients",
+            "workers"
+        ]
+    );
+    assert_eq!(
+        keys(serde::field(value.as_object().unwrap(), "engine_totals").unwrap()),
+        ENGINE_KEYS
+    );
+    let phase = &serde::field(value.as_object().unwrap(), "phases")
+        .unwrap()
+        .as_array()
+        .unwrap()[0];
+    assert_eq!(
+        keys(phase),
+        [
+            "cache_hits",
+            "cache_misses",
+            "clients",
+            "coalesced",
+            "completed",
+            "distinct_specs",
+            "executed",
+            "failed",
+            "latency",
+            "name",
+            "pipelined",
+            "requests",
+            "requests_per_sec",
+            "wall_ms"
+        ]
+    );
+    assert_eq!(
+        keys(serde::field(phase.as_object().unwrap(), "latency").unwrap()),
+        ["count", "max_ms", "mean_ms", "min_ms", "p50_ms", "p95_ms", "p99_ms"]
+    );
+    assert_eq!(
+        keys(serde::field(value.as_object().unwrap(), "server").unwrap()),
+        [
+            "cells_shed",
+            "cells_streamed",
+            "clients",
+            "coalesced",
+            "completed",
+            "executed",
+            "failed",
+            "rejected",
+            "requests"
+        ]
+    );
+}
+
+#[test]
 fn lint_report_schema_is_pinned() {
     let mut netlist = wavepipe::Netlist::new("hot");
     let a = netlist.add_input("a");
@@ -405,11 +511,12 @@ fn generated_lint_report_parses_clean() {
 
 /// Generated artifacts must match the pinned schema too. Most of
 /// `results/` is gitignored (the binaries regenerate it;
-/// `BENCH_pr6.json` and `BENCH_pr7.json` are committed as perf
-/// baselines), so absent files are skipped — CI's smoke jobs run the
-/// `scaling` / `verify_throughput` / `eco` binaries first and then
+/// `BENCH_pr6.json`, `BENCH_pr7.json` and `BENCH_pr9.json` are
+/// committed as perf baselines), so absent files are skipped — CI's
+/// smoke jobs run the `scaling` / `verify_throughput` / `eco` binaries
+/// (and the `wavepipe-serve`/`wavepipe-load` pair) first and then
 /// this test, which is what keeps `results/BENCH_pr4.json`–
-/// `BENCH_pr7.json` generation from rotting relative to the record
+/// `BENCH_pr9.json` generation from rotting relative to the record
 /// types.
 #[test]
 fn generated_bench_records_parse_with_the_pinned_shape() {
@@ -437,6 +544,20 @@ fn generated_bench_records_parse_with_the_pinned_shape() {
         (
             "results/BENCH_pr7.json",
             vec!["engine_totals", "pipeline", "points"],
+            true,
+        ),
+        (
+            "results/BENCH_pr9.json",
+            vec![
+                "client_queue",
+                "engine_totals",
+                "phases",
+                "protocol_version",
+                "queue_depth",
+                "server",
+                "shed_slow_clients",
+                "workers",
+            ],
             true,
         ),
     ] {
