@@ -1,0 +1,237 @@
+//! Logic-optimization QoR benchmark: the raw reference flow vs the
+//! rewrite-prefixed flow (`optimize_depth` + `optimize_size` before
+//! mapping), swept over the skew/share synthetic families plus a suite
+//! subset, across every technology, on one shared cached engine. Writes
+//! `results/BENCH_pr10.json` (shape: [`QorRecord`]).
+//!
+//! ```text
+//! cargo run --release -p wavepipe-bench --bin qor [-- --max-nodes N]
+//! ```
+//!
+//! Both flows run under a per-pass equivalence gate, so every measured
+//! cell is also a differential proof that the rewrites (and everything
+//! after them) preserved the source function. The run asserts the QoR
+//! contract of the rewrite kernels — at least 2× depth reduction on the
+//! maximally-skewed `chain` family, gate-count reduction on the
+//! shared-context `shared` family — and that a warm re-run of both
+//! grids is a pure cache hit (zero passes), i.e. the rewrite passes
+//! participate in the engine's content-hash cache key like every other
+//! pass. `--max-nodes` skips circuits above N gates (CI smoke).
+
+use std::fs;
+use std::path::Path;
+
+use tech::Technology;
+use wavepipe::{EquivalencePolicy, FlowConfig, PipelineSpec};
+use wavepipe_bench::harness::engine;
+use wavepipe_bench::record::{QorCell, QorCircuit, QorRecord};
+
+/// Rewrite-round budget: enough for the deepest chain in the sweep to
+/// reach its balanced form.
+const MAX_ROUNDS: usize = 64;
+
+/// The sweep: skewed chains (the depth-rewrite demonstrator),
+/// shared-context collapse groups (the size-rewrite demonstrator), the
+/// other synthetic families, and two hand-written suite circuits.
+const CIRCUITS: [&str; 11] = [
+    "synth:chain:1:length=64",
+    "synth:chain:2:chains=2,length=128",
+    "synth:chain:3:length=256",
+    "synth:shared:4:groups=24,width=16",
+    "synth:shared:5:groups=64,width=24",
+    "synth:adder:6:width=16",
+    "synth:parity:7:width=32",
+    "synth:majtree:8:width=81",
+    "synth:dag:9:nodes=400",
+    "SASC",
+    "HAMMING",
+];
+
+/// `synth:<family>:…` → family; registry names → `suite`.
+fn family_of(name: &str) -> String {
+    name.strip_prefix("synth:")
+        .and_then(|rest| rest.split(':').next())
+        .unwrap_or("suite")
+        .to_owned()
+}
+
+fn main() {
+    let mut max_nodes = usize::MAX;
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--max-nodes" => {
+                max_nodes = args
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .expect("--max-nodes takes an integer");
+            }
+            other => panic!("unknown argument `{other}` (try --max-nodes N)"),
+        }
+    }
+
+    let out_dir = Path::new("results");
+    fs::create_dir_all(out_dir).expect("create results/");
+    let engine = engine();
+    let technologies = Technology::all();
+    let tables: Vec<tech::CostTable> = technologies.iter().map(Technology::cost_table).collect();
+
+    let policy = EquivalencePolicy::default();
+    let raw = PipelineSpec::for_config(FlowConfig::default()).gate_equivalence(policy);
+    // The rewrite-prefixed flow: identical netlist passes, with the two
+    // cost-blind MIG rewrites leading (build() slots `map` in after
+    // them).
+    let mut opt = PipelineSpec::map(raw.minimize_inverters)
+        .optimize_depth(MAX_ROUNDS)
+        .optimize_size(MAX_ROUNDS)
+        .gate_equivalence(policy);
+    opt.passes.extend(raw.passes.iter().cloned());
+
+    let graphs: Vec<mig::Mig> = CIRCUITS
+        .iter()
+        .filter_map(|name| {
+            let g = benchsuite::build_mig(name).unwrap_or_else(|| panic!("unknown circuit {name}"));
+            (g.gate_count() <= max_nodes).then_some(g)
+        })
+        .collect();
+    assert!(!graphs.is_empty(), "--max-nodes filtered out every circuit");
+    let graph_refs: Vec<&mig::Mig> = graphs.iter().collect();
+
+    let raw_cells = engine
+        .run_pipeline_grid(&raw, &graph_refs, &tables)
+        .expect("raw pipeline spec is well-formed");
+    let opt_cells = engine
+        .run_pipeline_grid(&opt, &graph_refs, &tables)
+        .expect("rewrite pipeline spec is well-formed");
+
+    // Warm re-run of both grids: the rewrite passes are part of the
+    // pipeline content hash, so everything must come back from cache.
+    let before = engine.stats();
+    engine
+        .run_pipeline_grid(&raw, &graph_refs, &tables)
+        .expect("warm raw grid");
+    engine
+        .run_pipeline_grid(&opt, &graph_refs, &tables)
+        .expect("warm rewrite grid");
+    let warm = engine.stats().since(&before);
+    assert_eq!(
+        warm.passes_executed, 0,
+        "warm re-run of both grids must execute zero passes"
+    );
+
+    let techs_n = technologies.len();
+    let cell_run = |cells: &[wavepipe::EngineCell], ci: usize, ti: usize| {
+        cells[ci * techs_n + ti]
+            .outcome
+            .as_ref()
+            .unwrap_or_else(|e| panic!("{} @ {}: flow failed: {e}", graphs[ci].name(), ti))
+            .clone()
+    };
+
+    let mut circuits = Vec::with_capacity(graphs.len());
+    let mut cells = Vec::with_capacity(graphs.len() * techs_n);
+    println!(
+        "{:<40} {:>7} {:>7} {:>7} {:>7} {:>7} {:>7}",
+        "circuit", "gates", "gates'", "depth", "depth'", "d-gain", "g-gain"
+    );
+    for (ci, g) in graphs.iter().enumerate() {
+        // The rewrites are cost-blind, so the MIG-level QoR is read off
+        // the first technology's cell.
+        let opt_run = cell_run(&opt_cells, ci, 0);
+        let rewrites: Vec<&wavepipe::PassStats> = opt_run
+            .trace
+            .iter()
+            .filter(|p| p.pass.starts_with("optimize_"))
+            .collect();
+        let last = rewrites.last().expect("the rewrite prefix is traced");
+        let (raw_gates, raw_depth) = (g.gate_count(), g.depth());
+        let (opt_gates, opt_depth) = (last.counts_after.maj, last.depth_after);
+        let point = QorCircuit {
+            name: g.name().to_owned(),
+            family: family_of(g.name()),
+            raw_gates,
+            raw_depth,
+            opt_gates,
+            opt_depth,
+            depth_gain: raw_depth as f64 / opt_depth.max(1) as f64,
+            gate_gain: raw_gates as f64 / opt_gates.max(1) as f64,
+            rewrite_micros: rewrites.iter().map(|p| p.micros).sum(),
+        };
+        println!(
+            "{:<40} {:>7} {:>7} {:>7} {:>7} {:>7.2} {:>7.2}",
+            point.name,
+            point.raw_gates,
+            point.opt_gates,
+            point.raw_depth,
+            point.opt_depth,
+            point.depth_gain,
+            point.gate_gain
+        );
+        // The QoR contract the rewrite kernels exist to deliver.
+        match point.family.as_str() {
+            "chain" => assert!(
+                point.depth_gain >= 2.0,
+                "{}: skewed chains must at least halve in depth (got {:.2}×)",
+                point.name,
+                point.depth_gain
+            ),
+            "shared" => assert!(
+                point.opt_gates < point.raw_gates,
+                "{}: shared-context groups must lose gates ({} from {})",
+                point.name,
+                point.opt_gates,
+                point.raw_gates
+            ),
+            _ => {}
+        }
+        circuits.push(point);
+
+        for (ti, technology) in technologies.iter().enumerate() {
+            let raw_run = cell_run(&raw_cells, ci, ti);
+            let opt_run = cell_run(&opt_cells, ci, ti);
+            let priced = |run: &wavepipe::PipelineRun| {
+                let p = run
+                    .trace
+                    .last()
+                    .and_then(|s| s.priced.as_ref())
+                    .expect("priced grid cells trace costs");
+                (p.after.area, p.after.latency)
+            };
+            let (raw_area, raw_cycle_time) = priced(&raw_run);
+            let (opt_area, opt_cycle_time) = priced(&opt_run);
+            cells.push(QorCell {
+                circuit: g.name().to_owned(),
+                technology: technology.name.clone(),
+                raw_size: raw_run.result.pipelined_counts().priced_total(),
+                opt_size: opt_run.result.pipelined_counts().priced_total(),
+                raw_wave_depth: raw_run.result.pipelined.depth(),
+                opt_wave_depth: opt_run.result.pipelined.depth(),
+                raw_area,
+                opt_area,
+                raw_cycle_time,
+                opt_cycle_time,
+            });
+        }
+    }
+
+    let record = QorRecord {
+        raw_pipeline: raw.build().expect("well-ordered").pass_names(),
+        opt_pipeline: opt.build().expect("well-ordered").pass_names(),
+        equivalence_gated: true,
+        circuits,
+        cells,
+        engine_totals: engine.stats(),
+        warm,
+    };
+    fs::write(
+        out_dir.join("BENCH_pr10.json"),
+        serde_json::to_string_pretty(&record).expect("serialize"),
+    )
+    .expect("write BENCH_pr10.json");
+    println!(
+        "\nqor record: results/BENCH_pr10.json ({} circuits × {} technologies, warm passes: {})",
+        record.circuits.len(),
+        technologies.len(),
+        record.warm.passes_executed
+    );
+}

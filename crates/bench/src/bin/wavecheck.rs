@@ -4,7 +4,7 @@
 //! ```text
 //! cargo run --release -p wavepipe-bench --bin wavecheck -- \
 //!     [NAME ...] [--quick] [--suite] [--presets] [--spec FILE] \
-//!     [--fanout-limit K] [--json] [--out FILE]
+//!     [--fanout-limit K] [--optimize] [--json] [--out FILE]
 //! ```
 //!
 //! Every positional `NAME` is resolved through the `benchsuite`
@@ -16,6 +16,13 @@
 //!    per-pass lint gating enabled, and
 //! 3. statically re-checks the pipelined netlist against every `WP0xx`
 //!    legality rule — no simulation involved.
+//!
+//! `--optimize` prefixes the flow with the MIG rewrite passes
+//! (`optimize_depth` then `optimize_size`) and lints the *rewritten*
+//! MIG — the flow's actual mapping input — instead of the raw source
+//! graph, so the report demonstrates the rewrites leave the graph
+//! hygienic (in particular, `optimize_size` clears `MIG001` reducible
+//! gates wherever the collapse applies).
 //!
 //! `--spec FILE` additionally lints a [`wavepipe::FlowSpec`] JSON file
 //! with the `SPEC0xx` rules (the same check the engine runs before a
@@ -40,10 +47,13 @@ use wavepipe_bench::harness::QUICK_SUBSET;
 /// (the paper's default, matching [`wavepipe::FlowConfig::default`]).
 const DEFAULT_FANOUT_LIMIT: u32 = 3;
 
+/// Rewrite-round budget of the `--optimize` prefix.
+const REWRITE_ROUNDS: usize = 16;
+
 fn usage(code: u8) -> ExitCode {
     eprintln!(
         "usage: wavecheck [NAME ...] [--quick] [--suite] [--presets] \
-         [--spec FILE] [--fanout-limit K] [--json] [--out FILE]"
+         [--spec FILE] [--fanout-limit K] [--optimize] [--json] [--out FILE]"
     );
     ExitCode::from(code)
 }
@@ -52,6 +62,7 @@ fn main() -> ExitCode {
     let mut names: Vec<String> = Vec::new();
     let mut spec_paths: Vec<String> = Vec::new();
     let mut fanout_limit = DEFAULT_FANOUT_LIMIT;
+    let mut optimize = false;
     let mut json = false;
     let mut out: Option<String> = None;
 
@@ -69,6 +80,7 @@ fn main() -> ExitCode {
                 Some(k) => fanout_limit = k,
                 None => return usage(2),
             },
+            "--optimize" => optimize = true,
             "--json" => json = true,
             "--out" => match args.next() {
                 Some(path) => out = Some(path),
@@ -87,7 +99,13 @@ fn main() -> ExitCode {
     }
     names.dedup();
 
-    let pipeline = FlowPipeline::builder()
+    let mut builder = FlowPipeline::builder();
+    if optimize {
+        builder = builder
+            .optimize_depth(REWRITE_ROUNDS)
+            .optimize_size(REWRITE_ROUNDS);
+    }
+    let pipeline = builder
         .map(false)
         .restrict_fanout(fanout_limit)
         .insert_buffers(BufferStrategy::Asap)
@@ -125,7 +143,15 @@ fn main() -> ExitCode {
             eprintln!("wavecheck: unknown circuit `{name}`");
             return ExitCode::from(2);
         };
-        let mut diagnostics = wavepipe::lint_mig(&graph);
+        // With --optimize the flow maps the rewritten graph, so that is
+        // the MIG whose hygiene the report should attest.
+        let linted = if optimize {
+            let (by_depth, _) = mig::optimize_depth(&graph, REWRITE_ROUNDS);
+            mig::optimize_size(&by_depth, REWRITE_ROUNDS)
+        } else {
+            graph.clone()
+        };
+        let mut diagnostics = wavepipe::lint_mig(&linted);
         match pipeline.run(&graph) {
             Ok(run) => {
                 diagnostics.extend(wavepipe::lint_netlist(

@@ -5,9 +5,11 @@
 //! the `scaling` binary a [`ScalingRecord`] (`BENCH_pr4.json`), the
 //! `verify_throughput` binary a [`VerifyRecord`] (`BENCH_pr5.json`)
 //! plus a [`WideRecord`] (`BENCH_pr6.json`: flat-arena wide-block
-//! throughput and the block-width × thread-count grid), and the
+//! throughput and the block-width × thread-count grid), the
 //! `wavepipe-load` generator a [`ServeRecord`] (`BENCH_pr9.json`:
-//! daemon latency percentiles, throughput, and coalesce/cache rates).
+//! daemon latency percentiles, throughput, and coalesce/cache rates),
+//! and the `qor` binary a [`QorRecord`] (`BENCH_pr10.json`:
+//! raw-vs-rewritten logic-optimization QoR across technologies).
 //! The structs live here — not inside the binaries — so the schema is
 //! a *library contract*: the golden test `tests/bench_schema.rs` pins
 //! the exact field names and shapes, and any repro-tooling-breaking
@@ -363,6 +365,81 @@ pub struct ServeTotals {
     pub cells_shed: u64,
     /// Client connections accepted.
     pub clients: u64,
+}
+
+/// MIG-level QoR of one circuit under the rewrite prefix. The rewrite
+/// passes are cost-blind, so this table is technology-independent.
+#[derive(Clone, Debug, serde::Serialize)]
+pub struct QorCircuit {
+    /// Circuit name (canonical `synth:*` or registry name).
+    pub name: String,
+    /// Synthetic family (`chain`, `shared`, …) or `suite`.
+    pub family: String,
+    /// MIG majority gates before rewriting.
+    pub raw_gates: usize,
+    /// MIG depth before rewriting.
+    pub raw_depth: u32,
+    /// MIG majority gates after the rewrite prefix.
+    pub opt_gates: usize,
+    /// MIG depth after the rewrite prefix.
+    pub opt_depth: u32,
+    /// `raw_depth / opt_depth` — the depth-rewrite gain.
+    pub depth_gain: f64,
+    /// `raw_gates / opt_gates` — the size-rewrite gain.
+    pub gate_gain: f64,
+    /// Summed wall time of the rewrite passes, microseconds.
+    pub rewrite_micros: u64,
+}
+
+/// Final-netlist QoR of one (circuit, technology) cell: the raw flow
+/// vs the rewrite-prefixed flow, after the full wave-pipelining
+/// pipeline.
+#[derive(Clone, Debug, serde::Serialize)]
+pub struct QorCell {
+    /// Circuit name.
+    pub circuit: String,
+    /// Technology name.
+    pub technology: String,
+    /// Priced component count of the raw pipelined netlist.
+    pub raw_size: usize,
+    /// Priced component count of the rewritten pipelined netlist.
+    pub opt_size: usize,
+    /// Wave depth (balanced levels) of the raw flow.
+    pub raw_wave_depth: u32,
+    /// Wave depth of the rewritten flow.
+    pub opt_wave_depth: u32,
+    /// Priced area of the raw pipelined netlist.
+    pub raw_area: f64,
+    /// Priced area of the rewritten pipelined netlist.
+    pub opt_area: f64,
+    /// Priced cycle time (latency) of the raw pipelined netlist.
+    pub raw_cycle_time: f64,
+    /// Priced cycle time of the rewritten pipelined netlist.
+    pub opt_cycle_time: f64,
+}
+
+/// The `BENCH_pr10.json` shape: logic-optimization QoR — the raw
+/// reference flow vs the rewrite-prefixed flow over the skew/share
+/// synthetic families and a suite subset, across technologies, with
+/// every rewritten cell equivalence-gated against its source MIG.
+#[derive(Clone, Debug, serde::Serialize)]
+pub struct QorRecord {
+    /// Canonical pass names of the raw (reference) pipeline.
+    pub raw_pipeline: Vec<String>,
+    /// Canonical pass names of the rewrite-prefixed pipeline.
+    pub opt_pipeline: Vec<String>,
+    /// Whether both flows ran under a per-pass equivalence gate (they
+    /// must — recorded for auditability).
+    pub equivalence_gated: bool,
+    /// Technology-independent MIG-level QoR, one row per circuit.
+    pub circuits: Vec<QorCircuit>,
+    /// Final-netlist QoR per (circuit, technology), circuit-major.
+    pub cells: Vec<QorCell>,
+    /// Cumulative engine counters over the whole sweep.
+    pub engine_totals: EngineStats,
+    /// Engine counter deltas of the warm re-run of both grids — the
+    /// rewritten pipeline must be a pure cache hit (zero passes).
+    pub warm: EngineStats,
 }
 
 /// The `BENCH_pr9.json` shape: service-mode latency percentiles,

@@ -24,6 +24,8 @@
 //! | `parity`  | `width` (64), `layers` (1)                         | chained XOR reduction trees |
 //! | `majtree` | `width` (81), `trees` (1)                          | native 3-ary majority reduction trees over shared inputs |
 //! | `compose` | `blocks` (4), `mode` (0 serial / 1 parallel / 2 shared-input), `width` (8), `nodes` (60) | seed-derived blocks glued by a composition operator |
+//! | `chain`   | `length` (32), `chains` (1)                        | maximally skewed AND/OR chains — depth ≈ `length`, the worst case (and best demonstrator) for the depth-rewrite pass |
+//! | `shared`  | `groups` (8), `width` (12)                         | shared-context Ω.D collapse groups — every group is a 3-gate pattern `optimize_size` provably shrinks to 2 |
 //!
 //! Every generator is **total**: parameters are clamped to feasible
 //! ranges, so any `(family, seed, params)` triple yields a valid,
@@ -106,18 +108,22 @@ fn param(params: &[(String, u64)], key: &str, default: u64, min: u64, max: u64) 
 }
 
 /// The family names [`generate`] accepts, for docs and sweeps.
-pub const FAMILIES: [&str; 5] = ["dag", "adder", "parity", "majtree", "compose"];
+pub const FAMILIES: [&str; 7] = [
+    "dag", "adder", "parity", "majtree", "compose", "chain", "shared",
+];
 
 /// A few ready-made synthetic names spanning the families — handy
 /// defaults for examples and smoke sweeps (any other `synth:*` name
 /// works just as well).
-pub const PRESETS: [&str; 6] = [
+pub const PRESETS: [&str; 8] = [
     "synth:dag:1",
     "synth:dag:2:depth=14,nodes=1000",
     "synth:adder:3:chains=2,width=24",
     "synth:parity:4:layers=2,width=48",
     "synth:majtree:5:trees=3,width=81",
     "synth:compose:6:blocks=4,mode=2",
+    "synth:chain:7:length=48",
+    "synth:shared:8:groups=16,width=16",
 ];
 
 /// Generates the named family. `None` for an unknown family — the
@@ -131,6 +137,8 @@ pub fn generate(family: &str, seed: u64, params: &[(String, u64)]) -> Option<Mig
         "parity" => parity(seed, params),
         "majtree" => majtree(seed, params),
         "compose" => compose(seed, params),
+        "chain" => chain(seed, params),
+        "shared" => shared(seed, params),
         _ => return None,
     };
     g.set_name(
@@ -417,6 +425,73 @@ fn majtree(seed: u64, params: &[(String, u64)]) -> Mig {
             layer = next;
         }
         g.add_output(format!("t{t}"), layer[0]);
+    }
+    g
+}
+
+// --- chain -------------------------------------------------------------
+
+/// Maximally skewed AND/OR chains: each chain folds its inputs one at a
+/// time (`f = x[i] ∧/∨ f`, seed-derived gate mix and polarities), so
+/// depth equals gate count — the associativity-rewrite worst case. A
+/// depth rewrite re-balances each chain toward `log₂(length)`, which is
+/// what makes this family the QoR demonstrator for `optimize_depth`.
+/// Multiple chains read rotated copies of the same inputs.
+fn chain(seed: u64, params: &[(String, u64)]) -> Mig {
+    let length = param(params, "length", 32, 2, 4_096) as usize;
+    let chains = param(params, "chains", 1, 1, 64) as usize;
+    let mut rng = StdRng::seed_from_u64(seed ^ 0xC4A1_0000);
+    let mut g = Mig::new();
+    let pis = g.add_inputs("x", length);
+
+    for c in 0..chains {
+        let rot = if c == 0 { 0 } else { rng.gen_range(1..length) };
+        let mut f = pis[rot].complement_if(c != 0 && rng.gen());
+        for i in 1..length {
+            let x = pis[(i + rot) % length].complement_if(rng.gen());
+            f = if rng.gen() {
+                g.add_and(x, f)
+            } else {
+                g.add_or(x, f)
+            };
+        }
+        g.add_output(format!("c{c}"), f);
+    }
+    g
+}
+
+// --- shared ------------------------------------------------------------
+
+/// Shared-context Ω.D collapse groups: every group is the 3-gate
+/// pattern `⟨⟨u v a⟩ ⟨u v b⟩ z⟩` whose two inner gates share the
+/// context `(u, v)` and die with the group output, so the
+/// left-to-right distributivity collapse rewrites it to the 2-gate
+/// `⟨u v ⟨a b z⟩⟩` — the family where `optimize_size` provably removes
+/// one gate per group (modulo strash sharing between groups).
+fn shared(seed: u64, params: &[(String, u64)]) -> Mig {
+    let groups = param(params, "groups", 8, 1, 4_096) as usize;
+    let width = param(params, "width", 12, 5, 4_096) as usize;
+    let mut rng = StdRng::seed_from_u64(seed ^ 0x5A4E_0000);
+    let mut g = Mig::new();
+    let pis = g.add_inputs("x", width);
+
+    for group in 0..groups {
+        // Five distinct inputs per group: shared context (u, v),
+        // differing legs (a, b) and the outer third input z.
+        let mut picks: Vec<Signal> = Vec::with_capacity(5);
+        while picks.len() < 5 {
+            let s = pis[rng.gen_range(0..width)];
+            if picks.iter().all(|p| p.node() != s.node()) {
+                picks.push(s);
+            }
+        }
+        let (u, v, z) = (picks[0], picks[1].complement_if(rng.gen()), picks[4]);
+        let a = picks[2].complement_if(rng.gen());
+        let b = picks[3].complement_if(rng.gen());
+        let g1 = g.add_maj(u, v, a);
+        let g2 = g.add_maj(u, v, b);
+        let out = g.add_maj(g1, g2, z);
+        g.add_output(format!("s{group}"), out);
     }
     g
 }
@@ -741,6 +816,44 @@ mod tests {
             three.depth(),
             one.depth()
         );
+    }
+
+    #[test]
+    fn chain_is_maximally_skewed_and_rebalances() {
+        let g = build("synth:chain:7:length=48").unwrap();
+        assert_eq!(g.depth(), 47, "one gate per input after the first");
+        // The family exists to demonstrate the depth rewrite: a single
+        // pass of optimize_depth must at least halve the chain depth.
+        let (opt, _) = mig::optimize_depth(&g, 64);
+        assert!(
+            opt.depth() * 2 <= g.depth(),
+            "rewrite got {} from {}",
+            opt.depth(),
+            g.depth()
+        );
+        // Multiple chains share the input vector.
+        let many = build("synth:chain:7:chains=3,length=24").unwrap();
+        assert_eq!(many.input_count(), 24);
+        assert_eq!(many.output_count(), 3);
+    }
+
+    #[test]
+    fn shared_groups_collapse_under_the_size_rewrite() {
+        let g = build("synth:shared:8:groups=16,width=16").unwrap();
+        assert_eq!(g.output_count(), 16);
+        let opt = mig::optimize_size(&g, 8);
+        assert!(
+            opt.gate_count() < g.gate_count(),
+            "size rewrite must shrink the collapse groups ({} from {})",
+            opt.gate_count(),
+            g.gate_count()
+        );
+        // Soundness: the collapse preserves every group function.
+        let sim_a = Simulator::new(&g);
+        let sim_b = Simulator::new(&opt);
+        for p in patterns(16, 32, 5) {
+            assert_eq!(sim_a.eval(&p), sim_b.eval(&p));
+        }
     }
 
     #[test]

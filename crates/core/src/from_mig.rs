@@ -241,11 +241,12 @@ pub fn netlist_from_mig_min_inv(graph: &Mig) -> Netlist {
     n
 }
 
-/// Pipeline pass mapping the input MIG onto the working netlist
-/// ([`netlist_from_mig`] / [`netlist_from_mig_min_inv`]).
+/// Pipeline pass mapping the working MIG onto the working netlist
+/// ([`netlist_from_mig`] / [`netlist_from_mig_min_inv`]). When rewrite
+/// passes ran first, the optimized graph is what gets mapped.
 ///
-/// Must be the first pass of every [`crate::FlowPipeline`]; the builder
-/// enforces this.
+/// Must be the first netlist pass of every [`crate::FlowPipeline`]
+/// (only MIG rewrite passes may precede it); the builder enforces this.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
 pub struct MapPass {
     /// Use the polarity local search that minimizes materialized
@@ -271,9 +272,9 @@ impl crate::pipeline::Pass for MapPass {
         ctx: &mut crate::pipeline::FlowContext<'_>,
     ) -> Result<(), crate::pipeline::PassError> {
         let mapped = if self.minimize_inverters {
-            netlist_from_mig_min_inv(ctx.graph())
+            netlist_from_mig_min_inv(ctx.working_graph())
         } else {
-            netlist_from_mig(ctx.graph())
+            netlist_from_mig(ctx.working_graph())
         };
         ctx.set_mapped(mapped);
         Ok(())

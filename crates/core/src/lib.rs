@@ -152,6 +152,7 @@ pub mod incremental;
 pub mod io;
 pub mod lint;
 mod netlist;
+mod optimize;
 pub mod persist;
 mod pipeline;
 mod retiming;
@@ -188,6 +189,7 @@ pub use lint::{
     LintReport, LintRule,
 };
 pub use netlist::{FanoutEdges, KindCounts, Netlist, NetlistError, Port, StructuralCaches};
+pub use optimize::{OptimizeCostAwarePass, OptimizeDepthPass, OptimizeSizePass};
 pub use pipeline::{
     run_config_grid, BufferStrategy, FlowContext, FlowPipeline, FlowPipelineBuilder, GridCell,
     Pass, PassError, PassKind, PassStats, PipelineError, PipelineRun,

@@ -108,7 +108,11 @@ impl From<crate::netlist::NetlistError> for PassError {
 /// Coarse category of a pass, used by the builder's ordering checks.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
 pub enum PassKind {
-    /// Maps the input MIG onto the physical netlist (must run first).
+    /// Rewrites the working MIG before mapping (logic optimization;
+    /// must precede the mapping pass).
+    Rewrite,
+    /// Maps the input MIG onto the physical netlist (must run first
+    /// among the netlist passes).
     Map,
     /// Splits fan-out with FOG chains (must precede buffer insertion).
     FanoutRestriction,
@@ -129,6 +133,7 @@ pub enum PassKind {
 #[derive(Debug)]
 pub struct FlowContext<'g> {
     graph: &'g Mig,
+    working: Option<Mig>,
     netlist: Netlist,
     original: Option<Netlist>,
     cost: Option<CostTable>,
@@ -147,6 +152,7 @@ impl<'g> FlowContext<'g> {
     fn new(graph: &'g Mig, cost: Option<CostTable>) -> FlowContext<'g> {
         FlowContext {
             graph,
+            working: None,
             netlist: Netlist::new("unmapped"),
             original: None,
             cost,
@@ -158,9 +164,23 @@ impl<'g> FlowContext<'g> {
         }
     }
 
-    /// The input MIG.
+    /// The input MIG, as handed to the run — the reference every
+    /// equivalence gate checks against, untouched by rewrite passes.
     pub fn graph(&self) -> &'g Mig {
         self.graph
+    }
+
+    /// The MIG the mapping pass consumes: the latest rewritten graph if
+    /// any [`PassKind::Rewrite`] pass ran, otherwise the input MIG.
+    pub fn working_graph(&self) -> &Mig {
+        self.working.as_ref().unwrap_or(self.graph)
+    }
+
+    /// Installs an optimized MIG as the working graph (rewrite passes
+    /// call this). The source graph stays available via
+    /// [`FlowContext::graph`] so gates keep checking end-to-end.
+    pub fn set_rewritten(&mut self, graph: Mig) {
+        self.working = Some(graph);
     }
 
     /// The working netlist.
@@ -341,6 +361,9 @@ pub enum PipelineError {
     MapNotFirst,
     /// More than one mapping pass was registered.
     DuplicateMap,
+    /// A MIG rewrite pass was placed after the mapping pass — rewrites
+    /// transform the working MIG, which mapping has already consumed.
+    RewriteAfterMap,
     /// A fan-out restriction pass was placed after buffer insertion —
     /// §IV requires splitting fan-out *before* balancing, because FOG
     /// chains change path lengths.
@@ -365,6 +388,11 @@ impl fmt::Display for PipelineError {
                 write!(f, "the first pass must map the MIG onto a netlist")
             }
             PipelineError::DuplicateMap => write!(f, "only one mapping pass is allowed"),
+            PipelineError::RewriteAfterMap => write!(
+                f,
+                "MIG rewrite passes must run before mapping (the netlist passes cannot \
+                 observe a rewritten graph)"
+            ),
             PipelineError::FanoutAfterBuffers => write!(
                 f,
                 "fan-out restriction must run before buffer insertion (§IV)"
@@ -462,9 +490,27 @@ impl FlowPipeline {
         let mut ctx = FlowContext::new(graph, model.cloned());
         let mut trace = Vec::with_capacity(self.passes.len());
         for pass in &self.passes {
-            let counts_before = ctx.netlist.counts();
-            let outputs_before = ctx.netlist.outputs().len();
-            let depth_before = ctx.try_depth()?;
+            // Rewrite passes run before mapping, so their effect lives
+            // in the working MIG, not the (still empty) netlist:
+            // instrument them with projected MIG quantities instead.
+            let is_rewrite = pass.kind() == PassKind::Rewrite;
+            let measure_mig = |ctx: &FlowContext<'_>| {
+                let g = ctx.working_graph();
+                (
+                    crate::optimize::mig_projected_counts(g),
+                    g.output_count(),
+                    g.depth(),
+                )
+            };
+            let (counts_before, outputs_before, depth_before) = if is_rewrite {
+                measure_mig(&ctx)
+            } else {
+                (
+                    ctx.netlist.counts(),
+                    ctx.netlist.outputs().len(),
+                    ctx.try_depth()?,
+                )
+            };
             let started = Instant::now();
             pass.run(&mut ctx)?;
             let micros = started.elapsed().as_micros() as u64;
@@ -474,15 +520,22 @@ impl FlowPipeline {
                 pass.name(),
                 ctx.netlist.validate().unwrap_err()
             );
-            let counts_after = ctx.netlist.counts();
             // Fallible on purpose: a custom pass that wired a cycle is
             // caught here and fails the run instead of panicking deep
             // inside a level computation.
-            let depth_after = ctx.try_depth()?;
+            let (counts_after, outputs_after, depth_after) = if is_rewrite {
+                measure_mig(&ctx)
+            } else {
+                (
+                    ctx.netlist.counts(),
+                    ctx.netlist.outputs().len(),
+                    ctx.try_depth()?,
+                )
+            };
             let priced = ctx.cost.as_ref().map(|table| PricedDelta {
                 model: table.name().to_owned(),
                 before: table.price(&counts_before, outputs_before, depth_before),
-                after: table.price(&counts_after, ctx.netlist.outputs().len(), depth_after),
+                after: table.price(&counts_after, outputs_after, depth_after),
             });
             trace.push(PassStats {
                 pass: pass.name(),
@@ -494,6 +547,51 @@ impl FlowPipeline {
                 depth_after,
                 priced,
             });
+
+            // Pre-map gate counterparts for rewrite passes: the working
+            // netlist does not exist yet, so the static gate lints the
+            // optimized MIG and the equivalence gate checks it against
+            // the source graph directly at the MIG level.
+            if is_rewrite {
+                if self.lints {
+                    use crate::lint::{LintContext, LintDriver, LintFailure, Severity};
+                    // MIG004 is the only error-severity MIG rule
+                    // (topological arena storage); warnings never trip
+                    // the gate.
+                    let lctx = LintContext::new().with_graph(ctx.working_graph());
+                    let diagnostics: Vec<_> = LintDriver::with_codes(&["MIG004"])
+                        .run(&lctx)
+                        .into_iter()
+                        .filter(|d| d.severity == Severity::Error)
+                        .collect();
+                    if !diagnostics.is_empty() {
+                        return Err(PassError::Lint(Box::new(LintFailure {
+                            pass: pass.name(),
+                            diagnostics,
+                        })));
+                    }
+                }
+                if let Some(policy) = &self.equivalence {
+                    match mig::check_equivalence_with_policy(ctx.working_graph(), ctx.graph, policy)
+                    {
+                        Ok(verdict) if verdict.holds() => {}
+                        Ok(mig::Equivalence::NotEqual { output, pattern }) => {
+                            return Err(PassError::Custom(format!(
+                                "equivalence gate after `{}`: rewritten MIG diverges from the \
+                                 source graph on output `{output}` under pattern {pattern:?}",
+                                pass.name()
+                            )));
+                        }
+                        Ok(_) => unreachable!("holds() covers Equal and ProbablyEqual"),
+                        Err(e) => {
+                            return Err(PassError::Custom(format!(
+                                "equivalence gate after `{}`: {e}",
+                                pass.name()
+                            )))
+                        }
+                    }
+                }
+            }
 
             // Opt-in static gate: re-lint the working netlist at every
             // pass boundary, with the rule set growing as the flow
@@ -781,6 +879,29 @@ impl FlowPipelineBuilder {
         self
     }
 
+    /// Adds a depth-oriented MIG rewrite pass (Ω.A associativity +
+    /// Ω.D distributivity, `mig::optimize_depth`). Must precede the
+    /// mapping pass; `max_rounds` bounds the rewrite iterations.
+    pub fn optimize_depth(self, max_rounds: usize) -> FlowPipelineBuilder {
+        self.pass(Box::new(crate::optimize::OptimizeDepthPass { max_rounds }))
+    }
+
+    /// Adds a size-oriented MIG rewrite pass (Ω.D distributivity
+    /// collapse, `mig::optimize_size`). Must precede the mapping pass.
+    pub fn optimize_size(self, max_rounds: usize) -> FlowPipelineBuilder {
+        self.pass(Box::new(crate::optimize::OptimizeSizePass { max_rounds }))
+    }
+
+    /// Adds a cost-aware MIG rewrite pass that runs both objectives and
+    /// keeps whichever minimizes the projected priced area × latency
+    /// under the run's cost model (requires one; see
+    /// [`OptimizeCostAwarePass`](crate::optimize::OptimizeCostAwarePass)).
+    pub fn optimize_cost_aware(self, max_rounds: usize) -> FlowPipelineBuilder {
+        self.pass(Box::new(crate::optimize::OptimizeCostAwarePass {
+            max_rounds,
+        }))
+    }
+
     /// Adds the MIG→netlist mapping pass; `minimize_inverters` selects
     /// the polarity-local-search mapping.
     pub fn map(self, minimize_inverters: bool) -> FlowPipelineBuilder {
@@ -888,11 +1009,20 @@ pub(crate) fn validate_order(kinds: &[PassKind]) -> Result<(), PipelineError> {
     if kinds.is_empty() {
         return Err(PipelineError::Empty);
     }
-    if kinds[0] != PassKind::Map {
+    // MIG rewrites form an optional prefix; the first netlist pass must
+    // be the map, and no rewrite may follow it.
+    let map_at = kinds
+        .iter()
+        .take_while(|k| **k == PassKind::Rewrite)
+        .count();
+    if kinds.get(map_at) != Some(&PassKind::Map) {
         return Err(PipelineError::MapNotFirst);
     }
-    if kinds[1..].contains(&PassKind::Map) {
+    if kinds[map_at + 1..].contains(&PassKind::Map) {
         return Err(PipelineError::DuplicateMap);
+    }
+    if kinds[map_at + 1..].contains(&PassKind::Rewrite) {
+        return Err(PipelineError::RewriteAfterMap);
     }
     let first_buffer = kinds.iter().position(|k| *k == PassKind::BufferInsertion);
     let last_fanout = kinds

@@ -128,11 +128,32 @@ impl std::error::Error for SpecError {}
 
 /// One declaratively-named pass of a [`PipelineSpec`] — the data form
 /// of the [`crate::FlowPipelineBuilder`] methods (the mapping pass is
-/// implicit: every pipeline starts with it, which is also why the
-/// spec layer cannot express the builder's `MapNotFirst` /
-/// `DuplicateMap` mistakes).
+/// implicit: it slots in right after any leading MIG rewrite passes,
+/// which is also why the spec layer cannot express the builder's
+/// `MapNotFirst` / `DuplicateMap` mistakes — though a rewrite listed
+/// *after* a netlist pass still fails compilation with
+/// [`PipelineError::RewriteAfterMap`]).
 #[derive(Clone, Debug, PartialEq)]
 pub enum PassSpec {
+    /// Depth-oriented MIG rewrite (Ω.A/Ω.D, `mig::optimize_depth`);
+    /// must precede every netlist pass.
+    OptimizeDepth {
+        /// Bound on full-graph rewrite rounds.
+        max_rounds: usize,
+    },
+    /// Size-oriented MIG rewrite (Ω.D collapse, `mig::optimize_size`);
+    /// must precede every netlist pass.
+    OptimizeSize {
+        /// Bound on full-graph collapse rounds.
+        max_rounds: usize,
+    },
+    /// Cost-aware MIG rewrite: runs both objectives, keeps the one
+    /// minimizing projected priced area × cycle-time under the run's
+    /// cost model.
+    OptimizeCostAware {
+        /// Bound on rewrite rounds per objective.
+        max_rounds: usize,
+    },
     /// Fan-out restriction with the §IV limit `k ∈ 2..=5`.
     RestrictFanout {
         /// The fan-out limit.
@@ -171,6 +192,17 @@ impl PassSpec {
             PassSpec::RestrictFanoutCostAware
                 | PassSpec::InsertBuffers(BufferStrategy::CostAware)
                 | PassSpec::VerifyCostAware { .. }
+                | PassSpec::OptimizeCostAware { .. }
+        )
+    }
+
+    /// `true` for MIG rewrite passes, which run before mapping.
+    fn is_rewrite(&self) -> bool {
+        matches!(
+            self,
+            PassSpec::OptimizeDepth { .. }
+                | PassSpec::OptimizeSize { .. }
+                | PassSpec::OptimizeCostAware { .. }
         )
     }
 }
@@ -235,6 +267,31 @@ impl PipelineSpec {
             spec = spec.check_fanout_bound(limit);
         }
         spec
+    }
+
+    /// Appends a depth-oriented MIG rewrite pass. Rewrite passes must
+    /// lead the pass list — [`PipelineSpec::build`] slots the mapping
+    /// pass in after the leading rewrites, so a rewrite listed after
+    /// any netlist pass fails compilation with
+    /// [`PipelineError::RewriteAfterMap`].
+    pub fn optimize_depth(mut self, max_rounds: usize) -> PipelineSpec {
+        self.passes.push(PassSpec::OptimizeDepth { max_rounds });
+        self
+    }
+
+    /// Appends a size-oriented MIG rewrite pass (same ordering rule as
+    /// [`PipelineSpec::optimize_depth`]).
+    pub fn optimize_size(mut self, max_rounds: usize) -> PipelineSpec {
+        self.passes.push(PassSpec::OptimizeSize { max_rounds });
+        self
+    }
+
+    /// Appends a cost-aware MIG rewrite pass (same ordering rule as
+    /// [`PipelineSpec::optimize_depth`]; requires a cost model on the
+    /// run).
+    pub fn optimize_cost_aware(mut self, max_rounds: usize) -> PipelineSpec {
+        self.passes.push(PassSpec::OptimizeCostAware { max_rounds });
+        self
     }
 
     /// Appends a fan-out restriction pass.
@@ -329,12 +386,25 @@ impl PipelineSpec {
     /// The builder's [`PipelineError`] when the pass list is
     /// ill-ordered (e.g. fan-out restriction after buffer insertion).
     pub fn build(&self) -> Result<FlowPipeline, PipelineError> {
-        let mut builder = FlowPipeline::builder().map(self.minimize_inverters);
+        let mut builder = FlowPipeline::builder();
         if let Some(policy) = self.equivalence_gate {
             builder = builder.gate_equivalence(policy);
         }
-        for pass in &self.passes {
+        // The mapping pass goes right after the leading rewrite prefix;
+        // a rewrite listed later stays where the spec put it, so the
+        // builder rejects the ordering (`RewriteAfterMap`) instead of
+        // this method silently repairing it.
+        let map_at = self.passes.iter().take_while(|p| p.is_rewrite()).count();
+        for (i, pass) in self.passes.iter().enumerate() {
+            if i == map_at {
+                builder = builder.map(self.minimize_inverters);
+            }
             builder = match pass {
+                PassSpec::OptimizeDepth { max_rounds } => builder.optimize_depth(*max_rounds),
+                PassSpec::OptimizeSize { max_rounds } => builder.optimize_size(*max_rounds),
+                PassSpec::OptimizeCostAware { max_rounds } => {
+                    builder.optimize_cost_aware(*max_rounds)
+                }
                 PassSpec::RestrictFanout { limit } => builder.restrict_fanout(*limit),
                 PassSpec::RestrictFanoutCostAware => builder.restrict_fanout_cost_aware(),
                 PassSpec::InsertBuffers(strategy) => builder.insert_buffers(*strategy),
@@ -345,6 +415,9 @@ impl PipelineSpec {
                 }
                 PassSpec::CheckFanoutBound { limit } => builder.check_fanout_bound(*limit),
             };
+        }
+        if map_at == self.passes.len() {
+            builder = builder.map(self.minimize_inverters);
         }
         builder.build()
     }
@@ -734,6 +807,18 @@ impl Deserialize for BufferStrategy {
 impl Serialize for PassSpec {
     fn to_value(&self) -> Value {
         match self {
+            PassSpec::OptimizeDepth { max_rounds } => object(vec![
+                ("pass", Value::Str("optimize_depth".to_owned())),
+                ("max_rounds", (*max_rounds as u64).to_value()),
+            ]),
+            PassSpec::OptimizeSize { max_rounds } => object(vec![
+                ("pass", Value::Str("optimize_size".to_owned())),
+                ("max_rounds", (*max_rounds as u64).to_value()),
+            ]),
+            PassSpec::OptimizeCostAware { max_rounds } => object(vec![
+                ("pass", Value::Str("optimize_cost_aware".to_owned())),
+                ("max_rounds", (*max_rounds as u64).to_value()),
+            ]),
             PassSpec::RestrictFanout { limit } => object(vec![
                 ("pass", Value::Str("restrict_fanout".to_owned())),
                 ("limit", limit.to_value()),
@@ -772,7 +857,20 @@ impl Deserialize for PassSpec {
             .as_object()
             .ok_or_else(|| DeError::expected("object for PassSpec"))?;
         let tag: String = Deserialize::from_value(serde::field(entries, "pass")?)?;
+        let max_rounds = |entries: &[(String, Value)]| -> Result<usize, DeError> {
+            let rounds: u64 = Deserialize::from_value(serde::field(entries, "max_rounds")?)?;
+            Ok(rounds as usize)
+        };
         match tag.as_str() {
+            "optimize_depth" => Ok(PassSpec::OptimizeDepth {
+                max_rounds: max_rounds(entries)?,
+            }),
+            "optimize_size" => Ok(PassSpec::OptimizeSize {
+                max_rounds: max_rounds(entries)?,
+            }),
+            "optimize_cost_aware" => Ok(PassSpec::OptimizeCostAware {
+                max_rounds: max_rounds(entries)?,
+            }),
             "restrict_fanout" => Ok(PassSpec::RestrictFanout {
                 limit: Deserialize::from_value(serde::field(entries, "limit")?)?,
             }),
@@ -1054,6 +1152,9 @@ mod tests {
         let spec = FlowSpec::new("all-passes")
             .with_pipeline(
                 PipelineSpec::map(false)
+                    .optimize_depth(16)
+                    .optimize_size(8)
+                    .optimize_cost_aware(4)
                     .restrict_fanout(4)
                     .restrict_fanout_cost_aware()
                     .insert_buffers(BufferStrategy::Retimed)
@@ -1293,5 +1394,72 @@ mod tests {
             .insert_buffers(BufferStrategy::Asap)
             .restrict_fanout(3);
         assert_eq!(spec.build().unwrap_err(), PipelineError::FanoutAfterBuffers);
+
+        // A rewrite listed after a netlist pass is the builder's error
+        // too — build() never reorders the spec to repair it.
+        let spec = PipelineSpec::map(false)
+            .restrict_fanout(3)
+            .optimize_depth(4);
+        assert_eq!(spec.build().unwrap_err(), PipelineError::RewriteAfterMap);
+    }
+
+    #[test]
+    fn rewrite_passes_compile_before_the_implicit_map() {
+        let spec = PipelineSpec::map(false)
+            .optimize_depth(16)
+            .optimize_size(8)
+            .restrict_fanout(3)
+            .insert_buffers(BufferStrategy::Asap)
+            .verify(Some(3));
+        let pipeline = spec.build().unwrap();
+        assert_eq!(
+            pipeline.pass_names(),
+            vec![
+                "optimize_depth",
+                "optimize_size",
+                "map",
+                "fanout_restriction(3)",
+                "insert_buffers(asap)",
+                "verify(fo≤3)",
+            ]
+        );
+
+        // A rewrite-only spec still gets its implicit mapping pass.
+        let pipeline = PipelineSpec::map(false).optimize_size(4).build().unwrap();
+        assert_eq!(pipeline.pass_names(), vec!["optimize_size", "map"]);
+    }
+
+    #[test]
+    fn rewrite_passes_are_cache_identity_axes() {
+        let plain = PipelineSpec::map(false).restrict_fanout(3);
+        let rewritten = PipelineSpec::map(false)
+            .optimize_depth(16)
+            .restrict_fanout(3);
+        assert_ne!(plain.content_hash(), rewritten.content_hash());
+
+        // The round bound is part of the identity too.
+        let fewer_rounds = PipelineSpec::map(false)
+            .optimize_depth(8)
+            .restrict_fanout(3);
+        assert_ne!(rewritten.content_hash(), fewer_rounds.content_hash());
+
+        // And so is the objective.
+        let by_size = PipelineSpec::map(false)
+            .optimize_size(16)
+            .restrict_fanout(3);
+        assert_ne!(rewritten.content_hash(), by_size.content_hash());
+    }
+
+    #[test]
+    fn cost_aware_rewrite_requires_a_technology() {
+        let blind = FlowSpec::new("blind")
+            .with_pipeline(PipelineSpec::map(false).optimize_cost_aware(8))
+            .circuit("A");
+        assert_eq!(blind.validate(), Err(SpecError::CostAwareWithoutTechnology));
+        let priced = FlowSpec::new("priced")
+            .with_pipeline(PipelineSpec::map(false).optimize_cost_aware(8))
+            .technology(crate::cost::CostTable::from_model(&Flat))
+            .circuit("A");
+        assert_eq!(priced.validate(), Ok(()));
     }
 }

@@ -31,21 +31,57 @@ pub fn as_majority(graph: &Mig, s: Signal) -> Option<[Signal; 3]> {
 ///
 /// Given the fan-ins `(x, u, inner)` where `inner = ⟨y u z⟩` shares `u`,
 /// rebuilds the right-hand side with `x` and `z` exchanged. Returns
-/// `None` when `inner` is not a gate or shares no fan-in with the outer
-/// gate.
+/// `None` when `inner` is not a gate or shares no fan-in (plain or
+/// complemented) with the outer gate. Equivalent to
+/// [`associativity_z`] with `z_choice = 1`.
 pub fn associativity(graph: &mut Mig, x: Signal, u: Signal, inner: Signal) -> Option<Signal> {
+    associativity_z(graph, x, u, inner, 1)
+}
+
+/// Ω.A associativity with an explicit choice of the swapped-out signal.
+///
+/// Handles both forms of the shared fan-in:
+///
+/// * direct, `inner = ⟨y u z⟩`: `⟨x u ⟨y u z⟩⟩ = ⟨z u ⟨y u x⟩⟩`;
+/// * complement-conjugate, `inner = ⟨y ū z⟩`:
+///   `⟨x u ⟨y ū z⟩⟩ = ⟨z x ⟨y x u⟩⟩`.
+///
+/// The two inner fan-ins besides the shared one are the candidates for
+/// `z` (the signal lifted out of the inner gate); `z_choice` (0 or 1, in
+/// inner fan-in order) selects which — depth optimizers pass the deeper
+/// candidate so the critical path shortens. Returns `None` when `inner`
+/// is not a gate or holds neither `u` nor `¬u`.
+pub fn associativity_z(
+    graph: &mut Mig,
+    x: Signal,
+    u: Signal,
+    inner: Signal,
+    z_choice: usize,
+) -> Option<Signal> {
     let f = as_majority(graph, inner)?;
-    // Find u inside the inner gate.
-    let pos = f.iter().position(|&s| s == u)?;
-    let (y, z) = match pos {
+    let rest = |pos: usize| match pos {
         0 => (f[1], f[2]),
         1 => (f[0], f[2]),
         _ => (f[0], f[1]),
     };
-    // Two symmetric choices; swap x with z (callers pick the z they want
-    // by ordering the inner fan-ins).
-    let new_inner = graph.add_maj(y, u, x);
-    Some(graph.add_maj(z, u, new_inner))
+    let pick = |(c0, c1): (Signal, Signal)| {
+        if z_choice == 0 {
+            (c1, c0) // (y, z)
+        } else {
+            (c0, c1)
+        }
+    };
+    if let Some(pos) = f.iter().position(|&s| s == u) {
+        let (y, z) = pick(rest(pos));
+        let new_inner = graph.add_maj(y, u, x);
+        return Some(graph.add_maj(z, u, new_inner));
+    }
+    if let Some(pos) = f.iter().position(|&s| s == !u) {
+        let (y, z) = pick(rest(pos));
+        let new_inner = graph.add_maj(y, x, u);
+        return Some(graph.add_maj(z, x, new_inner));
+    }
+    None
 }
 
 /// Ω.D distributivity, right-to-left:
@@ -146,6 +182,110 @@ mod tests {
         assert_eq!(associativity(&mut g, ins[0], ins[1], inner), None);
         let input_inner = ins[4];
         assert_eq!(associativity(&mut g, ins[0], ins[1], input_inner), None);
+    }
+
+    #[test]
+    fn associativity_z_is_sound_for_every_z_choice() {
+        for z_choice in 0..2 {
+            assert_equiv(
+                4,
+                |g, x| {
+                    let inner = g.add_maj(x[2], x[1], x[3]);
+                    g.add_maj(x[0], x[1], inner)
+                },
+                move |g, x| {
+                    let inner = g.add_maj(x[2], x[1], x[3]);
+                    associativity_z(g, x[0], x[1], inner, z_choice).expect("pattern applies")
+                },
+            );
+        }
+    }
+
+    #[test]
+    fn associativity_z_lifts_the_chosen_candidate() {
+        // `z_choice` selects which non-shared inner fan-in is swapped out
+        // to the outer gate (depth optimizers pass the deeper one); the
+        // other stays inside the rebuilt inner gate.
+        for z_choice in 0..2 {
+            let mut g = Mig::new();
+            let ins = g.add_inputs("x", 4);
+            let inner = g.add_maj(ins[2], ins[1], ins[3]);
+            let f = as_majority(&g, inner).expect("gate");
+            let shared = f.iter().position(|&s| s == ins[1]).expect("shares x1");
+            let cands: Vec<Signal> = (0..3).filter(|&i| i != shared).map(|i| f[i]).collect();
+            let out = associativity_z(&mut g, ins[0], ins[1], inner, z_choice).expect("applies");
+            let of = as_majority(&g, out).expect("outer result is a gate");
+            assert!(
+                of.contains(&cands[z_choice]),
+                "z_choice {z_choice} must lift {:?} into the outer gate, got {of:?}",
+                cands[z_choice]
+            );
+        }
+    }
+
+    #[test]
+    fn associativity_complemented_shared_fanin_is_sound() {
+        // Ω.A complement-conjugate form: the inner gate holds ¬u, not u.
+        for z_choice in 0..2 {
+            assert_equiv(
+                4,
+                |g, x| {
+                    let inner = g.add_maj(x[2], !x[1], x[3]);
+                    g.add_maj(x[0], x[1], inner)
+                },
+                move |g, x| {
+                    let inner = g.add_maj(x[2], !x[1], x[3]);
+                    associativity_z(g, x[0], x[1], inner, z_choice).expect("pattern applies")
+                },
+            );
+        }
+    }
+
+    #[test]
+    fn associativity_complemented_form_with_complemented_inner_edge() {
+        // The shared-signal search runs on the complement-resolved inner
+        // fan-ins, so a complemented inner edge still matches.
+        for z_choice in 0..2 {
+            assert_equiv(
+                4,
+                |g, x| {
+                    let inner = g.add_maj(x[2], x[1], x[3]);
+                    g.add_maj(x[0], x[1], !inner)
+                },
+                move |g, x| {
+                    let inner = g.add_maj(x[2], x[1], x[3]);
+                    associativity_z(g, x[0], x[1], !inner, z_choice).expect("pattern applies")
+                },
+            );
+        }
+    }
+
+    #[test]
+    fn associativity_complemented_form_over_all_shared_positions() {
+        // Exhaustive: ¬u at each position of the inner gate, all z
+        // choices, checked by truth table over every input assignment.
+        fn inner_fanins(x: &[Signal], shared_pos: usize) -> [Signal; 3] {
+            let mut f = [x[2], !x[1], x[3]];
+            f.swap(1, shared_pos);
+            f
+        }
+        for shared_pos in 0..3 {
+            for z_choice in 0..2 {
+                assert_equiv(
+                    4,
+                    move |g, x| {
+                        let f = inner_fanins(x, shared_pos);
+                        let inner = g.add_maj(f[0], f[1], f[2]);
+                        g.add_maj(x[0], x[1], inner)
+                    },
+                    move |g, x| {
+                        let f = inner_fanins(x, shared_pos);
+                        let inner = g.add_maj(f[0], f[1], f[2]);
+                        associativity_z(g, x[0], x[1], inner, z_choice).expect("pattern applies")
+                    },
+                );
+            }
+        }
     }
 
     #[test]

@@ -21,11 +21,13 @@ use crate::signal::Signal;
 /// Result summary of [`optimize_depth`].
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
 pub struct DepthOptOutcome {
-    /// Depth before optimization.
+    /// Depth before optimization, measured after dead-node sweeping so
+    /// unreachable deep logic cannot inflate it.
     pub before: u32,
     /// Depth after optimization.
     pub after: u32,
-    /// Rewrite rounds actually run.
+    /// Rewrite rounds that improved the depth (a round that fails to
+    /// improve terminates the loop and is not counted).
     pub rounds: usize,
 }
 
@@ -56,14 +58,14 @@ pub struct DepthOptOutcome {
 /// assert_eq!(opt.depth(), outcome.after);
 /// ```
 pub fn optimize_depth(graph: &Mig, max_rounds: usize) -> (Mig, DepthOptOutcome) {
-    let before = graph.depth();
     let mut best = graph.cleanup();
+    let before = best.depth();
     let mut rounds = 0;
     for _ in 0..max_rounds {
         let next = rewrite_round(&best);
-        rounds += 1;
         if next.depth() < best.depth() {
             best = next;
+            rounds += 1;
         } else {
             break;
         }
@@ -137,17 +139,29 @@ fn rewrite_round(graph: &Mig) -> Mig {
         let dominates = level_of(&levels, crit) >= level_of(&levels, s1) + 2 && !crit.is_const();
         if dominates {
             if let Some(inner) = axioms::as_majority(&out, crit) {
-                // Associativity: requires a fan-in shared with {s0, s1}.
+                // Associativity: requires a fan-in shared with {s0, s1},
+                // either directly or complemented (the Ω.A conjugate
+                // form). Swap out the deeper of the two non-shared inner
+                // fan-ins so the critical path actually shortens.
                 for &u in &[s0, s1] {
-                    if inner.contains(&u) {
-                        let x = if u == s0 { s1 } else { s0 };
-                        if let Some(cand) = axioms::associativity(&mut out, x, u, crit) {
-                            sync_levels(&out, &mut levels);
-                            let lvl = level_of(&levels, cand);
-                            if lvl < best_level {
-                                best = cand;
-                                best_level = lvl;
-                            }
+                    let pos = inner
+                        .iter()
+                        .position(|&s| s == u)
+                        .or_else(|| inner.iter().position(|&s| s == !u));
+                    let Some(pos) = pos else { continue };
+                    let x = if u == s0 { s1 } else { s0 };
+                    let (c0, c1) = match pos {
+                        0 => (inner[1], inner[2]),
+                        1 => (inner[0], inner[2]),
+                        _ => (inner[0], inner[1]),
+                    };
+                    let z_choice = usize::from(level_of(&levels, c1) > level_of(&levels, c0));
+                    if let Some(cand) = axioms::associativity_z(&mut out, x, u, crit, z_choice) {
+                        sync_levels(&out, &mut levels);
+                        let lvl = level_of(&levels, cand);
+                        if lvl < best_level {
+                            best = cand;
+                            best_level = lvl;
                         }
                     }
                 }
@@ -221,7 +235,68 @@ mod tests {
         let (opt, outcome) = optimize_depth(&g, 8);
         assert_eq!(outcome.before, 2);
         assert_eq!(outcome.after, 2);
+        assert_eq!(
+            outcome.rounds, 0,
+            "no round improved, so none should be reported"
+        );
         assert_eq!(opt.gate_count(), g.gate_count());
+    }
+
+    #[test]
+    fn before_depth_ignores_dead_logic() {
+        // A deep dead chain next to a shallow live output: `before`
+        // must report the live depth, not the dead one, or
+        // `after <= before` holds vacuously.
+        let mut g = Mig::new();
+        let ins = g.add_inputs("x", 12);
+        let mut dead = ins[11];
+        for i in (0..11).rev() {
+            dead = g.add_and(ins[i], dead);
+        }
+        let live = g.add_and(ins[0], ins[1]);
+        g.add_output("f", live);
+        assert_eq!(g.depth(), 1, "only the live cone counts toward depth");
+        let (_, outcome) = optimize_depth(&g, 8);
+        assert_eq!(outcome.before, 1);
+        assert_eq!(outcome.rounds, 0);
+    }
+
+    #[test]
+    fn rounds_counts_only_improving_rounds() {
+        let g = skewed_and_chain(16);
+        let (_, outcome) = optimize_depth(&g, 32);
+        assert!(outcome.rounds >= 1);
+        // Re-optimizing the fixpoint performs no improving round.
+        let (opt, _) = optimize_depth(&g, 32);
+        let (_, again) = optimize_depth(&opt, 32);
+        assert_eq!(again.rounds, 0);
+        assert_eq!(again.before, again.after);
+    }
+
+    #[test]
+    fn alternating_and_or_chain_is_logarithmized() {
+        // AND gates are ⟨· · 0⟩ and OR gates ⟨· · 1⟩: adjacent gates
+        // share the constant only in complemented form, so the depth
+        // reduction here exercises the Ω.A conjugate matching.
+        let mut g = Mig::new();
+        let x = g.add_inputs("x", 12);
+        let mut f = x[11];
+        for i in (0..11).rev() {
+            f = if i % 2 == 0 {
+                g.add_and(x[i], f)
+            } else {
+                g.add_or(x[i], f)
+            };
+        }
+        g.add_output("f", f);
+        assert_eq!(g.depth(), 11);
+        let (opt, outcome) = optimize_depth(&g, 32);
+        assert!(
+            outcome.after <= 7,
+            "expected strong depth reduction, got {}",
+            outcome.after
+        );
+        assert!(check_equivalence(&g, &opt).unwrap().holds());
     }
 
     #[test]

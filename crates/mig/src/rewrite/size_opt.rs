@@ -53,6 +53,14 @@ fn collapse_round(graph: &Mig) -> Mig {
         map[id.index()] = Some(out.add_input(graph.input_name(pos).to_owned()));
     }
 
+    let fanout = graph.fanout_counts();
+    // A collapse replaces ⟨⟨x y u⟩ ⟨x y v⟩ z⟩ (three gates) with
+    // ⟨x y ⟨u v z⟩⟩ (two new gates); it only nets a saving when both
+    // source gates die with the rewrite. A multiply-referenced source
+    // gate stays live for its other readers, turning the "collapse" into
+    // a net addition — so only singly-referenced gate fan-ins qualify.
+    let dies = |s: &Signal| graph.node(s.node()).is_gate() && fanout[s.node().index()] == 1;
+
     for id in graph.node_ids() {
         let crate::Node::Majority(fanins) = graph.node(id) else {
             continue;
@@ -69,12 +77,15 @@ fn collapse_round(graph: &Mig) -> Mig {
         // Try collapsing with each fan-in playing the role of z.
         let mut built = None;
         for z_pos in (0..3).rev() {
-            let (a, b) = match z_pos {
-                0 => (f[1], f[2]),
-                1 => (f[0], f[2]),
-                _ => (f[0], f[1]),
+            let (ai, bi) = match z_pos {
+                0 => (1, 2),
+                1 => (0, 2),
+                _ => (0, 1),
             };
-            if let Some(s) = axioms::distributivity_lr(&mut out, a, b, f[z_pos]) {
+            if !(dies(&fanins[ai]) && dies(&fanins[bi])) {
+                continue;
+            }
+            if let Some(s) = axioms::distributivity_lr(&mut out, f[ai], f[bi], f[z_pos]) {
                 built = Some(s);
                 break;
             }
@@ -129,6 +140,42 @@ mod tests {
         g.add_output("f", f);
         let opt = optimize_size(&g, 4);
         assert_eq!(opt.gate_count(), 2);
+        assert!(check_equivalence(&g, &opt).unwrap().holds());
+    }
+
+    #[test]
+    fn shared_fanout_gates_are_not_collapsed() {
+        // Regression: collapsing ⟨a b x4⟩ when a and b have other readers
+        // leaves both source gates live and *adds* two nodes. A mixed
+        // round (one harmful, two genuine collapses) used to net negative
+        // and get accepted, locking in the harmful rewrite.
+        let mut g = Mig::new();
+        let x = g.add_inputs("x", 15);
+        // Harmful pattern: a and b each feed a second gate.
+        let a = g.add_maj(x[0], x[1], x[2]);
+        let b = g.add_maj(x[0], x[1], x[3]);
+        let f = g.add_maj(a, b, x[4]);
+        let g2 = g.add_maj(a, x[5], x[6]);
+        let g3 = g.add_maj(b, x[5], x[7]);
+        // Two genuine patterns whose source gates die on collapse.
+        let c = g.add_maj(x[8], x[9], x[10]);
+        let d = g.add_maj(x[8], x[9], x[11]);
+        let h1 = g.add_maj(c, d, x[12]);
+        let e = g.add_maj(x[13], x[14], x[10]);
+        let k = g.add_maj(x[13], x[14], x[11]);
+        // z differs from h1's so the two collapsed inner gates do not
+        // strash into one node (which would blur the expected count).
+        let h2 = g.add_maj(e, k, x[4]);
+        for (name, s) in [("f", f), ("g2", g2), ("g3", g3), ("h1", h1), ("h2", h2)] {
+            g.add_output(name, s);
+        }
+        assert_eq!(g.gate_count(), 11);
+
+        let opt = optimize_size(&g, 8);
+        // Both genuine patterns collapse (−1 gate each); the shared-
+        // fanout pattern must be left alone. The buggy version accepted
+        // the mixed round and stopped at 10 gates.
+        assert_eq!(opt.gate_count(), 9);
         assert!(check_equivalence(&g, &opt).unwrap().holds());
     }
 

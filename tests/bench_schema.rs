@@ -7,8 +7,9 @@ use serde::Value;
 use wavepipe::EngineStats;
 use wavepipe_bench::record::{
     BenchRecord, EditPoint, ExhaustivePoint, GridPoint, IncrementalPoint, IncrementalRecord,
-    LatencySummary, LoadPhase, PassSummary, PassThroughput, ScalingPoint, ScalingRecord,
-    ServeRecord, ServeTotals, StageRecord, VerifyPoint, VerifyRecord, WidePoint, WideRecord,
+    LatencySummary, LoadPhase, PassSummary, PassThroughput, QorCell, QorCircuit, QorRecord,
+    ScalingPoint, ScalingRecord, ServeRecord, ServeTotals, StageRecord, VerifyPoint, VerifyRecord,
+    WidePoint, WideRecord,
 };
 
 /// Sorted top-level keys of a JSON object value.
@@ -424,6 +425,94 @@ fn bench_pr9_record_schema_is_pinned() {
 }
 
 #[test]
+fn bench_pr10_record_schema_is_pinned() {
+    let record = QorRecord {
+        raw_pipeline: vec!["map".to_owned()],
+        opt_pipeline: vec!["optimize_depth".to_owned(), "map".to_owned()],
+        equivalence_gated: true,
+        circuits: vec![QorCircuit {
+            name: "synth:chain:1:length=64".to_owned(),
+            family: "chain".to_owned(),
+            raw_gates: 63,
+            raw_depth: 63,
+            opt_gates: 96,
+            opt_depth: 15,
+            depth_gain: 4.2,
+            gate_gain: 0.66,
+            rewrite_micros: 500,
+        }],
+        cells: vec![QorCell {
+            circuit: "synth:chain:1:length=64".to_owned(),
+            technology: "SWD".to_owned(),
+            raw_size: 400,
+            opt_size: 300,
+            raw_wave_depth: 70,
+            opt_wave_depth: 20,
+            raw_area: 400.0,
+            opt_area: 300.0,
+            raw_cycle_time: 70.0,
+            opt_cycle_time: 20.0,
+        }],
+        engine_totals: EngineStats::default(),
+        warm: EngineStats::default(),
+    };
+    let value = to_value(&record);
+    assert_eq!(
+        keys(&value),
+        [
+            "cells",
+            "circuits",
+            "engine_totals",
+            "equivalence_gated",
+            "opt_pipeline",
+            "raw_pipeline",
+            "warm"
+        ]
+    );
+    assert_eq!(
+        keys(serde::field(value.as_object().unwrap(), "engine_totals").unwrap()),
+        ENGINE_KEYS
+    );
+    let circuit = &serde::field(value.as_object().unwrap(), "circuits")
+        .unwrap()
+        .as_array()
+        .unwrap()[0];
+    assert_eq!(
+        keys(circuit),
+        [
+            "depth_gain",
+            "family",
+            "gate_gain",
+            "name",
+            "opt_depth",
+            "opt_gates",
+            "raw_depth",
+            "raw_gates",
+            "rewrite_micros"
+        ]
+    );
+    let cell = &serde::field(value.as_object().unwrap(), "cells")
+        .unwrap()
+        .as_array()
+        .unwrap()[0];
+    assert_eq!(
+        keys(cell),
+        [
+            "circuit",
+            "opt_area",
+            "opt_cycle_time",
+            "opt_size",
+            "opt_wave_depth",
+            "raw_area",
+            "raw_cycle_time",
+            "raw_size",
+            "raw_wave_depth",
+            "technology"
+        ]
+    );
+}
+
+#[test]
 fn lint_report_schema_is_pinned() {
     let mut netlist = wavepipe::Netlist::new("hot");
     let a = netlist.add_input("a");
@@ -511,13 +600,13 @@ fn generated_lint_report_parses_clean() {
 
 /// Generated artifacts must match the pinned schema too. Most of
 /// `results/` is gitignored (the binaries regenerate it;
-/// `BENCH_pr6.json`, `BENCH_pr7.json` and `BENCH_pr9.json` are
-/// committed as perf baselines), so absent files are skipped — CI's
-/// smoke jobs run the `scaling` / `verify_throughput` / `eco` binaries
-/// (and the `wavepipe-serve`/`wavepipe-load` pair) first and then
-/// this test, which is what keeps `results/BENCH_pr4.json`–
-/// `BENCH_pr9.json` generation from rotting relative to the record
-/// types.
+/// `BENCH_pr6.json`, `BENCH_pr7.json`, `BENCH_pr9.json` and
+/// `BENCH_pr10.json` are committed as perf baselines), so absent files
+/// are skipped — CI's smoke jobs run the `scaling` /
+/// `verify_throughput` / `eco` / `qor` binaries (and the
+/// `wavepipe-serve`/`wavepipe-load` pair) first and then this test,
+/// which is what keeps `results/BENCH_pr4.json`–`BENCH_pr10.json`
+/// generation from rotting relative to the record types.
 #[test]
 fn generated_bench_records_parse_with_the_pinned_shape() {
     for (path, top, has_engine_totals) in [
@@ -557,6 +646,19 @@ fn generated_bench_records_parse_with_the_pinned_shape() {
                 "server",
                 "shed_slow_clients",
                 "workers",
+            ],
+            true,
+        ),
+        (
+            "results/BENCH_pr10.json",
+            vec![
+                "cells",
+                "circuits",
+                "engine_totals",
+                "equivalence_gated",
+                "opt_pipeline",
+                "raw_pipeline",
+                "warm",
             ],
             true,
         ),

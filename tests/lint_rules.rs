@@ -157,6 +157,34 @@ fn mig003_flags_dead_gates() {
 }
 
 #[test]
+fn rewritten_graphs_lint_clean_of_every_mig_rule() {
+    // `wavecheck --optimize` lints the rewritten MIG instead of the
+    // source graph, attesting the flow's actual mapping input. That
+    // only attests anything if the rewrites preserve hygiene: the
+    // collapse driver re-normalizes every gate through `add_maj` (so
+    // zero `MIG001` axiom-reducible gates and zero `MIG002` strash
+    // duplicates survive `optimize_size`) and both drivers end in
+    // `cleanup()` (so collapsed structure leaves no `MIG003` dead gates
+    // and `MIG004` topological order holds).
+    for name in [
+        "synth:chain:21:length=48",
+        "synth:shared:22:groups=12,width=12",
+        "synth:dag:23:nodes=200",
+        "SASC",
+    ] {
+        let g = benchsuite::build_mig(name).expect("registry circuit");
+        let (by_depth, _) = mig::optimize_depth(&g, 16);
+        let optimized = mig::optimize_size(&by_depth, 16);
+        let diagnostics = lint_mig(&optimized);
+        assert!(
+            diagnostics.is_empty(),
+            "{name}: rewritten graph is not hygienic: {:?}",
+            codes(&diagnostics)
+        );
+    }
+}
+
+#[test]
 fn spec001_flags_transforms_without_verification() {
     let spec = FlowSpec::new("no-verify")
         .with_pipeline(PipelineSpec::map(false).restrict_fanout(LIMIT))

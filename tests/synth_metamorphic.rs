@@ -352,6 +352,117 @@ fn wave_streaming_matches_the_source_mig_on_subsample() {
     }
 }
 
+/// The rewrite-prefixed flow on a subsample plus the two families the
+/// rewrites exist for (maximally-skewed `chain`, shared-context
+/// `shared`). Kept separate from the main sweep because the rewrite
+/// passes *intentionally* violate its monotone trace invariants
+/// (`depth_after >= depth_before`, non-decreasing component counts) —
+/// here the invariants point the other way:
+///
+/// * **equivalence** — the pipelined netlist still matches the *raw*
+///   source MIG differentially (and the per-pass equivalence gate
+///   re-checks every pass boundary, the rewrites included);
+/// * **depth monotone** — `optimize_depth` never increases projected
+///   depth, and strictly reduces it on skewed chains;
+/// * **size monotone** — `optimize_size` never increases projected
+///   gate count, and strictly reduces it on shared-context groups;
+/// * **warm-cache determinism** — a verbatim re-run is pure cache hits,
+///   i.e. the rewrite passes hash into the cache key like every other
+///   pass.
+#[test]
+fn rewrite_prefixed_flow_preserves_function_and_improves_qor() {
+    let n = case_count();
+    let engine = Engine::new().with_resolver(benchsuite::build_mig);
+    let pipeline = PipelineSpec::map(false)
+        .optimize_depth(16)
+        .optimize_size(16)
+        .restrict_fanout(3)
+        .insert_buffers(BufferStrategy::Asap)
+        .verify(Some(3))
+        .gate_equivalence(EquivalencePolicy {
+            exhaustive_inputs: 10,
+            rounds: 2,
+            seed: 0x0E57,
+        });
+
+    let mut spec = FlowSpec::new("rewrite-metamorphic").with_pipeline(pipeline);
+    for i in (0..n).step_by(7) {
+        spec = spec.synthetic_circuit(synth_case(i));
+    }
+    let general = spec.circuits.len();
+    for seed in 0..4u64 {
+        spec = spec
+            .synthetic_circuit(SynthSpec::new("chain", seed).param("length", 24 + seed * 8))
+            .synthetic_circuit(
+                SynthSpec::new("shared", seed)
+                    .param("groups", 4 + seed * 3)
+                    .param("width", 8 + seed),
+            );
+    }
+    let total = spec.circuits.len();
+
+    let cold = engine.run(&spec).expect("rewrite-prefixed sweep verifies");
+    for (ci, cell) in cold.iter().enumerate() {
+        let name = &cold.circuits[ci];
+        let run = cell
+            .run()
+            .unwrap_or_else(|| panic!("{name}: flow failed: {:?}", cell.outcome));
+        let source = benchsuite::build_mig(name).expect("registry rebuilds");
+
+        let verdict = differential::check(
+            &run.result.pipelined,
+            &source,
+            &case_policy(0x5E17 ^ ci as u64),
+        )
+        .unwrap_or_else(|e| panic!("{name}: {e}"));
+        assert!(
+            verdict.holds(),
+            "{name}: rewrites broke the function: {verdict:?}"
+        );
+
+        let stat = |pass: &str| {
+            run.trace
+                .iter()
+                .find(|p| p.pass == pass)
+                .unwrap_or_else(|| panic!("{name}: `{pass}` missing from the trace"))
+        };
+        let by_depth = stat("optimize_depth");
+        assert!(
+            by_depth.depth_after <= by_depth.depth_before,
+            "{name}: optimize_depth deepened the graph ({} from {})",
+            by_depth.depth_after,
+            by_depth.depth_before
+        );
+        let by_size = stat("optimize_size");
+        assert!(
+            by_size.counts_after.maj <= by_size.counts_before.maj,
+            "{name}: optimize_size grew the graph ({} from {})",
+            by_size.counts_after.maj,
+            by_size.counts_before.maj
+        );
+        // The QoR contract on the demonstrator families is strict.
+        if name.starts_with("synth:chain:") {
+            assert!(
+                by_depth.depth_after < by_depth.depth_before,
+                "{name}: a maximally-skewed chain must rebalance"
+            );
+        }
+        if name.starts_with("synth:shared:") {
+            assert!(
+                by_size.counts_after.maj < by_size.counts_before.maj,
+                "{name}: shared-context groups must collapse"
+            );
+        }
+    }
+    assert!(total > general, "the strict-family cases were swept");
+
+    // Warm determinism: identical spec (rewrite rounds included) must
+    // be a pure cache replay.
+    let warm = engine.run(&spec).expect("warm re-run verifies");
+    assert_eq!(warm.stats.cache_hits, total as u64);
+    assert_eq!(warm.stats.passes_executed, 0);
+}
+
 /// The generator contract behind the cache: identical requests are
 /// bit-identical netlists, and the canonical name embedded in the spec
 /// is a complete reproduction recipe.
